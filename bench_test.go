@@ -1,0 +1,216 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, one bench target per exhibit (see DESIGN.md §4), plus
+// micro-benchmarks of the protocol inner loops and the chainsim engines.
+//
+// Exhibit benches run a reduced-size configuration per iteration and
+// report the experiment's headline metric through b.ReportMetric, so
+// `go test -bench=.` both times the harness and re-derives the paper's
+// qualitative results.
+package fairness_test
+
+import (
+	"math"
+	"testing"
+
+	fairness "repro"
+	"repro/internal/chainsim"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/game"
+	"repro/internal/montecarlo"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// benchCfg is the per-iteration experiment scale: small enough for
+// benchmarking, large enough that the reported metrics keep the paper's
+// qualitative shape.
+var benchCfg = experiments.Config{Quick: true, Trials: 60, Blocks: 400, Seed: 17}
+
+// runExhibit benches one registered experiment and reports a chosen
+// metric from its final iteration.
+func runExhibit(b *testing.B, id, metric string) {
+	runExhibitCfg(b, id, metric, benchCfg)
+}
+
+// runExhibitCfg is runExhibit with an explicit per-iteration scale, for
+// exhibits whose default bench scale would be too heavy (hash-heavy P2P
+// simulations).
+func runExhibitCfg(b *testing.B, id, metric string, cfg experiments.Config) {
+	b.Helper()
+	spec, err := experiments.Get(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		rep, err := spec.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if metric != "" {
+			v, ok := rep.Metrics[metric]
+			if !ok {
+				b.Fatalf("metric %q missing from %s (have %v)", metric, id, rep.Metrics)
+			}
+			last = v
+		}
+	}
+	if metric != "" {
+		b.ReportMetric(last, metric)
+	}
+}
+
+// --- Figure 1 ---------------------------------------------------------
+
+func BenchmarkFig1SLPoSDrift(b *testing.B) { runExhibit(b, "fig1", "winprob_at_0.2") }
+
+// --- Figure 2: per-protocol evolution panels --------------------------
+
+func benchFig2Panel(b *testing.B, p fairness.Protocol) {
+	b.Helper()
+	var unfair float64
+	for i := 0; i < b.N; i++ {
+		res, err := montecarlo.Run(p, game.TwoMiner(0.2), montecarlo.Config{
+			Trials: 60, Blocks: 400, Seed: 21,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		u := res.UnfairProbSeries(0.2, 0.1)
+		unfair = u[len(u)-1]
+	}
+	b.ReportMetric(unfair, "final_unfair")
+}
+
+func BenchmarkFig2PoW(b *testing.B)   { benchFig2Panel(b, fairness.NewPoW(0.01)) }
+func BenchmarkFig2MLPoS(b *testing.B) { benchFig2Panel(b, fairness.NewMLPoS(0.01)) }
+func BenchmarkFig2SLPoS(b *testing.B) { benchFig2Panel(b, fairness.NewSLPoS(0.01)) }
+func BenchmarkFig2CPoS(b *testing.B)  { benchFig2Panel(b, fairness.NewCPoS(0.01, 0.1, 32)) }
+
+// --- Figure 3 ---------------------------------------------------------
+
+func BenchmarkFig3UnfairProbByStake(b *testing.B) { runExhibit(b, "fig3", "unfair_PoW_a20") }
+
+// --- Figure 4: SL-PoS sweeps ------------------------------------------
+
+func BenchmarkFig4SLPoSStakeSweep(b *testing.B)  { runExhibit(b, "fig4", "final_mean_a20") }
+func BenchmarkFig4SLPoSRewardSweep(b *testing.B) { runExhibit(b, "fig4", "final_mean_w1e-02") }
+
+// --- Figure 5: reward and inflation sweeps ----------------------------
+
+func BenchmarkFig5MLPoSRewardSweep(b *testing.B)   { runExhibit(b, "fig5", "unfair_a_w=1e-02") }
+func BenchmarkFig5SLPoSRewardSweep(b *testing.B)   { runExhibit(b, "fig5", "unfair_b_w=1e-02") }
+func BenchmarkFig5CPoSRewardSweep(b *testing.B)    { runExhibit(b, "fig5", "unfair_c_w=1e-02") }
+func BenchmarkFig5CPoSInflationSweep(b *testing.B) { runExhibit(b, "fig5", "unfair_d_v=0.10") }
+
+// --- Figure 6 ---------------------------------------------------------
+
+func BenchmarkFig6FSLPoS(b *testing.B)      { runExhibit(b, "fig6", "fsl_final_unfair") }
+func BenchmarkFig6Withholding(b *testing.B) { runExhibit(b, "fig6", "withhold_final_unfair") }
+
+// --- Table 1 ----------------------------------------------------------
+
+func BenchmarkTable1MultiMiner(b *testing.B) { runExhibit(b, "table1", "unfair_SLPoS_m2") }
+
+// --- Real-system analogue (Section 5.1) --------------------------------
+
+func benchChainNetwork(b *testing.B, build func(salt uint64) chainsim.NetworkConfig, blocks int) {
+	b.Helper()
+	var lambda float64
+	for i := 0; i < b.N; i++ {
+		net, err := chainsim.NewNetwork(build(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := net.RunBlocks(blocks); err != nil {
+			b.Fatal(err)
+		}
+		lambda = net.Lambda("A")
+	}
+	b.ReportMetric(lambda, "lambda_A")
+	b.ReportMetric(float64(blocks)/b.Elapsed().Seconds()*float64(b.N), "blocks/s")
+}
+
+func BenchmarkChainSimPoW(b *testing.B) {
+	benchChainNetwork(b, func(salt uint64) chainsim.NetworkConfig {
+		return chainsim.NetworkConfig{
+			Engine: &chainsim.PoWEngine{Target: 1 << 57, BlockReward: 10_000},
+			Miners: []chainsim.MinerSpec{{Name: "A", Resource: 20}, {Name: "B", Resource: 80}},
+			Seed:   salt, Salt: salt,
+		}
+	}, 50)
+}
+
+func BenchmarkChainSimMLPoS(b *testing.B) {
+	perUnit := uint64(math.Exp2(64) / 32 / 1_000_000)
+	benchChainNetwork(b, func(salt uint64) chainsim.NetworkConfig {
+		return chainsim.NetworkConfig{
+			Engine: &chainsim.MLPoSEngine{TargetPerUnit: perUnit, BlockReward: 10_000},
+			Miners: []chainsim.MinerSpec{{Name: "A", Resource: 200_000}, {Name: "B", Resource: 800_000}},
+			Salt:   salt,
+		}
+	}, 200)
+}
+
+func BenchmarkChainSimSLPoS(b *testing.B) {
+	benchChainNetwork(b, func(salt uint64) chainsim.NetworkConfig {
+		return chainsim.NetworkConfig{
+			Engine: &chainsim.SLPoSEngine{BlockReward: 10_000},
+			Miners: []chainsim.MinerSpec{{Name: "A", Resource: 200_000}, {Name: "B", Resource: 800_000}},
+			Salt:   salt,
+		}
+	}, 200)
+}
+
+// --- Theory calculators ------------------------------------------------
+
+func BenchmarkTheoryBounds(b *testing.B) {
+	pr := core.DefaultParams
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += float64(core.PoWMinBlocks(0.2, pr))
+		sink += core.MLPoSLimitFairProb(0.2, 0.01, 0.1)
+		sink += core.CPoSConditionLHS(5000, 0.01, 0.1, 32)
+		sink += core.PoWFairProbExact(5000, 0.2, 0.1)
+	}
+	if sink == 0 {
+		b.Fatal("unexpected zero")
+	}
+}
+
+// --- Ablations (DESIGN.md §6) ------------------------------------------
+
+func BenchmarkAblationShards(b *testing.B)      { runExhibit(b, "ablation-shards", "unfair_P32") }
+func BenchmarkAblationWithhold(b *testing.B)    { runExhibit(b, "ablation-withhold", "unfair_K1000") }
+func BenchmarkAblationCirculation(b *testing.B) { runExhibit(b, "ablation-circulation", "unfair_10x") }
+
+// --- Extension studies (Sections 6.4-6.5) -------------------------------
+
+func BenchmarkPoolingIncentive(b *testing.B) { runExhibit(b, "pooling", "var_ratio_MLPoS") }
+func BenchmarkHybridPowerSweep(b *testing.B) { runExhibit(b, "hybrid", "unfair_alpha0.50") }
+func BenchmarkSelfishMining(b *testing.B)    { runExhibit(b, "selfish", "revenue_g0.0_a0.400") }
+func BenchmarkP2PDelay(b *testing.B) {
+	runExhibitCfg(b, "p2p-delay", "orphan_d8",
+		experiments.Config{Quick: true, Trials: 8, Blocks: 40, Seed: 17})
+}
+
+// --- Protocol inner loops (steps/op) ------------------------------------
+
+func benchStep(b *testing.B, p protocol.Protocol, miners int) {
+	b.Helper()
+	st := game.MustNew(game.LeaderAndPack(0.2, miners))
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Step(st, r)
+	}
+}
+
+func BenchmarkStepPoW(b *testing.B)          { benchStep(b, protocol.NewPoW(0.01), 2) }
+func BenchmarkStepMLPoS(b *testing.B)        { benchStep(b, protocol.NewMLPoS(0.01), 2) }
+func BenchmarkStepSLPoS(b *testing.B)        { benchStep(b, protocol.NewSLPoS(0.01), 2) }
+func BenchmarkStepFSLPoS(b *testing.B)       { benchStep(b, protocol.NewFSLPoS(0.01), 2) }
+func BenchmarkStepCPoS32(b *testing.B)       { benchStep(b, protocol.NewCPoS(0.01, 0.1, 32), 2) }
+func BenchmarkStepSLPoS10Miner(b *testing.B) { benchStep(b, protocol.NewSLPoS(0.01), 10) }
+func BenchmarkStepHybrid(b *testing.B)       { benchStep(b, protocol.NewHybrid(0.01, 0.5), 2) }

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture redirects the CLI's stdout writer for one test.
+func capture(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	old := stdout
+	stdout = &buf
+	t.Cleanup(func() { stdout = old })
+	return &buf
+}
+
+func TestListCommand(t *testing.T) {
+	buf := capture(t)
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"fig1", "fig2", "table1", "realsys", "pooling", "hybrid"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %q", id)
+		}
+	}
+}
+
+func TestRunFig1(t *testing.T) {
+	buf := capture(t)
+	if err := run([]string{"run", "fig1", "-quick", "-ascii"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "fixed point") {
+		t.Errorf("fig1 output missing analysis:\n%s", out)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Error("ASCII chart missing")
+	}
+}
+
+func TestRunWritesSVG(t *testing.T) {
+	capture(t)
+	dir := t.TempDir()
+	if err := run([]string{"run", "fig1", "-quick", "-out", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig1-1.svg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("SVG file malformed")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	capture(t)
+	if err := run([]string{"run", "nope"}); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestRunMissingID(t *testing.T) {
+	capture(t)
+	if err := run([]string{"run"}); err == nil {
+		t.Error("missing id should error")
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	capture(t)
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Error("unknown command should error")
+	}
+	if err := run(nil); err == nil {
+		t.Error("no command should error")
+	}
+}
+
+func TestHelp(t *testing.T) {
+	capture(t)
+	if err := run([]string{"help"}); err != nil {
+		t.Errorf("help errored: %v", err)
+	}
+}
+
+func TestVerdictsCommand(t *testing.T) {
+	buf := capture(t)
+	if err := run([]string{"verdicts", "-trials", "60", "-blocks", "400"}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, proto := range []string{"PoW", "ML-PoS", "SL-PoS", "FSL-PoS", "C-PoS", "NEO", "Algorand", "EOS", "Hybrid"} {
+		if !strings.Contains(out, proto) {
+			t.Errorf("verdicts missing %q", proto)
+		}
+	}
+	if !strings.Contains(out, "paper ranking") {
+		t.Error("ranking missing")
+	}
+}

@@ -1,0 +1,71 @@
+// Protocol-design demo: use the paper's theorems as a design tool. Given
+// a target (ε,δ)-fairness for a 20% miner over one month of epochs, sweep
+// the C-PoS design space (proposer reward w, inflation reward v, shard
+// count P), certify candidates with Theorem 4.10, and validate the chosen
+// design with a Monte-Carlo run.
+//
+//	go run ./examples/protocoldesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	fairness "repro"
+	"repro/internal/table"
+)
+
+func main() {
+	const (
+		a      = 0.2
+		epochs = 6750 // ~one month of 6.4-minute epochs
+	)
+	pr := fairness.DefaultParams
+	fmt.Printf("Design target: (eps=%.2f, delta=%.2f)-fairness for a %.0f%% miner over %d epochs.\n\n",
+		pr.Eps, pr.Delta, a*100, epochs)
+
+	tb := table.New("w", "v", "P", "Thm 4.10 certified", "measured unfair").AlignAll(table.Right)
+	type design struct {
+		w, v float64
+		p    int
+	}
+	candidates := []design{
+		{0.01, 0, 1},    // ML-PoS equivalent
+		{0.01, 0.01, 1}, // a little inflation
+		{0.01, 0.1, 1},  // strong inflation, no sharding
+		{0.01, 0, 32},   // sharding only
+		{0.01, 0.1, 32}, // Ethereum 2.0-like
+		{0.001, 0.1, 32},
+	}
+	var chosen *design
+	for i := range candidates {
+		d := candidates[i]
+		ok := fairness.CPoSSufficient(epochs, d.w, d.v, d.p, a, pr)
+		v, err := fairness.Evaluate(fairness.NewCPoS(d.w, d.v, d.p), fairness.TwoMiner(a),
+			fairness.EvalConfig{Trials: 600, Blocks: epochs, Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		tb.AddRow(fmt.Sprintf("%.3f", d.w), fmt.Sprintf("%.2f", d.v), d.p, ok, fmt.Sprintf("%.3f", v.UnfairProbability))
+		if ok && chosen == nil {
+			chosen = &d
+		}
+	}
+	fmt.Println(tb.String())
+
+	if chosen == nil {
+		fmt.Println("No candidate certified; increase v, increase P, or reduce w.")
+		return
+	}
+	fmt.Printf("\nFirst certified design: w=%.3f, v=%.2f, P=%d.\n", chosen.w, chosen.v, chosen.p)
+	fmt.Println("Certified designs are guaranteed by Theorem 4.10; the measured column")
+	fmt.Println("shows the guarantee is conservative — some uncertified designs also pass")
+	fmt.Println("empirically, but only the certificate holds for every adversarial horizon.")
+
+	// Contrast with what ML-PoS would need (Theorem 4.3).
+	fmt.Println("\nFor comparison, plain ML-PoS at the same horizon:")
+	for _, w := range []float64{0.01, 0.001, 0.0001} {
+		fmt.Printf("  w=%.4f certified? %t\n", w, fairness.MLPoSSufficient(epochs, w, a, pr))
+	}
+	fmt.Println("Inflation + sharding buy certified fairness at rewards ML-PoS cannot sustain.")
+}

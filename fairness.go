@@ -1,0 +1,221 @@
+// Package fairness is the public facade of the blockchain-incentive
+// fairness library, a from-scratch Go reproduction of
+//
+//	Huang, Tang, Cong, Lim, Xu.
+//	"Do the Rich Get Richer? Fairness Analysis for Blockchain Incentives."
+//	SIGMOD 2021.
+//
+// It exposes the incentive protocols the paper analyses (PoW, ML-PoS,
+// SL-PoS, C-PoS, the FSL-PoS treatment and the Section 6.4 extensions),
+// the two fairness notions (expectational and (ε,δ)-robust fairness), the
+// theory calculators of Theorems 4.2/4.3/4.10, and a deterministic
+// Monte-Carlo engine for measuring both notions empirically.
+//
+// Quick start:
+//
+//	verdict, err := fairness.Evaluate(fairness.NewMLPoS(0.01),
+//		fairness.TwoMiner(0.2), fairness.EvalConfig{Trials: 1000, Blocks: 5000})
+//	fmt.Println(verdict) // expectationally fair, not robustly fair
+//
+// The internal packages carry the substrates: internal/chainsim is a
+// block-level blockchain simulator with real SHA-256 puzzles standing in
+// for the paper's Geth/Qtum/NXT deployments, and internal/experiments
+// regenerates every figure and table of the evaluation section (see
+// cmd/fairsim).
+package fairness
+
+import (
+	"repro/internal/core"
+	"repro/internal/game"
+	"repro/internal/montecarlo"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+// Re-exported core types. See the internal packages for full method docs.
+type (
+	// Protocol advances a mining game by one block or epoch.
+	Protocol = protocol.Protocol
+	// State is the mutable state of one mining game.
+	State = game.State
+	// Params carries the (ε, δ) of robust fairness.
+	Params = core.Params
+	// Verdict summarises the empirical fairness of one protocol run.
+	Verdict = core.Verdict
+	// Result holds per-checkpoint λ samples from a Monte-Carlo run.
+	Result = montecarlo.Result
+	// MonteCarloConfig configures a Monte-Carlo run.
+	MonteCarloConfig = montecarlo.Config
+	// Rand is the deterministic random number generator.
+	Rand = rng.Rand
+)
+
+// DefaultParams is the paper's evaluation setting: ε = 0.1, δ = 0.1.
+var DefaultParams = core.DefaultParams
+
+// NewPoW returns the Proof-of-Work incentive model with block reward w
+// (Section 2.1). Fair in both senses for long horizons.
+func NewPoW(w float64) Protocol { return protocol.NewPoW(w) }
+
+// NewMLPoS returns the multi-lottery PoS model (Qtum/Blackcoin, Section
+// 2.2) with block reward w. Expectationally fair; robustly fair only for
+// small w (Theorem 4.3).
+func NewMLPoS(w float64) Protocol { return protocol.NewMLPoS(w) }
+
+// NewSLPoS returns the single-lottery PoS model (NXT, Section 2.3) with
+// block reward w. Preserves neither fairness notion; converges to
+// monopoly almost surely (Theorem 4.9).
+func NewSLPoS(w float64) Protocol { return protocol.NewSLPoS(w) }
+
+// NewFSLPoS returns the paper's corrected single-lottery model (Section
+// 6.2): win probability proportional to stake.
+func NewFSLPoS(w float64) Protocol { return protocol.NewFSLPoS(w) }
+
+// NewCPoS returns the compound PoS model of Ethereum 2.0 (Section 2.4)
+// with proposer reward w, inflation reward v and p shards per epoch.
+func NewCPoS(w, v float64, p int) Protocol { return protocol.NewCPoS(w, v, p) }
+
+// NewNEO returns the NEO model (Section 6.4): PoS election, PoW-like
+// fairness because rewards are paid in a separate gas asset.
+func NewNEO(w float64) Protocol { return protocol.NewNEO(w) }
+
+// NewAlgorand returns the Algorand model (Section 6.4): inflation-only
+// rewards, absolutely fair.
+func NewAlgorand(v float64) Protocol { return protocol.NewAlgorand(v) }
+
+// NewEOS returns the delegated-PoS EOS model (Section 6.4): constant
+// per-delegate proposer rewards, unfair in general.
+func NewEOS(w, v float64) Protocol { return protocol.NewEOS(w, v) }
+
+// NewHybrid returns the Filecoin-style hybrid model (Section 6.4): mining
+// power blends a fixed resource (weight alpha) with compounding stake.
+func NewHybrid(w, alpha float64) Protocol { return protocol.NewHybrid(w, alpha) }
+
+// TwoMiner returns the canonical two-miner allocation {a, 1−a}.
+func TwoMiner(a float64) []float64 { return game.TwoMiner(a) }
+
+// EqualShares returns n equal initial shares.
+func EqualShares(n int) []float64 { return game.EqualShares(n) }
+
+// LeaderAndPack returns the Table 1 allocation: miner 0 holds a, the
+// remaining m−1 miners split 1−a equally.
+func LeaderAndPack(a float64, m int) []float64 { return game.LeaderAndPack(a, m) }
+
+// NewGame creates a mining-game state over the (auto-normalised) initial
+// allocation.
+func NewGame(initial []float64) (*State, error) { return game.New(initial) }
+
+// NewGameWithWithholding creates a game applying the Section 6.3 reward
+// withholding treatment with period k.
+func NewGameWithWithholding(initial []float64, k int) (*State, error) {
+	return game.New(initial, game.WithWithholding(k))
+}
+
+// NewRand returns a deterministic generator for the given seed.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// Run advances the game n steps under protocol p.
+func Run(p Protocol, st *State, r *Rand, n int) { protocol.Run(p, st, r, n) }
+
+// MonteCarlo runs repeated games and returns the per-checkpoint λ samples.
+func MonteCarlo(p Protocol, initial []float64, cfg MonteCarloConfig) (*Result, error) {
+	return montecarlo.Run(p, initial, cfg)
+}
+
+// EvalConfig configures Evaluate.
+type EvalConfig struct {
+	// Trials is the number of independent games (default 1000).
+	Trials int
+	// Blocks is the horizon (default 5000).
+	Blocks int
+	// Seed is the base RNG seed (default 1).
+	Seed uint64
+	// Params are the fairness parameters (default: ε = δ = 0.1).
+	Params Params
+	// WithholdEvery applies reward withholding when > 0.
+	WithholdEvery int
+}
+
+// Evaluate runs a Monte-Carlo experiment for miner 0 of the given initial
+// allocation and assesses both fairness notions at the final horizon.
+func Evaluate(p Protocol, initial []float64, cfg EvalConfig) (Verdict, error) {
+	if cfg.Trials == 0 {
+		cfg.Trials = 1000
+	}
+	if cfg.Blocks == 0 {
+		cfg.Blocks = 5000
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Params == (Params{}) {
+		cfg.Params = DefaultParams
+	}
+	var opts []game.Option
+	if cfg.WithholdEvery > 0 {
+		opts = append(opts, game.WithWithholding(cfg.WithholdEvery))
+	}
+	res, err := montecarlo.Run(p, initial, montecarlo.Config{
+		Trials:      cfg.Trials,
+		Blocks:      cfg.Blocks,
+		Seed:        cfg.Seed,
+		Checkpoints: []int{cfg.Blocks},
+		GameOptions: opts,
+	})
+	if err != nil {
+		return Verdict{}, err
+	}
+	a := initial[0]
+	total := 0.0
+	for _, v := range initial {
+		total += v
+	}
+	a /= total
+	return cfg.Params.Assess(p.Name(), res.FinalSamples(), a), nil
+}
+
+// Theory calculators (Theorems 4.2, 4.3, 4.10 and the Pólya-urn limit).
+
+// PoWMinBlocks returns Theorem 4.2's sufficient horizon for PoW.
+func PoWMinBlocks(a float64, p Params) int { return core.PoWMinBlocks(a, p) }
+
+// MLPoSSufficient reports Theorem 4.3's sufficient condition for ML-PoS.
+func MLPoSSufficient(n int, w, a float64, p Params) bool { return core.MLPoSSufficient(n, w, a, p) }
+
+// CPoSSufficient reports Theorem 4.10's sufficient condition for C-PoS.
+func CPoSSufficient(n int, w, v float64, shards int, a float64, p Params) bool {
+	return core.CPoSSufficient(n, w, v, shards, a, p)
+}
+
+// MLPoSLimitFairProb returns the limiting fair-area mass of the ML-PoS
+// Beta(a/w, b/w) distribution (Section 4.3).
+func MLPoSLimitFairProb(a, w, eps float64) float64 { return core.MLPoSLimitFairProb(a, w, eps) }
+
+// SLPoSWinProbTwoMiner returns the SL-PoS next-block win probability for
+// a miner with stake share z (Figure 1).
+func SLPoSWinProbTwoMiner(z float64) float64 { return core.SLPoSWinProbTwoMiner(z) }
+
+// SLPoSWinProbMulti returns each miner's SL-PoS win probability for an
+// arbitrary allocation (Lemma 6.1).
+func SLPoSWinProbMulti(shares []float64) []float64 { return core.SLPoSWinProbMulti(shares) }
+
+// Ranking returns the paper's overall fairness ordering, fairest first.
+func Ranking() []string { return core.Ranking() }
+
+// Equitability returns the normalised dispersion Var(λ)/(a(1−a)) of final
+// reward fractions — Fanti et al.'s compounding metric for comparison
+// with robust fairness (Section 7).
+func Equitability(samples []float64, a float64) float64 { return core.Equitability(samples, a) }
+
+// SLPoSMeanFieldShare returns the fluid-limit SL-PoS stake share of a
+// miner starting at a after n blocks with reward w — the deterministic
+// skeleton of Theorem 4.9's stochastic approximation.
+func SLPoSMeanFieldShare(a, w float64, n int) float64 {
+	return core.SLPoSMeanField(w).ShareAt(a, n)
+}
+
+// SLPoSHalfLife returns the mean-field number of blocks for a sub-half
+// SL-PoS miner to lose half her share, or -1 within maxBlocks.
+func SLPoSHalfLife(a, w float64, maxBlocks int) int {
+	return core.SLPoSHalfLife(a, w, maxBlocks)
+}

@@ -1,0 +1,147 @@
+package fairness
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvaluateDefaults(t *testing.T) {
+	v, err := Evaluate(NewPoW(0.01), TwoMiner(0.2), EvalConfig{Trials: 400, Blocks: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.ExpectationalFair {
+		t.Errorf("PoW should be expectationally fair: %+v", v)
+	}
+	if !v.RobustFair {
+		t.Errorf("PoW at n=4000 should be robustly fair: %+v", v)
+	}
+}
+
+func TestEvaluateRanking(t *testing.T) {
+	// The four protocols' empirical unfair probabilities must respect the
+	// paper's ranking PoW ≤ C-PoS < ML-PoS < SL-PoS at the canonical
+	// setting (ties allowed at the fair end).
+	cfg := EvalConfig{Trials: 500, Blocks: 3000, Seed: 5}
+	unfair := map[string]float64{}
+	for _, p := range []Protocol{NewPoW(0.01), NewMLPoS(0.01), NewSLPoS(0.01), NewCPoS(0.01, 0.1, 32)} {
+		v, err := Evaluate(p, TwoMiner(0.2), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unfair[p.Name()] = v.UnfairProbability
+	}
+	if !(unfair["PoW"] <= unfair["ML-PoS"] && unfair["C-PoS"] <= unfair["ML-PoS"] && unfair["ML-PoS"] < unfair["SL-PoS"]) {
+		t.Errorf("ranking violated: %v", unfair)
+	}
+}
+
+func TestEvaluateNormalisesShares(t *testing.T) {
+	// Unnormalised input {2, 8} is the a = 0.2 game.
+	v, err := Evaluate(NewPoW(0.01), []float64{2, 8}, EvalConfig{Trials: 300, Blocks: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.Share-0.2) > 1e-12 {
+		t.Errorf("share = %v, want 0.2", v.Share)
+	}
+}
+
+func TestEvaluateWithholding(t *testing.T) {
+	base, err := Evaluate(NewFSLPoS(0.01), TwoMiner(0.2), EvalConfig{Trials: 600, Blocks: 4000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	held, err := Evaluate(NewFSLPoS(0.01), TwoMiner(0.2), EvalConfig{Trials: 600, Blocks: 4000, Seed: 9, WithholdEvery: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(held.UnfairProbability < base.UnfairProbability) {
+		t.Errorf("withholding %v should improve on %v", held.UnfairProbability, base.UnfairProbability)
+	}
+}
+
+func TestEvaluateError(t *testing.T) {
+	if _, err := Evaluate(NewPoW(0.01), []float64{1}, EvalConfig{}); err == nil {
+		t.Error("single miner should error")
+	}
+}
+
+func TestMonteCarloFacade(t *testing.T) {
+	res, err := MonteCarlo(NewMLPoS(0.01), TwoMiner(0.3), MonteCarloConfig{Trials: 50, Blocks: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalSamples()) != 50 {
+		t.Errorf("samples = %d", len(res.FinalSamples()))
+	}
+}
+
+func TestRunFacade(t *testing.T) {
+	st, err := NewGame(TwoMiner(0.2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(NewPoW(0.01), st, NewRand(1), 100)
+	if st.Blocks != 100 {
+		t.Errorf("blocks = %d", st.Blocks)
+	}
+	held, err := NewGameWithWithholding(TwoMiner(0.2), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Run(NewMLPoS(0.01), held, NewRand(1), 5)
+	if held.PendingStake(0)+held.PendingStake(1) == 0 {
+		t.Error("withholding game should hold pending stake after 5 blocks")
+	}
+}
+
+func TestTheoryFacade(t *testing.T) {
+	if n := PoWMinBlocks(0.2, DefaultParams); n < 3000 || n > 4000 {
+		t.Errorf("PoWMinBlocks = %d", n)
+	}
+	if MLPoSSufficient(5000, 0.01, 0.2, DefaultParams) {
+		t.Error("w=0.01 should fail Theorem 4.3")
+	}
+	if !CPoSSufficient(5000, 0.01, 0.1, 32, 0.2, DefaultParams) {
+		t.Error("paper C-PoS setting should pass Theorem 4.10")
+	}
+	if p := SLPoSWinProbTwoMiner(0.2); p != 0.125 {
+		t.Errorf("win prob = %v", p)
+	}
+	probs := SLPoSWinProbMulti([]float64{0.2, 0.8})
+	if math.Abs(probs[0]-0.125) > 1e-6 {
+		t.Errorf("multi win prob = %v", probs)
+	}
+	if MLPoSLimitFairProb(0.2, 1e-4, 0.1) < 0.99 {
+		t.Error("tiny-reward limit should be nearly surely fair")
+	}
+	if len(Ranking()) != 4 {
+		t.Error("ranking size")
+	}
+}
+
+func TestExtensionProtocolsFacade(t *testing.T) {
+	// NEO ≈ PoW, Algorand absolutely fair, EOS unfair.
+	neo, err := Evaluate(NewNEO(0.01), TwoMiner(0.2), EvalConfig{Trials: 400, Blocks: 4000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !neo.RobustFair {
+		t.Errorf("NEO should be robustly fair at n=4000: %+v", neo)
+	}
+	alg, err := Evaluate(NewAlgorand(0.1), TwoMiner(0.2), EvalConfig{Trials: 50, Blocks: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alg.UnfairProbability != 0 {
+		t.Errorf("Algorand unfair = %v, want exactly 0", alg.UnfairProbability)
+	}
+	eos, err := Evaluate(NewEOS(0.01, 0.1), TwoMiner(0.2), EvalConfig{Trials: 50, Blocks: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eos.ExpectationalFair {
+		t.Errorf("EOS should not be expectationally fair: %+v", eos)
+	}
+}

@@ -1,0 +1,179 @@
+// Package attack analyses incentive attacks through the paper's fairness
+// lens. Section 6.5 argues that fairness analysis "provides insight into
+// further study of the incentive-based attacks, such as selfish mining",
+// and Section 8 names attacks as the paper's future work; this package
+// takes the first step for PoW by implementing the Eyal–Sirer selfish
+// mining strategy, both as an event-driven simulation and in closed form,
+// and expressing its profitability as a violation of expectational
+// fairness: an attacker with hash share α earning a revenue share R > α.
+package attack
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// SelfishMining models one selfish miner with hash share Alpha against an
+// honest majority. Gamma is the fraction of honest hash power that mines
+// on the selfish branch during a 1-vs-1 fork race (the attacker's network
+// advantage: 0 = honest miners never see the selfish block first, 1 =
+// they always do).
+type SelfishMining struct {
+	Alpha float64
+	Gamma float64
+}
+
+// ErrParams reports invalid attack parameters.
+var ErrParams = errors.New("attack: invalid parameters")
+
+// Validate checks 0 < α < 1/2 and 0 ≤ γ ≤ 1. (α ≥ 1/2 trivially wins;
+// the interesting regime is the minority attacker.)
+func (s SelfishMining) Validate() error {
+	if !(s.Alpha > 0 && s.Alpha < 0.5) {
+		return fmt.Errorf("%w: alpha = %v, need (0, 0.5)", ErrParams, s.Alpha)
+	}
+	if !(s.Gamma >= 0 && s.Gamma <= 1) {
+		return fmt.Errorf("%w: gamma = %v, need [0, 1]", ErrParams, s.Gamma)
+	}
+	return nil
+}
+
+// Result summarises a selfish-mining simulation.
+type Result struct {
+	// SelfishBlocks and HonestBlocks count blocks on the final main chain.
+	SelfishBlocks int
+	HonestBlocks  int
+	// Orphans counts blocks discarded in fork resolutions.
+	Orphans int
+}
+
+// RevenueShare returns the attacker's fraction of main-chain rewards —
+// her λ in the paper's terms.
+func (r Result) RevenueShare() float64 {
+	total := r.SelfishBlocks + r.HonestBlocks
+	if total == 0 {
+		return 0
+	}
+	return float64(r.SelfishBlocks) / float64(total)
+}
+
+// Simulate runs the Eyal–Sirer state machine for the given number of
+// block-discovery events and returns the main-chain outcome.
+//
+// State: the attacker's private lead over the public chain. The classic
+// transitions are implemented exactly, including the lead-2 hand-over
+// (publishing the whole private branch when the lead collapses to 1
+// after an honest find) and the 1-vs-1 race decided by γ.
+func (s SelfishMining) Simulate(events int, r *rng.Rand) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	if events <= 0 {
+		return Result{}, fmt.Errorf("%w: events = %d", ErrParams, events)
+	}
+	var res Result
+	lead := 0       // private branch length minus public branch length
+	racing := false // 1-vs-1 fork race in progress
+	for i := 0; i < events; i++ {
+		selfishFound := r.Float64() < s.Alpha
+		switch {
+		case racing:
+			// Branches of length 1 compete.
+			switch {
+			case selfishFound:
+				// Attacker extends her branch and publishes: she takes
+				// both blocks; the honest race block is orphaned.
+				res.SelfishBlocks += 2
+				res.Orphans++
+			case r.Float64() < s.Gamma:
+				// Honest miner extends the selfish branch: the selfish
+				// race block and the new honest block win; the honest
+				// race block is orphaned.
+				res.SelfishBlocks++
+				res.HonestBlocks++
+				res.Orphans++
+			default:
+				// Honest miner extends the honest branch: the selfish
+				// race block is orphaned.
+				res.HonestBlocks += 2
+				res.Orphans++
+			}
+			racing = false
+			lead = 0
+		case selfishFound:
+			lead++
+		default: // honest block found
+			switch lead {
+			case 0:
+				res.HonestBlocks++
+			case 1:
+				// Attacker publishes her single private block: race.
+				racing = true
+			case 2:
+				// Attacker publishes the whole branch and takes it all;
+				// the honest block is orphaned.
+				res.SelfishBlocks += 2
+				res.Orphans++
+				lead = 0
+			default:
+				// Lead > 2: publish one block, keep mining privately.
+				res.SelfishBlocks++
+				res.Orphans++ // the honest block will never make the chain
+				lead--
+			}
+		}
+	}
+	// Flush any remaining private branch at the horizon.
+	if racing {
+		// Unresolved race: split by γ-weighted expectation is not
+		// well-defined per-trial; award the public honest block (the
+		// conservative outcome for the attacker).
+		res.HonestBlocks++
+		res.Orphans++
+	} else if lead > 0 {
+		res.SelfishBlocks += lead
+	}
+	return res, nil
+}
+
+// Revenue returns the closed-form Eyal–Sirer relative revenue of the
+// selfish pool,
+//
+//	R(α, γ) = [α(1−α)²(4α + γ(1−2α)) − α³] / [1 − α(1 + (2−α)α)] ,
+//
+// the stationary fraction of main-chain blocks the attacker earns.
+func (s SelfishMining) Revenue() (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	a, g := s.Alpha, s.Gamma
+	num := a*(1-a)*(1-a)*(4*a+g*(1-2*a)) - a*a*a
+	den := 1 - a*(1+(2-a)*a)
+	r := num / den
+	if r < 0 {
+		r = 0 // below the profitability region the honest strategy dominates
+	}
+	return r, nil
+}
+
+// ProfitThreshold returns the minimum hash share α above which selfish
+// mining beats honest mining for a given γ: (1−γ)/(3−2γ).
+func ProfitThreshold(gamma float64) (float64, error) {
+	if !(gamma >= 0 && gamma <= 1) {
+		return 0, fmt.Errorf("%w: gamma = %v", ErrParams, gamma)
+	}
+	return (1 - gamma) / (3 - 2*gamma), nil
+}
+
+// BreaksExpectationalFairness reports whether the attack's closed-form
+// revenue share exceeds the attacker's resource share — i.e. whether the
+// strategy converts PoW's fair lottery into a rich-get-richer one.
+func (s SelfishMining) BreaksExpectationalFairness() (bool, error) {
+	r, err := s.Revenue()
+	if err != nil {
+		return false, err
+	}
+	return r > s.Alpha, nil
+}

@@ -1,0 +1,153 @@
+package attack
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []SelfishMining{
+		{Alpha: 0, Gamma: 0.5},
+		{Alpha: 0.5, Gamma: 0.5},
+		{Alpha: 0.6, Gamma: 0.5},
+		{Alpha: 0.3, Gamma: -0.1},
+		{Alpha: 0.3, Gamma: 1.1},
+	}
+	for _, s := range bad {
+		if err := s.Validate(); !errors.Is(err, ErrParams) {
+			t.Errorf("%+v should be invalid", s)
+		}
+	}
+	if err := (SelfishMining{Alpha: 0.3, Gamma: 0.5}).Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestProfitThresholdKnownValues(t *testing.T) {
+	// Eyal–Sirer: γ=0 ⇒ 1/3; γ=1 ⇒ 0; γ=0.5 ⇒ 0.25.
+	cases := []struct{ gamma, want float64 }{
+		{0, 1.0 / 3}, {1, 0}, {0.5, 0.25},
+	}
+	for _, c := range cases {
+		got, err := ProfitThreshold(c.gamma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("threshold(%v) = %v, want %v", c.gamma, got, c.want)
+		}
+	}
+	if _, err := ProfitThreshold(-1); err == nil {
+		t.Error("invalid gamma accepted")
+	}
+}
+
+func TestRevenueClosedFormProperties(t *testing.T) {
+	// Below the threshold the formula is clamped at honest revenue or
+	// lower (never profitable); above, strictly profitable.
+	for _, gamma := range []float64{0, 0.5, 1} {
+		th, _ := ProfitThreshold(gamma)
+		for alpha := 0.05; alpha < 0.5; alpha += 0.025 {
+			s := SelfishMining{Alpha: alpha, Gamma: gamma}
+			r, err := s.Revenue()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r < 0 || r > 1 {
+				t.Fatalf("revenue out of range: %v", r)
+			}
+			breaks, _ := s.BreaksExpectationalFairness()
+			if alpha > th+0.02 && !breaks {
+				t.Errorf("α=%v γ=%v should be profitable (threshold %v), R=%v", alpha, gamma, th, r)
+			}
+			if alpha < th-0.02 && breaks {
+				t.Errorf("α=%v γ=%v should NOT be profitable (threshold %v), R=%v", alpha, gamma, th, r)
+			}
+		}
+	}
+}
+
+func TestRevenueMonotoneInGamma(t *testing.T) {
+	prev := -1.0
+	for _, gamma := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		r, err := SelfishMining{Alpha: 0.35, Gamma: gamma}.Revenue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r < prev {
+			t.Fatalf("revenue not monotone in γ: %v after %v", r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestSimulationMatchesClosedForm(t *testing.T) {
+	// The event-driven state machine must reproduce the stationary
+	// closed form for profitable settings.
+	cases := []SelfishMining{
+		{Alpha: 0.35, Gamma: 0},
+		{Alpha: 0.4, Gamma: 0.5},
+		{Alpha: 0.3, Gamma: 1},
+		{Alpha: 0.45, Gamma: 0.25},
+	}
+	for _, s := range cases {
+		want, err := s.Revenue()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Simulate(400000, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.RevenueShare()
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("α=%v γ=%v: simulated %v, closed form %v", s.Alpha, s.Gamma, got, want)
+		}
+	}
+}
+
+func TestSimulationUnprofitableBelowThreshold(t *testing.T) {
+	// A 20% attacker with γ=0 earns LESS than honest mining would give.
+	s := SelfishMining{Alpha: 0.2, Gamma: 0}
+	res, err := s.Simulate(400000, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.RevenueShare(); got >= 0.2 {
+		t.Errorf("below-threshold attack earned %v ≥ 0.2", got)
+	}
+}
+
+func TestSimulationProducesOrphans(t *testing.T) {
+	s := SelfishMining{Alpha: 0.4, Gamma: 0.5}
+	res, err := s.Simulate(100000, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Orphans == 0 {
+		t.Error("selfish mining should orphan honest blocks")
+	}
+	// Event conservation: every event is either on-chain or orphaned.
+	if res.SelfishBlocks+res.HonestBlocks+res.Orphans != 100000 {
+		t.Errorf("event accounting broken: %d + %d + %d != 100000",
+			res.SelfishBlocks, res.HonestBlocks, res.Orphans)
+	}
+}
+
+func TestSimulateRejectsBadInput(t *testing.T) {
+	if _, err := (SelfishMining{Alpha: 0.7, Gamma: 0}).Simulate(100, rng.New(1)); err == nil {
+		t.Error("invalid alpha accepted")
+	}
+	if _, err := (SelfishMining{Alpha: 0.3, Gamma: 0}).Simulate(0, rng.New(1)); err == nil {
+		t.Error("zero events accepted")
+	}
+}
+
+func TestEmptyResultRevenue(t *testing.T) {
+	if (Result{}).RevenueShare() != 0 {
+		t.Error("empty result revenue should be 0")
+	}
+}

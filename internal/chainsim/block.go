@@ -1,0 +1,190 @@
+// Package chainsim is a block-level blockchain network simulator. It
+// stands in for the real systems the paper deployed on AWS — Geth
+// (PoW), Qtum (ML-PoS) and NXT (SL-PoS) — with actual SHA-256 puzzles,
+// hash-linked block headers, full block validation and an integer-exact
+// account ledger. The winning statistics of each consensus engine arise
+// from the same mechanisms as in the production clients (nonce grinding
+// for PoW, per-timestamp staking kernels for ML-PoS, the deterministic
+// forging lottery for SL-PoS), so the fairness measurements taken here
+// play the role of the paper's "real system experiments".
+package chainsim
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Kind identifies the consensus mechanism a block was produced under.
+type Kind uint8
+
+// Consensus kinds.
+const (
+	KindPoW Kind = iota + 1
+	KindMLPoS
+	KindSLPoS
+	KindFSLPoS
+	KindCPoS
+)
+
+// String returns the human-readable engine name.
+func (k Kind) String() string {
+	switch k {
+	case KindPoW:
+		return "PoW"
+	case KindMLPoS:
+		return "ML-PoS"
+	case KindSLPoS:
+		return "SL-PoS"
+	case KindFSLPoS:
+		return "FSL-PoS"
+	case KindCPoS:
+		return "C-PoS"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Hash is a 32-byte SHA-256 block or account identifier.
+type Hash [32]byte
+
+// Hex returns the first 8 bytes as hex, enough for log readability.
+func (h Hash) Hex() string { return fmt.Sprintf("%x", h[:8]) }
+
+// Address identifies a miner account (a hash of its public identity).
+type Address [20]byte
+
+// Header is a block header. All consensus checks operate on the header
+// alone plus the parent-state stake registry.
+type Header struct {
+	Height     uint64
+	ParentHash Hash
+	Kind       Kind
+	// Proposer is the miner credited with the block reward.
+	Proposer Address
+	// Timestamp is the slot at which the block was forged. For ML-PoS it
+	// is the kernel timestamp that satisfied the target; for PoW it is
+	// the round in which the nonce was found.
+	Timestamp uint64
+	// Nonce is the PoW solution (unused by PoS kinds).
+	Nonce uint64
+	// Reward is the coinbase amount in ledger units.
+	Reward uint64
+}
+
+// enc serialises the header deterministically for hashing.
+func (h *Header) enc() []byte {
+	buf := make([]byte, 0, 8+32+1+20+8+8+8)
+	var tmp [8]byte
+	binary.BigEndian.PutUint64(tmp[:], h.Height)
+	buf = append(buf, tmp[:]...)
+	buf = append(buf, h.ParentHash[:]...)
+	buf = append(buf, byte(h.Kind))
+	buf = append(buf, h.Proposer[:]...)
+	binary.BigEndian.PutUint64(tmp[:], h.Timestamp)
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], h.Nonce)
+	buf = append(buf, tmp[:]...)
+	binary.BigEndian.PutUint64(tmp[:], h.Reward)
+	buf = append(buf, tmp[:]...)
+	return buf
+}
+
+// HashValue returns the block hash: SHA-256 over the encoded header.
+func (h *Header) HashValue() Hash {
+	return sha256.Sum256(h.enc())
+}
+
+// Block is a header; the simulator carries no user transactions, as the
+// paper's fairness measurements depend only on coinbase flows.
+type Block struct {
+	Header Header
+}
+
+// Hash returns the block hash.
+func (b *Block) Hash() Hash { return b.Header.HashValue() }
+
+// GenesisParent is the parent hash of the genesis block.
+var GenesisParent = Hash{}
+
+// Domain-separation tags keep the three puzzle hash functions disjoint
+// even on identical (parent, miner, value) inputs.
+const (
+	domainPoW     = 0x01
+	domainKernel  = 0x02
+	domainLottery = 0x03
+	domainShard   = 0x04
+)
+
+// powDigest computes the PoW puzzle digest for a (parent, miner, nonce)
+// triple: the "Hash(nonce, ...)" of Section 2.1, with the parent hash
+// playing the role of the previous-block commitment.
+func powDigest(parent Hash, miner Address, nonce uint64) uint64 {
+	var buf [1 + 32 + 20 + 8]byte
+	buf[0] = domainPoW
+	copy(buf[1:33], parent[:])
+	copy(buf[33:53], miner[:])
+	binary.BigEndian.PutUint64(buf[53:], nonce)
+	sum := sha256.Sum256(buf[:])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// kernelDigest computes the ML-PoS staking-kernel digest for a
+// (parent, miner, timestamp) triple: the "Hash(time, ...)" of Section 2.2.
+// There is deliberately no nonce: one trial per timestamp per miner.
+func kernelDigest(parent Hash, miner Address, timestamp uint64) uint64 {
+	var buf [1 + 32 + 20 + 8]byte
+	buf[0] = domainKernel
+	copy(buf[1:33], parent[:])
+	copy(buf[33:53], miner[:])
+	binary.BigEndian.PutUint64(buf[53:], timestamp)
+	sum := sha256.Sum256(buf[:])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// lotteryDigest computes the SL-PoS forging digest for a (parent, miner)
+// pair: the "Hash(pk, ...)" of Section 2.3. Exactly one ticket per miner
+// per block — no free variable to grind.
+func lotteryDigest(parent Hash, miner Address) uint64 {
+	var buf [1 + 32 + 20]byte
+	buf[0] = domainLottery
+	copy(buf[1:33], parent[:])
+	copy(buf[33:53], miner[:])
+	sum := sha256.Sum256(buf[:])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// shardDigest computes the C-PoS proposer-selection digest for a
+// (parent, miner) pair: the RANDAO-style per-shard lottery ticket of the
+// Ethereum 2.0 model in Section 2.4. The parent hash differs per shard
+// block, giving every shard an independent draw.
+func shardDigest(parent Hash, miner Address) uint64 {
+	var buf [1 + 32 + 20]byte
+	buf[0] = domainShard
+	copy(buf[1:33], parent[:])
+	copy(buf[33:53], miner[:])
+	sum := sha256.Sum256(buf[:])
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// AddressFromSeed derives a deterministic miner address from a name.
+func AddressFromSeed(name string) Address {
+	sum := sha256.Sum256([]byte(name))
+	var a Address
+	copy(a[:], sum[:20])
+	return a
+}
+
+// Errors returned by validation.
+var (
+	ErrBadParent    = errors.New("chainsim: parent hash mismatch")
+	ErrBadHeight    = errors.New("chainsim: height mismatch")
+	ErrBadPoW       = errors.New("chainsim: PoW digest above target")
+	ErrBadKernel    = errors.New("chainsim: staking kernel above stake target")
+	ErrBadTimestamp = errors.New("chainsim: timestamp not after parent")
+	ErrBadLottery   = errors.New("chainsim: proposer did not hold the winning lottery ticket")
+	ErrBadKind      = errors.New("chainsim: block kind does not match engine")
+	ErrBadReward    = errors.New("chainsim: coinbase reward mismatch")
+	ErrUnknownMiner = errors.New("chainsim: proposer is not a registered staker")
+)

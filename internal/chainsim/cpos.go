@@ -1,0 +1,171 @@
+package chainsim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// CPoSEngine is a block-level implementation of the compound PoS model of
+// Ethereum 2.0 (Section 2.4) — the real-system experiment the paper could
+// not run because Ethereum 2.0 was still unreleased at the time.
+//
+// An epoch is Shards consecutive blocks, one per shard. Each shard block's
+// proposer is selected with probability proportional to stake via an
+// exponential-race lottery over the parent hash (the RANDAO analogue) and
+// receives PerShardReward. At the end of each epoch, InflationPerEpoch is
+// distributed to all registered stakers exactly proportionally to the
+// epoch-start staking view (the attester reward).
+//
+// To reproduce the paper's epoch-start snapshot semantics, run the chain
+// with WithholdEvery(Shards): every reward earned inside an epoch joins
+// staking power only at the epoch boundary. NewNetwork wires this up
+// automatically for C-PoS engines.
+type CPoSEngine struct {
+	// PerShardReward is the proposer reward of one shard block (w/P).
+	PerShardReward uint64
+	// InflationPerEpoch is the total attester reward per epoch (v).
+	InflationPerEpoch uint64
+	// Shards is the number of shard blocks per epoch (32 in Ethereum 2.0).
+	Shards uint64
+	// Stakers is the registered validator set.
+	Stakers []Address
+}
+
+// Kind implements Engine.
+func (e *CPoSEngine) Kind() Kind { return KindCPoS }
+
+// Reward implements Engine: the per-block proposer reward.
+func (e *CPoSEngine) Reward() uint64 { return e.PerShardReward }
+
+// RewardsConveyStake implements Engine.
+func (e *CPoSEngine) RewardsConveyStake() bool { return true }
+
+// winnerOf selects the shard proposer: each staker's waiting time is the
+// inverse-transform exponential of her shard digest divided by stake, so
+// the winner is proportional to stake (the uniform-selection-per-identity
+// model of Section 2.4, generalised to arbitrary stake amounts).
+func (e *CPoSEngine) winnerOf(parentHash Hash, stake *Ledger) (Address, bool) {
+	var winner Address
+	best := math.Inf(1)
+	found := false
+	for _, m := range e.Stakers {
+		s := stake.Balance(m)
+		if s == 0 {
+			continue
+		}
+		u := float64(shardDigest(parentHash, m)) / float64(math.MaxUint64)
+		if u >= 1 {
+			u = math.Nextafter(1, 0)
+		}
+		t := -math.Log1p(-u) / float64(s)
+		if t < best {
+			best = t
+			winner = m
+			found = true
+		}
+	}
+	return winner, found
+}
+
+// Mine seals the next shard block deterministically.
+func (e *CPoSEngine) Mine(parent *Block, stake *Ledger, _ []Address, _ *rng.Rand) (Header, error) {
+	if e.Shards == 0 {
+		return Header{}, fmt.Errorf("chainsim: C-PoS needs at least 1 shard")
+	}
+	winner, ok := e.winnerOf(parent.Hash(), stake)
+	if !ok {
+		return Header{}, fmt.Errorf("chainsim: C-PoS has no staker with positive stake")
+	}
+	return Header{
+		Height:     parent.Header.Height + 1,
+		ParentHash: parent.Hash(),
+		Kind:       KindCPoS,
+		Proposer:   winner,
+		Timestamp:  parent.Header.Timestamp + 1,
+		Reward:     e.PerShardReward,
+	}, nil
+}
+
+// Verify implements Engine: the proposer must be the shard lottery winner.
+func (e *CPoSEngine) Verify(h *Header, parent *Block, stake *Ledger) error {
+	if err := verifyCommon(e, h, parent); err != nil {
+		return err
+	}
+	winner, ok := e.winnerOf(h.ParentHash, stake)
+	if !ok {
+		return ErrUnknownMiner
+	}
+	if winner != h.Proposer {
+		return ErrBadLottery
+	}
+	return nil
+}
+
+// EpochInflation implements Inflator: at each epoch boundary (every
+// Shards blocks) the attester reward is split across stakers exactly
+// proportionally to the current (epoch-start) staking view.
+func (e *CPoSEngine) EpochInflation(height uint64, stake *Ledger) []Credit {
+	if e.InflationPerEpoch == 0 || e.Shards == 0 || height == 0 || height%e.Shards != 0 {
+		return nil
+	}
+	stakes := make([]uint64, len(e.Stakers))
+	for i, m := range e.Stakers {
+		stakes[i] = stake.Balance(m)
+	}
+	amounts := allocateProportional(e.InflationPerEpoch, stakes)
+	credits := make([]Credit, 0, len(e.Stakers))
+	for i, m := range e.Stakers {
+		if amounts[i] > 0 {
+			credits = append(credits, Credit{Addr: m, Amount: amounts[i]})
+		}
+	}
+	return credits
+}
+
+// allocateProportional splits total into integer amounts proportional to
+// weights, conserving the total exactly via the largest-remainder method
+// with full 128-bit arithmetic. Zero-weight entries receive nothing; with
+// all-zero weights the whole total is dropped (callers treat that as "no
+// stakers"). Deterministic: remainder units go to the largest fractional
+// parts, ties broken by index.
+func allocateProportional(total uint64, weights []uint64) []uint64 {
+	out := make([]uint64, len(weights))
+	var sum uint64
+	for _, w := range weights {
+		sum += w
+	}
+	if sum == 0 || total == 0 {
+		return out
+	}
+	type rem struct {
+		idx  int
+		frac uint64 // (total*w) mod sum — exact fractional numerator
+	}
+	var assigned uint64
+	rems := make([]rem, 0, len(weights))
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		hi, lo := bits.Mul64(total, w)
+		quo, mod := bits.Div64(hi, lo, sum) // w ≤ sum ⇒ quo ≤ total: no overflow
+		out[i] = quo
+		assigned += quo
+		rems = append(rems, rem{idx: i, frac: mod})
+	}
+	left := total - assigned // < number of non-zero weights
+	sort.Slice(rems, func(i, j int) bool {
+		if rems[i].frac != rems[j].frac {
+			return rems[i].frac > rems[j].frac
+		}
+		return rems[i].idx < rems[j].idx
+	})
+	for k := uint64(0); k < left; k++ {
+		out[rems[int(k%uint64(len(rems)))].idx]++
+	}
+	return out
+}

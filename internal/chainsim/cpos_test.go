@@ -1,0 +1,277 @@
+package chainsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func newCPoSNetwork(t *testing.T, salt uint64, inflation uint64) *Network {
+	t.Helper()
+	net, err := NewNetwork(NetworkConfig{
+		Engine: &CPoSEngine{
+			PerShardReward:    testReward / 32,
+			InflationPerEpoch: inflation,
+			Shards:            32,
+		},
+		Miners: []MinerSpec{{Name: "A", Resource: 200_000}, {Name: "B", Resource: 800_000}},
+		Salt:   salt,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestCPoSMineAndVerify(t *testing.T) {
+	genesis, alice, bob := twoMinerGenesis(0.2)
+	e := &CPoSEngine{PerShardReward: 100, InflationPerEpoch: 1000, Shards: 4,
+		Stakers: []Address{alice, bob}}
+	ledger := NewLedger(genesis)
+	gen := genesisBlock(KindCPoS, 1)
+	h, err := e.Mine(gen, ledger, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Verify(&h, gen, ledger); err != nil {
+		t.Fatalf("mined C-PoS block fails verification: %v", err)
+	}
+	// Forged proposer rejected.
+	bad := h
+	if bad.Proposer == alice {
+		bad.Proposer = bob
+	} else {
+		bad.Proposer = alice
+	}
+	if err := e.Verify(&bad, gen, ledger); !errors.Is(err, ErrBadLottery) {
+		t.Errorf("forged proposer err = %v, want ErrBadLottery", err)
+	}
+}
+
+func TestCPoSShardWinFrequencyProportional(t *testing.T) {
+	genesis, alice, bob := twoMinerGenesis(0.2)
+	e := &CPoSEngine{PerShardReward: 100, Shards: 4, Stakers: []Address{alice, bob}}
+	ledger := NewLedger(genesis)
+	wins := 0
+	trials := 4000
+	for i := 0; i < trials; i++ {
+		gen := genesisBlock(KindCPoS, uint64(20000+i))
+		h, err := e.Mine(gen, ledger, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Proposer == alice {
+			wins++
+		}
+	}
+	got := float64(wins) / float64(trials)
+	if math.Abs(got-0.2) > 0.02 {
+		t.Errorf("C-PoS shard win rate = %v, want ~0.2", got)
+	}
+}
+
+func TestCPoSEpochInflationBoundariesOnly(t *testing.T) {
+	genesis, alice, bob := twoMinerGenesis(0.2)
+	e := &CPoSEngine{PerShardReward: 100, InflationPerEpoch: 1000, Shards: 4,
+		Stakers: []Address{alice, bob}}
+	ledger := NewLedger(genesis)
+	for h := uint64(0); h <= 9; h++ {
+		credits := e.EpochInflation(h, ledger)
+		boundary := h != 0 && h%4 == 0
+		if boundary && len(credits) == 0 {
+			t.Errorf("height %d: expected inflation credits", h)
+		}
+		if !boundary && credits != nil {
+			t.Errorf("height %d: unexpected credits %v", h, credits)
+		}
+	}
+	credits := e.EpochInflation(4, ledger)
+	var total uint64
+	for _, c := range credits {
+		total += c.Amount
+	}
+	if total != 1000 {
+		t.Errorf("inflation total = %d, want exactly 1000", total)
+	}
+	// Proportionality: A holds 20%, so exactly 200 of 1000.
+	for _, c := range credits {
+		if c.Addr == alice && c.Amount != 200 {
+			t.Errorf("alice inflation = %d, want 200", c.Amount)
+		}
+		if c.Addr == bob && c.Amount != 800 {
+			t.Errorf("bob inflation = %d, want 800", c.Amount)
+		}
+	}
+}
+
+func TestCPoSNetworkConservationAndEpochAccounting(t *testing.T) {
+	net := newCPoSNetwork(t, 3, 1000)
+	epochs := 5
+	if err := net.RunBlocks(32 * epochs); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Chain.CheckConservation(); err != nil {
+		t.Fatal(err)
+	}
+	// Total rewards = epochs × (proposer + inflation).
+	perEpoch := uint64(32*(testReward/32) + 1000)
+	if got := net.Chain.TotalRewards(); got != uint64(epochs)*perEpoch {
+		t.Errorf("total rewards = %d, want %d", got, uint64(epochs)*perEpoch)
+	}
+	// All rewards have been released at the epoch boundary.
+	if got := net.Chain.StakeView().TotalSupply(); got != 1_000_000+uint64(epochs)*perEpoch {
+		t.Errorf("stake supply = %d", got)
+	}
+}
+
+func TestCPoSStakeFrozenWithinEpoch(t *testing.T) {
+	net := newCPoSNetwork(t, 4, 1000)
+	if err := net.RunBlocks(31); err != nil { // one block short of the boundary
+		t.Fatal(err)
+	}
+	if got := net.Chain.StakeView().TotalSupply(); got != 1_000_000 {
+		t.Errorf("stake grew mid-epoch: %d", got)
+	}
+	if err := net.RunBlocks(1); err != nil { // boundary
+		t.Fatal(err)
+	}
+	if got := net.Chain.StakeView().TotalSupply(); got == 1_000_000 {
+		t.Error("stake did not release at the epoch boundary")
+	}
+}
+
+func TestCPoSNetworkFairAndNarrowerThanMLPoS(t *testing.T) {
+	// The chainsim C-PoS run should match the analytic result: mean λ_A
+	// ~ 0.2 with a much tighter spread than the ML-PoS chainsim network
+	// at the same total reward issuance.
+	trials := 40
+	epochs := 25
+	cposL := make([]float64, 0, trials)
+	for i := 0; i < trials; i++ {
+		net := newCPoSNetwork(t, uint64(40000+i), 10_000) // v = 1% per epoch? -> v=10000 units
+		if err := net.RunBlocks(32 * epochs); err != nil {
+			t.Fatal(err)
+		}
+		cposL = append(cposL, net.Lambda("A"))
+	}
+	mlL := make([]float64, 0, trials)
+	perUnit := uint64(math.Exp2(64) / 32 / testCirculation)
+	for i := 0; i < trials; i++ {
+		net, err := NewNetwork(NetworkConfig{
+			Engine: &MLPoSEngine{TargetPerUnit: perUnit, BlockReward: testReward},
+			Miners: []MinerSpec{{Name: "A", Resource: 200_000}, {Name: "B", Resource: 800_000}},
+			Salt:   uint64(50000 + i),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.RunBlocks(epochs); err != nil { // same proposer issuance
+			t.Fatal(err)
+		}
+		mlL = append(mlL, net.Lambda("A"))
+	}
+	meanC := stats.Mean(cposL)
+	if math.Abs(meanC-0.2) > 0.05 {
+		t.Errorf("C-PoS chainsim mean λ = %v, want ~0.2", meanC)
+	}
+	if !(stats.Variance(cposL) < stats.Variance(mlL)) {
+		t.Errorf("C-PoS variance %v not below ML-PoS %v", stats.Variance(cposL), stats.Variance(mlL))
+	}
+}
+
+func TestCPoSReplayValidation(t *testing.T) {
+	net := newCPoSNetwork(t, 6, 1000)
+	if err := net.RunBlocks(96); err != nil {
+		t.Fatal(err)
+	}
+	genesis := map[Address]uint64{
+		AddressFromSeed("A"): 200_000,
+		AddressFromSeed("B"): 800_000,
+	}
+	if err := net.Chain.Validate(genesis); err != nil {
+		t.Errorf("honest C-PoS chain fails replay: %v", err)
+	}
+}
+
+func TestCPoSMineErrors(t *testing.T) {
+	e := &CPoSEngine{PerShardReward: 100, Shards: 0}
+	if _, err := e.Mine(genesisBlock(KindCPoS, 1), NewLedger(nil), nil, nil); err == nil {
+		t.Error("zero shards should error")
+	}
+	e = &CPoSEngine{PerShardReward: 100, Shards: 4, Stakers: []Address{AddressFromSeed("x")}}
+	if _, err := e.Mine(genesisBlock(KindCPoS, 1), NewLedger(nil), nil, nil); err == nil {
+		t.Error("no stake should error")
+	}
+}
+
+func TestAllocateProportionalExact(t *testing.T) {
+	cases := []struct {
+		total   uint64
+		weights []uint64
+		want    []uint64
+	}{
+		{1000, []uint64{200, 800}, []uint64{200, 800}},
+		{10, []uint64{1, 1, 1}, []uint64{4, 3, 3}}, // remainder to lowest index
+		{1, []uint64{1, 1}, []uint64{1, 0}},
+		{0, []uint64{5, 5}, []uint64{0, 0}},
+		{7, []uint64{0, 7}, []uint64{0, 7}},
+		{5, []uint64{0, 0}, []uint64{0, 0}},
+	}
+	for _, c := range cases {
+		got := allocateProportional(c.total, c.weights)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("allocate(%d, %v) = %v, want %v", c.total, c.weights, got, c.want)
+				break
+			}
+		}
+	}
+}
+
+// Property: allocation conserves the total exactly and never pays
+// zero-weight entries, for arbitrary inputs.
+func TestQuickAllocateConserves(t *testing.T) {
+	f := func(total uint16, w1, w2, w3 uint32) bool {
+		weights := []uint64{uint64(w1), uint64(w2), uint64(w3)}
+		out := allocateProportional(uint64(total), weights)
+		var sum, wsum uint64
+		for i, v := range out {
+			sum += v
+			wsum += weights[i]
+			if weights[i] == 0 && v != 0 {
+				return false
+			}
+		}
+		if wsum == 0 || total == 0 {
+			return sum == 0
+		}
+		return sum == uint64(total)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: each allocation is within one unit of the exact proportional
+// share (largest-remainder guarantee).
+func TestQuickAllocateNearProportional(t *testing.T) {
+	f := func(totalRaw uint16, w1, w2 uint16) bool {
+		total := uint64(totalRaw) + 1
+		weights := []uint64{uint64(w1) + 1, uint64(w2) + 1}
+		out := allocateProportional(total, weights)
+		sum := weights[0] + weights[1]
+		for i := range out {
+			exact := float64(total) * float64(weights[i]) / float64(sum)
+			if math.Abs(float64(out[i])-exact) >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

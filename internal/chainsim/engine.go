@@ -1,0 +1,386 @@
+package chainsim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/rng"
+)
+
+// Engine is a consensus mechanism: it can mine the next block on top of a
+// parent given the current staking view, and verify a sealed header
+// against the same information. Engines are stateless; all chain state
+// lives in Chain.
+type Engine interface {
+	// Kind returns the engine's block kind.
+	Kind() Kind
+	// Reward returns the coinbase reward per block in ledger units.
+	Reward() uint64
+	// RewardsConveyStake reports whether coinbase rewards add to future
+	// staking power (true for PoS engines, false for PoW/NEO-style).
+	RewardsConveyStake() bool
+	// Mine competes one block among miners on top of parent, using stake
+	// as the staking/hash-power view. PoW mining consumes randomness for
+	// nonce starting points; PoS engines are fully deterministic in the
+	// parent hash.
+	Mine(parent *Block, stake *Ledger, miners []Address, r *rng.Rand) (Header, error)
+	// Verify checks a header against the parent block and the
+	// parent-state staking view.
+	Verify(h *Header, parent *Block, stake *Ledger) error
+}
+
+// verifyCommon checks the fields shared by all engines.
+func verifyCommon(e Engine, h *Header, parent *Block) error {
+	if h.Kind != e.Kind() {
+		return fmt.Errorf("%w: got %v, engine %v", ErrBadKind, h.Kind, e.Kind())
+	}
+	if h.ParentHash != parent.Hash() {
+		return ErrBadParent
+	}
+	if h.Height != parent.Header.Height+1 {
+		return fmt.Errorf("%w: got %d, parent %d", ErrBadHeight, h.Height, parent.Header.Height)
+	}
+	if h.Reward != e.Reward() {
+		return fmt.Errorf("%w: got %d, want %d", ErrBadReward, h.Reward, e.Reward())
+	}
+	return nil
+}
+
+// PoWEngine mines by nonce grinding: a block is valid when
+// SHA-256(parent ‖ miner ‖ nonce) interpreted as a 64-bit integer is below
+// Target (the "Hash(nonce, …) < D" rule of Section 2.1). Each miner i
+// performs HashPower[i] trials per time unit, so the first-success times
+// form the exponential race whose winner is proportional to hash power.
+type PoWEngine struct {
+	// Target is the per-trial success threshold out of 2^64.
+	Target uint64
+	// BlockReward is the coinbase per block, paid in currency that does
+	// not convey future mining power.
+	BlockReward uint64
+	// HashPower maps each miner to trials per time unit.
+	HashPower map[Address]uint64
+	// MaxTrials caps the per-miner nonce search (safety valve; the
+	// probability of hitting it is negligible for sane targets).
+	MaxTrials uint64
+}
+
+// Kind implements Engine.
+func (e *PoWEngine) Kind() Kind { return KindPoW }
+
+// Reward implements Engine.
+func (e *PoWEngine) Reward() uint64 { return e.BlockReward }
+
+// RewardsConveyStake implements Engine: PoW rewards are spendable
+// currency, not mining power.
+func (e *PoWEngine) RewardsConveyStake() bool { return false }
+
+// Mine grinds nonces for every miner and declares the winner whose first
+// valid nonce arrives earliest in wall-clock terms (nonce index divided by
+// hash power). A random nonce offset per miner decorrelates searches
+// across trials that share a parent.
+func (e *PoWEngine) Mine(parent *Block, _ *Ledger, miners []Address, r *rng.Rand) (Header, error) {
+	maxTrials := e.MaxTrials
+	if maxTrials == 0 {
+		maxTrials = 1 << 22
+	}
+	bestTime := math.Inf(1)
+	var winner Address
+	var winNonce uint64
+	found := false
+	for _, m := range miners {
+		power := e.HashPower[m]
+		if power == 0 {
+			continue
+		}
+		offset := r.Uint64()
+		for trial := uint64(0); trial < maxTrials; trial++ {
+			nonce := offset + trial
+			if powDigest(parent.Hash(), m, nonce) < e.Target {
+				t := float64(trial) / float64(power)
+				if t < bestTime {
+					bestTime = t
+					winner = m
+					winNonce = nonce
+					found = true
+				}
+				break
+			}
+		}
+	}
+	if !found {
+		return Header{}, fmt.Errorf("chainsim: PoW search exhausted %d trials without a solution", maxTrials)
+	}
+	return Header{
+		Height:     parent.Header.Height + 1,
+		ParentHash: parent.Hash(),
+		Kind:       KindPoW,
+		Proposer:   winner,
+		Timestamp:  parent.Header.Timestamp + 1 + uint64(bestTime),
+		Nonce:      winNonce,
+		Reward:     e.BlockReward,
+	}, nil
+}
+
+// Verify implements Engine: the proposer's nonce must satisfy the target.
+func (e *PoWEngine) Verify(h *Header, parent *Block, _ *Ledger) error {
+	if err := verifyCommon(e, h, parent); err != nil {
+		return err
+	}
+	if powDigest(h.ParentHash, h.Proposer, h.Nonce) >= e.Target {
+		return ErrBadPoW
+	}
+	return nil
+}
+
+// kernelThresholdMet reports whether digest < targetPerUnit × stake with
+// full 128-bit arithmetic (the threshold may exceed 2^64 for rich miners).
+func kernelThresholdMet(digest, targetPerUnit, stakeUnits uint64) bool {
+	hi, lo := bits.Mul64(targetPerUnit, stakeUnits)
+	if hi > 0 {
+		return true // threshold ≥ 2^64: every digest passes
+	}
+	return digest < lo
+}
+
+// MLPoSEngine is the Qtum/Blackcoin staking kernel of Section 2.2: at each
+// timestamp every staker gets exactly one trial, valid when
+// SHA-256(parent ‖ pk ‖ time) < TargetPerUnit × stake. The earliest
+// success proposes; timestamp ties break toward the smaller digest.
+type MLPoSEngine struct {
+	// TargetPerUnit is the kernel target per unit of stake out of 2^64.
+	TargetPerUnit uint64
+	// BlockReward is the coinbase per block; it stakes automatically.
+	BlockReward uint64
+	// MaxSlots caps the timestamp search beyond the parent.
+	MaxSlots uint64
+}
+
+// Kind implements Engine.
+func (e *MLPoSEngine) Kind() Kind { return KindMLPoS }
+
+// Reward implements Engine.
+func (e *MLPoSEngine) Reward() uint64 { return e.BlockReward }
+
+// RewardsConveyStake implements Engine.
+func (e *MLPoSEngine) RewardsConveyStake() bool { return true }
+
+// Mine walks timestamps from the parent's until some staker's kernel
+// passes. Fully deterministic in the parent hash and stake view.
+func (e *MLPoSEngine) Mine(parent *Block, stake *Ledger, miners []Address, _ *rng.Rand) (Header, error) {
+	maxSlots := e.MaxSlots
+	if maxSlots == 0 {
+		maxSlots = 1 << 20
+	}
+	parentHash := parent.Hash()
+	for slot := uint64(1); slot <= maxSlots; slot++ {
+		ts := parent.Header.Timestamp + slot
+		bestDigest := uint64(math.MaxUint64)
+		var winner Address
+		found := false
+		for _, m := range miners {
+			s := stake.Balance(m)
+			if s == 0 {
+				continue
+			}
+			d := kernelDigest(parentHash, m, ts)
+			if kernelThresholdMet(d, e.TargetPerUnit, s) && d < bestDigest {
+				bestDigest = d
+				winner = m
+				found = true
+			}
+		}
+		if found {
+			return Header{
+				Height:     parent.Header.Height + 1,
+				ParentHash: parentHash,
+				Kind:       KindMLPoS,
+				Proposer:   winner,
+				Timestamp:  ts,
+				Reward:     e.BlockReward,
+			}, nil
+		}
+	}
+	return Header{}, fmt.Errorf("chainsim: ML-PoS kernel search exhausted %d slots", maxSlots)
+}
+
+// Verify implements Engine: the proposer must hold registered stake, the
+// timestamp must advance, and her kernel must pass at that timestamp.
+func (e *MLPoSEngine) Verify(h *Header, parent *Block, stake *Ledger) error {
+	if err := verifyCommon(e, h, parent); err != nil {
+		return err
+	}
+	if h.Timestamp <= parent.Header.Timestamp {
+		return ErrBadTimestamp
+	}
+	s := stake.Balance(h.Proposer)
+	if s == 0 {
+		return ErrUnknownMiner
+	}
+	if !kernelThresholdMet(kernelDigest(h.ParentHash, h.Proposer, h.Timestamp), e.TargetPerUnit, s) {
+		return ErrBadKernel
+	}
+	return nil
+}
+
+// SLPoSEngine is the NXT forging lottery of Section 2.3: one deterministic
+// ticket per staker per block, waiting time Hash(pk, …)/stake, smallest
+// time forges. The linear time function is exactly what breaks
+// proportionality (the a/(2b) win probability).
+type SLPoSEngine struct {
+	// BlockReward is the coinbase per block; it stakes automatically.
+	BlockReward uint64
+	// Stakers is the registered validator set eligible to forge.
+	Stakers []Address
+}
+
+// Kind implements Engine.
+func (e *SLPoSEngine) Kind() Kind { return KindSLPoS }
+
+// Reward implements Engine.
+func (e *SLPoSEngine) Reward() uint64 { return e.BlockReward }
+
+// RewardsConveyStake implements Engine.
+func (e *SLPoSEngine) RewardsConveyStake() bool { return true }
+
+// slLess reports whether ticket (dA, sA) beats (dB, sB), i.e.
+// dA/sA < dB/sB, compared exactly as dA·sB < dB·sA in 128 bits.
+func slLess(dA, sA, dB, sB uint64) bool {
+	hiA, loA := bits.Mul64(dA, sB)
+	hiB, loB := bits.Mul64(dB, sA)
+	if hiA != hiB {
+		return hiA < hiB
+	}
+	return loA < loB
+}
+
+// winnerOf returns the staker with the smallest waiting time, or false if
+// nobody holds positive stake.
+func (e *SLPoSEngine) winnerOf(parentHash Hash, stake *Ledger) (Address, bool) {
+	var winner Address
+	var wd, ws uint64
+	found := false
+	for _, m := range e.Stakers {
+		s := stake.Balance(m)
+		if s == 0 {
+			continue
+		}
+		d := lotteryDigest(parentHash, m)
+		if !found || slLess(d, s, wd, ws) {
+			winner, wd, ws = m, d, s
+			found = true
+		}
+	}
+	return winner, found
+}
+
+// Mine forges the next block deterministically.
+func (e *SLPoSEngine) Mine(parent *Block, stake *Ledger, _ []Address, _ *rng.Rand) (Header, error) {
+	winner, ok := e.winnerOf(parent.Hash(), stake)
+	if !ok {
+		return Header{}, fmt.Errorf("chainsim: SL-PoS has no staker with positive stake")
+	}
+	return Header{
+		Height:     parent.Header.Height + 1,
+		ParentHash: parent.Hash(),
+		Kind:       KindSLPoS,
+		Proposer:   winner,
+		Timestamp:  parent.Header.Timestamp + 1,
+		Reward:     e.BlockReward,
+	}, nil
+}
+
+// Verify implements Engine: the proposer must be the lottery winner; a
+// forged block from anyone else is rejected even if correctly signed.
+func (e *SLPoSEngine) Verify(h *Header, parent *Block, stake *Ledger) error {
+	if err := verifyCommon(e, h, parent); err != nil {
+		return err
+	}
+	winner, ok := e.winnerOf(h.ParentHash, stake)
+	if !ok {
+		return ErrUnknownMiner
+	}
+	if winner != h.Proposer {
+		return ErrBadLottery
+	}
+	return nil
+}
+
+// FSLPoSEngine is the paper's treatment of Section 6.2 applied to the NXT
+// lottery: waiting time −ln(1 − Hash/2^64)/stake, which makes forging
+// probability exactly proportional to stake.
+type FSLPoSEngine struct {
+	// BlockReward is the coinbase per block; it stakes automatically.
+	BlockReward uint64
+	// Stakers is the registered validator set eligible to forge.
+	Stakers []Address
+}
+
+// Kind implements Engine.
+func (e *FSLPoSEngine) Kind() Kind { return KindFSLPoS }
+
+// Reward implements Engine.
+func (e *FSLPoSEngine) Reward() uint64 { return e.BlockReward }
+
+// RewardsConveyStake implements Engine.
+func (e *FSLPoSEngine) RewardsConveyStake() bool { return true }
+
+// fslTime computes the corrected waiting time of one ticket.
+func fslTime(digest, stakeUnits uint64) float64 {
+	u := float64(digest) / float64(math.MaxUint64)
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log1p(-u) / float64(stakeUnits)
+}
+
+// winnerOf returns the staker with the smallest corrected waiting time.
+func (e *FSLPoSEngine) winnerOf(parentHash Hash, stake *Ledger) (Address, bool) {
+	var winner Address
+	best := math.Inf(1)
+	found := false
+	for _, m := range e.Stakers {
+		s := stake.Balance(m)
+		if s == 0 {
+			continue
+		}
+		t := fslTime(lotteryDigest(parentHash, m), s)
+		if t < best {
+			best = t
+			winner = m
+			found = true
+		}
+	}
+	return winner, found
+}
+
+// Mine forges the next block deterministically under the corrected lottery.
+func (e *FSLPoSEngine) Mine(parent *Block, stake *Ledger, _ []Address, _ *rng.Rand) (Header, error) {
+	winner, ok := e.winnerOf(parent.Hash(), stake)
+	if !ok {
+		return Header{}, fmt.Errorf("chainsim: FSL-PoS has no staker with positive stake")
+	}
+	return Header{
+		Height:     parent.Header.Height + 1,
+		ParentHash: parent.Hash(),
+		Kind:       KindFSLPoS,
+		Proposer:   winner,
+		Timestamp:  parent.Header.Timestamp + 1,
+		Reward:     e.BlockReward,
+	}, nil
+}
+
+// Verify implements Engine.
+func (e *FSLPoSEngine) Verify(h *Header, parent *Block, stake *Ledger) error {
+	if err := verifyCommon(e, h, parent); err != nil {
+		return err
+	}
+	winner, ok := e.winnerOf(h.ParentHash, stake)
+	if !ok {
+		return ErrUnknownMiner
+	}
+	if winner != h.Proposer {
+		return ErrBadLottery
+	}
+	return nil
+}

@@ -1,0 +1,396 @@
+package chainsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// test units: the genesis circulation is 1,000,000 units; a reward of
+// 10,000 units is the paper's w = 0.01 relative to initial circulation.
+const (
+	testCirculation = 1_000_000
+	testReward      = 10_000
+)
+
+func twoMinerGenesis(a float64) (map[Address]uint64, Address, Address) {
+	alice := AddressFromSeed("alice")
+	bob := AddressFromSeed("bob")
+	ua := uint64(a * testCirculation)
+	return map[Address]uint64{alice: ua, bob: testCirculation - ua}, alice, bob
+}
+
+func genesisBlock(kind Kind, salt uint64) *Block {
+	return &Block{Header: Header{Kind: kind, Nonce: salt}}
+}
+
+func newPoWEngine() *PoWEngine {
+	alice := AddressFromSeed("alice")
+	bob := AddressFromSeed("bob")
+	return &PoWEngine{
+		Target:      1 << 56, // per-trial success 1/256
+		BlockReward: testReward,
+		HashPower:   map[Address]uint64{alice: 20, bob: 80},
+	}
+}
+
+func newMLPoSEngine() *MLPoSEngine {
+	// Total stake 1e6 units; per-slot total success ≈ 1/32.
+	perUnit := math.Exp2(64) / 32 / testCirculation
+	return &MLPoSEngine{
+		TargetPerUnit: uint64(perUnit),
+		BlockReward:   testReward,
+	}
+}
+
+func TestPoWMineProducesValidBlock(t *testing.T) {
+	e := newPoWEngine()
+	gen := genesisBlock(KindPoW, 1)
+	ledger := NewLedger(map[Address]uint64{})
+	h, err := e.Mine(gen, ledger, []Address{AddressFromSeed("alice"), AddressFromSeed("bob")}, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Verify(&h, gen, ledger); err != nil {
+		t.Fatalf("mined block fails verification: %v", err)
+	}
+	if h.Height != 1 || h.ParentHash != gen.Hash() {
+		t.Errorf("header linkage wrong: %+v", h)
+	}
+}
+
+func TestPoWVerifyRejectsTampering(t *testing.T) {
+	e := newPoWEngine()
+	gen := genesisBlock(KindPoW, 2)
+	miners := []Address{AddressFromSeed("alice"), AddressFromSeed("bob")}
+	h, err := e.Mine(gen, nil, miners, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forged nonce: reject unless astronomically lucky.
+	bad := h
+	bad.Nonce = h.Nonce + 1
+	if powDigest(bad.ParentHash, bad.Proposer, bad.Nonce) < e.Target {
+		t.Skip("tampered nonce accidentally valid; skip")
+	}
+	if err := e.Verify(&bad, gen, nil); !errors.Is(err, ErrBadPoW) {
+		t.Errorf("tampered nonce err = %v, want ErrBadPoW", err)
+	}
+	// Wrong parent.
+	bad = h
+	bad.ParentHash[0] ^= 1
+	if err := e.Verify(&bad, gen, nil); !errors.Is(err, ErrBadParent) {
+		t.Errorf("wrong parent err = %v, want ErrBadParent", err)
+	}
+	// Wrong height.
+	bad = h
+	bad.Height = 9
+	if err := e.Verify(&bad, gen, nil); !errors.Is(err, ErrBadHeight) {
+		t.Errorf("wrong height err = %v, want ErrBadHeight", err)
+	}
+	// Inflated reward.
+	bad = h
+	bad.Reward = h.Reward * 2
+	if err := e.Verify(&bad, gen, nil); !errors.Is(err, ErrBadReward) {
+		t.Errorf("inflated reward err = %v, want ErrBadReward", err)
+	}
+	// Wrong kind.
+	bad = h
+	bad.Kind = KindMLPoS
+	if err := e.Verify(&bad, gen, nil); !errors.Is(err, ErrBadKind) {
+		t.Errorf("wrong kind err = %v, want ErrBadKind", err)
+	}
+}
+
+func TestPoWWinFrequencyProportionalToHashPower(t *testing.T) {
+	// Alice holds 20% of hash power; across many single-block races her
+	// win rate must approach 0.2 (Section 2.1).
+	e := newPoWEngine()
+	alice := AddressFromSeed("alice")
+	miners := []Address{alice, AddressFromSeed("bob")}
+	wins := 0
+	trials := 600
+	for i := 0; i < trials; i++ {
+		gen := genesisBlock(KindPoW, uint64(i))
+		h, err := e.Mine(gen, nil, miners, rng.Stream(3, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Proposer == alice {
+			wins++
+		}
+	}
+	got := float64(wins) / float64(trials)
+	if math.Abs(got-0.2) > 0.05 {
+		t.Errorf("PoW win rate = %v, want ~0.2", got)
+	}
+}
+
+func TestPoWSkipsZeroPowerMiner(t *testing.T) {
+	alice := AddressFromSeed("alice")
+	bob := AddressFromSeed("bob")
+	e := &PoWEngine{Target: 1 << 56, BlockReward: 1, HashPower: map[Address]uint64{alice: 0, bob: 10}}
+	h, err := e.Mine(genesisBlock(KindPoW, 1), nil, []Address{alice, bob}, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Proposer != bob {
+		t.Error("zero-power miner won a block")
+	}
+}
+
+func TestPoWExhaustionError(t *testing.T) {
+	alice := AddressFromSeed("alice")
+	e := &PoWEngine{Target: 0, BlockReward: 1, HashPower: map[Address]uint64{alice: 1}, MaxTrials: 100}
+	if _, err := e.Mine(genesisBlock(KindPoW, 1), nil, []Address{alice}, rng.New(5)); err == nil {
+		t.Error("impossible target should error")
+	}
+}
+
+func TestMLPoSMineAndVerify(t *testing.T) {
+	e := newMLPoSEngine()
+	genesis, alice, bob := twoMinerGenesis(0.2)
+	ledger := NewLedger(genesis)
+	gen := genesisBlock(KindMLPoS, 7)
+	h, err := e.Mine(gen, ledger, []Address{alice, bob}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Verify(&h, gen, ledger); err != nil {
+		t.Fatalf("mined ML-PoS block fails verification: %v", err)
+	}
+	if h.Timestamp == 0 {
+		t.Error("timestamp not advanced")
+	}
+}
+
+func TestMLPoSVerifyRejections(t *testing.T) {
+	e := newMLPoSEngine()
+	genesis, alice, bob := twoMinerGenesis(0.2)
+	ledger := NewLedger(genesis)
+	gen := genesisBlock(KindMLPoS, 8)
+	h, err := e.Mine(gen, ledger, []Address{alice, bob}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Timestamp not after parent.
+	bad := h
+	bad.Timestamp = 0
+	if err := e.Verify(&bad, gen, ledger); !errors.Is(err, ErrBadTimestamp) {
+		t.Errorf("stale timestamp err = %v", err)
+	}
+	// Unregistered proposer.
+	bad = h
+	bad.Proposer = AddressFromSeed("mallory")
+	if err := e.Verify(&bad, gen, ledger); !errors.Is(err, ErrUnknownMiner) {
+		t.Errorf("unknown proposer err = %v", err)
+	}
+	// A proposer whose kernel did not pass at the claimed timestamp:
+	// search for a timestamp where the loser's kernel fails.
+	loser := alice
+	if h.Proposer == alice {
+		loser = bob
+	}
+	for ts := h.Timestamp; ; ts++ {
+		if !kernelThresholdMet(kernelDigest(gen.Hash(), loser, ts), e.TargetPerUnit, ledger.Balance(loser)) {
+			bad = h
+			bad.Proposer = loser
+			bad.Timestamp = ts
+			if err := e.Verify(&bad, gen, ledger); !errors.Is(err, ErrBadKernel) {
+				t.Errorf("failed kernel err = %v, want ErrBadKernel", err)
+			}
+			break
+		}
+	}
+}
+
+func TestMLPoSWinFrequencyProportionalToStake(t *testing.T) {
+	e := newMLPoSEngine()
+	genesis, alice, bob := twoMinerGenesis(0.2)
+	ledger := NewLedger(genesis)
+	wins := 0
+	trials := 2000
+	for i := 0; i < trials; i++ {
+		gen := genesisBlock(KindMLPoS, uint64(1000+i))
+		h, err := e.Mine(gen, ledger, []Address{alice, bob}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Proposer == alice {
+			wins++
+		}
+	}
+	got := float64(wins) / float64(trials)
+	// Tie slots break toward the lower digest, which is stake-blind;
+	// with per-slot probabilities ~1/32 the deviation is about p/2 ≈ 1%.
+	if math.Abs(got-0.2) > 0.03 {
+		t.Errorf("ML-PoS win rate = %v, want ~0.2", got)
+	}
+}
+
+func TestMLPoSNoStakeError(t *testing.T) {
+	e := newMLPoSEngine()
+	e.MaxSlots = 50
+	ledger := NewLedger(map[Address]uint64{})
+	if _, err := e.Mine(genesisBlock(KindMLPoS, 1), ledger, []Address{AddressFromSeed("alice")}, nil); err == nil {
+		t.Error("no-stake mining should error")
+	}
+}
+
+func TestSLPoSDeterministicWinner(t *testing.T) {
+	genesis, alice, bob := twoMinerGenesis(0.2)
+	e := &SLPoSEngine{BlockReward: testReward, Stakers: []Address{alice, bob}}
+	ledger := NewLedger(genesis)
+	gen := genesisBlock(KindSLPoS, 9)
+	h1, err := e.Mine(gen, ledger, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, _ := e.Mine(gen, ledger, nil, nil)
+	if h1.Proposer != h2.Proposer {
+		t.Error("SL-PoS winner not deterministic")
+	}
+	if err := e.Verify(&h1, gen, ledger); err != nil {
+		t.Fatalf("forged block fails verification: %v", err)
+	}
+}
+
+func TestSLPoSRejectsNonWinnerForgery(t *testing.T) {
+	// Failure injection: the losing staker claims the block. Verification
+	// must recompute the lottery and reject.
+	genesis, alice, bob := twoMinerGenesis(0.2)
+	e := &SLPoSEngine{BlockReward: testReward, Stakers: []Address{alice, bob}}
+	ledger := NewLedger(genesis)
+	gen := genesisBlock(KindSLPoS, 10)
+	h, err := e.Mine(gen, ledger, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := h
+	if bad.Proposer == alice {
+		bad.Proposer = bob
+	} else {
+		bad.Proposer = alice
+	}
+	if err := e.Verify(&bad, gen, ledger); !errors.Is(err, ErrBadLottery) {
+		t.Errorf("forged proposer err = %v, want ErrBadLottery", err)
+	}
+}
+
+func TestSLPoSWinFrequencyHalfProportional(t *testing.T) {
+	// Equation (1): with a = 0.2, Pr[A wins] ≈ a/(2b) = 0.125 — NOT 0.2.
+	genesis, alice, bob := twoMinerGenesis(0.2)
+	e := &SLPoSEngine{BlockReward: testReward, Stakers: []Address{alice, bob}}
+	ledger := NewLedger(genesis)
+	wins := 0
+	trials := 4000
+	for i := 0; i < trials; i++ {
+		gen := genesisBlock(KindSLPoS, uint64(5000+i))
+		h, err := e.Mine(gen, ledger, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Proposer == alice {
+			wins++
+		}
+	}
+	got := float64(wins) / float64(trials)
+	if math.Abs(got-0.125) > 0.02 {
+		t.Errorf("SL-PoS win rate = %v, want ~0.125 (= a/2b)", got)
+	}
+	if math.Abs(got-0.2) < 0.02 {
+		t.Error("SL-PoS win rate should NOT be proportional")
+	}
+}
+
+func TestFSLPoSWinFrequencyProportional(t *testing.T) {
+	// The Section 6.2 treatment restores Pr[A wins] = a.
+	genesis, alice, bob := twoMinerGenesis(0.2)
+	e := &FSLPoSEngine{BlockReward: testReward, Stakers: []Address{alice, bob}}
+	ledger := NewLedger(genesis)
+	wins := 0
+	trials := 4000
+	for i := 0; i < trials; i++ {
+		gen := genesisBlock(KindFSLPoS, uint64(9000+i))
+		h, err := e.Mine(gen, ledger, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Proposer == alice {
+			wins++
+		}
+	}
+	got := float64(wins) / float64(trials)
+	if math.Abs(got-0.2) > 0.02 {
+		t.Errorf("FSL-PoS win rate = %v, want ~0.2", got)
+	}
+}
+
+func TestFSLPoSRejectsNonWinnerForgery(t *testing.T) {
+	genesis, alice, bob := twoMinerGenesis(0.3)
+	e := &FSLPoSEngine{BlockReward: testReward, Stakers: []Address{alice, bob}}
+	ledger := NewLedger(genesis)
+	gen := genesisBlock(KindFSLPoS, 11)
+	h, err := e.Mine(gen, ledger, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := h
+	if bad.Proposer == alice {
+		bad.Proposer = bob
+	} else {
+		bad.Proposer = alice
+	}
+	if err := e.Verify(&bad, gen, ledger); !errors.Is(err, ErrBadLottery) {
+		t.Errorf("forged proposer err = %v, want ErrBadLottery", err)
+	}
+}
+
+func TestKernelThresholdMet128Bit(t *testing.T) {
+	// threshold = targetPerUnit × stake can exceed 2^64; any digest must
+	// then pass.
+	if !kernelThresholdMet(math.MaxUint64, math.MaxUint64, 2) {
+		t.Error("overflowing threshold should accept all digests")
+	}
+	if kernelThresholdMet(10, 5, 2) {
+		t.Error("digest 10 >= threshold 10 should fail")
+	}
+	if !kernelThresholdMet(9, 5, 2) {
+		t.Error("digest 9 < threshold 10 should pass")
+	}
+	if kernelThresholdMet(0, 5, 0) {
+		t.Error("zero stake should never pass")
+	}
+}
+
+func TestSlLessMatchesFloatComparison(t *testing.T) {
+	r := rng.New(12)
+	for i := 0; i < 10000; i++ {
+		dA, dB := r.Uint64(), r.Uint64()
+		sA := r.Uint64()%1000000 + 1
+		sB := r.Uint64()%1000000 + 1
+		got := slLess(dA, sA, dB, sB)
+		fa := float64(dA) / float64(sA)
+		fb := float64(dB) / float64(sB)
+		// Only check when floats clearly separate the ratios.
+		if math.Abs(fa-fb) > 1e-3*math.Max(fa, fb) {
+			if got != (fa < fb) {
+				t.Fatalf("slLess(%d/%d, %d/%d) = %v, float says %v", dA, sA, dB, sB, got, fa < fb)
+			}
+		}
+	}
+}
+
+func TestFSLTimeDecreasesWithStake(t *testing.T) {
+	d := uint64(1) << 60
+	if !(fslTime(d, 100) > fslTime(d, 1000)) {
+		t.Error("more stake should mean earlier forging time")
+	}
+	// Near-max digest must not produce Inf/NaN.
+	v := fslTime(math.MaxUint64, 10)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Errorf("fslTime at max digest = %v", v)
+	}
+}

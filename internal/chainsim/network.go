@@ -1,0 +1,139 @@
+package chainsim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// MinerSpec declares one network participant: a name (from which the
+// address is derived) and her resource — hash power for PoW, genesis
+// stake for PoS — expressed in integer units.
+type MinerSpec struct {
+	Name     string
+	Resource uint64
+}
+
+// Network is a deterministic simulation of a small mining network: a set
+// of miners driving one chain to a target height. It is the stand-in for
+// the paper's two-instance AWS deployments.
+type Network struct {
+	Chain  *Chain
+	Miners []Address
+	names  map[Address]string
+	rng    *rng.Rand
+}
+
+// NetworkConfig assembles a network.
+type NetworkConfig struct {
+	// Engine selects the consensus mechanism. For SL-PoS/FSL-PoS the
+	// engine's staker set is filled in automatically from Miners.
+	Engine Engine
+	// Miners lists the participants and their resources.
+	Miners []MinerSpec
+	// Seed drives PoW nonce starting points; PoS engines ignore it.
+	Seed uint64
+	// Salt differentiates the genesis across Monte-Carlo trials.
+	Salt uint64
+	// WithholdEvery applies the reward-withholding treatment (0 = off).
+	WithholdEvery uint64
+}
+
+// ErrNoMiners reports an empty miner list.
+var ErrNoMiners = errors.New("chainsim: no miners configured")
+
+// NewNetwork builds the chain, ledger and miner set for a configuration.
+func NewNetwork(cfg NetworkConfig) (*Network, error) {
+	if len(cfg.Miners) == 0 {
+		return nil, ErrNoMiners
+	}
+	genesis := make(map[Address]uint64, len(cfg.Miners))
+	addrs := make([]Address, 0, len(cfg.Miners))
+	names := make(map[Address]string, len(cfg.Miners))
+	for _, m := range cfg.Miners {
+		if m.Resource == 0 {
+			return nil, fmt.Errorf("chainsim: miner %q has zero resource", m.Name)
+		}
+		a := AddressFromSeed(m.Name)
+		if _, dup := names[a]; dup {
+			return nil, fmt.Errorf("chainsim: duplicate miner name %q", m.Name)
+		}
+		genesis[a] = m.Resource
+		addrs = append(addrs, a)
+		names[a] = m.Name
+	}
+	// Wire miner-set-dependent engine fields.
+	switch e := cfg.Engine.(type) {
+	case *PoWEngine:
+		if e.HashPower == nil {
+			e.HashPower = make(map[Address]uint64, len(cfg.Miners))
+			for _, m := range cfg.Miners {
+				e.HashPower[AddressFromSeed(m.Name)] = m.Resource
+			}
+		}
+	case *SLPoSEngine:
+		if e.Stakers == nil {
+			e.Stakers = addrs
+		}
+	case *FSLPoSEngine:
+		if e.Stakers == nil {
+			e.Stakers = addrs
+		}
+	case *CPoSEngine:
+		if e.Stakers == nil {
+			e.Stakers = addrs
+		}
+		// The paper's C-PoS model snapshots stake at epoch start; defer
+		// intra-epoch rewards to the epoch boundary unless the caller
+		// asked for a different withholding period.
+		if cfg.WithholdEvery == 0 {
+			cfg.WithholdEvery = e.Shards
+		}
+	}
+	var opts []ChainOption
+	if cfg.WithholdEvery > 0 {
+		opts = append(opts, WithholdEvery(cfg.WithholdEvery))
+	}
+	// For PoW the stake ledger is the hash-power registry; rewards are
+	// tracked separately and never feed back. For PoS the genesis stake
+	// is the staking power.
+	chain, err := NewChain(cfg.Engine, genesis, cfg.Salt, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{
+		Chain:  chain,
+		Miners: addrs,
+		names:  names,
+		rng:    rng.New(cfg.Seed),
+	}, nil
+}
+
+// NameOf returns the configured name of a miner address.
+func (n *Network) NameOf(a Address) string { return n.names[a] }
+
+// RunBlocks mines and appends `count` blocks. Every block passes full
+// validation on append; any consensus bug surfaces as an error here.
+func (n *Network) RunBlocks(count int) error {
+	for i := 0; i < count; i++ {
+		if err := n.Chain.MineAndAppend(n.Miners, n.rng); err != nil {
+			return fmt.Errorf("chainsim: mining block %d: %w", i+1, err)
+		}
+	}
+	return nil
+}
+
+// Lambda returns the reward fraction of the miner with the given name.
+func (n *Network) Lambda(name string) float64 {
+	return n.Chain.Lambda(AddressFromSeed(name))
+}
+
+// StakeShare returns the current staking-power share of the named miner.
+func (n *Network) StakeShare(name string) float64 {
+	total := n.Chain.StakeView().TotalSupply()
+	if total == 0 {
+		return 0
+	}
+	return float64(n.Chain.StakeView().Balance(AddressFromSeed(name))) / float64(total)
+}

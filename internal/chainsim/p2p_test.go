@@ -1,0 +1,156 @@
+package chainsim
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func p2pCfg(delay int, salt uint64) P2PConfig {
+	return P2PConfig{
+		Target:      1 << 58, // p = 1/64 per trial
+		BlockReward: 10_000,
+		Miners:      []MinerSpec{{Name: "A", Resource: 4}, {Name: "B", Resource: 16}},
+		DelayRounds: delay,
+		Seed:        salt,
+		Salt:        salt,
+	}
+}
+
+func TestP2PZeroDelayBasics(t *testing.T) {
+	res, err := RunP2P(p2pCfg(0, 1), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CanonicalHeight() < 100 {
+		t.Errorf("canonical height = %d, want >= 100", res.CanonicalHeight())
+	}
+	if err := VerifyCanonical(res.Canonical, 1<<58); err != nil {
+		t.Errorf("canonical chain invalid: %v", err)
+	}
+	l := res.Lambda("A") + res.Lambda("B")
+	if math.Abs(l-1) > 1e-12 {
+		t.Errorf("lambdas sum to %v", l)
+	}
+	if res.Produced < res.CanonicalHeight() {
+		t.Error("produced fewer blocks than canonical height")
+	}
+}
+
+func TestP2PDeterministic(t *testing.T) {
+	a, err := RunP2P(p2pCfg(2, 7), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunP2P(p2pCfg(2, 7), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Produced != b.Produced || a.Rounds != b.Rounds || a.CanonicalHeight() != b.CanonicalHeight() {
+		t.Error("p2p simulation not deterministic")
+	}
+	if a.Lambda("A") != b.Lambda("A") {
+		t.Error("lambda not deterministic")
+	}
+}
+
+func TestP2PFairnessAtZeroDelay(t *testing.T) {
+	// Without propagation delay the canonical win rate matches hash
+	// shares (A holds 20%).
+	lambdas := make([]float64, 0, 30)
+	for i := 0; i < 30; i++ {
+		res, err := RunP2P(p2pCfg(0, uint64(100+i)), 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lambdas = append(lambdas, res.Lambda("A"))
+	}
+	mean := stats.Mean(lambdas)
+	if math.Abs(mean-0.2) > 0.04 {
+		t.Errorf("zero-delay mean λ_A = %v, want ~0.2", mean)
+	}
+}
+
+func TestP2POrphanRateGrowsWithDelay(t *testing.T) {
+	// Longer propagation delay ⇒ more concurrent finds ⇒ more orphans.
+	rate := func(delay int) float64 {
+		total, orphans := 0, 0
+		for i := 0; i < 25; i++ {
+			res, err := RunP2P(p2pCfg(delay, uint64(500+i)), 60)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.Produced
+			orphans += res.Orphans()
+		}
+		return float64(orphans) / float64(total)
+	}
+	r0 := rate(0)
+	r8 := rate(8)
+	if !(r8 > r0) {
+		t.Errorf("orphan rate with delay 8 (%v) not above delay 0 (%v)", r8, r0)
+	}
+	if r8 == 0 {
+		t.Error("delayed network produced no orphans at all")
+	}
+}
+
+func TestP2PForkResolutionConverges(t *testing.T) {
+	// Even with heavy delay the network converges on one valid chain.
+	res, err := RunP2P(p2pCfg(10, 42), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCanonical(res.Canonical, 1<<58); err != nil {
+		t.Errorf("canonical chain under delay invalid: %v", err)
+	}
+	if res.CanonicalHeight() < 80 {
+		t.Errorf("canonical height = %d", res.CanonicalHeight())
+	}
+	if res.Orphans() == 0 {
+		t.Log("no orphans despite delay (possible but unusual)")
+	}
+}
+
+func TestP2PConfigValidation(t *testing.T) {
+	cases := []P2PConfig{
+		{},
+		{Target: 1 << 58, Miners: []MinerSpec{{Name: "A", Resource: 0}}, BlockReward: 1},
+		{Target: 0, Miners: []MinerSpec{{Name: "A", Resource: 1}}, BlockReward: 1},
+		{Target: 1 << 58, Miners: []MinerSpec{{Name: "A", Resource: 1}}, DelayRounds: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := RunP2P(cfg, 10); !errors.Is(err, ErrP2PConfig) {
+			t.Errorf("case %d: err = %v, want ErrP2PConfig", i, err)
+		}
+	}
+	if _, err := RunP2P(p2pCfg(0, 1), 0); !errors.Is(err, ErrP2PConfig) {
+		t.Error("blocks=0 accepted")
+	}
+}
+
+func TestP2PMaxRoundsGuard(t *testing.T) {
+	cfg := p2pCfg(0, 1)
+	cfg.Target = 1 // essentially unminable
+	cfg.MaxRounds = 50
+	if _, err := RunP2P(cfg, 10); err == nil {
+		t.Error("round cap not enforced")
+	}
+}
+
+func TestVerifyCanonicalRejectsTampering(t *testing.T) {
+	res, err := RunP2P(p2pCfg(0, 9), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCanonical(nil, 1<<58); err == nil {
+		t.Error("empty chain accepted")
+	}
+	// Tamper with a proposer mid-chain.
+	res.Canonical[5].Header.Proposer = AddressFromSeed("mallory")
+	if err := VerifyCanonical(res.Canonical, 1<<58); err == nil {
+		t.Error("tampered canonical chain accepted")
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dist"
+	"repro/internal/stats"
+)
+
+// Equitability and distribution-level validation helpers. Fanti et al.
+// (FC 2019) measure PoS compounding through "equitability" — how much the
+// final reward fraction disperses relative to its mean; the paper's
+// Section 7 positions robust fairness as the sharper notion. Both are
+// provided so the two can be compared empirically.
+
+// Equitability returns a normalised dispersion of final reward fractions:
+// Var(λ)/(a(1−a)), the variance of λ relative to the variance of the
+// maximally-disperse lottery that pays everything with probability a.
+// 0 is perfectly equitable (deterministic proportional income); 1 matches
+// the all-or-nothing lottery. NaN for degenerate inputs.
+func Equitability(samples []float64, a float64) float64 {
+	if a <= 0 || a >= 1 || len(samples) < 2 {
+		return math.NaN()
+	}
+	return stats.Variance(samples) / (a * (1 - a))
+}
+
+// MLPoSLimitEquitability returns the exact limiting equitability of
+// ML-PoS from the Beta(a/w, b/w) Pólya-urn limit:
+// Var = a(1−a)/(1/w + 1), so equitability = w/(1+w).
+func MLPoSLimitEquitability(w float64) float64 {
+	if w <= 0 {
+		return math.NaN()
+	}
+	return w / (1 + w)
+}
+
+// BetaLimitKS tests simulated final ML-PoS reward fractions against the
+// Beta(a/w, b/w) limit, returning the KS statistic and its asymptotic
+// p-value. Small p-values reject the Pólya-urn limit — the repository's
+// strongest whole-distribution check of Section 4.3.
+func BetaLimitKS(samples []float64, a, w float64) (d, p float64) {
+	limit := MLPoSLimitDist(a, w)
+	d = dist.KSStatistic(samples, limit.CDF)
+	p = dist.KSPValue(d, len(samples))
+	return d, p
+}

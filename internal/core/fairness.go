@@ -1,0 +1,122 @@
+// Package core implements the paper's primary contribution: the two
+// fairness notions for blockchain incentives — expectational fairness
+// (Definition 3.1) and (ε,δ)-robust fairness (Definition 4.1) — together
+// with the theory that predicts when each protocol satisfies them:
+//
+//   - Theorem 4.2: the Hoeffding sufficient condition for PoW,
+//   - Theorem 4.3: the Azuma/martingale condition for ML-PoS,
+//   - Theorem 4.10: the compound condition for C-PoS,
+//   - Section 4.3: the Pólya-urn Beta(a/w, b/w) limit of ML-PoS,
+//   - Theorem 4.9: the stochastic-approximation drift analysis showing
+//     SL-PoS converges to monopoly,
+//   - Lemma 6.1: the multi-miner SL-PoS win probability.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/stats"
+)
+
+// Params carries the (ε, δ) of robust fairness. The paper's default
+// evaluation setting is ε = 0.1, δ = 0.1.
+type Params struct {
+	Eps   float64
+	Delta float64
+}
+
+// DefaultParams is the paper's evaluation setting (Section 5.1).
+var DefaultParams = Params{Eps: 0.1, Delta: 0.1}
+
+// ErrParams reports invalid fairness parameters.
+var ErrParams = errors.New("core: invalid fairness parameters")
+
+// Validate checks ε ≥ 0 and 0 ≤ δ ≤ 1.
+func (p Params) Validate() error {
+	if p.Eps < 0 || math.IsNaN(p.Eps) {
+		return fmt.Errorf("%w: eps = %v", ErrParams, p.Eps)
+	}
+	if p.Delta < 0 || p.Delta > 1 || math.IsNaN(p.Delta) {
+		return fmt.Errorf("%w: delta = %v", ErrParams, p.Delta)
+	}
+	return nil
+}
+
+// FairArea returns the fair interval [(1−ε)a, (1+ε)a] for a miner with
+// resource share a (Section 5.1's "fair area").
+func (p Params) FairArea(a float64) (lo, hi float64) {
+	return (1 - p.Eps) * a, (1 + p.Eps) * a
+}
+
+// UnfairProbability estimates Pr[λ outside the fair area] from trial
+// samples of λ — the paper's "unfair probability" metric.
+func (p Params) UnfairProbability(samples []float64, a float64) float64 {
+	lo, hi := p.FairArea(a)
+	return 1 - stats.FractionWithin(samples, lo, hi)
+}
+
+// RobustlyFair reports whether the samples meet (ε,δ)-fairness: the
+// unfair probability is at most δ.
+func (p Params) RobustlyFair(samples []float64, a float64) bool {
+	return p.UnfairProbability(samples, a) <= p.Delta
+}
+
+// ExpectationalGap returns |E[λ] − a| estimated from samples: zero for an
+// expectationally fair protocol up to Monte-Carlo noise (Definition 3.1).
+func ExpectationalGap(samples []float64, a float64) float64 {
+	return math.Abs(stats.Mean(samples) - a)
+}
+
+// ExpectationallyFair reports whether the sample mean of λ is within tol
+// of a. The tolerance should be a few standard errors of the sample mean;
+// StdErrTolerance computes a conventional choice.
+func ExpectationallyFair(samples []float64, a, tol float64) bool {
+	return ExpectationalGap(samples, a) <= tol
+}
+
+// StdErrTolerance returns k standard errors of the sample mean, the usual
+// acceptance band for expectational-fairness checks on R trials.
+func StdErrTolerance(samples []float64, k float64) float64 {
+	if len(samples) < 2 {
+		return math.Inf(1)
+	}
+	return k * math.Sqrt(stats.Variance(samples)/float64(len(samples)))
+}
+
+// Verdict summarises the empirical fairness of one protocol run, the
+// per-cell content of the paper's qualitative comparison.
+type Verdict struct {
+	Protocol          string
+	Share             float64 // miner A's initial share a
+	MeanLambda        float64
+	ExpectationalFair bool
+	UnfairProbability float64
+	RobustFair        bool
+}
+
+// Assess produces a Verdict from final-checkpoint λ samples. The
+// expectational check uses a 4-standard-error band.
+func (p Params) Assess(protocol string, samples []float64, a float64) Verdict {
+	return Verdict{
+		Protocol:          protocol,
+		Share:             a,
+		MeanLambda:        stats.Mean(samples),
+		ExpectationalFair: ExpectationallyFair(samples, a, StdErrTolerance(samples, 4)),
+		UnfairProbability: p.UnfairProbability(samples, a),
+		RobustFair:        p.RobustlyFair(samples, a),
+	}
+}
+
+// String renders the verdict as a one-line report.
+func (v Verdict) String() string {
+	return fmt.Sprintf("%s: a=%.3f E[λ]=%.4f expectational=%t unfair=%.3f robust=%t",
+		v.Protocol, v.Share, v.MeanLambda, v.ExpectationalFair, v.UnfairProbability, v.RobustFair)
+}
+
+// Ranking returns the paper's overall fairness ordering (contribution 2):
+// descending from fairest.
+func Ranking() []string {
+	return []string{"PoW", "C-PoS", "ML-PoS", "SL-PoS"}
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams.Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+	bad := []Params{
+		{Eps: -0.1, Delta: 0.1},
+		{Eps: 0.1, Delta: -0.1},
+		{Eps: 0.1, Delta: 1.1},
+		{Eps: math.NaN(), Delta: 0.1},
+		{Eps: 0.1, Delta: math.NaN()},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %+v should be invalid", p)
+		}
+	}
+}
+
+func TestFairArea(t *testing.T) {
+	lo, hi := DefaultParams.FairArea(0.2)
+	if math.Abs(lo-0.18) > 1e-12 || math.Abs(hi-0.22) > 1e-12 {
+		t.Errorf("fair area = [%v, %v], want [0.18, 0.22]", lo, hi)
+	}
+}
+
+func TestUnfairProbability(t *testing.T) {
+	samples := []float64{0.19, 0.20, 0.21, 0.30, 0.05}
+	got := DefaultParams.UnfairProbability(samples, 0.2)
+	if math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("unfair prob = %v, want 0.4", got)
+	}
+	if DefaultParams.RobustlyFair(samples, 0.2) {
+		t.Error("0.4 unfair should not be robustly fair at delta=0.1")
+	}
+	fair := []float64{0.19, 0.20, 0.21, 0.205, 0.195, 0.2, 0.2, 0.2, 0.2, 0.22}
+	if !DefaultParams.RobustlyFair(fair, 0.2) {
+		t.Error("all-in-area samples should be robustly fair")
+	}
+}
+
+func TestExpectationalGapAndFairness(t *testing.T) {
+	samples := []float64{0.1, 0.3} // mean exactly 0.2
+	if got := ExpectationalGap(samples, 0.2); got > 1e-12 {
+		t.Errorf("gap = %v", got)
+	}
+	if !ExpectationallyFair(samples, 0.2, 0.01) {
+		t.Error("zero-gap samples should be expectationally fair")
+	}
+	if ExpectationallyFair(samples, 0.5, 0.01) {
+		t.Error("gap 0.3 should fail tolerance 0.01")
+	}
+}
+
+func TestStdErrTolerance(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i % 2) // variance 0.2525...
+	}
+	tol := StdErrTolerance(samples, 2)
+	if !(tol > 0 && tol < 1) {
+		t.Errorf("tolerance = %v", tol)
+	}
+	if !math.IsInf(StdErrTolerance([]float64{1}, 2), 1) {
+		t.Error("single sample should give +Inf tolerance")
+	}
+}
+
+func TestAssessVerdict(t *testing.T) {
+	fair := make([]float64, 200)
+	for i := range fair {
+		fair[i] = 0.2 + 0.005*float64(i%5-2)
+	}
+	v := DefaultParams.Assess("PoW", fair, 0.2)
+	if !v.ExpectationalFair || !v.RobustFair {
+		t.Errorf("concentrated samples mis-assessed: %+v", v)
+	}
+	s := v.String()
+	if !strings.Contains(s, "PoW") || !strings.Contains(s, "robust=true") {
+		t.Errorf("verdict string = %q", s)
+	}
+	// A monopolised outcome: λ all zero.
+	mono := make([]float64, 50)
+	v = DefaultParams.Assess("SL-PoS", mono, 0.2)
+	if v.RobustFair {
+		t.Error("all-zero λ should not be robustly fair")
+	}
+	if v.ExpectationalFair {
+		t.Error("λ=0 should fail expectational fairness at a=0.2")
+	}
+}
+
+func TestRanking(t *testing.T) {
+	r := Ranking()
+	want := []string{"PoW", "C-PoS", "ML-PoS", "SL-PoS"}
+	if len(r) != len(want) {
+		t.Fatalf("ranking = %v", r)
+	}
+	for i := range want {
+		if r[i] != want[i] {
+			t.Fatalf("ranking = %v, want %v", r, want)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import "math"
+
+// Mean-field (fluid-limit) analysis of the PoS stake dynamics.
+//
+// The proof of Theorem 4.9 writes the SL-PoS stake share as a stochastic
+// approximation Z_{n+1} − Z_n = γ_{n+1}(f(Z_n) + U_{n+1}) with step size
+// γ_n = w/(1 + nw) and drift f(z) = Pr[win | z] − z. Dropping the
+// martingale noise U gives the deterministic mean-field ODE
+//
+//	dz/dn = γ(n+1) · f(z(n)) ,
+//
+// whose solution tracks the typical trajectory of the share process: it
+// predicts the collapse curves of Figure 4 analytically (how fast a
+// sub-half miner loses her share, and how the block reward w sets the
+// time scale) without running a single simulation.
+
+// MeanField integrates the stake-share fluid limit for one protocol.
+type MeanField struct {
+	// Drift is f(z), the expected one-block change direction of the
+	// share at share z (SLPoSDrift for SL-PoS; identically 0 for any
+	// win-proportional protocol such as ML-PoS or FSL-PoS).
+	Drift func(z float64) float64
+	// W is the block reward relative to the initial circulation.
+	W float64
+}
+
+// gamma returns the step size γ(n) = w/(1 + n·w).
+func (m MeanField) gamma(n float64) float64 {
+	return m.W / (1 + n*m.W)
+}
+
+// SharePath integrates the ODE from z(0) = a over n blocks with RK4 and
+// returns the share at the requested checkpoints (blocks, ascending).
+// Checkpoints beyond n are clamped to n.
+func (m MeanField) SharePath(a float64, checkpoints []int) []float64 {
+	out := make([]float64, len(checkpoints))
+	if len(checkpoints) == 0 {
+		return out
+	}
+	z := clamp01(a)
+	block := 0.0
+	ci := 0
+	record := func(upTo float64) {
+		for ci < len(checkpoints) && float64(checkpoints[ci]) <= upTo {
+			out[ci] = z
+			ci++
+		}
+	}
+	last := float64(checkpoints[len(checkpoints)-1])
+	// One RK4 step per block: the step sizes γ ≤ w ≤ O(0.1) keep the
+	// local error negligible at this resolution.
+	for block < last {
+		h := 1.0
+		k1 := m.gamma(block+1) * m.Drift(z)
+		k2 := m.gamma(block+1+h/2) * m.Drift(clamp01(z+h/2*k1))
+		k3 := m.gamma(block+1+h/2) * m.Drift(clamp01(z+h/2*k2))
+		k4 := m.gamma(block+1+h) * m.Drift(clamp01(z+h*k3))
+		z = clamp01(z + h/6*(k1+2*k2+2*k3+k4))
+		block += h
+		record(block)
+	}
+	record(last)
+	for ci < len(checkpoints) { // degenerate requests (<= 0 blocks)
+		out[ci] = z
+		ci++
+	}
+	return out
+}
+
+// ShareAt returns the mean-field share after n blocks.
+func (m MeanField) ShareAt(a float64, n int) float64 {
+	if n <= 0 {
+		return clamp01(a)
+	}
+	return m.SharePath(a, []int{n})[0]
+}
+
+// LambdaAt converts the mean-field share at n blocks into the implied
+// cumulative reward fraction: stake_A(n) = a + w·(reward share), so
+// λ(n) = (z(n)·(1+nw) − a)/(nw).
+func (m MeanField) LambdaAt(a float64, n int) float64 {
+	if n <= 0 {
+		return math.NaN()
+	}
+	z := m.ShareAt(a, n)
+	nw := float64(n) * m.W
+	return clamp01((z*(1+nw) - a) / nw)
+}
+
+// SLPoSMeanField returns the fluid-limit integrator for the SL-PoS
+// two-miner game with block reward w.
+func SLPoSMeanField(w float64) MeanField {
+	return MeanField{Drift: SLPoSDrift, W: w}
+}
+
+// SLPoSHalfLife returns the mean-field number of blocks for a miner
+// starting at share a < 1/2 to fall to a/2 under SL-PoS with reward w,
+// or -1 if it does not happen within maxBlocks. A compact summary of the
+// Figure 4 time scales.
+func SLPoSHalfLife(a, w float64, maxBlocks int) int {
+	if !(a > 0 && a < 0.5) || w <= 0 {
+		return -1
+	}
+	m := SLPoSMeanField(w)
+	z := a
+	target := a / 2
+	for n := 0; n < maxBlocks; n++ {
+		g := m.gamma(float64(n + 1))
+		z = clamp01(z + g*m.Drift(z))
+		if z <= target {
+			return n + 1
+		}
+	}
+	return -1
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

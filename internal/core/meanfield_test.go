@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+func TestMeanFieldEquilibriumAtHalf(t *testing.T) {
+	// a = 1/2 sits on the unstable fixed point: the fluid limit stays.
+	m := SLPoSMeanField(0.01)
+	if z := m.ShareAt(0.5, 10000); math.Abs(z-0.5) > 1e-9 {
+		t.Errorf("share at 0.5 drifted to %v", z)
+	}
+}
+
+func TestMeanFieldZeroDriftKeepsShare(t *testing.T) {
+	// Win-proportional protocols have zero drift: z stays at a.
+	m := MeanField{Drift: func(float64) float64 { return 0 }, W: 0.01}
+	if z := m.ShareAt(0.2, 5000); z != 0.2 {
+		t.Errorf("zero-drift share = %v", z)
+	}
+}
+
+func TestMeanFieldMonotoneCollapse(t *testing.T) {
+	m := SLPoSMeanField(0.01)
+	prev := 0.2
+	for _, n := range []int{100, 1000, 5000, 20000} {
+		z := m.ShareAt(0.2, n)
+		if z >= prev {
+			t.Fatalf("share not decreasing: z(%d) = %v >= %v", n, z, prev)
+		}
+		prev = z
+	}
+	if prev > 0.05 {
+		t.Errorf("share after 20000 blocks = %v, want near 0", prev)
+	}
+}
+
+func TestMeanFieldSharePathMatchesShareAt(t *testing.T) {
+	m := SLPoSMeanField(0.02)
+	cps := []int{10, 100, 1000}
+	path := m.SharePath(0.3, cps)
+	for i, n := range cps {
+		if got := m.ShareAt(0.3, n); math.Abs(got-path[i]) > 1e-12 {
+			t.Errorf("path[%d] = %v, ShareAt = %v", i, path[i], got)
+		}
+	}
+}
+
+func TestMeanFieldTracksSimulationMedian(t *testing.T) {
+	// The fluid limit should track the MEDIAN simulated share of the
+	// SL-PoS game (the mean is polluted by trajectories that crossed
+	// 1/2). a = 0.2, w = 0.01, checkpoints across the collapse.
+	a, w := 0.2, 0.01
+	m := SLPoSMeanField(w)
+	cps := []int{500, 2000, 8000}
+	predicted := m.SharePath(a, cps)
+
+	trials := 400
+	finals := make([][]float64, len(cps))
+	p := protocol.NewSLPoS(w)
+	for i := 0; i < trials; i++ {
+		st := game.MustNew(game.TwoMiner(a))
+		r := rng.Stream(71, i)
+		prev := 0
+		for ci, n := range cps {
+			protocol.Run(p, st, r, n-prev)
+			prev = n
+			finals[ci] = append(finals[ci], st.Share(0))
+		}
+	}
+	for ci := range cps {
+		sort.Float64s(finals[ci])
+		median := finals[ci][trials/2]
+		if math.Abs(median-predicted[ci]) > 0.05 {
+			t.Errorf("n=%d: mean-field %v vs simulated median %v", cps[ci], predicted[ci], median)
+		}
+	}
+}
+
+func TestMeanFieldLambda(t *testing.T) {
+	m := SLPoSMeanField(0.01)
+	// The cumulative λ averages over history, so during the collapse it
+	// stays above the instantaneous win rate while trailing toward it.
+	l := m.LambdaAt(0.2, 20000)
+	z := m.ShareAt(0.2, 20000)
+	if !(l > SLPoSWinProbTwoMiner(z)) {
+		t.Errorf("cumulative λ %v should exceed the current win rate %v", l, SLPoSWinProbTwoMiner(z))
+	}
+	if l > 0.15 {
+		t.Errorf("λ after 20000 blocks = %v, want well below 0.2", l)
+	}
+	if !math.IsNaN(m.LambdaAt(0.2, 0)) {
+		t.Error("λ at n=0 should be NaN")
+	}
+}
+
+func TestSLPoSHalfLife(t *testing.T) {
+	// Larger rewards collapse faster (Figure 4(b) ordering).
+	hlSmall := SLPoSHalfLife(0.2, 0.001, 1_000_000)
+	hlBig := SLPoSHalfLife(0.2, 0.1, 1_000_000)
+	if hlSmall <= 0 || hlBig <= 0 {
+		t.Fatalf("half-lives not found: %d, %d", hlSmall, hlBig)
+	}
+	if !(hlBig < hlSmall) {
+		t.Errorf("w=0.1 half-life %d should be shorter than w=0.001's %d", hlBig, hlSmall)
+	}
+	// Degenerate inputs.
+	if SLPoSHalfLife(0.5, 0.01, 1000) != -1 {
+		t.Error("a=0.5 should never halve")
+	}
+	if SLPoSHalfLife(0.2, 0, 1000) != -1 {
+		t.Error("w=0 should be rejected")
+	}
+	if SLPoSHalfLife(0.2, 0.000001, 100) != -1 {
+		t.Error("tiny budget should report not-found")
+	}
+}
+
+func TestMeanFieldDegenerateCheckpoints(t *testing.T) {
+	m := SLPoSMeanField(0.01)
+	if out := m.SharePath(0.2, nil); len(out) != 0 {
+		t.Error("empty checkpoints should give empty path")
+	}
+	out := m.SharePath(0.2, []int{0})
+	if out[0] != 0.2 {
+		t.Errorf("checkpoint 0 share = %v", out[0])
+	}
+}

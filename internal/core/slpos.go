@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// This file implements the SL-PoS analysis: the two-miner win probability
+// and drift (Figure 1, Equation 2), the stochastic-approximation
+// classification of its fixed points (Theorem 4.9), and the multi-miner
+// win probability integral (Lemma 6.1).
+
+// SLPoSWinProbTwoMiner returns the probability that a miner holding a
+// stake fraction z wins the next SL-PoS block against the complementary
+// miner (Equation 1 generalised over z, the function plotted in Figure 1):
+//
+//	z/(2(1−z))        for z ≤ 1/2,
+//	1 − (1−z)/(2z)    for z > 1/2.
+func SLPoSWinProbTwoMiner(z float64) float64 {
+	switch {
+	case z <= 0:
+		return 0
+	case z >= 1:
+		return 1
+	case z <= 0.5:
+		return z / (2 * (1 - z))
+	default:
+		return 1 - (1-z)/(2*z)
+	}
+}
+
+// SLPoSDrift returns f(z) = Pr[win | share z] − z, the drift field of the
+// stochastic approximation in the proof of Theorem 4.9 (Equation 2). Its
+// zeros are {0, 1/2, 1}.
+func SLPoSDrift(z float64) float64 {
+	return SLPoSWinProbTwoMiner(z) - z
+}
+
+// FixedPoint classifies one zero of a drift field.
+type FixedPoint struct {
+	Z      float64
+	Stable bool
+}
+
+// ClassifyFixedPoints locates the zeros of a continuous drift f on [0,1]
+// by sign-change scanning plus endpoint checks, and classifies each as
+// stable (f crosses from + to −, attracting) or unstable. It is the
+// generic tool behind Theorem 4.9; for SL-PoS it returns 0 and 1 stable
+// and 1/2 unstable.
+func ClassifyFixedPoints(f func(float64) float64, gridN int) []FixedPoint {
+	if gridN < 10 {
+		gridN = 10
+	}
+	const h = 1e-6
+	var zeros []float64
+	// Endpoints count as zeros when the drift vanishes there.
+	if math.Abs(f(0)) < 1e-12 {
+		zeros = append(zeros, 0)
+	}
+	prevX := 0.0
+	prevV := f(prevX)
+	for i := 1; i <= gridN; i++ {
+		x := float64(i) / float64(gridN)
+		v := f(x)
+		if prevV == 0 && prevX != 0 {
+			zeros = append(zeros, prevX)
+		}
+		if prevV*v < 0 {
+			lo, hi := prevX, x
+			for it := 0; it < 80; it++ {
+				mid := (lo + hi) / 2
+				if f(lo)*f(mid) <= 0 {
+					hi = mid
+				} else {
+					lo = mid
+				}
+			}
+			zeros = append(zeros, (lo+hi)/2)
+		}
+		prevX, prevV = x, v
+	}
+	if math.Abs(f(1)) < 1e-12 {
+		zeros = append(zeros, 1)
+	}
+	sort.Float64s(zeros)
+	// Deduplicate near-coincident roots.
+	var uniq []float64
+	for _, z := range zeros {
+		if len(uniq) == 0 || z-uniq[len(uniq)-1] > 1e-6 {
+			uniq = append(uniq, z)
+		}
+	}
+	out := make([]FixedPoint, 0, len(uniq))
+	for _, z := range uniq {
+		out = append(out, FixedPoint{Z: z, Stable: isStable(f, z, h)})
+	}
+	return out
+}
+
+// isStable checks the local sign pattern f(z−h) > 0 > f(z+h) (with
+// one-sided checks at the boundary), i.e. f(x)(x−z) < 0 near z — the
+// stability criterion of Lemma 4.7.
+func isStable(f func(float64) float64, z, h float64) bool {
+	leftOK, rightOK := true, true
+	if z-h >= 0 {
+		leftOK = f(z-h) > 0
+	}
+	if z+h <= 1 {
+		rightOK = f(z+h) < 0
+	}
+	return leftOK && rightOK
+}
+
+// SLPoSFixedPoints returns the classified fixed points of the two-miner
+// SL-PoS drift: {0 stable, 1/2 unstable, 1 stable} (Theorem 4.9). The
+// stable absorbing states are monopolies.
+func SLPoSFixedPoints() []FixedPoint {
+	return ClassifyFixedPoints(SLPoSDrift, 1000)
+}
+
+// SLPoSWinProbMulti returns each miner's probability of proposing the
+// next SL-PoS block given current stake shares (Lemma 6.1):
+//
+//	Pr[i wins] = ∫₀^{1/S_max} S_i ∏_{j≠i} (1 − S_j z)₊ dz ,
+//
+// evaluated by composite Simpson integration. Probabilities sum to 1 (ties
+// have measure zero) and Pr[i wins] ≤ S_i with equality only when all
+// stakes are equal.
+func SLPoSWinProbMulti(shares []float64) []float64 {
+	m := len(shares)
+	out := make([]float64, m)
+	if m == 0 {
+		return out
+	}
+	maxS := 0.0
+	total := 0.0
+	for _, s := range shares {
+		if s > maxS {
+			maxS = s
+		}
+		total += s
+	}
+	if maxS <= 0 {
+		return out
+	}
+	// Normalise defensively so callers can pass unnormalised stakes.
+	norm := make([]float64, m)
+	for i, s := range shares {
+		norm[i] = s / total
+	}
+	maxS = 0
+	for _, s := range norm {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	upper := 1 / maxS
+	const steps = 4000 // even
+	hstep := upper / steps
+	for i := 0; i < m; i++ {
+		if norm[i] <= 0 {
+			continue
+		}
+		integrand := func(z float64) float64 {
+			v := norm[i]
+			for j := 0; j < m; j++ {
+				if j == i {
+					continue
+				}
+				t := 1 - norm[j]*z
+				if t <= 0 {
+					return 0
+				}
+				v *= t
+			}
+			return v
+		}
+		sum := integrand(0) + integrand(upper)
+		for k := 1; k < steps; k++ {
+			z := float64(k) * hstep
+			if k%2 == 1 {
+				sum += 4 * integrand(z)
+			} else {
+				sum += 2 * integrand(z)
+			}
+		}
+		out[i] = sum * hstep / 3
+	}
+	return out
+}

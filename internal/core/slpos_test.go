@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/game"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+func TestSLPoSWinProbTwoMinerKnown(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0},
+		{1, 1},
+		{0.5, 0.5},
+		{0.2, 0.125},       // a/(2b) with a=0.2, b=0.8
+		{0.3, 0.3 / 1.4},   // 0.2143
+		{0.8, 1 - 0.125},   // symmetry
+		{0.7, 1 - 0.3/1.4}, // symmetry
+	}
+	for _, c := range cases {
+		if got := SLPoSWinProbTwoMiner(c.z); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("winprob(%v) = %v, want %v", c.z, got, c.want)
+		}
+	}
+}
+
+func TestSLPoSWinProbSymmetry(t *testing.T) {
+	// p(z) + p(1−z) = 1: one of the two miners always wins.
+	f := func(raw uint16) bool {
+		z := float64(raw%999+1) / 1000
+		return math.Abs(SLPoSWinProbTwoMiner(z)+SLPoSWinProbTwoMiner(1-z)-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSLPoSWinProbBelowShareForSmallMiner(t *testing.T) {
+	// The poor side is under-rewarded: p(z) < z on (0, 1/2).
+	for z := 0.01; z < 0.5; z += 0.01 {
+		if SLPoSWinProbTwoMiner(z) >= z {
+			t.Fatalf("winprob(%v) not below share", z)
+		}
+	}
+}
+
+func TestSLPoSDriftZeros(t *testing.T) {
+	for _, z := range []float64{0, 0.5, 1} {
+		if d := SLPoSDrift(z); math.Abs(d) > 1e-12 {
+			t.Errorf("drift(%v) = %v, want 0", z, d)
+		}
+	}
+	if SLPoSDrift(0.3) >= 0 {
+		t.Error("drift below 1/2 should be negative")
+	}
+	if SLPoSDrift(0.7) <= 0 {
+		t.Error("drift above 1/2 should be positive")
+	}
+}
+
+func TestSLPoSFixedPointsClassification(t *testing.T) {
+	// Theorem 4.9: {0, 1} stable (monopoly), {1/2} unstable.
+	fps := SLPoSFixedPoints()
+	if len(fps) != 3 {
+		t.Fatalf("fixed points = %+v, want 3", fps)
+	}
+	checks := []struct {
+		z      float64
+		stable bool
+	}{{0, true}, {0.5, false}, {1, true}}
+	for i, c := range checks {
+		if math.Abs(fps[i].Z-c.z) > 1e-4 {
+			t.Errorf("fixed point %d at %v, want %v", i, fps[i].Z, c.z)
+		}
+		if fps[i].Stable != c.stable {
+			t.Errorf("fixed point %v stability = %t, want %t", c.z, fps[i].Stable, c.stable)
+		}
+	}
+}
+
+func TestClassifyFixedPointsOnLogistic(t *testing.T) {
+	// f(z) = z(1−z)(0.5−z) has zeros 0, 0.5, 1 with 0.5 STABLE this time
+	// (drift pushes toward the centre) — the opposite of SL-PoS.
+	f := func(z float64) float64 { return z * (1 - z) * (0.5 - z) }
+	fps := ClassifyFixedPoints(f, 1000)
+	if len(fps) != 3 {
+		t.Fatalf("fixed points = %+v", fps)
+	}
+	if fps[0].Stable || fps[2].Stable {
+		t.Error("boundary points should be unstable for the centring drift")
+	}
+	if !fps[1].Stable {
+		t.Error("centre should be stable for the centring drift")
+	}
+}
+
+func TestSLPoSWinProbMultiTwoMinerMatchesClosedForm(t *testing.T) {
+	got := SLPoSWinProbMulti([]float64{0.2, 0.8})
+	if math.Abs(got[0]-0.125) > 1e-6 {
+		t.Errorf("P[0] = %v, want 0.125", got[0])
+	}
+	if math.Abs(got[1]-0.875) > 1e-6 {
+		t.Errorf("P[1] = %v, want 0.875", got[1])
+	}
+}
+
+func TestSLPoSWinProbMultiProperties(t *testing.T) {
+	// Lemma 6.1: probabilities sum to 1, and Pr[i] ≤ S_i with equality
+	// only for the uniform allocation.
+	cases := [][]float64{
+		{0.2, 0.3, 0.5},
+		{0.1, 0.1, 0.2, 0.6},
+		{0.2, 0.2, 0.2, 0.2, 0.2},
+		{0.05, 0.15, 0.3, 0.5},
+	}
+	for _, shares := range cases {
+		probs := SLPoSWinProbMulti(shares)
+		sum := 0.0
+		minIdx := 0
+		for i, p := range probs {
+			sum += p
+			if shares[i] < shares[minIdx] {
+				minIdx = i
+			}
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			t.Errorf("shares %v: probs sum to %v", shares, sum)
+		}
+		// The minimum-stake miner is never over-rewarded.
+		if probs[minIdx] > shares[minIdx]+1e-9 {
+			t.Errorf("shares %v: min miner prob %v exceeds share %v", shares, probs[minIdx], shares[minIdx])
+		}
+	}
+	// Uniform: exactly proportional.
+	probs := SLPoSWinProbMulti([]float64{0.25, 0.25, 0.25, 0.25})
+	for _, p := range probs {
+		if math.Abs(p-0.25) > 1e-6 {
+			t.Errorf("uniform shares prob = %v, want 0.25", p)
+		}
+	}
+}
+
+func TestSLPoSWinProbMultiUnnormalisedInput(t *testing.T) {
+	a := SLPoSWinProbMulti([]float64{0.2, 0.8})
+	b := SLPoSWinProbMulti([]float64{2, 8})
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9 {
+			t.Errorf("normalisation changed result: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestSLPoSWinProbMultiEdgeCases(t *testing.T) {
+	if got := SLPoSWinProbMulti(nil); len(got) != 0 {
+		t.Error("empty shares should give empty probs")
+	}
+	got := SLPoSWinProbMulti([]float64{0, 1})
+	if got[0] != 0 {
+		t.Errorf("zero-stake miner prob = %v", got[0])
+	}
+	if math.Abs(got[1]-1) > 1e-6 {
+		t.Errorf("sole staker prob = %v", got[1])
+	}
+}
+
+func TestSLPoSWinProbMultiMatchesSimulation(t *testing.T) {
+	// Cross-validate Lemma 6.1 against the simulated SL-PoS lottery for
+	// a 3-miner allocation.
+	shares := []float64{0.2, 0.3, 0.5}
+	want := SLPoSWinProbMulti(shares)
+	trials := 60000
+	wins := make([]int, 3)
+	p := protocol.NewSLPoS(0.01)
+	for i := 0; i < trials; i++ {
+		st := game.MustNew(shares)
+		p.Step(st, rng.Stream(41, i))
+		for j := range shares {
+			if st.Rewards[j] > 0 {
+				wins[j]++
+			}
+		}
+	}
+	for j := range shares {
+		got := float64(wins[j]) / float64(trials)
+		if math.Abs(got-want[j]) > 0.01 {
+			t.Errorf("miner %d: simulated %v, integral %v", j, got, want[j])
+		}
+	}
+}
+
+func TestSLPoSWinProbMultiOnlyEqualIsProportional(t *testing.T) {
+	// Lemma 6.1's uniqueness direction: an unequal allocation has some
+	// miner with win probability strictly below her share.
+	probs := SLPoSWinProbMulti([]float64{0.1, 0.45, 0.45})
+	if !(probs[0] < 0.1-1e-6) {
+		t.Errorf("smallest miner prob = %v, want strictly < 0.1", probs[0])
+	}
+}

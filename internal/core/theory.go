@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/dist"
+)
+
+// This file implements the sufficient conditions of Theorems 4.2, 4.3 and
+// 4.10 and the exact/limit distributions that accompany them.
+
+// threshold2a2e2 returns the right-hand side 2a²ε²/ln(2/δ) shared by all
+// three sufficient conditions. NaN for invalid parameters.
+func threshold2a2e2(a float64, p Params) float64 {
+	if a <= 0 || a >= 1 || p.Eps <= 0 || p.Delta <= 0 || p.Delta >= 1 {
+		return math.NaN()
+	}
+	return 2 * a * a * p.Eps * p.Eps / math.Log(2/p.Delta)
+}
+
+// PoWMinBlocks returns the smallest n satisfying Theorem 4.2:
+// n ≥ ln(2/δ)/(2a²ε²). PoW preserves (ε,δ)-fairness for any horizon at
+// least this long.
+func PoWMinBlocks(a float64, p Params) int {
+	th := threshold2a2e2(a, p)
+	if math.IsNaN(th) || th <= 0 {
+		return -1
+	}
+	return int(math.Ceil(1 / th))
+}
+
+// PoWFairProbExact returns the exact probability Δ(ε; n, a) that the PoW
+// reward fraction lies in the fair area after n blocks (Section 4.2):
+// the binomial interval mass between ⌈n(1−ε)a⌉ and ⌊n(1+ε)a⌋.
+func PoWFairProbExact(n int, a float64, eps float64) float64 {
+	b := dist.Binomial{N: n, P: a}
+	return b.IntervalProb((1-eps)*a, (1+eps)*a)
+}
+
+// MLPoSSufficient reports whether (n, w) satisfies Theorem 4.3's
+// sufficient condition for ML-PoS: 1/n + w ≤ 2a²ε²/ln(2/δ).
+func MLPoSSufficient(n int, w, a float64, p Params) bool {
+	if n <= 0 || w <= 0 {
+		return false
+	}
+	th := threshold2a2e2(a, p)
+	return !math.IsNaN(th) && 1/float64(n)+w <= th
+}
+
+// MLPoSMaxReward returns the largest block reward w for which Theorem 4.3
+// can certify (ε,δ)-fairness at horizon n, or 0 when no positive reward
+// qualifies. The paper's remedy "less block reward" (Section 6.3) makes
+// this the design quantity of interest.
+func MLPoSMaxReward(n int, a float64, p Params) float64 {
+	if n <= 0 {
+		return 0
+	}
+	th := threshold2a2e2(a, p)
+	if math.IsNaN(th) {
+		return 0
+	}
+	w := th - 1/float64(n)
+	if w < 0 {
+		return 0
+	}
+	return w
+}
+
+// MLPoSLimitDist returns the almost-sure limit distribution of the ML-PoS
+// reward fraction: Beta(a/w, (1−a)/w) (Section 4.3, Pólya urn).
+func MLPoSLimitDist(a, w float64) dist.Beta {
+	return dist.Beta{Alpha: a / w, Beta: (1 - a) / w}
+}
+
+// MLPoSLimitFairProb returns the limiting probability that the ML-PoS
+// reward fraction lies in the fair area: I_{(1+ε)a}(a/w, b/w) −
+// I_{(1−ε)a}(a/w, b/w). If this is below 1−δ, no horizon ever achieves
+// (ε,δ)-fairness — the Figure 2(b)/5(a) phenomenon.
+func MLPoSLimitFairProb(a, w, eps float64) float64 {
+	d := MLPoSLimitDist(a, w)
+	return d.IntervalProb((1-eps)*a, (1+eps)*a)
+}
+
+// CPoSSufficient reports whether (n, w, v, P) satisfies Theorem 4.10's
+// sufficient condition for C-PoS:
+// w²(1/n + w + v)/((w+v)²P) ≤ 2a²ε²/ln(2/δ).
+func CPoSSufficient(n int, w, v float64, shards int, a float64, p Params) bool {
+	lhs := CPoSConditionLHS(n, w, v, shards)
+	if math.IsNaN(lhs) {
+		return false
+	}
+	th := threshold2a2e2(a, p)
+	return !math.IsNaN(th) && lhs <= th
+}
+
+// CPoSConditionLHS returns the left-hand side of Theorem 4.10,
+// w²(1/n + w + v)/((w+v)²P). Smaller is more concentrated. With v = 0 and
+// P = 1 it degenerates to Theorem 4.3's 1/n + w... scaled identically:
+// w²(1/n + w)/w² = 1/n + w.
+func CPoSConditionLHS(n int, w, v float64, shards int) float64 {
+	if n <= 0 || w <= 0 || v < 0 || shards < 1 {
+		return math.NaN()
+	}
+	wv := w + v
+	return w * w * (1/float64(n) + wv) / (wv * wv * float64(shards))
+}
+
+// MLPoSConditionLHS returns the left-hand side of Theorem 4.3, 1/n + w.
+func MLPoSConditionLHS(n int, w float64) float64 {
+	if n <= 0 || w <= 0 {
+		return math.NaN()
+	}
+	return 1/float64(n) + w
+}
+
+// HoeffdingUnfairBound returns the Hoeffding upper bound on the PoW unfair
+// probability after n blocks (the quantity Theorem 4.2 inverts):
+// 2·exp(−2na²ε²).
+func HoeffdingUnfairBound(n int, a, eps float64) float64 {
+	if n <= 0 {
+		return 1
+	}
+	return dist.HoeffdingTail(float64(n)*a*eps, float64(n))
+}
+
+// AzumaUnfairBoundMLPoS returns the Azuma upper bound on the ML-PoS unfair
+// probability from the proof of Theorem 4.3: 2·exp(−2a²ε²/(w²·(1+nw)·n /
+// (n²w²))) — simplified, 2·exp(−2a²ε² / (w(1/n + w)))·… kept in the exact
+// form 2 exp(−2γ²/(w²(1+nw)n)) with γ = nwaε.
+func AzumaUnfairBoundMLPoS(n int, w, a, eps float64) float64 {
+	if n <= 0 || w <= 0 {
+		return 1
+	}
+	nf := float64(n)
+	gamma := nf * w * a * eps
+	denom := w * w * (1 + nf*w) * nf
+	return dist.AzumaTail(gamma, denom)
+}
+
+// AzumaUnfairBoundCPoS returns the Azuma bound from the proof of Theorem
+// 4.10: 2 exp(−2γ²P/(w²(1+(w+v)n)n)) with γ = n a (w+v) ε.
+func AzumaUnfairBoundCPoS(n int, w, v float64, shards int, a, eps float64) float64 {
+	if n <= 0 || w <= 0 || shards < 1 {
+		return 1
+	}
+	nf := float64(n)
+	gamma := nf * a * (w + v) * eps
+	denom := w * w * (1 + (w+v)*nf) * nf / float64(shards)
+	return dist.AzumaTail(gamma, denom)
+}

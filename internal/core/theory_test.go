@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+)
+
+func TestPoWMinBlocksFormula(t *testing.T) {
+	// Theorem 4.2 with a=0.2, ε=0.1, δ=0.1: n ≥ ln(20)/(2·0.04·0.01)
+	// = ln(20)/0.0008 ≈ 3745.
+	n := PoWMinBlocks(0.2, DefaultParams)
+	want := int(math.Ceil(math.Log(20) / 0.0008))
+	if n != want {
+		t.Errorf("PoWMinBlocks = %d, want %d", n, want)
+	}
+	// Larger share ⇒ smaller horizon (Figure 3(a) ordering).
+	if PoWMinBlocks(0.3, DefaultParams) >= n {
+		t.Error("richer miner should need fewer blocks")
+	}
+	if PoWMinBlocks(0, DefaultParams) != -1 || PoWMinBlocks(0.2, Params{}) != -1 {
+		t.Error("invalid parameters should return -1")
+	}
+}
+
+func TestPoWMinBlocksIsSufficientEmpirically(t *testing.T) {
+	// The bound is sufficient (not tight): at the bound horizon the
+	// exact binomial unfair probability must be ≤ δ.
+	a := 0.2
+	n := PoWMinBlocks(a, DefaultParams)
+	fair := PoWFairProbExact(n, a, DefaultParams.Eps)
+	if fair < 1-DefaultParams.Delta {
+		t.Errorf("fair prob at bound = %v, want ≥ 0.9", fair)
+	}
+}
+
+func TestPoWFairProbExactMonotoneInN(t *testing.T) {
+	a := 0.2
+	prev := 0.0
+	for _, n := range []int{100, 500, 1000, 3000, 8000} {
+		cur := PoWFairProbExact(n, a, 0.1)
+		if cur < prev-0.02 { // allow small lattice wiggle
+			t.Errorf("fair prob decreased: n=%d %v < %v", n, cur, prev)
+		}
+		prev = cur
+	}
+	if prev < 0.99 {
+		t.Errorf("fair prob at n=8000 = %v", prev)
+	}
+}
+
+func TestMLPoSSufficientCondition(t *testing.T) {
+	// Paper Section 5.2: at a=0.2, ε=δ=0.1 the threshold is
+	// 2a²ε²/ln(2/δ) ≈ 0.000267, so w=0.01 can never satisfy it (Figure
+	// 2(b)) while w=1e-4 with large n does (Figure 5(a)).
+	if MLPoSSufficient(5000, 0.01, 0.2, DefaultParams) {
+		t.Error("w=0.01 should not satisfy Theorem 4.3 at any n")
+	}
+	if !MLPoSSufficient(100000, 1e-4, 0.2, DefaultParams) {
+		t.Error("w=1e-4, n=1e5 should satisfy Theorem 4.3")
+	}
+	if MLPoSSufficient(0, 1e-4, 0.2, DefaultParams) || MLPoSSufficient(100, -1, 0.2, DefaultParams) {
+		t.Error("degenerate inputs should be false")
+	}
+}
+
+func TestMLPoSMaxReward(t *testing.T) {
+	w := MLPoSMaxReward(100000, 0.2, DefaultParams)
+	if w <= 0 {
+		t.Fatalf("max reward = %v", w)
+	}
+	if !MLPoSSufficient(100000, w, 0.2, DefaultParams) {
+		t.Error("returned max reward does not satisfy the condition")
+	}
+	if MLPoSSufficient(100000, w*1.01, 0.2, DefaultParams) {
+		t.Error("exceeding max reward should fail the condition")
+	}
+	// Short horizons admit no reward at all.
+	if MLPoSMaxReward(100, 0.2, DefaultParams) != 0 {
+		t.Error("n=100 should admit no certified reward")
+	}
+}
+
+func TestMLPoSLimitDistMatchesSimulation(t *testing.T) {
+	// Section 4.3: λ∞ ~ Beta(a/w, b/w). Simulate deep ML-PoS games and
+	// compare the empirical fair-area mass with the beta mass.
+	a, w := 0.2, 0.05
+	limit := MLPoSLimitDist(a, w)
+	eps := 0.1
+	wantMass := limit.IntervalProb((1-eps)*a, (1+eps)*a)
+	trials := 4000
+	n := 4000
+	in := 0
+	p := protocol.NewMLPoS(w)
+	for i := 0; i < trials; i++ {
+		st := game.MustNew(game.TwoMiner(a))
+		protocol.Run(p, st, rng.Stream(31, i), n)
+		l := st.Lambda(0)
+		if l >= (1-eps)*a && l <= (1+eps)*a {
+			in++
+		}
+	}
+	gotMass := float64(in) / float64(trials)
+	if math.Abs(gotMass-wantMass) > 0.03 {
+		t.Errorf("empirical fair mass %v vs beta limit %v", gotMass, wantMass)
+	}
+}
+
+func TestMLPoSLimitFairProbMonotoneInW(t *testing.T) {
+	// Smaller rewards concentrate the limit (Figure 5(a)).
+	prev := 0.0
+	for _, w := range []float64{0.1, 0.01, 0.001, 0.0001} {
+		cur := MLPoSLimitFairProb(0.2, w, 0.1)
+		if cur < prev {
+			t.Errorf("fair prob not increasing as w shrinks: w=%v %v < %v", w, cur, prev)
+		}
+		prev = cur
+	}
+	if prev < 0.99 {
+		t.Errorf("w=1e-4 limit fair prob = %v, want ~1", prev)
+	}
+}
+
+func TestCPoSSufficientBeatsMLPoS(t *testing.T) {
+	// Theorem 4.10: the C-PoS LHS is far below the ML-PoS LHS for the
+	// paper's parameters, certifying fairness where ML-PoS fails.
+	n, w, v, P := 5000, 0.01, 0.1, 32
+	lhsML := MLPoSConditionLHS(n, w)
+	lhsC := CPoSConditionLHS(n, w, v, P)
+	if !(lhsC < lhsML/100) {
+		t.Errorf("C-PoS LHS %v not ≪ ML-PoS LHS %v", lhsC, lhsML)
+	}
+	if !CPoSSufficient(n, w, v, P, 0.2, DefaultParams) {
+		t.Error("paper's C-PoS setting should satisfy Theorem 4.10")
+	}
+	if CPoSSufficient(n, w, 0, 1, 0.2, DefaultParams) {
+		t.Error("degenerate C-PoS (v=0, P=1) should fail like ML-PoS")
+	}
+}
+
+func TestCPoSDegeneratesToMLPoSCondition(t *testing.T) {
+	// With v=0 and P=1 the LHS reduces exactly to 1/n + w.
+	n, w := 1000, 0.01
+	got := CPoSConditionLHS(n, w, 0, 1)
+	want := MLPoSConditionLHS(n, w)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("degenerate C-PoS LHS = %v, ML-PoS LHS = %v", got, want)
+	}
+}
+
+func TestCPoSConditionMonotonicities(t *testing.T) {
+	base := CPoSConditionLHS(1000, 0.01, 0.1, 32)
+	if !(CPoSConditionLHS(1000, 0.01, 0.2, 32) < base) {
+		t.Error("more inflation should lower the LHS")
+	}
+	if !(CPoSConditionLHS(1000, 0.01, 0.1, 64) < base) {
+		t.Error("more shards should lower the LHS")
+	}
+	if !(CPoSConditionLHS(1000, 0.02, 0.1, 32) > base) {
+		t.Error("bigger proposer reward should raise the LHS")
+	}
+	if !math.IsNaN(CPoSConditionLHS(0, 0.01, 0.1, 32)) {
+		t.Error("n=0 should be NaN")
+	}
+}
+
+func TestHoeffdingUnfairBoundDominatesExact(t *testing.T) {
+	// The bound must upper-bound the exact binomial unfair probability.
+	a, eps := 0.2, 0.1
+	for _, n := range []int{100, 1000, 5000} {
+		bound := HoeffdingUnfairBound(n, a, eps)
+		exact := 1 - PoWFairProbExact(n, a, eps)
+		if bound < exact-1e-9 {
+			t.Errorf("n=%d: Hoeffding bound %v below exact %v", n, bound, exact)
+		}
+	}
+	if HoeffdingUnfairBound(0, a, eps) != 1 {
+		t.Error("n=0 bound should be trivial")
+	}
+}
+
+func TestAzumaBoundsSanity(t *testing.T) {
+	// Bounds are probabilities, decrease with easier settings, and the
+	// C-PoS bound with v=0,P=1 equals the ML-PoS bound.
+	b1 := AzumaUnfairBoundMLPoS(10000, 1e-4, 0.2, 0.1)
+	if b1 < 0 || b1 > 1 {
+		t.Errorf("bound out of range: %v", b1)
+	}
+	b2 := AzumaUnfairBoundMLPoS(10000, 0.01, 0.2, 0.1)
+	if !(b1 < b2) {
+		t.Errorf("smaller reward should tighten the bound: %v vs %v", b1, b2)
+	}
+	ml := AzumaUnfairBoundMLPoS(5000, 0.01, 0.2, 0.1)
+	cp := AzumaUnfairBoundCPoS(5000, 0.01, 0, 1, 0.2, 0.1)
+	if math.Abs(ml-cp) > 1e-12 {
+		t.Errorf("degenerate C-PoS bound %v != ML-PoS bound %v", cp, ml)
+	}
+	better := AzumaUnfairBoundCPoS(5000, 0.01, 0.1, 32, 0.2, 0.1)
+	if !(better <= ml) {
+		t.Errorf("full C-PoS bound %v should beat ML-PoS %v", better, ml)
+	}
+}
+
+func TestAzumaBoundDominatesEmpiricalMLPoS(t *testing.T) {
+	// For a certified setting the empirical unfair probability must stay
+	// below the Azuma bound (which in turn is ≤ δ).
+	a, w, n := 0.3, 2e-4, 20000
+	bound := AzumaUnfairBoundMLPoS(n, w, a, 0.1)
+	trials := 400
+	unfair := 0
+	p := protocol.NewMLPoS(w)
+	for i := 0; i < trials; i++ {
+		st := game.MustNew(game.TwoMiner(a))
+		protocol.Run(p, st, rng.Stream(33, i), n)
+		l := st.Lambda(0)
+		if l < 0.9*a || l > 1.1*a {
+			unfair++
+		}
+	}
+	emp := float64(unfair) / float64(trials)
+	if emp > bound+0.02 {
+		t.Errorf("empirical unfair %v exceeds Azuma bound %v", emp, bound)
+	}
+}

@@ -1,0 +1,358 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// quickCfg is the reduced configuration used across all smoke tests.
+var quickCfg = Config{Quick: true, Seed: 7}
+
+func TestRegistry(t *testing.T) {
+	ids := IDs()
+	want := []string{"ablation-circulation", "ablation-shards", "ablation-withhold",
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "hybrid",
+		"p2p-delay", "pooling",
+		"realsys", "selfish", "table1", "theory"}
+	if len(ids) != len(want) {
+		t.Fatalf("registered ids = %v", ids)
+	}
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("ids = %v, want %v", ids, want)
+		}
+	}
+	if _, err := Get("fig2"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Get("nope"); !errors.Is(err, ErrUnknown) {
+		t.Errorf("unknown id err = %v", err)
+	}
+	if len(All()) != len(want) {
+		t.Error("All() length mismatch")
+	}
+}
+
+func TestFig1Shapes(t *testing.T) {
+	rep, err := runFig1(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Closed-form checks: p(0.2) = 0.125, p(0.3) = 0.2143, p(0.7) mirrors.
+	if got := rep.Metrics["winprob_at_0.2"]; got != 0.125 {
+		t.Errorf("winprob(0.2) = %v", got)
+	}
+	if got := rep.Metrics["fixed_points"]; got != 3 {
+		t.Errorf("fixed points = %v", got)
+	}
+	if len(rep.Charts) != 1 {
+		t.Error("fig1 should have one chart")
+	}
+	if !strings.Contains(rep.Text, "monopoly") {
+		t.Error("fig1 text missing analysis")
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	rep, err := runFig2(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// Expectational fairness: PoW, ML-PoS, C-PoS means near 0.2.
+	for _, proto := range []string{"PoW", "MLPoS", "CPoS"} {
+		mean := m["final_mean_"+proto]
+		if mean < 0.17 || mean > 0.23 {
+			t.Errorf("%s final mean = %v, want ~0.2", proto, mean)
+		}
+	}
+	// SL-PoS collapses.
+	if m["final_mean_SLPoS"] > 0.1 {
+		t.Errorf("SL-PoS final mean = %v, want << 0.2", m["final_mean_SLPoS"])
+	}
+	// Robust-fairness ordering: PoW and C-PoS concentrated, ML-PoS wide.
+	if !(m["final_unfair_CPoS"] < m["final_unfair_MLPoS"]) {
+		t.Errorf("C-PoS unfair %v should beat ML-PoS %v", m["final_unfair_CPoS"], m["final_unfair_MLPoS"])
+	}
+	if !(m["final_unfair_PoW"] < m["final_unfair_MLPoS"]) {
+		t.Errorf("PoW unfair %v should beat ML-PoS %v", m["final_unfair_PoW"], m["final_unfair_MLPoS"])
+	}
+	if m["final_unfair_SLPoS"] < 0.9 {
+		t.Errorf("SL-PoS unfair = %v, want ~1", m["final_unfair_SLPoS"])
+	}
+	// Band width: C-PoS envelope strictly inside ML-PoS envelope.
+	widthML := m["final_p95_MLPoS"] - m["final_p5_MLPoS"]
+	widthC := m["final_p95_CPoS"] - m["final_p5_CPoS"]
+	if !(widthC < widthML/2) {
+		t.Errorf("C-PoS band %v not much narrower than ML-PoS %v", widthC, widthML)
+	}
+	if len(rep.Charts) != 4 {
+		t.Errorf("fig2 should have 4 panels, got %d", len(rep.Charts))
+	}
+}
+
+func TestFig3Shapes(t *testing.T) {
+	rep, err := runFig3(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// PoW: unfair probability decreasing in a at the final horizon.
+	if !(m["unfair_PoW_a40"] <= m["unfair_PoW_a10"]) {
+		t.Errorf("PoW a=0.4 unfair %v should be <= a=0.1 %v", m["unfair_PoW_a40"], m["unfair_PoW_a10"])
+	}
+	// SL-PoS: everything unfair.
+	for _, a := range []string{"a10", "a20", "a30", "a40"} {
+		if m["unfair_SLPoS_"+a] < 0.85 {
+			t.Errorf("SL-PoS %s unfair = %v, want ~1", a, m["unfair_SLPoS_"+a])
+		}
+	}
+	// C-PoS beats ML-PoS for every share.
+	for _, a := range []string{"a10", "a20", "a30", "a40"} {
+		if !(m["unfair_CPoS_"+a] < m["unfair_MLPoS_"+a]) {
+			t.Errorf("C-PoS %s (%v) should beat ML-PoS (%v)", a, m["unfair_CPoS_"+a], m["unfair_MLPoS_"+a])
+		}
+	}
+	if len(rep.Charts) != 4 {
+		t.Errorf("fig3 panels = %d", len(rep.Charts))
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	rep, err := runFig4(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// Panel (a): every a < 0.5 decays well below its start; 0.5 stays.
+	if m["final_mean_a10"] > 0.05 {
+		t.Errorf("a=0.1 final mean = %v, want near 0", m["final_mean_a10"])
+	}
+	if m["final_mean_a20"] > 0.08 {
+		t.Errorf("a=0.2 final mean = %v, want near 0", m["final_mean_a20"])
+	}
+	if diff := m["final_mean_a50"] - 0.5; diff > 0.1 || diff < -0.1 {
+		t.Errorf("a=0.5 final mean = %v, want ~0.5 by symmetry", m["final_mean_a50"])
+	}
+	// Monotone: bigger a lasts longer.
+	if !(m["final_mean_a40"] >= m["final_mean_a10"]) {
+		t.Errorf("a=0.4 (%v) should retain more than a=0.1 (%v)", m["final_mean_a40"], m["final_mean_a10"])
+	}
+	// Panel (b): smaller w decays slower.
+	if !(m["final_mean_w1e-04"] > m["final_mean_w1e-01"]) {
+		t.Errorf("w=1e-4 (%v) should retain more than w=0.1 (%v)", m["final_mean_w1e-04"], m["final_mean_w1e-01"])
+	}
+	if len(rep.Charts) != 2 {
+		t.Errorf("fig4 panels = %d", len(rep.Charts))
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	rep, err := runFig5(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// (a) ML-PoS: tiny reward fair, huge reward catastrophic.
+	if m["unfair_a_w=1e-04"] > 0.1 {
+		t.Errorf("ML-PoS w=1e-4 unfair = %v, want <= 0.1", m["unfair_a_w=1e-04"])
+	}
+	if m["unfair_a_w=1e-01"] < 0.8 {
+		t.Errorf("ML-PoS w=0.1 unfair = %v, want >= 0.85 regime", m["unfair_a_w=1e-01"])
+	}
+	// (b) SL-PoS: unfair for every reward.
+	for _, w := range []string{"w=1e-04", "w=1e-03", "w=1e-02", "w=1e-01"} {
+		if m["unfair_b_"+w] < 0.7 {
+			t.Errorf("SL-PoS %s unfair = %v, want high", w, m["unfair_b_"+w])
+		}
+	}
+	// (c) C-PoS beats ML-PoS at the common w=0.01 point.
+	if !(m["unfair_c_w=1e-02"] < m["unfair_a_w=1e-02"]) {
+		t.Errorf("C-PoS w=0.01 (%v) should beat ML-PoS (%v)", m["unfair_c_w=1e-02"], m["unfair_a_w=1e-02"])
+	}
+	// (d) inflation monotonicity: v=0 worst, v=0.1 best.
+	if !(m["unfair_d_v=0.10"] < m["unfair_d_v=0.00"]) {
+		t.Errorf("v=0.1 (%v) should beat v=0 (%v)", m["unfair_d_v=0.10"], m["unfair_d_v=0.00"])
+	}
+	if m["unfair_d_v=0.10"] > 0.2 {
+		t.Errorf("v=0.1 unfair = %v, want small", m["unfair_d_v=0.10"])
+	}
+	if len(rep.Charts) != 4 {
+		t.Errorf("fig5 panels = %d", len(rep.Charts))
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	rep, err := runFig6(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// Both means ~0.2 (expectational fairness restored by the treatment).
+	if m["fsl_final_mean"] < 0.17 || m["fsl_final_mean"] > 0.23 {
+		t.Errorf("FSL-PoS mean = %v", m["fsl_final_mean"])
+	}
+	if m["withhold_final_mean"] < 0.17 || m["withhold_final_mean"] > 0.23 {
+		t.Errorf("withholding mean = %v", m["withhold_final_mean"])
+	}
+	// Withholding strictly improves robust fairness.
+	if !(m["withhold_final_unfair"] < m["fsl_final_unfair"]) {
+		t.Errorf("withholding unfair %v should beat plain FSL %v",
+			m["withhold_final_unfair"], m["fsl_final_unfair"])
+	}
+	if len(rep.Charts) != 2 {
+		t.Errorf("fig6 panels = %d", len(rep.Charts))
+	}
+}
+
+func TestTable1Shapes(t *testing.T) {
+	rep, err := runTable1(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// PoW/ML-PoS/C-PoS: mean 0.2 for every m.
+	for _, proto := range []string{"PoW", "MLPoS", "CPoS"} {
+		for _, mm := range []string{"m2", "m3", "m5", "m10"} {
+			mean := m["mean_"+proto+"_"+mm]
+			if mean < 0.16 || mean > 0.24 {
+				t.Errorf("%s %s mean = %v, want ~0.2", proto, mm, mean)
+			}
+		}
+	}
+	// SL-PoS: A collapses while not the largest (m=2..4); the quick
+	// horizon shows the decisive trend toward the paper's asymptotic 0.00.
+	for _, mm := range []string{"m2", "m3", "m4"} {
+		if m["mean_SLPoS_"+mm] > 0.15 {
+			t.Errorf("SL-PoS %s mean = %v, want well below 0.2 and falling", mm, m["mean_SLPoS_"+mm])
+		}
+	}
+	// m=5: all equal — fair by symmetry.
+	if mean := m["mean_SLPoS_m5"]; mean < 0.12 || mean > 0.28 {
+		t.Errorf("SL-PoS m5 mean = %v, want ~0.2", mean)
+	}
+	// m=10: A is the largest and accumulates toward monopoly (paper's
+	// asymptote is 0.98; the quick horizon must show λ far above a).
+	if m["mean_SLPoS_m10"] < 0.4 {
+		t.Errorf("SL-PoS m10 mean = %v, want rising well above 0.2", m["mean_SLPoS_m10"])
+	}
+	// Convergence: PoW converges, ML-PoS and SL-PoS never.
+	if m["conv_PoW_m2"] <= 0 {
+		t.Error("PoW should converge")
+	}
+	if m["conv_SLPoS_m2"] != -1 {
+		t.Errorf("SL-PoS conv = %v, want Never", m["conv_SLPoS_m2"])
+	}
+	if m["conv_MLPoS_m2"] != -1 {
+		t.Errorf("ML-PoS conv = %v, want Never (w=0.01 regime)", m["conv_MLPoS_m2"])
+	}
+	// C-PoS converges much faster than PoW (epochs vs blocks).
+	if m["conv_CPoS_m2"] <= 0 || m["conv_CPoS_m2"] >= m["conv_PoW_m2"] {
+		t.Errorf("C-PoS conv = %v vs PoW %v", m["conv_CPoS_m2"], m["conv_PoW_m2"])
+	}
+	if !strings.Contains(rep.Text, "Avg. of lambda_A") {
+		t.Error("table text missing sections")
+	}
+}
+
+func TestRealSysShapes(t *testing.T) {
+	rep, err := runRealSys(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	if m["mean_pow"] < 0.1 || m["mean_pow"] > 0.3 {
+		t.Errorf("chainsim PoW mean = %v", m["mean_pow"])
+	}
+	if m["mean_mlpos"] < 0.12 || m["mean_mlpos"] > 0.28 {
+		t.Errorf("chainsim ML-PoS mean = %v", m["mean_mlpos"])
+	}
+	if m["mean_slpos"] > 0.15 {
+		t.Errorf("chainsim SL-PoS mean = %v, want collapsing", m["mean_slpos"])
+	}
+	if m["mean_fslpos"] < 0.12 || m["mean_fslpos"] > 0.28 {
+		t.Errorf("chainsim FSL-PoS mean = %v", m["mean_fslpos"])
+	}
+	if m["mean_cpos"] < 0.15 || m["mean_cpos"] > 0.25 {
+		t.Errorf("chainsim C-PoS mean = %v", m["mean_cpos"])
+	}
+	// The block-level C-PoS is tighter than the block-level ML-PoS.
+	if !(m["unfair_cpos"] <= m["unfair_mlpos"]) {
+		t.Errorf("chainsim C-PoS unfair %v should be <= ML-PoS %v", m["unfair_cpos"], m["unfair_mlpos"])
+	}
+}
+
+func TestTheoryReport(t *testing.T) {
+	rep, err := runTheory(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Metrics["pow_min_blocks_a20"] < 3000 || rep.Metrics["pow_min_blocks_a20"] > 4000 {
+		t.Errorf("PoW min blocks = %v, want ~3745", rep.Metrics["pow_min_blocks_a20"])
+	}
+	if !strings.Contains(rep.Text, "PoW > C-PoS > ML-PoS > SL-PoS") {
+		t.Errorf("ranking missing from:\n%s", rep.Text)
+	}
+}
+
+func TestAblationShards(t *testing.T) {
+	rep, err := runAblationShards(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	if !(m["unfair_P32"] <= m["unfair_P1"]) {
+		t.Errorf("P=32 unfair %v should be <= P=1 %v", m["unfair_P32"], m["unfair_P1"])
+	}
+}
+
+func TestAblationWithhold(t *testing.T) {
+	rep, err := runAblationWithhold(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	if !(m["unfair_K1000"] < m["unfair_K0"]) {
+		t.Errorf("K=1000 unfair %v should beat K=0 %v", m["unfair_K1000"], m["unfair_K0"])
+	}
+	for _, k := range []string{"K0", "K100", "K1000"} {
+		mean := m["mean_"+k]
+		if mean < 0.17 || mean > 0.23 {
+			t.Errorf("%s mean = %v, want ~0.2", k, mean)
+		}
+	}
+}
+
+func TestAblationCirculation(t *testing.T) {
+	rep, err := runAblationCirculation(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	if !(m["unfair_10x"] < m["unfair_base"]) {
+		t.Errorf("10x circulation unfair %v should beat baseline %v", m["unfair_10x"], m["unfair_base"])
+	}
+}
+
+func TestAllExperimentsRunViaRegistry(t *testing.T) {
+	// Every registered experiment must run cleanly at tiny scale and
+	// produce non-empty text and metrics.
+	tiny := Config{Quick: true, Trials: 40, Blocks: 300, Seed: 9}
+	for _, spec := range All() {
+		rep, err := spec.Run(tiny)
+		if err != nil {
+			t.Errorf("%s: %v", spec.ID, err)
+			continue
+		}
+		if rep.Text == "" {
+			t.Errorf("%s: empty text", spec.ID)
+		}
+		if len(rep.Metrics) == 0 {
+			t.Errorf("%s: no metrics", spec.ID)
+		}
+		if rep.ID != spec.ID {
+			t.Errorf("%s: report id %q", spec.ID, rep.ID)
+		}
+	}
+}

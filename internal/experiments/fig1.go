@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/plot"
+)
+
+func init() {
+	register(Spec{
+		ID:    "fig1",
+		Title: "Figure 1: SL-PoS probability of winning the next block vs current share",
+		Run:   runFig1,
+	})
+}
+
+// runFig1 reproduces Figure 1: the SL-PoS next-block win probability as a
+// function of the miner's current stake share, against the proportional
+// diagonal. Every point below the diagonal on (0, 1/2) is drift toward
+// losing everything; above it on (1/2, 1), drift toward monopoly.
+func runFig1(cfg Config) (*Report, error) {
+	const pts = 101
+	xs := make([]float64, pts)
+	win := make([]float64, pts)
+	diag := make([]float64, pts)
+	for i := 0; i < pts; i++ {
+		z := float64(i) / float64(pts-1)
+		xs[i] = z
+		win[i] = core.SLPoSWinProbTwoMiner(z)
+		diag[i] = z
+	}
+	chart := &plot.Chart{
+		Title:  "SL-PoS win probability vs stake share",
+		XLabel: "current stake share z",
+		YLabel: "Pr[win next block]",
+		YMin:   0, YMax: 1,
+	}
+	chart.AddSeries("SL-PoS", xs, win)
+	chart.AddSeries("proportional (fair)", xs, diag)
+
+	fps := core.SLPoSFixedPoints()
+	var b strings.Builder
+	b.WriteString("SL-PoS drift analysis (Theorem 4.9)\n")
+	for _, fp := range fps {
+		kind := "unstable"
+		if fp.Stable {
+			kind = "stable (absorbing)"
+		}
+		fmt.Fprintf(&b, "  fixed point z = %.3f: %s\n", fp.Z, kind)
+	}
+	b.WriteString("Shares below 1/2 drift to 0; above 1/2 drift to 1: monopoly almost surely.\n")
+
+	metrics := map[string]float64{
+		"winprob_at_0.2": core.SLPoSWinProbTwoMiner(0.2),
+		"winprob_at_0.3": core.SLPoSWinProbTwoMiner(0.3),
+		"winprob_at_0.7": core.SLPoSWinProbTwoMiner(0.7),
+		"fixed_points":   float64(len(fps)),
+	}
+	return &Report{
+		ID:      "fig1",
+		Title:   "Figure 1",
+		Text:    b.String(),
+		Charts:  []*plot.Chart{chart},
+		Metrics: metrics,
+	}, nil
+}

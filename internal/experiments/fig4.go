@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/game"
+	"repro/internal/montecarlo"
+	"repro/internal/plot"
+	"repro/internal/protocol"
+)
+
+func init() {
+	register(Spec{
+		ID:    "fig4",
+		Title: "Figure 4: average SL-PoS reward proportion under stake and reward sweeps",
+		Run:   runFig4,
+	})
+}
+
+// runFig4 reproduces Figure 4: the mean SL-PoS reward proportion λ_A over
+// a long horizon, (a) for initial shares a ∈ {0.1 … 0.5} at w = 0.01 and
+// (b) for block rewards w ∈ {1e-4 … 1e-1} at a = 0.2. X axis is
+// logarithmic, as in the paper.
+//
+// Expected shapes: every a < 0.5 decays toward 0 (a = 0.5 stays put);
+// larger a and smaller w decay more slowly.
+func runFig4(cfg Config) (*Report, error) {
+	trials := cfg.pick(cfg.Trials, 120, 500)
+	blocks := cfg.pick(cfg.Blocks, 10000, 100000)
+	cps := montecarlo.LogCheckpoints(blocks, 25)
+
+	report := &Report{ID: "fig4", Title: "Figure 4", Metrics: map[string]float64{}}
+	var text strings.Builder
+	fmt.Fprintf(&text, "SL-PoS mean reward proportion, trials=%d, horizon=%d blocks\n\n", trials, blocks)
+
+	// Panel (a): stake sweep at w = 0.01.
+	chA := &plot.Chart{Title: "Figure 4(a) different stake allocation a", XLabel: "Number of Blocks (log)",
+		YLabel: "mean lambda_A", YMin: 0, YMax: 0.55, LogX: true}
+	text.WriteString("(a) stake sweep, w = 0.01:\n")
+	seedOff := uint64(0)
+	for _, a := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		seedOff++
+		res, err := runMC(protocol.NewSLPoS(paperParams.W), game.TwoMiner(a), trials, blocks, cps, cfg.seed()+seedOff, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		mean := res.MeanSeries()
+		chA.AddSeries(fmt.Sprintf("a=%.1f", a), res.CheckpointsAsFloat(), mean)
+		final := mean[len(mean)-1]
+		report.Metrics[fmt.Sprintf("final_mean_a%.0f", a*100)] = final
+		fmt.Fprintf(&text, "  a=%.1f: final mean lambda = %.4f\n", a, final)
+	}
+
+	// Panel (b): reward sweep at a = 0.2.
+	chB := &plot.Chart{Title: "Figure 4(b) different block reward w", XLabel: "Number of Blocks (log)",
+		YLabel: "mean lambda_A", YMin: 0, YMax: 0.25, LogX: true}
+	text.WriteString("(b) reward sweep, a = 0.2:\n")
+	for _, w := range []float64{1e-4, 1e-3, 1e-2, 1e-1} {
+		seedOff++
+		res, err := runMC(protocol.NewSLPoS(w), game.TwoMiner(0.2), trials, blocks, cps, cfg.seed()+seedOff, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		mean := res.MeanSeries()
+		chB.AddSeries(fmt.Sprintf("w=%.0e", w), res.CheckpointsAsFloat(), mean)
+		final := mean[len(mean)-1]
+		report.Metrics[fmt.Sprintf("final_mean_w%.0e", w)] = final
+		fmt.Fprintf(&text, "  w=%.0e: final mean lambda = %.4f\n", w, final)
+	}
+	// Analytic companion: the mean-field half-lives from the stochastic
+	// approximation of Theorem 4.9 explain the simulated time scales.
+	text.WriteString("\nMean-field half-lives (blocks until a miner at a=0.2 halves her share):\n")
+	for _, w := range []float64{1e-4, 1e-3, 1e-2, 1e-1} {
+		hl := core.SLPoSHalfLife(0.2, w, 100_000_000)
+		fmt.Fprintf(&text, "  w=%.0e: %d blocks\n", w, hl)
+		report.Metrics[fmt.Sprintf("halflife_w%.0e", w)] = float64(hl)
+	}
+	text.WriteString("\nReading: every a < 0.5 loses everything eventually; a = 0.5 is the knife edge.\n")
+	text.WriteString("Smaller w slows the collapse but does not prevent it; the fluid limit of\n")
+	text.WriteString("Theorem 4.9's stochastic approximation predicts the same time scales.\n")
+	report.Charts = []*plot.Chart{chA, chB}
+	report.Text = text.String()
+	return report, nil
+}

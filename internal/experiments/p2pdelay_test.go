@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestP2PDelayShapes(t *testing.T) {
+	rep, err := runP2PDelay(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// Delay 0 still allows same-round collisions, but orphans are rare.
+	if m["orphan_d0"] > 0.04 {
+		t.Errorf("delay-0 orphan rate = %v, want small", m["orphan_d0"])
+	}
+	// More delay, more orphans.
+	if !(m["orphan_d8"] > m["orphan_d0"]+0.03) {
+		t.Errorf("orphan rate not clearly increasing: d8=%v d0=%v", m["orphan_d8"], m["orphan_d0"])
+	}
+	// Without delay the mean reward share matches the hash share.
+	if math.Abs(m["lambda_d0"]-0.2) > 0.05 {
+		t.Errorf("d0 mean λ = %v, want ~0.2", m["lambda_d0"])
+	}
+	// Latency erodes the small miner's share below her hash share.
+	if !(m["lambda_d8"] < m["lambda_d0"]-0.03) {
+		t.Errorf("λ not eroding with delay: d8=%v d0=%v", m["lambda_d8"], m["lambda_d0"])
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/game"
+	"repro/internal/montecarlo"
+	"repro/internal/protocol"
+	"repro/internal/stats"
+	"repro/internal/table"
+)
+
+func init() {
+	register(Spec{
+		ID:    "pooling",
+		Title: "Section 6.5: does robust fairness remove the incentive to join mining pools?",
+		Run:   runPooling,
+	})
+	register(Spec{
+		ID:    "hybrid",
+		Title: "Filecoin-style hybrid power (Section 6.4): fairness vs the fixed-resource weight alpha",
+		Run:   runHybrid,
+	})
+}
+
+// runPooling quantifies the paper's Section 6.5 argument: miners join
+// pools to reduce income variance, and a robustly fair incentive removes
+// that motivation. Two 10% miners either mine solo (against an 80%
+// whale) or pool into a single 20% entity splitting rewards pro rata.
+// The variance reduction pooling buys is large exactly when the protocol
+// is not robustly fair.
+func runPooling(cfg Config) (*Report, error) {
+	trials := cfg.pick(cfg.Trials, 400, 2000)
+	blocks := cfg.pick(cfg.Blocks, 1500, 5000)
+	cps := []int{blocks}
+
+	protos := map[string]func() protocol.Protocol{
+		"PoW":    func() protocol.Protocol { return protocol.NewPoW(paperParams.W) },
+		"ML-PoS": func() protocol.Protocol { return protocol.NewMLPoS(paperParams.W) },
+		"C-PoS":  func() protocol.Protocol { return protocol.NewCPoS(paperParams.W, paperParams.V, paperParams.Shards) },
+	}
+	order := []string{"PoW", "ML-PoS", "C-PoS"}
+
+	report := &Report{ID: "pooling", Title: "Mining-pool incentive", Metrics: map[string]float64{}}
+	tb := table.New("Protocol", "solo std", "pooled std", "variance ratio", "robustly fair solo?").
+		AlignAll(table.Right).SetAlign(0, table.Left)
+	pr := core.DefaultParams
+	var text strings.Builder
+	fmt.Fprintf(&text, "Two 10%% miners vs an 80%% whale; pooling merges them into one 20%% entity\n")
+	fmt.Fprintf(&text, "splitting rewards equally. trials=%d, horizon=%d blocks.\n\n", trials, blocks)
+
+	seedOff := uint64(700)
+	for _, name := range order {
+		seedOff++
+		// Solo: track the first 10% miner.
+		solo, err := runMC(protos[name](), []float64{0.1, 0.1, 0.8}, trials, blocks, cps, cfg.seed()+seedOff, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		// Pooled: one 20% entity; each member receives λ_pool/2.
+		pooled, err := runMC(protos[name](), []float64{0.2, 0.8}, trials, blocks, cps, cfg.seed()+seedOff+50, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		soloSamples := solo.FinalSamples()
+		memberSamples := make([]float64, len(pooled.FinalSamples()))
+		for i, l := range pooled.FinalSamples() {
+			memberSamples[i] = l / 2
+		}
+		soloStd := math.Sqrt(stats.Variance(soloSamples))
+		poolStd := math.Sqrt(stats.Variance(memberSamples))
+		ratio := poolStd * poolStd / (soloStd * soloStd)
+		fairSolo := pr.RobustlyFair(soloSamples, 0.1)
+		key := strings.ReplaceAll(name, "-", "")
+		report.Metrics["solo_std_"+key] = soloStd
+		report.Metrics["pool_std_"+key] = poolStd
+		report.Metrics["var_ratio_"+key] = ratio
+		tb.AddRow(name, fmt.Sprintf("%.4f", soloStd), fmt.Sprintf("%.4f", poolStd),
+			fmt.Sprintf("%.3f", ratio), fairSolo)
+	}
+	text.WriteString(tb.String())
+	text.WriteString("\nReading: pooling always halves-ish the standard deviation, but under a\n")
+	text.WriteString("robustly fair incentive the solo income is already concentrated — the\n")
+	text.WriteString("absolute gain is negligible, removing the centralisation pressure (§6.5).\n")
+	report.Text = text.String()
+	return report, nil
+}
+
+// runHybrid sweeps the Filecoin-style fixed-resource weight α from pure
+// stake compounding (α = 0, ML-PoS) to pure physical resource (α = 1,
+// PoW), measuring the unfair probability at each point.
+func runHybrid(cfg Config) (*Report, error) {
+	trials := cfg.pick(cfg.Trials, 400, 2000)
+	blocks := cfg.pick(cfg.Blocks, 1500, 5000)
+	a := paperParams.A
+	pr := core.DefaultParams
+	cps := montecarlo.LinearCheckpoints(blocks, 20)
+
+	report := &Report{ID: "hybrid", Title: "Hybrid power sweep", Metrics: map[string]float64{}}
+	tb := table.New("alpha", "final unfair", "equitability").AlignAll(table.Right)
+	seedOff := uint64(800)
+	var text strings.Builder
+	text.WriteString("power_i = alpha*storage_i + (1-alpha)*stakeShare_i, w = 0.05\n\n")
+	for _, alpha := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		seedOff++
+		res, err := runMC(protocol.NewHybrid(0.05, alpha), game.TwoMiner(a), trials, blocks, cps, cfg.seed()+seedOff, cfg.Workers)
+		if err != nil {
+			return nil, err
+		}
+		unfair := pr.UnfairProbability(res.FinalSamples(), a)
+		eq := core.Equitability(res.FinalSamples(), a)
+		tb.AddRow(fmt.Sprintf("%.2f", alpha), fmt3(unfair), fmt.Sprintf("%.4f", eq))
+		report.Metrics[fmt.Sprintf("unfair_alpha%.2f", alpha)] = unfair
+		report.Metrics[fmt.Sprintf("equitability_alpha%.2f", alpha)] = eq
+	}
+	text.WriteString(tb.String())
+	text.WriteString("\nReading: fairness improves monotonically with the fixed-resource share —\n")
+	text.WriteString("a storage-heavy Filecoin-style design inherits PoW's robust fairness.\n")
+	report.Text = text.String()
+	return report, nil
+}

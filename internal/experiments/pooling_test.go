@@ -1,0 +1,50 @@
+package experiments
+
+import "testing"
+
+func TestPoolingShapes(t *testing.T) {
+	rep, err := runPooling(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// Pooling reduces each member's variance under every protocol.
+	for _, proto := range []string{"PoW", "MLPoS", "CPoS"} {
+		if !(m["pool_std_"+proto] < m["solo_std_"+proto]) {
+			t.Errorf("%s: pooled std %v not below solo %v", proto,
+				m["pool_std_"+proto], m["solo_std_"+proto])
+		}
+	}
+	// The absolute spread a pool removes is far larger under the
+	// non-robust ML-PoS than under robustly fair PoW/C-PoS: that is the
+	// Section 6.5 claim that robust fairness removes pool pressure.
+	gainML := m["solo_std_MLPoS"] - m["pool_std_MLPoS"]
+	gainPoW := m["solo_std_PoW"] - m["pool_std_PoW"]
+	gainC := m["solo_std_CPoS"] - m["pool_std_CPoS"]
+	if !(gainML > 3*gainPoW) {
+		t.Errorf("ML-PoS pooling gain %v not ≫ PoW gain %v", gainML, gainPoW)
+	}
+	if !(gainML > 3*gainC) {
+		t.Errorf("ML-PoS pooling gain %v not ≫ C-PoS gain %v", gainML, gainC)
+	}
+}
+
+func TestHybridShapes(t *testing.T) {
+	rep, err := runHybrid(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// Fairness improves monotonically (weakly) from α=0 to α=1, with the
+	// endpoints clearly separated.
+	if !(m["unfair_alpha1.00"] < m["unfair_alpha0.00"]) {
+		t.Errorf("α=1 unfair %v should beat α=0 %v", m["unfair_alpha1.00"], m["unfair_alpha0.00"])
+	}
+	if !(m["unfair_alpha0.50"] <= m["unfair_alpha0.00"]) {
+		t.Errorf("α=0.5 unfair %v should not exceed α=0 %v", m["unfair_alpha0.50"], m["unfair_alpha0.00"])
+	}
+	// Equitability follows the same ordering.
+	if !(m["equitability_alpha1.00"] < m["equitability_alpha0.00"]) {
+		t.Errorf("equitability not improving with α")
+	}
+}

@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSelfishShapes(t *testing.T) {
+	rep, err := runSelfish(quickCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rep.Metrics
+	// γ=0: a 1/3 attacker is at the threshold; 0.4 clearly profits,
+	// 0.2 clearly loses.
+	if !(m["revenue_g0.0_a0.400"] > 0.41) {
+		t.Errorf("α=0.4 γ=0 revenue = %v, want > 0.41", m["revenue_g0.0_a0.400"])
+	}
+	if !(m["revenue_g0.0_a0.200"] < 0.2) {
+		t.Errorf("α=0.2 γ=0 revenue = %v, want < 0.2", m["revenue_g0.0_a0.200"])
+	}
+	// γ=1: any α profits.
+	if !(m["revenue_g1.0_a0.200"] > 0.2) {
+		t.Errorf("α=0.2 γ=1 revenue = %v, want > 0.2", m["revenue_g1.0_a0.200"])
+	}
+	// Thresholds recorded.
+	if math.Abs(m["threshold_g0.0"]-1.0/3) > 1e-12 {
+		t.Errorf("γ=0 threshold = %v", m["threshold_g0.0"])
+	}
+	if len(rep.Charts) != 1 {
+		t.Error("selfish should emit one chart")
+	}
+}

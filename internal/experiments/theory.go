@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/table"
+)
+
+func init() {
+	register(Spec{
+		ID:    "theory",
+		Title: "Theorem calculators: sufficient conditions of Theorems 4.2, 4.3, 4.10",
+		Run:   runTheory,
+	})
+}
+
+// runTheory tabulates the paper's sufficient conditions at the evaluation
+// parameters, the quantities quoted inline in Section 5.2 (e.g.
+// 2a²ε²/ln(2/δ) ≈ 0.00027 ≪ w = 0.01 for ML-PoS).
+func runTheory(cfg Config) (*Report, error) {
+	pr := core.DefaultParams
+	report := &Report{ID: "theory", Title: "Theory", Metrics: map[string]float64{}}
+	var text strings.Builder
+
+	// Theorem 4.2: PoW minimum horizons.
+	t1 := table.New("a", "min blocks (Thm 4.2)", "exact fair prob at bound").AlignAll(table.Right).SetTitle("PoW (Theorem 4.2)")
+	for _, a := range []float64{0.1, 0.2, 0.3, 0.4} {
+		n := core.PoWMinBlocks(a, pr)
+		fair := core.PoWFairProbExact(n, a, pr.Eps)
+		t1.AddRow(fmt.Sprintf("%.1f", a), n, fmt3(fair))
+		report.Metrics[fmt.Sprintf("pow_min_blocks_a%.0f", a*100)] = float64(n)
+	}
+	text.WriteString(t1.String())
+	text.WriteString("\n")
+
+	// Theorem 4.3: ML-PoS certified rewards and limit fair mass.
+	t2 := table.New("w", "1/n+w at n=5000", "certified?", "limit fair prob (Beta)").
+		AlignAll(table.Right).SetTitle("ML-PoS at a=0.2 (Theorem 4.3 + Polya limit)")
+	for _, w := range []float64{1e-4, 1e-3, 1e-2, 1e-1} {
+		lhs := core.MLPoSConditionLHS(5000, w)
+		ok := core.MLPoSSufficient(5000, w, 0.2, pr)
+		limit := core.MLPoSLimitFairProb(0.2, w, pr.Eps)
+		t2.AddRow(fmt.Sprintf("%.0e", w), fmt.Sprintf("%.5f", lhs), ok, fmt3(limit))
+		report.Metrics[fmt.Sprintf("mlpos_limit_fair_w%.0e", w)] = limit
+	}
+	text.WriteString(t2.String())
+	text.WriteString("\n")
+
+	// Theorem 4.10: C-PoS left-hand sides.
+	t3 := table.New("v", "P", "LHS (Thm 4.10)", "certified at n=5000?").
+		AlignAll(table.Right).SetTitle("C-PoS at a=0.2, w=0.01 (Theorem 4.10)")
+	for _, tc := range []struct {
+		v float64
+		p int
+	}{{0, 1}, {0.01, 32}, {0.1, 1}, {0.1, 32}} {
+		lhs := core.CPoSConditionLHS(5000, 0.01, tc.v, tc.p)
+		ok := core.CPoSSufficient(5000, 0.01, tc.v, tc.p, 0.2, pr)
+		t3.AddRow(fmt.Sprintf("%.2f", tc.v), tc.p, fmt.Sprintf("%.2e", lhs), ok)
+		report.Metrics[fmt.Sprintf("cpos_lhs_v%.2f_p%d", tc.v, tc.p)] = lhs
+	}
+	text.WriteString(t3.String())
+	fmt.Fprintf(&text, "\nthreshold 2a^2 eps^2 / ln(2/delta) at a=0.2: %.6f\n",
+		2*0.2*0.2*pr.Eps*pr.Eps/math.Log(2/pr.Delta))
+	fmt.Fprintf(&text, "fairness ranking (paper contribution 2): %s\n", strings.Join(core.Ranking(), " > "))
+
+	report.Metrics["pow_min_blocks_a20"] = float64(core.PoWMinBlocks(0.2, pr))
+	report.Text = text.String()
+	return report, nil
+}

@@ -1,0 +1,275 @@
+// Package montecarlo runs repeated mining-game trials and aggregates the
+// reward-fraction trajectories the paper's figures are built from: sample
+// means, percentile bands (Figure 2, Figure 6) and unfair probabilities
+// (Figure 3, Figure 5, Table 1).
+//
+// Trials are deterministic: trial i of a run with seed s always uses
+// rng.Stream(s, i), so results are reproducible across machines and
+// independent of the worker count.
+package montecarlo
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/game"
+	"repro/internal/protocol"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// Config describes one Monte-Carlo run.
+type Config struct {
+	// Trials is the number of independent games (the paper uses 10 for
+	// real PoW systems, 500 for real PoS systems and 10,000 for
+	// simulations).
+	Trials int
+	// Blocks is the horizon of each game in blocks (epochs for C-PoS).
+	Blocks int
+	// Checkpoints are the block counts at which λ is recorded. When
+	// empty, LinearCheckpoints(Blocks, 50) is used. Values must be
+	// strictly increasing in (0, Blocks].
+	Checkpoints []int
+	// Miner is the index of the tracked miner (the paper's miner A).
+	Miner int
+	// Seed is the base seed; trial i uses rng.Stream(Seed, i).
+	Seed uint64
+	// Workers caps the number of concurrent trials; 0 means GOMAXPROCS.
+	Workers int
+	// GameOptions configure each trial's game.State (e.g. withholding).
+	GameOptions []game.Option
+	// CheckInvariants runs game.State.CheckInvariants at every
+	// checkpoint, turning silent numeric corruption into an error.
+	CheckInvariants bool
+}
+
+// Result holds the λ samples of a run: Lambda[c][t] is miner A's reward
+// fraction at checkpoint c in trial t.
+type Result struct {
+	Protocol    string
+	Checkpoints []int
+	Lambda      [][]float64
+}
+
+// ErrConfig reports an invalid Monte-Carlo configuration.
+var ErrConfig = errors.New("montecarlo: invalid config")
+
+// LinearCheckpoints returns k evenly spaced checkpoints ending at n.
+func LinearCheckpoints(n, k int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	cps := make([]int, 0, k)
+	for i := 1; i <= k; i++ {
+		c := i * n / k
+		if len(cps) == 0 || c > cps[len(cps)-1] {
+			cps = append(cps, c)
+		}
+	}
+	return cps
+}
+
+// LogCheckpoints returns up to k logarithmically spaced checkpoints from 1
+// to n, suitable for the paper's log-x axes (Figure 4).
+func LogCheckpoints(n, k int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if k < 2 {
+		return []int{n}
+	}
+	cps := []int{}
+	last := 0
+	for i := 0; i < k; i++ {
+		f := float64(i) / float64(k-1)
+		c := int(math.Pow(float64(n), f))
+		if c <= last {
+			c = last + 1
+		}
+		if c > n {
+			break
+		}
+		cps = append(cps, c)
+		last = c
+	}
+	if len(cps) == 0 || cps[len(cps)-1] != n {
+		cps = append(cps, n)
+	}
+	return cps
+}
+
+// Run executes the Monte-Carlo experiment for one protocol.
+func Run(p protocol.Protocol, initial []float64, cfg Config) (*Result, error) {
+	if cfg.Trials <= 0 {
+		return nil, fmt.Errorf("%w: Trials = %d", ErrConfig, cfg.Trials)
+	}
+	if cfg.Blocks <= 0 {
+		return nil, fmt.Errorf("%w: Blocks = %d", ErrConfig, cfg.Blocks)
+	}
+	if cfg.Miner < 0 || cfg.Miner >= len(initial) {
+		return nil, fmt.Errorf("%w: Miner = %d with %d miners", ErrConfig, cfg.Miner, len(initial))
+	}
+	cps := cfg.Checkpoints
+	if len(cps) == 0 {
+		cps = LinearCheckpoints(cfg.Blocks, 50)
+	}
+	prev := 0
+	for _, c := range cps {
+		if c <= prev || c > cfg.Blocks {
+			return nil, fmt.Errorf("%w: checkpoints must be strictly increasing in (0, %d], got %v", ErrConfig, cfg.Blocks, cps)
+		}
+		prev = c
+	}
+	// Validate the initial allocation once up front so that worker
+	// goroutines cannot fail.
+	if _, err := game.New(initial, cfg.GameOptions...); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Protocol:    p.Name(),
+		Checkpoints: append([]int(nil), cps...),
+	}
+	res.Lambda = make([][]float64, len(cps))
+	for i := range res.Lambda {
+		res.Lambda[i] = make([]float64, cfg.Trials)
+	}
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trials {
+		workers = cfg.Trials
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	trialCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range trialCh {
+				if err := runTrial(p, initial, cfg, cps, res, trial); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
+			}
+		}()
+	}
+	for trial := 0; trial < cfg.Trials; trial++ {
+		trialCh <- trial
+	}
+	close(trialCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return res, nil
+}
+
+func runTrial(p protocol.Protocol, initial []float64, cfg Config, cps []int, res *Result, trial int) error {
+	st, err := game.New(initial, cfg.GameOptions...)
+	if err != nil {
+		return err
+	}
+	r := rng.Stream(cfg.Seed, trial)
+	next := 0
+	for b := 1; b <= cfg.Blocks && next < len(cps); b++ {
+		p.Step(st, r)
+		if b == cps[next] {
+			if cfg.CheckInvariants {
+				if err := st.CheckInvariants(); err != nil {
+					return fmt.Errorf("montecarlo: trial %d block %d: %w", trial, b, err)
+				}
+			}
+			res.Lambda[next][trial] = st.Lambda(cfg.Miner)
+			next++
+		}
+	}
+	return nil
+}
+
+// MeanSeries returns the per-checkpoint sample mean of λ.
+func (r *Result) MeanSeries() []float64 {
+	out := make([]float64, len(r.Checkpoints))
+	for i, xs := range r.Lambda {
+		out[i] = stats.Mean(xs)
+	}
+	return out
+}
+
+// PercentileSeries returns the per-checkpoint p-th percentile of λ.
+func (r *Result) PercentileSeries(p float64) []float64 {
+	out := make([]float64, len(r.Checkpoints))
+	for i, xs := range r.Lambda {
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		out[i] = stats.PercentileSorted(sorted, p)
+	}
+	return out
+}
+
+// UnfairProbSeries returns, per checkpoint, the fraction of trials with λ
+// outside the fair area [(1−ε)a, (1+ε)a] — the paper's unfair probability.
+func (r *Result) UnfairProbSeries(a, eps float64) []float64 {
+	lo, hi := (1-eps)*a, (1+eps)*a
+	out := make([]float64, len(r.Checkpoints))
+	for i, xs := range r.Lambda {
+		out[i] = 1 - stats.FractionWithin(xs, lo, hi)
+	}
+	return out
+}
+
+// FinalSamples returns the λ samples at the last checkpoint.
+func (r *Result) FinalSamples() []float64 {
+	if len(r.Lambda) == 0 {
+		return nil
+	}
+	return r.Lambda[len(r.Lambda)-1]
+}
+
+// FinalSummary returns summary statistics at the last checkpoint.
+func (r *Result) FinalSummary() stats.Summary {
+	return stats.Summarize(r.FinalSamples())
+}
+
+// CheckpointsAsFloat returns the checkpoints as float64 x-coordinates.
+func (r *Result) CheckpointsAsFloat() []float64 {
+	out := make([]float64, len(r.Checkpoints))
+	for i, c := range r.Checkpoints {
+		out[i] = float64(c)
+	}
+	return out
+}
+
+// ConvergenceBlock returns the first checkpoint from which the unfair
+// probability stays at or below delta through the end of the run, or -1 if
+// fairness is never durably reached (Table 1's "Cvg. Time" column).
+func (r *Result) ConvergenceBlock(a, eps, delta float64) int {
+	unfair := r.UnfairProbSeries(a, eps)
+	conv := -1
+	for i := range unfair {
+		if unfair[i] <= delta {
+			if conv == -1 {
+				conv = r.Checkpoints[i]
+			}
+		} else {
+			conv = -1
+		}
+	}
+	return conv
+}

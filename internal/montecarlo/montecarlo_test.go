@@ -1,0 +1,252 @@
+package montecarlo
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/protocol"
+)
+
+func TestRunBasic(t *testing.T) {
+	res, err := Run(protocol.NewPoW(0.01), game.TwoMiner(0.2), Config{
+		Trials: 200, Blocks: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Protocol != "PoW" {
+		t.Errorf("protocol name = %q", res.Protocol)
+	}
+	if len(res.Checkpoints) == 0 {
+		t.Fatal("no checkpoints")
+	}
+	last := res.Checkpoints[len(res.Checkpoints)-1]
+	if last != 100 {
+		t.Errorf("last checkpoint = %d, want 100", last)
+	}
+	for _, l := range res.FinalSamples() {
+		if l < 0 || l > 1 || math.IsNaN(l) {
+			t.Fatalf("λ sample out of range: %v", l)
+		}
+	}
+	mean := res.MeanSeries()
+	if math.Abs(mean[len(mean)-1]-0.2) > 0.02 {
+		t.Errorf("final mean λ = %v, want ~0.2", mean[len(mean)-1])
+	}
+}
+
+func TestDeterministicAcrossWorkerCounts(t *testing.T) {
+	base := Config{Trials: 64, Blocks: 50, Seed: 7}
+	cfg1, cfg8 := base, base
+	cfg1.Workers = 1
+	cfg8.Workers = 8
+	a, err := Run(protocol.NewMLPoS(0.01), game.TwoMiner(0.3), cfg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(protocol.NewMLPoS(0.01), game.TwoMiner(0.3), cfg8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.Lambda {
+		for tr := range a.Lambda[c] {
+			if a.Lambda[c][tr] != b.Lambda[c][tr] {
+				t.Fatalf("checkpoint %d trial %d differs across worker counts", c, tr)
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfg := Config{Trials: 20, Blocks: 50}
+	cfg.Seed = 1
+	a, _ := Run(protocol.NewMLPoS(0.01), game.TwoMiner(0.3), cfg)
+	cfg.Seed = 2
+	b, _ := Run(protocol.NewMLPoS(0.01), game.TwoMiner(0.3), cfg)
+	same := 0
+	for tr := range a.FinalSamples() {
+		if a.FinalSamples()[tr] == b.FinalSamples()[tr] {
+			same++
+		}
+	}
+	if same == 20 {
+		t.Error("different seeds produced identical results")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := Config{Trials: 1, Blocks: 1}
+	cases := []Config{
+		{Trials: 0, Blocks: 10},
+		{Trials: 10, Blocks: 0},
+		{Trials: 10, Blocks: 10, Miner: 2},
+		{Trials: 10, Blocks: 10, Checkpoints: []int{5, 5}},
+		{Trials: 10, Blocks: 10, Checkpoints: []int{0, 5}},
+		{Trials: 10, Blocks: 10, Checkpoints: []int{5, 20}},
+	}
+	for i, cfg := range cases {
+		if _, err := Run(protocol.NewPoW(0.01), game.TwoMiner(0.2), cfg); !errors.Is(err, ErrConfig) {
+			t.Errorf("case %d: err = %v, want ErrConfig", i, err)
+		}
+	}
+	if _, err := Run(protocol.NewPoW(0.01), game.TwoMiner(0.2), good); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+	// Bad initial allocation surfaces the game error.
+	if _, err := Run(protocol.NewPoW(0.01), []float64{1}, good); err == nil {
+		t.Error("single-miner allocation not rejected")
+	}
+}
+
+func TestExplicitCheckpoints(t *testing.T) {
+	res, err := Run(protocol.NewPoW(0.01), game.TwoMiner(0.2), Config{
+		Trials: 10, Blocks: 100, Checkpoints: []int{1, 10, 100}, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Checkpoints) != 3 || res.Checkpoints[1] != 10 {
+		t.Errorf("checkpoints = %v", res.Checkpoints)
+	}
+	// At checkpoint 1 exactly one block exists: λ ∈ {0, 1}.
+	for _, l := range res.Lambda[0] {
+		if l != 0 && l != 1 {
+			t.Errorf("λ after one block = %v, want 0 or 1", l)
+		}
+	}
+}
+
+func TestUnfairProbSeries(t *testing.T) {
+	res, err := Run(protocol.NewPoW(0.01), game.TwoMiner(0.2), Config{
+		Trials: 2000, Blocks: 3000, Checkpoints: []int{10, 3000}, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfair := res.UnfairProbSeries(0.2, 0.1)
+	if unfair[0] < 0.5 {
+		t.Errorf("unfair prob after 10 blocks = %v, want high", unfair[0])
+	}
+	if unfair[1] > 0.1 {
+		t.Errorf("unfair prob after 3000 blocks = %v, want <= 0.1 (Theorem 4.2 regime)", unfair[1])
+	}
+}
+
+func TestPercentileAndMeanSeries(t *testing.T) {
+	res, err := Run(protocol.NewMLPoS(0.01), game.TwoMiner(0.2), Config{
+		Trials: 500, Blocks: 500, Checkpoints: []int{500}, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p5 := res.PercentileSeries(5)[0]
+	p95 := res.PercentileSeries(95)[0]
+	mean := res.MeanSeries()[0]
+	if !(p5 <= mean && mean <= p95) {
+		t.Errorf("percentile ordering broken: p5=%v mean=%v p95=%v", p5, mean, p95)
+	}
+	sum := res.FinalSummary()
+	if sum.N != 500 {
+		t.Errorf("summary N = %d", sum.N)
+	}
+}
+
+func TestConvergenceBlock(t *testing.T) {
+	// PoW converges and stays converged; SL-PoS never does.
+	pow, err := Run(protocol.NewPoW(0.01), game.TwoMiner(0.2), Config{
+		Trials: 1000, Blocks: 4000, Seed: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := pow.ConvergenceBlock(0.2, 0.1, 0.1)
+	if cb <= 0 || cb > 4000 {
+		t.Errorf("PoW convergence block = %d, want in (0, 4000]", cb)
+	}
+	sl, err := Run(protocol.NewSLPoS(0.01), game.TwoMiner(0.2), Config{
+		Trials: 300, Blocks: 4000, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb := sl.ConvergenceBlock(0.2, 0.1, 0.1); cb != -1 {
+		t.Errorf("SL-PoS convergence block = %d, want -1 (never)", cb)
+	}
+}
+
+func TestGameOptionsPropagate(t *testing.T) {
+	res, err := Run(protocol.NewFSLPoS(0.01), game.TwoMiner(0.2), Config{
+		Trials: 50, Blocks: 100, Seed: 8,
+		GameOptions: []game.Option{game.WithWithholding(50)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FinalSamples()) != 50 {
+		t.Errorf("trials = %d", len(res.FinalSamples()))
+	}
+}
+
+func TestCheckInvariantsMode(t *testing.T) {
+	_, err := Run(protocol.NewCPoS(0.01, 0.1, 8), game.TwoMiner(0.2), Config{
+		Trials: 20, Blocks: 50, Seed: 9, CheckInvariants: true,
+	})
+	if err != nil {
+		t.Errorf("invariant checking flagged a healthy run: %v", err)
+	}
+}
+
+func TestLinearCheckpoints(t *testing.T) {
+	cps := LinearCheckpoints(100, 10)
+	if len(cps) != 10 || cps[0] != 10 || cps[9] != 100 {
+		t.Errorf("cps = %v", cps)
+	}
+	// k > n collapses to 1..n.
+	cps = LinearCheckpoints(5, 50)
+	if len(cps) != 5 || cps[0] != 1 || cps[4] != 5 {
+		t.Errorf("cps = %v", cps)
+	}
+	if LinearCheckpoints(0, 5) != nil {
+		t.Error("n=0 should give nil")
+	}
+	if got := LinearCheckpoints(10, 0); len(got) != 1 || got[0] != 10 {
+		t.Errorf("k=0 should clamp to single checkpoint: %v", got)
+	}
+}
+
+func TestLogCheckpoints(t *testing.T) {
+	cps := LogCheckpoints(100000, 11)
+	if cps[0] != 1 {
+		t.Errorf("first = %d, want 1", cps[0])
+	}
+	if cps[len(cps)-1] != 100000 {
+		t.Errorf("last = %d, want 100000", cps[len(cps)-1])
+	}
+	for i := 1; i < len(cps); i++ {
+		if cps[i] <= cps[i-1] {
+			t.Fatalf("not strictly increasing: %v", cps)
+		}
+	}
+	if LogCheckpoints(0, 5) != nil {
+		t.Error("n=0 should give nil")
+	}
+	if got := LogCheckpoints(50, 1); len(got) != 1 || got[0] != 50 {
+		t.Errorf("k=1 = %v", got)
+	}
+}
+
+func TestMultiMinerTracking(t *testing.T) {
+	// Track miner 2 of a 5-miner game.
+	res, err := Run(protocol.NewPoW(0.01), game.LeaderAndPack(0.2, 5), Config{
+		Trials: 500, Blocks: 500, Miner: 2, Seed: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := res.MeanSeries()
+	if math.Abs(mean[len(mean)-1]-0.2) > 0.02 {
+		t.Errorf("miner 2 mean λ = %v, want ~0.2", mean[len(mean)-1])
+	}
+}

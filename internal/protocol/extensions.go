@@ -1,0 +1,136 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/game"
+	"repro/internal/rng"
+)
+
+// NEO models the NEO incentive (Section 6.4): proposers are selected
+// proportionally to the base asset (NEO token), but rewards are paid in a
+// separate asset (NEO gas) that never conveys future mining power. The
+// competing resource is therefore constant — exactly the PoW situation —
+// and NEO preserves both types of fairness in a long-term game.
+type NEO struct {
+	// W is the per-block gas reward.
+	W float64
+}
+
+// NewNEO returns the NEO model with gas reward w. It panics if w <= 0.
+func NewNEO(w float64) NEO {
+	validateReward("NEO", w)
+	return NEO{W: w}
+}
+
+// Name implements Protocol.
+func (NEO) Name() string { return "NEO" }
+
+// Step selects the proposer over the constant base-asset shares and pays
+// the reward in gas (stake contribution zero).
+func (p NEO) Step(st *game.State, r *rng.Rand) {
+	winner := r.Categorical(st.Stakes)
+	st.Credit(winner, p.W, 0)
+	st.EndBlock()
+}
+
+// Algorand models the Algorand incentive (Section 6.4): only inflation
+// rewards are paid, proportional to holdings, and no proposer reward
+// exists. Every miner's reward is deterministic, so λ equals the initial
+// share in every outcome — (0,0)-fairness — at the cost of removing the
+// proposer's marginal incentive.
+type Algorand struct {
+	// V is the per-epoch inflation reward.
+	V float64
+}
+
+// NewAlgorand returns the Algorand model with inflation reward v. It
+// panics if v <= 0.
+func NewAlgorand(v float64) Algorand {
+	validateReward("Algorand", v)
+	return Algorand{V: v}
+}
+
+// Name implements Protocol.
+func (Algorand) Name() string { return "Algorand" }
+
+// Step distributes the inflation reward proportionally to current stake;
+// rewards join staking power, which leaves shares unchanged.
+func (p Algorand) Step(st *game.State, r *rng.Rand) {
+	total := st.TotalStake()
+	if total > 0 {
+		for i, s := range st.Stakes {
+			if s > 0 {
+				amt := p.V * s / total
+				st.Credit(i, amt, amt)
+			}
+		}
+	}
+	st.EndBlock()
+}
+
+// EOS models the delegated-PoS incentive of EOS (Section 6.4): the miners
+// are a fixed committee of delegates who propose blocks in turn. Per
+// epoch, every delegate receives the same constant proposer reward W/m
+// regardless of her stake, plus an inflation reward V proportional to
+// stake. Because the proposer component ignores stake entirely, EOS
+// preserves neither expectational nor robust fairness in general: λ
+// converges to a deterministic mixture that over-rewards small delegates.
+type EOS struct {
+	// W is the total per-epoch proposer reward, split equally.
+	W float64
+	// V is the total per-epoch inflation reward, split by stake.
+	V float64
+}
+
+// NewEOS returns the EOS model. It panics if w <= 0 or v < 0.
+func NewEOS(w, v float64) EOS {
+	validateReward("EOS", w)
+	if v < 0 {
+		panic(fmt.Sprintf("protocol: EOS inflation reward must be >= 0, got %v", v))
+	}
+	return EOS{W: w, V: v}
+}
+
+// Name implements Protocol.
+func (EOS) Name() string { return "EOS" }
+
+// Step runs one consensus round: every delegate proposes once (constant
+// reward) and receives her stake-proportional inflation share.
+func (p EOS) Step(st *game.State, r *rng.Rand) {
+	m := st.NumMiners()
+	perDelegate := p.W / float64(m)
+	total := st.TotalStake()
+	for i := 0; i < m; i++ {
+		amt := perDelegate
+		if p.V > 0 && total > 0 {
+			amt += p.V * st.Stakes[i] / total
+		}
+		st.Credit(i, amt, amt)
+	}
+	st.EndBlock()
+}
+
+// Wave models the Wave protocol (Begicheva & Kofman, Section 6.4), an
+// NXT variant whose corrected time function makes the win probability
+// proportional to stake — the same mechanism as the paper's FSL-PoS
+// treatment. It is expectationally fair but, like ML-PoS, not robustly
+// fair for large rewards.
+type Wave struct {
+	// W is the block reward.
+	W float64
+}
+
+// NewWave returns the Wave model with block reward w. It panics if w <= 0.
+func NewWave(w float64) Wave {
+	validateReward("Wave", w)
+	return Wave{W: w}
+}
+
+// Name implements Protocol.
+func (Wave) Name() string { return "Wave" }
+
+// Step delegates to the exponential-race lottery shared with FSL-PoS.
+func (p Wave) Step(st *game.State, r *rng.Rand) {
+	FSLPoS{W: p.W}.Step(st, r)
+}

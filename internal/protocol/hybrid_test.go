@@ -1,0 +1,99 @@
+package protocol
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/rng"
+)
+
+func TestHybridAlphaOneMatchesPoWWinRate(t *testing.T) {
+	// α = 1: constant power — the PoW distribution.
+	got := winFreq(t, NewHybrid(0.01, 1), game.TwoMiner(0.2), 50000, 61)
+	if math.Abs(got-0.2) > 0.01 {
+		t.Errorf("Hybrid(α=1) win freq = %v, want ~0.2", got)
+	}
+}
+
+func TestHybridAlphaZeroMatchesMLPoSTrajectory(t *testing.T) {
+	// α = 0: pure stake lottery — identical to ML-PoS draw-for-draw on
+	// the same stream (one categorical draw per block, proportional
+	// weights differ only by a constant normalisation).
+	stH := game.MustNew(game.TwoMiner(0.2))
+	stM := game.MustNew(game.TwoMiner(0.2))
+	Run(NewHybrid(0.01, 0), stH, rng.New(62), 500)
+	Run(NewMLPoS(0.01), stM, rng.New(62), 500)
+	if stH.Lambda(0) != stM.Lambda(0) {
+		t.Errorf("Hybrid(α=0) λ=%v differs from ML-PoS λ=%v", stH.Lambda(0), stM.Lambda(0))
+	}
+}
+
+func TestHybridExpectationalFairness(t *testing.T) {
+	// Any α keeps the winner probability proportional to the blended
+	// power with a fair fixed component: E[λ] = a for all α.
+	for _, alpha := range []float64{0.25, 0.5, 0.75} {
+		got := meanLambda(t, NewHybrid(0.01, alpha), game.TwoMiner(0.2), 200, 1500, uint64(63+int(alpha*100)))
+		if math.Abs(got-0.2) > 0.012 {
+			t.Errorf("Hybrid(α=%v) E[λ] = %v, want ~0.2", alpha, got)
+		}
+	}
+}
+
+func TestHybridVarianceDecreasesWithAlpha(t *testing.T) {
+	// More fixed resource ⇒ less compounding ⇒ tighter λ: variance is
+	// monotone decreasing in α (the designer's fairness knob).
+	varOf := func(alpha float64, seed uint64) float64 {
+		trials := 1200
+		var sum, sumSq float64
+		p := NewHybrid(0.05, alpha)
+		for i := 0; i < trials; i++ {
+			st := game.MustNew(game.TwoMiner(0.2))
+			Run(p, st, rng.Stream(seed, i), 1500)
+			l := st.Lambda(0)
+			sum += l
+			sumSq += l * l
+		}
+		mean := sum / float64(trials)
+		return sumSq/float64(trials) - mean*mean
+	}
+	v0 := varOf(0, 64)
+	v05 := varOf(0.5, 65)
+	v1 := varOf(1, 66)
+	if !(v1 < v05 && v05 < v0) {
+		t.Errorf("variance not decreasing in α: v0=%v v0.5=%v v1=%v", v0, v05, v1)
+	}
+}
+
+func TestHybridConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHybrid(0, 0.5) },
+		func() { NewHybrid(0.01, -0.1) },
+		func() { NewHybrid(0.01, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHybridInvariants(t *testing.T) {
+	st := game.MustNew(game.LeaderAndPack(0.2, 5))
+	r := rng.New(67)
+	p := NewHybrid(0.01, 0.6)
+	for b := 0; b < 300; b++ {
+		p.Step(st, r)
+		if err := st.CheckInvariants(); err != nil {
+			t.Fatalf("block %d: %v", b, err)
+		}
+	}
+	want := 1 + 0.01*300
+	if math.Abs(st.TotalStake()-want) > 1e-9 {
+		t.Errorf("stake conservation: %v != %v", st.TotalStake(), want)
+	}
+}

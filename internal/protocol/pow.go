@@ -1,0 +1,38 @@
+package protocol
+
+import (
+	"repro/internal/game"
+	"repro/internal/rng"
+)
+
+// PoW is the Proof-of-Work incentive model (Section 2.1).
+//
+// Each miner's next-block arrival time is exponential with rate equal to
+// her hash power, so the winner of each block is drawn with probability
+// proportional to hash power — independent of all previous outcomes.
+// Rewards are paid in currency that conveys no future mining power, so the
+// competing resource never changes. The model therefore satisfies both
+// expectational fairness (Theorem 3.2) and, for large n, (ε,δ)-robust
+// fairness (Theorem 4.2).
+type PoW struct {
+	// W is the block reward.
+	W float64
+}
+
+// NewPoW returns the PoW model with block reward w. It panics if w <= 0.
+func NewPoW(w float64) PoW {
+	validateReward("PoW", w)
+	return PoW{W: w}
+}
+
+// Name implements Protocol.
+func (PoW) Name() string { return "PoW" }
+
+// Step selects the winner of the exponential race — equivalently a
+// categorical draw over hash powers — and credits the block reward. Hash
+// power (st.Stakes) is never modified.
+func (p PoW) Step(st *game.State, r *rng.Rand) {
+	winner := r.Categorical(st.Stakes)
+	st.Credit(winner, p.W, 0)
+	st.EndBlock()
+}

@@ -1,0 +1,104 @@
+package protocol
+
+import (
+	"math"
+
+	"repro/internal/game"
+	"repro/internal/rng"
+)
+
+// SLPoS is the single-lottery Proof-of-Stake incentive model (Section
+// 2.3), deployed by NXT.
+//
+// Each miner gets exactly one lottery ticket per block: a waiting time
+// time_i = basetime · Hash(pk_i)/stake_i, and the smallest waiting time
+// wins. Because Hash/2^256 is uniform — not exponential — the win
+// probability is NOT proportional to stake: in the two-miner game the
+// smaller miner A wins with probability only a/(2b) (Equation 1). The
+// reward fraction therefore drifts toward the richer miner and, by the
+// stochastic-approximation argument of Theorem 4.9, converges to 0 or 1
+// almost surely: the mining game ends in monopoly. SL-PoS satisfies
+// neither expectational nor robust fairness.
+type SLPoS struct {
+	// W is the block reward.
+	W float64
+}
+
+// NewSLPoS returns the SL-PoS model with block reward w. It panics if
+// w <= 0.
+func NewSLPoS(w float64) SLPoS {
+	validateReward("SL-PoS", w)
+	return SLPoS{W: w}
+}
+
+// Name implements Protocol.
+func (SLPoS) Name() string { return "SL-PoS" }
+
+// Step draws each miner's uniform hash ticket, divides by stake and
+// rewards the earliest candidate block. The basetime constant cancels in
+// the comparison and is omitted.
+func (p SLPoS) Step(st *game.State, r *rng.Rand) {
+	winner := -1
+	best := math.Inf(1)
+	for i, s := range st.Stakes {
+		if s <= 0 {
+			continue // a stakeless miner never produces a valid block
+		}
+		t := r.Float64() / s
+		if t < best {
+			best = t
+			winner = i
+		}
+	}
+	if winner < 0 {
+		st.EndBlock()
+		return
+	}
+	st.Credit(winner, p.W, p.W)
+	st.EndBlock()
+}
+
+// FSLPoS is the paper's fairness treatment for SL-PoS (Section 6.2):
+// replace the linear time function with the inverse-transform
+// time_i = −ln(1 − Hash_i/2^256)/stake_i, turning the lottery into an
+// exponential race so the win probability becomes exactly proportional to
+// stake. FSL-PoS restores expectational fairness; robust fairness still
+// requires small rewards or withholding (Section 6.3, Figure 6).
+type FSLPoS struct {
+	// W is the block reward.
+	W float64
+}
+
+// NewFSLPoS returns the fair-single-lottery model with block reward w. It
+// panics if w <= 0.
+func NewFSLPoS(w float64) FSLPoS {
+	validateReward("FSL-PoS", w)
+	return FSLPoS{W: w}
+}
+
+// Name implements Protocol.
+func (FSLPoS) Name() string { return "FSL-PoS" }
+
+// Step plays the corrected lottery: each miner's waiting time is an
+// exponential draw with rate equal to her stake (the inverse transform of
+// the uniform hash), and the earliest wins.
+func (p FSLPoS) Step(st *game.State, r *rng.Rand) {
+	winner := -1
+	best := math.Inf(1)
+	for i, s := range st.Stakes {
+		if s <= 0 {
+			continue
+		}
+		t := r.Exponential(s)
+		if t < best {
+			best = t
+			winner = i
+		}
+	}
+	if winner < 0 {
+		st.EndBlock()
+		return
+	}
+	st.Credit(winner, p.W, p.W)
+	st.EndBlock()
+}
