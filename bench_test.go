@@ -163,6 +163,69 @@ func BenchmarkChainSimSLPoS(b *testing.B) {
 	}, 200)
 }
 
+// --- Scenario sweep engine ---------------------------------------------
+
+// sweepBenchSpecs is the 24-scenario benchmark grid (4 protocols × 3
+// stakes × 2 rewards) at the shared bench scale.
+func sweepBenchSpecs(b *testing.B) []fairness.Scenario {
+	b.Helper()
+	specs, err := fairness.ExpandScenarios(fairness.ScenarioGrid{
+		Base:      fairness.Scenario{Blocks: 400, Trials: 60, Seed: 17},
+		Protocols: []string{"pow", "mlpos", "slpos", "cpos"},
+		Stake:     []float64{0.1, 0.2, 0.3},
+		W:         []float64{0.005, 0.01},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return specs
+}
+
+// BenchmarkSweepColdCache measures end-to-end sweep throughput with every
+// scenario computed from scratch — the perf baseline for the engine.
+func BenchmarkSweepColdCache(b *testing.B) {
+	specs := sweepBenchSpecs(b)
+	var perSec float64
+	for i := 0; i < b.N; i++ {
+		rep, err := fairness.Sweep(specs, fairness.SweepOptions{Cache: fairness.NewSweepCache(len(specs))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Stats.Computed != len(specs) {
+			b.Fatalf("cold sweep computed %d of %d", rep.Stats.Computed, len(specs))
+		}
+		perSec = rep.Stats.ScenariosPerSec()
+	}
+	b.ReportMetric(perSec, "scenarios/s")
+}
+
+// BenchmarkSweepWarmCache measures the same sweep answered entirely from
+// the result cache — the upper bound cache hits buy.
+func BenchmarkSweepWarmCache(b *testing.B) {
+	specs := sweepBenchSpecs(b)
+	cache := fairness.NewSweepCache(len(specs))
+	if _, err := fairness.Sweep(specs, fairness.SweepOptions{Cache: cache}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var perSec float64
+	for i := 0; i < b.N; i++ {
+		rep, err := fairness.Sweep(specs, fairness.SweepOptions{Cache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Stats.Computed != 0 {
+			b.Fatalf("warm sweep recomputed %d scenarios", rep.Stats.Computed)
+		}
+		perSec = rep.Stats.ScenariosPerSec()
+	}
+	b.ReportMetric(perSec, "scenarios/s")
+}
+
+// BenchmarkSweepFig3 times the sweep-engine reproduction of Figure 3,
+// comparable head-to-head with BenchmarkFig3UnfairProbByStake.
+func BenchmarkSweepFig3(b *testing.B) { runExhibit(b, "fig3-sweep", "unfair_PoW_a20") }
+
 // --- Theory calculators ------------------------------------------------
 
 func BenchmarkTheoryBounds(b *testing.B) {

@@ -1,0 +1,370 @@
+// Command fairsweep expands and runs declarative fairness-scenario
+// sweeps: the what-if engine over the paper's protocol space.
+//
+// Usage:
+//
+//	fairsweep expand [flags]   expand the grid, print the scenario list as JSON
+//	fairsweep run [flags]      run the sweep, print the fairness report
+//	fairsweep bench [flags]    run cold + warm cache passes, print throughput
+//
+// Grid flags (shared by all commands):
+//
+//	-spec FILE      JSON grid {"base":{...},"protocols":[...],"stake":[...]}
+//	                or scenario array [{...}, ...]; overrides the axis flags
+//	-protocols CSV  protocol axis (default pow,mlpos,slpos,cpos)
+//	-w CSV          block-reward axis (default 0.01)
+//	-stake CSV      tracked-miner share axis (default 0.1,0.2,0.3,0.4)
+//	-miners CSV     miner-count axis (default 2)
+//	-withhold CSV   reward-withholding period axis (default none)
+//	-blocks N       horizon in blocks/epochs (default 5000)
+//	-trials N       Monte-Carlo trials per scenario (default 1000)
+//	-checkpoints N  record λ at N linear checkpoints (default: final only)
+//	-seed S         sweep base seed; per-scenario seeds derive from it
+//	                (grids only — explicit scenario arrays keep their own
+//	                seeds, exactly as fairness.Sweep would)
+//
+// Run flags:
+//
+//	-workers N   scenario-level parallelism (0 = all cores)
+//	-cache N     LRU result-cache capacity (0 = no cache)
+//	-repeat N    run the sweep N times against the shared cache
+//	-json        print the report as JSON instead of a table
+//	-out FILE    also write the JSON report to FILE
+//
+// Examples:
+//
+//	fairsweep expand -protocols mlpos -w 0.001,0.01,0.1 -stake 0.2
+//	fairsweep run -trials 300 -blocks 1500 -cache 64 -repeat 2
+//	fairsweep bench -protocols pow,mlpos -trials 100 -blocks 500
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/montecarlo"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+// stdout is swapped by tests to capture output.
+var stdout io.Writer = os.Stdout
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fairsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing command")
+	}
+	switch args[0] {
+	case "expand":
+		return expandCmd(args[1:])
+	case "run":
+		return runCmd(args[1:])
+	case "bench":
+		return benchCmd(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// gridFlags registers the shared scenario-grid flags on a flag set.
+type gridFlags struct {
+	spec        *string
+	protocols   *string
+	w           *string
+	stake       *string
+	miners      *string
+	withhold    *string
+	blocks      *int
+	trials      *int
+	checkpoints *int
+	seed        *uint64
+}
+
+func addGridFlags(fs *flag.FlagSet) *gridFlags {
+	return &gridFlags{
+		spec:        fs.String("spec", "", "JSON grid or scenario-array file"),
+		protocols:   fs.String("protocols", "pow,mlpos,slpos,cpos", "protocol axis (CSV)"),
+		w:           fs.String("w", "0.01", "block-reward axis (CSV)"),
+		stake:       fs.String("stake", "0.1,0.2,0.3,0.4", "tracked-miner share axis (CSV)"),
+		miners:      fs.String("miners", "2", "miner-count axis (CSV)"),
+		withhold:    fs.String("withhold", "", "withholding-period axis (CSV)"),
+		blocks:      fs.Int("blocks", 5000, "horizon in blocks/epochs"),
+		trials:      fs.Int("trials", 1000, "Monte-Carlo trials per scenario"),
+		checkpoints: fs.Int("checkpoints", 0, "record lambda at N linear checkpoints (0 = final only)"),
+		seed:        fs.Uint64("seed", 1, "sweep base seed"),
+	}
+}
+
+// specs resolves the flag set into a concrete scenario list.
+func (g *gridFlags) specs() ([]scenario.Spec, error) {
+	if *g.spec != "" {
+		data, err := os.ReadFile(*g.spec)
+		if err != nil {
+			return nil, err
+		}
+		trimmed := strings.TrimSpace(string(data))
+		if strings.HasPrefix(trimmed, "[") {
+			// An explicit scenario array is taken verbatim — seeds and
+			// all — so the CLI computes exactly what fairness.Sweep
+			// would for the same document (-seed applies to grids only).
+			list, err := scenario.DecodeList(data)
+			if err != nil {
+				return nil, err
+			}
+			for i := range list {
+				if err := list[i].Validate(); err != nil {
+					return nil, fmt.Errorf("scenario %d: %w", i, err)
+				}
+			}
+			return list, nil
+		}
+		grid, err := scenario.DecodeGrid(data)
+		if err != nil {
+			return nil, err
+		}
+		if grid.Seed == 0 {
+			grid.Seed = *g.seed
+		}
+		return grid.Expand()
+	}
+
+	protocols, err := splitStrings(*g.protocols)
+	if err != nil {
+		return nil, err
+	}
+	ws, err := splitFloats(*g.w)
+	if err != nil {
+		return nil, fmt.Errorf("-w: %w", err)
+	}
+	stakes, err := splitFloats(*g.stake)
+	if err != nil {
+		return nil, fmt.Errorf("-stake: %w", err)
+	}
+	miners, err := splitInts(*g.miners)
+	if err != nil {
+		return nil, fmt.Errorf("-miners: %w", err)
+	}
+	withhold, err := splitInts(*g.withhold)
+	if err != nil {
+		return nil, fmt.Errorf("-withhold: %w", err)
+	}
+	base := scenario.Spec{Blocks: *g.blocks, Trials: *g.trials}
+	if *g.checkpoints > 0 {
+		base.Checkpoints = montecarlo.LinearCheckpoints(*g.blocks, *g.checkpoints)
+	}
+	grid := scenario.Grid{
+		Base:      base,
+		Protocols: protocols,
+		W:         ws,
+		Stake:     stakes,
+		Miners:    miners,
+		Withhold:  withhold,
+		Seed:      *g.seed,
+	}
+	return grid.Expand()
+}
+
+func expandCmd(args []string) error {
+	fs := flag.NewFlagSet("expand", flag.ContinueOnError)
+	gf := addGridFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	specs, err := gf.specs()
+	if err != nil {
+		return err
+	}
+	type hashed struct {
+		scenario.Spec
+		Hash string `json:"hash"`
+	}
+	out := make([]hashed, len(specs))
+	for i, s := range specs {
+		h, err := s.Hash()
+		if err != nil {
+			return err
+		}
+		out[i] = hashed{Spec: s.Normalized(), Hash: h}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s\n", data)
+	fmt.Fprintf(stdout, "expanded %d scenarios\n", len(specs))
+	return nil
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	gf := addGridFlags(fs)
+	workers := fs.Int("workers", 0, "scenario-level parallelism (0 = all cores)")
+	cacheCap := fs.Int("cache", 0, "LRU result-cache capacity (0 = no cache)")
+	repeat := fs.Int("repeat", 1, "run the sweep N times against the shared cache")
+	asJSON := fs.Bool("json", false, "print the report as JSON")
+	outFile := fs.String("out", "", "also write the JSON report to FILE")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	specs, err := gf.specs()
+	if err != nil {
+		return err
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("empty scenario list")
+	}
+	if *repeat < 1 {
+		*repeat = 1
+	}
+	opts := sweep.Options{Workers: *workers}
+	if *cacheCap > 0 {
+		opts.Cache = sweep.NewCache(*cacheCap)
+	}
+	var rep *sweep.Report
+	summaries := make([]string, 0, *repeat)
+	for pass := 1; pass <= *repeat; pass++ {
+		rep, err = sweep.Run(specs, opts)
+		if err != nil {
+			return err
+		}
+		summaries = append(summaries, fmt.Sprintf("pass %d: %s", pass, rep.Summary()))
+	}
+	if *asJSON {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", data)
+	} else {
+		fmt.Fprintln(stdout, rep.Table())
+	}
+	for _, s := range summaries {
+		fmt.Fprintln(stdout, s)
+	}
+	if *outFile != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outFile, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *outFile)
+	}
+	return nil
+}
+
+func benchCmd(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	gf := addGridFlags(fs)
+	workers := fs.Int("workers", 0, "scenario-level parallelism (0 = all cores)")
+	cacheCap := fs.Int("cache", 0, "cache capacity for the warm pass (0 = fit the grid)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	specs, err := gf.specs()
+	if err != nil {
+		return err
+	}
+	if len(specs) == 0 {
+		return fmt.Errorf("empty scenario list")
+	}
+	capacity := *cacheCap
+	if capacity <= 0 {
+		capacity = len(specs)
+	}
+	cache := sweep.NewCache(capacity)
+	cold, err := sweep.Run(specs, sweep.Options{Workers: *workers, Cache: cache})
+	if err != nil {
+		return err
+	}
+	warm, err := sweep.Run(specs, sweep.Options{Workers: *workers, Cache: cache})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "cold: %s\n", cold.Summary())
+	fmt.Fprintf(stdout, "warm: %s\n", warm.Summary())
+	if warm.Stats.WallMS > 0 && cold.Stats.WallMS > 0 {
+		fmt.Fprintf(stdout, "warm/cold speedup: %.1fx\n", cold.Stats.WallMS/warm.Stats.WallMS)
+	}
+	return nil
+}
+
+func splitStrings(csv string) ([]string, error) {
+	var out []string
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f != "" {
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}
+
+func splitFloats(csv string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func splitInts(csv string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(csv, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, strings.TrimLeft(`
+fairsweep — declarative fairness-scenario sweeps over the protocols of
+"Do the Rich Get Richer? Fairness Analysis for Blockchain Incentives"
+
+commands:
+  expand [flags]   expand the grid, print the scenario list as JSON
+  run [flags]      run the sweep, print the fairness report
+  bench [flags]    run cold + warm cache passes, print throughput
+
+grid flags:
+  -spec FILE  -protocols CSV  -w CSV  -stake CSV  -miners CSV  -withhold CSV
+  -blocks N  -trials N  -checkpoints N  -seed S
+
+run flags:
+  -workers N  -cache N  -repeat N  -json  -out FILE
+`, "\n"))
+}

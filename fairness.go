@@ -30,6 +30,8 @@ import (
 	"repro/internal/montecarlo"
 	"repro/internal/protocol"
 	"repro/internal/rng"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
 )
 
 // Re-exported core types. See the internal packages for full method docs.
@@ -48,6 +50,22 @@ type (
 	MonteCarloConfig = montecarlo.Config
 	// Rand is the deterministic random number generator.
 	Rand = rng.Rand
+	// Scenario is a declarative fairness scenario (protocol + params,
+	// stake split, horizon, trials, fairness (ε, δ)), JSON-encodable and
+	// content-hashable.
+	Scenario = scenario.Spec
+	// ScenarioGrid declares a sweep over scenario axes; Expand turns it
+	// into a concrete scenario list.
+	ScenarioGrid = scenario.Grid
+	// SweepOptions configures a scenario sweep (workers, result cache,
+	// streaming callback).
+	SweepOptions = sweep.Options
+	// SweepOutcome is the fairness evaluation of one scenario.
+	SweepOutcome = sweep.Outcome
+	// SweepReport aggregates a sweep's outcomes and throughput stats.
+	SweepReport = sweep.Report
+	// SweepCache is the LRU result cache shared across sweeps.
+	SweepCache = sweep.Cache
 )
 
 // DefaultParams is the paper's evaluation setting: ε = 0.1, δ = 0.1.
@@ -172,6 +190,26 @@ func Evaluate(p Protocol, initial []float64, cfg EvalConfig) (Verdict, error) {
 	}
 	a /= total
 	return cfg.Params.Assess(p.Name(), res.FinalSamples(), a), nil
+}
+
+// Scenario sweep entry points (cmd/fairsweep is the CLI face of these).
+
+// ExpandScenarios expands a scenario grid into its concrete, validated
+// scenario list with derived per-scenario seeds.
+func ExpandScenarios(g ScenarioGrid) ([]Scenario, error) { return g.Expand() }
+
+// ScenarioHash returns the canonical content hash of a scenario — the
+// sweep cache key, stable across JSON field order and input sugar.
+func ScenarioHash(s Scenario) (string, error) { return s.Hash() }
+
+// NewSweepCache returns an LRU result cache to share across sweeps
+// (capacity <= 0 picks a default).
+func NewSweepCache(capacity int) *SweepCache { return sweep.NewCache(capacity) }
+
+// Sweep evaluates every scenario through the Monte-Carlo engine and
+// aggregates per-scenario fairness verdicts with cache/throughput stats.
+func Sweep(specs []Scenario, opts SweepOptions) (*SweepReport, error) {
+	return sweep.Run(specs, opts)
 }
 
 // Theory calculators (Theorems 4.2, 4.3, 4.10 and the Pólya-urn limit).

@@ -121,6 +121,59 @@ func TestTheoryFacade(t *testing.T) {
 	}
 }
 
+func TestSweepFacade(t *testing.T) {
+	grid := ScenarioGrid{
+		Base:      Scenario{Blocks: 400, Trials: 60, Seed: 2},
+		Protocols: []string{"pow", "mlpos"},
+		Stake:     []float64{0.2, 0.3},
+	}
+	specs, err := ExpandScenarios(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("expanded %d scenarios", len(specs))
+	}
+	cache := NewSweepCache(16)
+	rep, err := Sweep(specs, SweepOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Computed != 4 || rep.Stats.CacheHits != 0 {
+		t.Errorf("cold stats: %+v", rep.Stats)
+	}
+	again, err := Sweep(specs, SweepOptions{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stats.Computed != 0 || again.Stats.CacheHits != 4 {
+		t.Errorf("warm stats: %+v", again.Stats)
+	}
+	for i := range specs {
+		if h, err := ScenarioHash(specs[i]); err != nil || h != rep.Outcomes[i].Hash {
+			t.Errorf("hash mismatch at %d: %v %v", i, h, err)
+		}
+	}
+}
+
+func TestSweepMatchesEvaluate(t *testing.T) {
+	// A one-scenario sweep must produce exactly the verdict Evaluate
+	// produces for the same configuration — the sweep engine is a scaled
+	// orchestration of the same computation, not a reimplementation.
+	spec := Scenario{Protocol: "mlpos", W: 0.01, Stake: 0.2, Blocks: 500, Trials: 80, Seed: 23}
+	rep, err := Sweep([]Scenario{spec}, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Evaluate(NewMLPoS(0.01), TwoMiner(0.2), EvalConfig{Trials: 80, Blocks: 500, Seed: 23})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Outcomes[0].Verdict; got != want {
+		t.Errorf("sweep verdict %+v != Evaluate verdict %+v", got, want)
+	}
+}
+
 func TestExtensionProtocolsFacade(t *testing.T) {
 	// NEO ≈ PoW, Algorand absolutely fair, EOS unfair.
 	neo, err := Evaluate(NewNEO(0.01), TwoMiner(0.2), EvalConfig{Trials: 400, Blocks: 4000, Seed: 3})

@@ -1,0 +1,267 @@
+// Package dist provides the probability distributions and concentration
+// bounds the fairness theory relies on: the Beta law of the ML-PoS
+// Pólya-urn limit (Section 4.3), the Binomial law of PoW block counts
+// (Section 4.2), the Hoeffding and Azuma tail bounds behind Theorems 4.2,
+// 4.3 and 4.10, and the Kolmogorov–Smirnov machinery used to validate
+// simulated reward fractions against their predicted limits.
+//
+// Everything is implemented from standard numerical recipes (log-gamma,
+// regularised incomplete beta via Lentz's continued fraction, the
+// asymptotic Kolmogorov distribution) with no external dependencies.
+package dist
+
+import (
+	"math"
+	"sort"
+)
+
+// lgamma returns ln Γ(x), discarding the sign (all our arguments are
+// positive).
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// RegIncBeta returns the regularised incomplete beta function I_x(a, b),
+// the CDF of Beta(a, b) at x. Arguments outside [0, 1] clamp to {0, 1}.
+func RegIncBeta(a, b, x float64) float64 {
+	if a <= 0 || b <= 0 || math.IsNaN(x) {
+		return math.NaN()
+	}
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	// ln of x^a (1-x)^b / (a B(a,b)) — the prefactor of the continued
+	// fraction expansion.
+	logFront := lgamma(a+b) - lgamma(a) - lgamma(b) + a*math.Log(x) + b*math.Log1p(-x)
+	if x < (a+1)/(a+b+2) {
+		return math.Exp(logFront) * betacf(a, b, x) / a
+	}
+	// Symmetry I_x(a,b) = 1 − I_{1−x}(b,a) for faster convergence.
+	return 1 - math.Exp(logFront)*betacf(b, a, 1-x)/b
+}
+
+// betacf evaluates the continued fraction for the incomplete beta function
+// by the modified Lentz method.
+func betacf(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-14
+		fpmin   = 1e-300
+	)
+	qab, qap, qam := a+b, a+1, a-1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < fpmin {
+		d = fpmin
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		m2 := float64(2 * m)
+		mf := float64(m)
+		aa := mf * (b - mf) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		h *= d * c
+		aa = -(a + mf) * (qab + mf) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// Beta is the Beta(α, β) distribution on [0, 1] — the ML-PoS limit law
+// Beta(a/w, (1−a)/w) of Section 4.3.
+type Beta struct {
+	Alpha float64
+	Beta  float64
+}
+
+// Mean returns α/(α+β).
+func (d Beta) Mean() float64 { return d.Alpha / (d.Alpha + d.Beta) }
+
+// Variance returns αβ/((α+β)²(α+β+1)).
+func (d Beta) Variance() float64 {
+	s := d.Alpha + d.Beta
+	return d.Alpha * d.Beta / (s * s * (s + 1))
+}
+
+// CDF returns P[X ≤ x].
+func (d Beta) CDF(x float64) float64 { return RegIncBeta(d.Alpha, d.Beta, x) }
+
+// IntervalProb returns P[lo ≤ X ≤ hi], clamped to be non-negative.
+func (d Beta) IntervalProb(lo, hi float64) float64 {
+	if hi < lo {
+		return 0
+	}
+	p := d.CDF(hi) - d.CDF(lo)
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// Binomial is the Binomial(N, P) distribution of PoW block counts.
+type Binomial struct {
+	N int
+	P float64
+}
+
+// Mean returns NP.
+func (d Binomial) Mean() float64 { return float64(d.N) * d.P }
+
+// Variance returns NP(1−P).
+func (d Binomial) Variance() float64 { return float64(d.N) * d.P * (1 - d.P) }
+
+// CDF returns P[K ≤ k] via the incomplete-beta identity
+// P[K ≤ k] = I_{1−p}(n−k, k+1).
+func (d Binomial) CDF(k int) float64 {
+	if d.N < 0 || d.P < 0 || d.P > 1 {
+		return math.NaN()
+	}
+	if k < 0 {
+		return 0
+	}
+	if k >= d.N {
+		return 1
+	}
+	return RegIncBeta(float64(d.N-k), float64(k+1), 1-d.P)
+}
+
+// IntervalProb returns the probability that the *fraction* K/N lies in
+// [lo, hi]: the binomial mass between ⌈N·lo⌉ and ⌊N·hi⌋. A small slack
+// absorbs floating-point error in the products so that lattice points
+// sitting exactly on a boundary are counted.
+func (d Binomial) IntervalProb(lo, hi float64) float64 {
+	if d.N <= 0 || hi < lo {
+		return 0
+	}
+	nf := float64(d.N)
+	kLo := int(math.Ceil(lo*nf - 1e-9))
+	kHi := int(math.Floor(hi*nf + 1e-9))
+	if kHi < kLo {
+		return 0
+	}
+	p := d.CDF(kHi) - d.CDF(kLo-1)
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
+// HoeffdingTail returns the two-sided Hoeffding bound
+// 2·exp(−2γ²/n) for the probability a sum of n [0,1]-bounded i.i.d.
+// variables deviates from its mean by more than γ, clamped to [0, 1].
+// This is the engine of Theorem 4.2.
+func HoeffdingTail(gamma, n float64) float64 {
+	if n <= 0 || gamma <= 0 {
+		return 1
+	}
+	b := 2 * math.Exp(-2*gamma*gamma/n)
+	if b > 1 {
+		return 1
+	}
+	return b
+}
+
+// AzumaTail returns the two-sided Azuma–Hoeffding bound
+// 2·exp(−2γ²/denom) for a martingale whose increment ranges have summed
+// squares denom/4 (the paper folds the 4 into denom), clamped to [0, 1].
+// This is the engine of Theorems 4.3 and 4.10.
+func AzumaTail(gamma, denom float64) float64 {
+	if denom <= 0 || gamma <= 0 {
+		return 1
+	}
+	b := 2 * math.Exp(-2*gamma*gamma/denom)
+	if b > 1 {
+		return 1
+	}
+	return b
+}
+
+// KSStatistic returns the Kolmogorov–Smirnov statistic
+// D = sup_x |F_n(x) − F(x)| between the empirical CDF of the samples and
+// the hypothesised CDF. It does not modify samples.
+func KSStatistic(samples []float64, cdf func(float64) float64) float64 {
+	n := len(samples)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	d := 0.0
+	nf := float64(n)
+	for i, x := range sorted {
+		fx := cdf(x)
+		if lo := fx - float64(i)/nf; lo > d {
+			d = lo
+		}
+		if hi := float64(i+1)/nf - fx; hi > d {
+			d = hi
+		}
+	}
+	return d
+}
+
+// KSPValue returns the asymptotic two-sided p-value of a KS statistic d on
+// n samples, using the Kolmogorov distribution with the Stephens
+// small-sample correction λ = (√n + 0.12 + 0.11/√n)·d.
+func KSPValue(d float64, n int) float64 {
+	if n <= 0 || math.IsNaN(d) {
+		return math.NaN()
+	}
+	if d <= 0 {
+		return 1
+	}
+	sn := math.Sqrt(float64(n))
+	lambda := (sn + 0.12 + 0.11/sn) * d
+	return kolmogorovQ(lambda)
+}
+
+// kolmogorovQ evaluates Q_KS(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2j²λ²}.
+func kolmogorovQ(lambda float64) float64 {
+	if lambda < 1e-8 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := math.Exp(-2 * float64(j*j) * lambda * lambda)
+		sum += sign * term
+		if term < 1e-16 {
+			break
+		}
+		sign = -sign
+	}
+	q := 2 * sum
+	if q < 0 {
+		return 0
+	}
+	if q > 1 {
+		return 1
+	}
+	return q
+}

@@ -12,7 +12,7 @@ var quickCfg = Config{Quick: true, Seed: 7}
 func TestRegistry(t *testing.T) {
 	ids := IDs()
 	want := []string{"ablation-circulation", "ablation-shards", "ablation-withhold",
-		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "hybrid",
+		"fig1", "fig2", "fig3", "fig3-sweep", "fig4", "fig5", "fig6", "hybrid",
 		"p2p-delay", "pooling",
 		"realsys", "selfish", "table1", "theory"}
 	if len(ids) != len(want) {

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/montecarlo"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+func init() {
+	register(Spec{
+		ID:    "fig3-sweep",
+		Title: "Figure 3 re-expressed as a declarative scenario sweep (same metrics as fig3)",
+		Run:   runFig3Sweep,
+	})
+}
+
+// Fig3SweepSpecs returns Figure 3's protocol × initial-share grid as a
+// declarative scenario list. Seeds, trial counts, horizons and
+// checkpoints replicate runFig3 exactly, so the sweep engine's λ samples
+// — and therefore its unfair probabilities — are bit-identical to the
+// hand-coded exhibit's. This is the proof that the scenario abstraction
+// subsumes the paper's exhibits rather than approximating them.
+func Fig3SweepSpecs(cfg Config) []scenario.Spec {
+	trials := cfg.pick(cfg.Trials, 300, 2000)
+	blocks := cfg.pick(cfg.Blocks, 1500, 5000)
+	cps := montecarlo.LinearCheckpoints(blocks, 40)
+	shares := []float64{0.1, 0.2, 0.3, 0.4}
+	protocols := []string{"pow", "mlpos", "slpos", "cpos"}
+
+	var specs []scenario.Spec
+	seedOff := uint64(0)
+	for _, proto := range protocols {
+		for _, a := range shares {
+			seedOff++
+			s := scenario.Spec{
+				Name:        fmt.Sprintf("fig3/%s/a=%.1f", proto, a),
+				Protocol:    proto,
+				W:           paperParams.W,
+				Stake:       a,
+				Blocks:      blocks,
+				Trials:      trials,
+				Seed:        cfg.seed() + seedOff,
+				Checkpoints: append([]int(nil), cps...),
+			}
+			if proto == "cpos" {
+				s.V, s.Shards = paperParams.V, paperParams.Shards
+			}
+			specs = append(specs, s)
+		}
+	}
+	return specs
+}
+
+// runFig3Sweep regenerates Figure 3's headline metrics through the
+// scenario sweep engine, emitting the same metric keys as runFig3 so the
+// two paths can be diffed directly.
+func runFig3Sweep(cfg Config) (*Report, error) {
+	specs := Fig3SweepSpecs(cfg)
+	rep, err := sweep.Run(specs, sweep.Options{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+
+	// fig3's metric keys use the display protocol names sans dash.
+	display := map[string]string{"pow": "PoW", "mlpos": "MLPoS", "slpos": "SLPoS", "cpos": "CPoS"}
+
+	report := &Report{ID: "fig3-sweep", Title: "Figure 3 (sweep engine)", Metrics: map[string]float64{}}
+	var text strings.Builder
+	fmt.Fprintf(&text, "Figure 3 through the scenario sweep engine: %d scenarios.\n\n", len(specs))
+	for _, o := range rep.Outcomes {
+		proto := display[o.Spec.Protocol]
+		key := fmt.Sprintf("unfair_%s_a%.0f", proto, o.Share*100)
+		report.Metrics[key] = o.Verdict.UnfairProbability
+	}
+	text.WriteString(rep.Table())
+	text.WriteString("\n")
+	text.WriteString(rep.Summary())
+	text.WriteString("\nEvery unfair probability matches the hand-coded fig3 exhibit bit for bit;\n")
+	text.WriteString("see TestFig3SweepMatchesFig3.\n")
+	report.Text = text.String()
+	return report, nil
+}

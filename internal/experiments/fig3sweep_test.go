@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFig3SweepMatchesFig3 is the acceptance proof that the scenario
+// abstraction subsumes the hand-coded exhibits: for the same Config, the
+// sweep-engine reproduction of Figure 3 must emit exactly the metrics the
+// internal/experiments path emits.
+func TestFig3SweepMatchesFig3(t *testing.T) {
+	cfg := Config{Quick: true, Trials: 120, Blocks: 800, Seed: 7}
+	direct, err := runFig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swept, err := runFig3Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfairKeys := 0
+	for key, want := range direct.Metrics {
+		if !strings.HasPrefix(key, "unfair_") {
+			continue
+		}
+		unfairKeys++
+		got, ok := swept.Metrics[key]
+		if !ok {
+			t.Errorf("sweep metrics missing %q (have %v)", key, swept.Metrics)
+			continue
+		}
+		if got != want {
+			t.Errorf("%s: sweep %v != direct %v", key, got, want)
+		}
+	}
+	if unfairKeys != 16 {
+		t.Errorf("compared %d unfair metrics, want 16 (4 protocols × 4 shares)", unfairKeys)
+	}
+}
+
+func TestFig3SweepReport(t *testing.T) {
+	rep, err := runFig3Sweep(Config{Quick: true, Trials: 40, Blocks: 300, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Metrics) != 16 {
+		t.Errorf("metrics = %d, want 16", len(rep.Metrics))
+	}
+	for _, want := range []string{"scenarios", "fig3/pow/a=0.1", "computed"} {
+		if !strings.Contains(rep.Text, want) {
+			t.Errorf("report text missing %q", want)
+		}
+	}
+}

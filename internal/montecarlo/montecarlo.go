@@ -45,6 +45,11 @@ type Config struct {
 	// CheckInvariants runs game.State.CheckInvariants at every
 	// checkpoint, turning silent numeric corruption into an error.
 	CheckInvariants bool
+	// OnTrialDone, when non-nil, is called once per completed trial with
+	// the trial index and the trial's final-checkpoint λ. Calls are
+	// serialised by the run, so the callback needs no locking of its
+	// own; it is how the sweep engine streams per-scenario progress.
+	OnTrialDone func(trial int, finalLambda float64)
 }
 
 // Result holds the λ samples of a run: Lambda[c][t] is miner A's reward
@@ -157,6 +162,7 @@ func Run(p protocol.Protocol, initial []float64, cfg Config) (*Result, error) {
 		wg       sync.WaitGroup
 		errOnce  sync.Once
 		firstErr error
+		hookMu   sync.Mutex
 	)
 	trialCh := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -166,6 +172,12 @@ func Run(p protocol.Protocol, initial []float64, cfg Config) (*Result, error) {
 			for trial := range trialCh {
 				if err := runTrial(p, initial, cfg, cps, res, trial); err != nil {
 					errOnce.Do(func() { firstErr = err })
+					continue
+				}
+				if cfg.OnTrialDone != nil {
+					hookMu.Lock()
+					cfg.OnTrialDone(trial, res.Lambda[len(cps)-1][trial])
+					hookMu.Unlock()
 				}
 			}
 		}()

@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Grid declares a sweep over scenario axes: the cartesian product of
+// every non-empty axis, each combination overriding the Base spec. An
+// empty axis keeps the base value, so the zero Grid expands to exactly
+// the base scenario.
+type Grid struct {
+	// Base is the spec every combination starts from.
+	Base Spec `json:"base"`
+
+	// Axes. Each non-empty slice multiplies the grid cardinality.
+	Protocols []string  `json:"protocols,omitempty"`
+	W         []float64 `json:"w,omitempty"`
+	V         []float64 `json:"v,omitempty"`
+	Stake     []float64 `json:"stake,omitempty"`
+	Miners    []int     `json:"miners,omitempty"`
+	Blocks    []int     `json:"blocks,omitempty"`
+	Trials    []int     `json:"trials,omitempty"`
+	Withhold  []int     `json:"withhold,omitempty"`
+
+	// Seed is the sweep base seed from which each scenario's seed is
+	// derived (DeriveSeed); 0 falls back to Base.Seed, then to 1.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Size returns the number of concrete scenarios the grid expands to.
+func (g Grid) Size() int {
+	size := 1
+	for _, n := range []int{
+		len(g.Protocols), len(g.W), len(g.V), len(g.Stake),
+		len(g.Miners), len(g.Blocks), len(g.Trials), len(g.Withhold),
+	} {
+		if n > 0 {
+			size *= n
+		}
+	}
+	return size
+}
+
+// baseSeed returns the sweep-level seed scenarios derive from.
+func (g Grid) baseSeed() uint64 {
+	if g.Seed != 0 {
+		return g.Seed
+	}
+	if g.Base.Seed != 0 {
+		return g.Base.Seed
+	}
+	return 1
+}
+
+// Expand returns the concrete, validated scenario list of the grid in a
+// deterministic axis order (protocols ▸ w ▸ v ▸ stake ▸ miners ▸ blocks ▸
+// trials ▸ withhold). Every scenario gets a descriptive Name and a seed
+// derived from the grid seed and its own parameter content, so the list —
+// seeds included — is a pure function of the grid.
+func (g Grid) Expand() ([]Spec, error) {
+	protocols := g.Protocols
+	if len(protocols) == 0 {
+		protocols = []string{g.Base.Protocol}
+	}
+	specs := make([]Spec, 0, g.Size())
+	base := g.baseSeed()
+	for _, proto := range protocols {
+		for _, w := range orFloat(g.W, g.Base.W) {
+			for _, v := range orFloat(g.V, g.Base.V) {
+				for _, stake := range orFloat(g.Stake, g.Base.Stake) {
+					for _, miners := range orInt(g.Miners, g.Base.Miners) {
+						for _, blocks := range orInt(g.Blocks, g.Base.Blocks) {
+							for _, trials := range orInt(g.Trials, g.Base.Trials) {
+								for _, withhold := range orInt(g.Withhold, g.Base.WithholdEvery) {
+									s := g.Base
+									s.Protocol = proto
+									s.W, s.V = w, v
+									s.Blocks, s.Trials = blocks, trials
+									s.WithholdEvery = withhold
+									if len(g.Stake) > 0 || len(g.Miners) > 0 {
+										// Stake axes override any explicit base allocation.
+										s.Stakes = nil
+										s.Stake, s.Miners = stake, miners
+									}
+									s.Seed = 0
+									s.Seed = DeriveSeed(base, s)
+									s.Name = g.cellName(s)
+									if err := s.Validate(); err != nil {
+										return nil, fmt.Errorf("expanding %s: %w", s.Name, err)
+									}
+									specs = append(specs, s)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return specs, nil
+}
+
+// DecodeGrid parses a Grid from JSON, rejecting unknown fields.
+func DecodeGrid(data []byte) (Grid, error) {
+	var g Grid
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&g); err != nil {
+		return Grid{}, fmt.Errorf("%w: %v", ErrSpec, err)
+	}
+	return g, nil
+}
+
+// cellName labels an expanded scenario. Protocol, reward and share are
+// always shown; any other axis the grid actually sweeps (more than one
+// value) is appended, so distinct grid cells never share a name.
+func (g Grid) cellName(s Spec) string {
+	n := s.Normalized()
+	name := fmt.Sprintf("%s/w=%g/a=%g", n.Protocol, n.W, s.TrackedShare())
+	if len(g.V) > 1 {
+		name += fmt.Sprintf("/v=%g", s.V)
+	}
+	if len(g.Miners) > 1 {
+		name += fmt.Sprintf("/m=%d", len(n.Stakes))
+	}
+	if len(g.Blocks) > 1 {
+		name += fmt.Sprintf("/n=%d", n.Blocks)
+	}
+	if len(g.Trials) > 1 {
+		name += fmt.Sprintf("/t=%d", n.Trials)
+	}
+	if s.WithholdEvery > 0 {
+		name += fmt.Sprintf("/k=%d", s.WithholdEvery)
+	}
+	return name
+}
+
+func orFloat(axis []float64, base float64) []float64 {
+	if len(axis) == 0 {
+		return []float64{base}
+	}
+	return axis
+}
+
+func orInt(axis []int, base int) []int {
+	if len(axis) == 0 {
+		return []int{base}
+	}
+	return axis
+}

@@ -1,0 +1,87 @@
+package sweep
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a thread-safe LRU result cache keyed by scenario content hash.
+// Repeated and overlapping sweeps consult it before recomputing a
+// scenario, so a warm cache answers a repeated sweep without running a
+// single Monte-Carlo trial.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List
+	items    map[string]*list.Element
+	hits     uint64
+	misses   uint64
+}
+
+type cacheEntry struct {
+	key string
+	out Outcome
+}
+
+// DefaultCacheCapacity bounds a cache built with capacity <= 0.
+const DefaultCacheCapacity = 4096
+
+// NewCache returns an LRU cache holding up to capacity outcomes
+// (DefaultCacheCapacity when capacity <= 0).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Cache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached outcome for a scenario hash, marking the entry
+// most-recently used.
+func (c *Cache) Get(key string) (Outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return Outcome{}, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).out, true
+}
+
+// Add stores an outcome under a scenario hash, evicting the
+// least-recently-used entry when the cache is full.
+func (c *Cache) Add(key string, out Outcome) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).out = out
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, out: out})
+	for c.ll.Len() > c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached outcomes.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Counters returns the cumulative hit and miss counts.
+func (c *Cache) Counters() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

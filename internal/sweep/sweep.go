@@ -1,0 +1,299 @@
+// Package sweep is the scenario sweep engine: it fans a list of
+// declarative fairness scenarios (internal/scenario) across a worker
+// pool, evaluates each one with the deterministic Monte-Carlo engine
+// (internal/montecarlo), deduplicates and caches results by scenario
+// content hash, and aggregates everything into a Report with per-scenario
+// fairness verdicts and sweep-level throughput/cache statistics.
+//
+// Determinism: scenario seeds live in the specs themselves and montecarlo
+// derives per-trial streams from them, so a sweep's Report is a pure
+// function of its scenario list — independent of worker count, scheduling
+// and cache state (cache hits change only the timing stats, never the
+// verdicts).
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/game"
+	"repro/internal/montecarlo"
+	"repro/internal/scenario"
+	"repro/internal/table"
+)
+
+// Options configures a sweep run.
+type Options struct {
+	// Workers caps scenario-level parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// TrialWorkers caps each scenario's inner Monte-Carlo parallelism.
+	// 0 picks a sensible default: 1 while scenarios already saturate the
+	// machine, GOMAXPROCS when scenarios run one at a time.
+	TrialWorkers int
+	// Cache, when non-nil, is consulted before computing a scenario and
+	// filled afterwards. Sharing one Cache across sweeps lets
+	// overlapping grids skip recomputation entirely.
+	Cache *Cache
+	// OnOutcome, when non-nil, streams each outcome as it is produced
+	// (calls are serialised; completion order is scheduling-dependent).
+	OnOutcome func(Outcome)
+}
+
+// Outcome is the evaluation of one scenario.
+type Outcome struct {
+	// Name is the scenario's label, Hash its canonical content hash.
+	Name string        `json:"name,omitempty"`
+	Hash string        `json:"hash"`
+	Spec scenario.Spec `json:"spec"`
+	// Share is the tracked miner's initial resource share a.
+	Share float64 `json:"share"`
+	// Verdict carries both fairness notions at the final horizon.
+	Verdict core.Verdict `json:"verdict"`
+	// Equitability is Fanti et al.'s normalised dispersion of final λ.
+	Equitability float64 `json:"equitability"`
+	// ConvergenceBlock is the first checkpoint from which the unfair
+	// probability stays at or below δ, or -1 (Table 1's "Cvg. Time").
+	ConvergenceBlock int `json:"convergence_block"`
+	// ElapsedMS is the wall time spent computing this scenario; 0 for
+	// cache hits.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// CacheHit reports whether the outcome was served without running
+	// any Monte-Carlo trial (result cache or in-sweep deduplication).
+	CacheHit bool `json:"cache_hit"`
+}
+
+// Stats summarises a sweep run.
+type Stats struct {
+	// Scenarios is the number of requested scenarios, CacheHits how many
+	// were answered without computing, Computed how many ran.
+	Scenarios int `json:"scenarios"`
+	CacheHits int `json:"cache_hits"`
+	Computed  int `json:"computed"`
+	// TrialsRun counts Monte-Carlo trials actually executed.
+	TrialsRun int64 `json:"trials_run"`
+	// WallMS is the end-to-end sweep wall time.
+	WallMS float64 `json:"wall_ms"`
+}
+
+// ScenariosPerSec returns sweep throughput over the full wall time.
+func (s Stats) ScenariosPerSec() float64 {
+	if s.WallMS <= 0 {
+		return 0
+	}
+	return float64(s.Scenarios) / (s.WallMS / 1000)
+}
+
+// Report is the aggregated result of one sweep. Outcomes are in the
+// order of the input scenario list.
+type Report struct {
+	Outcomes []Outcome `json:"outcomes"`
+	Stats    Stats     `json:"stats"`
+}
+
+// Run evaluates every scenario and aggregates the outcomes. Scenarios
+// are validated up front; identical scenarios (same content hash) are
+// computed once and fanned out to every position that requested them.
+func Run(specs []scenario.Spec, opts Options) (*Report, error) {
+	start := time.Now()
+	norm := make([]scenario.Spec, len(specs))
+	hashes := make([]string, len(specs))
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: scenario %d (%s): %w", i, s.Name, err)
+		}
+		norm[i] = s.Normalized()
+		// Outcomes carry the per-position Name; the cached canonical
+		// spec must not leak one sweep's label into another's report.
+		norm[i].Name = ""
+		h, err := s.Hash()
+		if err != nil {
+			return nil, fmt.Errorf("sweep: scenario %d (%s): %w", i, s.Name, err)
+		}
+		hashes[i] = h
+	}
+
+	// Group positions by content hash: each unique scenario is computed
+	// (or cache-served) exactly once.
+	groups := make(map[string][]int, len(specs))
+	uniq := make([]string, 0, len(specs))
+	for i, h := range hashes {
+		if _, seen := groups[h]; !seen {
+			uniq = append(uniq, h)
+		}
+		groups[h] = append(groups[h], i)
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(uniq) {
+		workers = len(uniq)
+	}
+	trialWorkers := opts.TrialWorkers
+	if trialWorkers <= 0 {
+		if workers > 1 {
+			trialWorkers = 1
+		} else {
+			trialWorkers = runtime.GOMAXPROCS(0)
+		}
+	}
+
+	rep := &Report{Outcomes: make([]Outcome, len(specs))}
+	rep.Stats.Scenarios = len(specs)
+
+	var (
+		wg        sync.WaitGroup
+		errOnce   sync.Once
+		firstErr  error
+		trialsRun atomic.Int64
+		computed  atomic.Int64
+		emitMu    sync.Mutex
+	)
+	hashCh := make(chan string)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for h := range hashCh {
+				idxs := groups[h]
+				spec := norm[idxs[0]]
+				out, hit, err := evaluate(spec, h, opts.Cache, trialWorkers, &trialsRun)
+				if err != nil {
+					errOnce.Do(func() { firstErr = fmt.Errorf("sweep: scenario %q: %w", specs[idxs[0]].Name, err) })
+					continue
+				}
+				if !hit {
+					computed.Add(1)
+				}
+				for j, idx := range idxs {
+					o := out
+					o.Name = specs[idx].Name
+					// Positions beyond the first reuse the computation.
+					o.CacheHit = hit || j > 0
+					if o.CacheHit {
+						o.ElapsedMS = 0
+					}
+					rep.Outcomes[idx] = o
+					if opts.OnOutcome != nil {
+						emitMu.Lock()
+						opts.OnOutcome(o)
+						emitMu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	for _, h := range uniq {
+		hashCh <- h
+	}
+	close(hashCh)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	rep.Stats.Computed = int(computed.Load())
+	rep.Stats.CacheHits = len(specs) - rep.Stats.Computed
+	rep.Stats.TrialsRun = trialsRun.Load()
+	rep.Stats.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	return rep, nil
+}
+
+// evaluate answers one unique scenario: from the cache when possible,
+// otherwise by running its Monte-Carlo experiment and caching the result.
+func evaluate(n scenario.Spec, hash string, cache *Cache, trialWorkers int, trialsRun *atomic.Int64) (Outcome, bool, error) {
+	if cache != nil {
+		if out, ok := cache.Get(hash); ok {
+			return out, true, nil
+		}
+	}
+	begin := time.Now()
+	p, err := n.Build()
+	if err != nil {
+		return Outcome{}, false, err
+	}
+	var gameOpts []game.Option
+	if n.WithholdEvery > 0 {
+		gameOpts = append(gameOpts, game.WithWithholding(n.WithholdEvery))
+	}
+	res, err := montecarlo.Run(p, n.Stakes, montecarlo.Config{
+		Trials:      n.Trials,
+		Blocks:      n.Blocks,
+		Checkpoints: n.Checkpoints,
+		Miner:       n.Miner,
+		Seed:        n.Seed,
+		Workers:     trialWorkers,
+		GameOptions: gameOpts,
+		OnTrialDone: func(int, float64) { trialsRun.Add(1) },
+	})
+	if err != nil {
+		return Outcome{}, false, err
+	}
+	a := n.TrackedShare()
+	params := core.Params{Eps: n.Eps, Delta: n.Delta}
+	final := res.FinalSamples()
+	out := Outcome{
+		Hash:             hash,
+		Spec:             n,
+		Share:            a,
+		Verdict:          params.Assess(p.Name(), final, a),
+		Equitability:     core.Equitability(final, a),
+		ConvergenceBlock: res.ConvergenceBlock(a, n.Eps, n.Delta),
+		ElapsedMS:        float64(time.Since(begin).Microseconds()) / 1000,
+	}
+	if cache != nil {
+		cache.Add(hash, out)
+	}
+	return out, false, nil
+}
+
+// Table renders the report as an aligned text table, one scenario per
+// row, fairest-relevant columns first.
+func (r *Report) Table() string {
+	tb := table.New("Scenario", "Protocol", "a", "E[lambda]", "Expect.", "Unfair", "Robust", "Equit.", "Cvg.", "Cache").
+		AlignAll(table.Right).SetAlign(0, table.Left)
+	for _, o := range r.Outcomes {
+		name := o.Name
+		if name == "" {
+			name = o.Hash[:12]
+		}
+		conv := "Never"
+		if o.ConvergenceBlock >= 0 {
+			conv = fmt.Sprintf("%d", o.ConvergenceBlock)
+		}
+		hit := ""
+		if o.CacheHit {
+			hit = "hit"
+		}
+		tb.AddRow(name, o.Verdict.Protocol,
+			fmt.Sprintf("%.3f", o.Share),
+			fmt.Sprintf("%.4f", o.Verdict.MeanLambda),
+			o.Verdict.ExpectationalFair,
+			fmt.Sprintf("%.3f", o.Verdict.UnfairProbability),
+			o.Verdict.RobustFair,
+			fmt.Sprintf("%.4f", o.Equitability),
+			conv, hit)
+	}
+	return tb.String()
+}
+
+// JSON renders the full report, outcomes and stats, as indented JSON.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// Summary renders the sweep statistics as one line.
+func (r *Report) Summary() string {
+	s := r.Stats
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d scenarios: %d computed, %d cache hits, %d trials, %.1fms wall (%.2f scenarios/s)",
+		s.Scenarios, s.Computed, s.CacheHits, s.TrialsRun, s.WallMS, s.ScenariosPerSec())
+	return b.String()
+}

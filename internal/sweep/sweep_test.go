@@ -1,0 +1,294 @@
+package sweep
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/montecarlo"
+	"repro/internal/scenario"
+)
+
+// quickGrid is a small 2-protocol × 2-stake grid for fast tests.
+func quickGrid(t *testing.T) []scenario.Spec {
+	t.Helper()
+	g := scenario.Grid{
+		Base:      scenario.Spec{Blocks: 300, Trials: 40, Seed: 5},
+		Protocols: []string{"pow", "mlpos"},
+		Stake:     []float64{0.2, 0.3},
+	}
+	specs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
+func TestRunDeterministicAcrossWorkerCounts(t *testing.T) {
+	specs := quickGrid(t)
+	var reports []*Report
+	for _, workers := range []int{1, 4} {
+		rep, err := Run(specs, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	a, b := reports[0], reports[1]
+	if len(a.Outcomes) != len(specs) || len(b.Outcomes) != len(specs) {
+		t.Fatalf("outcome counts: %d, %d", len(a.Outcomes), len(b.Outcomes))
+	}
+	for i := range a.Outcomes {
+		oa, ob := a.Outcomes[i], b.Outcomes[i]
+		if oa.Hash != ob.Hash || oa.Verdict != ob.Verdict || oa.Equitability != ob.Equitability ||
+			oa.ConvergenceBlock != ob.ConvergenceBlock {
+			t.Errorf("outcome %d differs across worker counts:\n%+v\n%+v", i, oa, ob)
+		}
+	}
+}
+
+func TestRunMatchesDirectMonteCarlo(t *testing.T) {
+	// A sweep outcome must equal what montecarlo + core produce directly
+	// for the same scenario — the sweep engine adds orchestration, not
+	// semantics.
+	spec := scenario.Spec{Protocol: "mlpos", W: 0.01, Stake: 0.2, Blocks: 400, Trials: 60, Seed: 21}
+	rep, err := Run([]scenario.Spec{spec}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := spec.Normalized()
+	p, err := n.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := montecarlo.Run(p, n.Stakes, montecarlo.Config{
+		Trials: n.Trials, Blocks: n.Blocks, Checkpoints: n.Checkpoints,
+		Seed: n.Seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Params{Eps: 0.1, Delta: 0.1}.Assess("ML-PoS", res.FinalSamples(), 0.2)
+	got := rep.Outcomes[0].Verdict
+	if got != want {
+		t.Errorf("sweep verdict %+v != direct verdict %+v", got, want)
+	}
+	if eq := rep.Outcomes[0].Equitability; math.Abs(eq-core.Equitability(res.FinalSamples(), 0.2)) > 1e-15 {
+		t.Errorf("equitability mismatch: %v", eq)
+	}
+}
+
+func TestCacheAvoidsRecomputation(t *testing.T) {
+	specs := quickGrid(t)
+	cache := NewCache(0)
+	cold, err := Run(specs, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Stats.Computed != len(specs) || cold.Stats.CacheHits != 0 {
+		t.Fatalf("cold stats: %+v", cold.Stats)
+	}
+	warm, err := Run(specs, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Computed != 0 {
+		t.Errorf("warm run recomputed %d scenarios", warm.Stats.Computed)
+	}
+	if warm.Stats.CacheHits != len(specs) || warm.Stats.TrialsRun != 0 {
+		t.Errorf("warm stats: %+v", warm.Stats)
+	}
+	for i := range specs {
+		if !warm.Outcomes[i].CacheHit {
+			t.Errorf("outcome %d not marked as cache hit", i)
+		}
+		if warm.Outcomes[i].Verdict != cold.Outcomes[i].Verdict {
+			t.Errorf("outcome %d verdict changed through the cache", i)
+		}
+	}
+	// An overlapping sweep (subset grid) also hits.
+	sub, err := Run(specs[:2], Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Stats.Computed != 0 {
+		t.Errorf("overlapping sweep recomputed %d scenarios", sub.Stats.Computed)
+	}
+	// A cache hit under a different label reports the requester's name
+	// and never leaks the original sweep's label through the spec.
+	relabelled := specs[0]
+	relabelled.Name = "my-run"
+	hit, err := Run([]scenario.Spec{relabelled}, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hit.Outcomes[0].Name; got != "my-run" {
+		t.Errorf("outcome name = %q, want %q", got, "my-run")
+	}
+	if got := hit.Outcomes[0].Spec.Name; got != "" {
+		t.Errorf("cached spec leaked a foreign label: %q", got)
+	}
+}
+
+func TestDuplicateScenariosComputedOnce(t *testing.T) {
+	spec := scenario.Spec{Protocol: "pow", Stake: 0.2, Blocks: 200, Trials: 20, Seed: 3}
+	specs := []scenario.Spec{spec, spec, spec}
+	rep, err := Run(specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Computed != 1 || rep.Stats.CacheHits != 2 {
+		t.Errorf("stats: %+v, want 1 computed / 2 hits", rep.Stats)
+	}
+	for i := 1; i < 3; i++ {
+		if rep.Outcomes[i].Verdict != rep.Outcomes[0].Verdict {
+			t.Errorf("duplicate %d verdict differs", i)
+		}
+		if !rep.Outcomes[i].CacheHit {
+			t.Errorf("duplicate %d not marked reused", i)
+		}
+	}
+}
+
+func TestRunStreamsOutcomes(t *testing.T) {
+	specs := quickGrid(t)
+	var mu sync.Mutex
+	seen := map[string]bool{}
+	count := 0
+	rep, err := Run(specs, Options{OnOutcome: func(o Outcome) {
+		mu.Lock()
+		defer mu.Unlock()
+		count++
+		seen[o.Name] = true
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != len(specs) {
+		t.Errorf("streamed %d outcomes, want %d", count, len(specs))
+	}
+	for _, s := range specs {
+		if !seen[s.Name] {
+			t.Errorf("scenario %s never streamed", s.Name)
+		}
+	}
+	if rep.Stats.TrialsRun != int64(40*len(specs)) {
+		t.Errorf("trials run = %d, want %d", rep.Stats.TrialsRun, 40*len(specs))
+	}
+}
+
+func TestRunRejectsInvalidSpec(t *testing.T) {
+	_, err := Run([]scenario.Spec{{Protocol: "nope"}}, Options{})
+	if !errors.Is(err, scenario.ErrSpec) {
+		t.Errorf("err = %v, want ErrSpec", err)
+	}
+}
+
+func TestRunEmptyList(t *testing.T) {
+	rep, err := Run(nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Outcomes) != 0 || rep.Stats.Scenarios != 0 {
+		t.Errorf("empty sweep report: %+v", rep)
+	}
+}
+
+func TestReportRenderers(t *testing.T) {
+	specs := quickGrid(t)
+	rep, err := Run(specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := rep.Table()
+	for _, want := range []string{"Scenario", "Unfair", "PoW", "ML-PoS", "pow/w=0.01/a=0.2"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	js, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"outcomes"`, `"stats"`, `"hash"`, `"verdict"`} {
+		if !strings.Contains(string(js), want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+	sum := rep.Summary()
+	if !strings.Contains(sum, "4 scenarios") || !strings.Contains(sum, "computed") {
+		t.Errorf("summary = %q", sum)
+	}
+}
+
+func TestSweepPaperShape(t *testing.T) {
+	// The engine must reproduce the paper's qualitative ordering on a
+	// small grid: PoW robustly fair, ML-PoS (w=0.01) not, SL-PoS
+	// catastrophically unfair.
+	g := scenario.Grid{
+		Base:      scenario.Spec{Stake: 0.2, Blocks: 2000, Trials: 200, Seed: 11},
+		Protocols: []string{"pow", "mlpos", "slpos"},
+	}
+	specs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(specs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byProto := map[string]Outcome{}
+	for _, o := range rep.Outcomes {
+		byProto[o.Spec.Protocol] = o
+	}
+	if !byProto["pow"].Verdict.RobustFair {
+		t.Errorf("PoW should be robustly fair: %+v", byProto["pow"].Verdict)
+	}
+	if byProto["mlpos"].Verdict.UnfairProbability <= byProto["pow"].Verdict.UnfairProbability {
+		t.Error("ML-PoS should be less fair than PoW")
+	}
+	if byProto["slpos"].Verdict.UnfairProbability < 0.9 {
+		t.Errorf("SL-PoS unfair prob = %v, want ~1", byProto["slpos"].Verdict.UnfairProbability)
+	}
+	// Equitability ordering mirrors robust fairness here.
+	if byProto["slpos"].Equitability <= byProto["pow"].Equitability {
+		t.Error("SL-PoS should disperse far more than PoW")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	c.Add("a", Outcome{Hash: "a"})
+	c.Add("b", Outcome{Hash: "b"})
+	if _, ok := c.Get("a"); !ok { // touch a → b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Add("c", Outcome{Hash: "c"})
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("a should have survived")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Error("c should be present")
+	}
+	if c.Len() != 2 {
+		t.Errorf("len = %d", c.Len())
+	}
+	hits, misses := c.Counters()
+	if hits != 3 || misses != 1 {
+		t.Errorf("counters = %d hits, %d misses", hits, misses)
+	}
+	// Overwriting an existing key keeps one entry.
+	c.Add("a", Outcome{Hash: "a", Name: "v2"})
+	if c.Len() != 2 {
+		t.Errorf("len after overwrite = %d", c.Len())
+	}
+	if got, _ := c.Get("a"); got.Name != "v2" {
+		t.Errorf("overwrite lost: %+v", got)
+	}
+}
