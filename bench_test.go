@@ -9,6 +9,7 @@
 package fairness_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -225,6 +226,87 @@ func BenchmarkSweepWarmCache(b *testing.B) {
 // BenchmarkSweepFig3 times the sweep-engine reproduction of Figure 3,
 // comparable head-to-head with BenchmarkFig3UnfairProbByStake.
 func BenchmarkSweepFig3(b *testing.B) { runExhibit(b, "fig3-sweep", "unfair_PoW_a20") }
+
+// --- Engine API: backend and disk-cache benchmarks ----------------------
+
+// BenchmarkEngineSweepColdDiskCache measures a sweep writing every
+// outcome through the content-addressed disk store — the persistence
+// overhead on top of BenchmarkSweepColdCache's in-memory baseline.
+func BenchmarkEngineSweepColdDiskCache(b *testing.B) {
+	specs := sweepBenchSpecs(b)
+	ctx := context.Background()
+	var perSec float64
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cache, err := fairness.NewDiskCache(b.TempDir()) // fresh dir: every pass is cold
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		rep, err := fairness.NewEngine(fairness.WithCache(cache)).Sweep(ctx, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Stats.Computed != len(specs) {
+			b.Fatalf("cold sweep computed %d of %d", rep.Stats.Computed, len(specs))
+		}
+		perSec = rep.Stats.ScenariosPerSec()
+	}
+	b.ReportMetric(perSec, "scenarios/s")
+}
+
+// BenchmarkEngineSweepWarmDiskCache measures the same sweep answered
+// entirely from disk by a FRESH cache instance per iteration — the
+// cross-process warm-start cost (open + read + decode, no compute).
+func BenchmarkEngineSweepWarmDiskCache(b *testing.B) {
+	specs := sweepBenchSpecs(b)
+	ctx := context.Background()
+	dir := b.TempDir()
+	prewarm, err := fairness.NewDiskCache(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := fairness.NewEngine(fairness.WithCache(prewarm)).Sweep(ctx, specs); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var perSec float64
+	for i := 0; i < b.N; i++ {
+		cache, err := fairness.NewDiskCache(dir) // new instance: no warm memory
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep, err := fairness.NewEngine(fairness.WithCache(cache)).Sweep(ctx, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Stats.Computed != 0 {
+			b.Fatalf("warm sweep recomputed %d scenarios", rep.Stats.Computed)
+		}
+		perSec = rep.Stats.ScenariosPerSec()
+	}
+	b.ReportMetric(perSec, "scenarios/s")
+}
+
+// BenchmarkEngineTheoryBackend measures the closed-form backend over the
+// same grid — the upper bound a backend swap buys over Monte-Carlo.
+func BenchmarkEngineTheoryBackend(b *testing.B) {
+	specs := sweepBenchSpecs(b)
+	ctx := context.Background()
+	eng := fairness.NewEngine(fairness.WithBackend(fairness.TheoryBackend()))
+	var perSec float64
+	for i := 0; i < b.N; i++ {
+		rep, err := eng.Sweep(ctx, specs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Stats.TrialsRun != 0 {
+			b.Fatalf("theory backend ran %d trials", rep.Stats.TrialsRun)
+		}
+		perSec = rep.Stats.ScenariosPerSec()
+	}
+	b.ReportMetric(perSec, "scenarios/s")
+}
 
 // --- Theory calculators ------------------------------------------------
 

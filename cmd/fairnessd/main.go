@@ -1,0 +1,337 @@
+// Command fairnessd serves the fairness Engine over HTTP/JSON: one
+// long-lived Engine and one (optionally disk-backed) result cache shared
+// by every request, so repeated and overlapping scenario questions get
+// answered from cache across clients — and across daemon restarts when
+// -cache-dir is set.
+//
+// Endpoints:
+//
+//	POST /v1/evaluate  body: one scenario JSON object
+//	                   → 200 with the outcome JSON (engine cache applies)
+//	POST /v1/sweep     body: a scenario array or a grid object (same
+//	                   format as fairsweep -spec files)
+//	                   → 200 with application/x-ndjson: one outcome per
+//	                   line as it completes, then a final summary line
+//	                   {"done":true,...}. Closing the connection cancels
+//	                   the sweep within one scenario.
+//	GET  /v1/healthz   → {"status":"ok",...} with cache and backend info
+//
+// Flags:
+//
+//	-addr ADDR      listen address (default :7447)
+//	-cache-dir DIR  disk result cache shared across restarts
+//	-cache N        in-memory LRU capacity when -cache-dir is unset
+//	-workers N      scenario-level parallelism per sweep (0 = all cores)
+//	-backend NAME   montecarlo (default), theory or chainsim
+//
+// Example session:
+//
+//	fairnessd -addr :7447 -cache-dir /var/cache/fairnessd &
+//	curl -s localhost:7447/v1/evaluate -d '{"protocol":"mlpos","stake":0.2}'
+//	curl -sN localhost:7447/v1/sweep -d '{"protocols":["pow","mlpos"],"stake":[0.1,0.2]}'
+//	curl -s localhost:7447/v1/healthz
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	fairness "repro"
+	"repro/internal/scenario"
+)
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":7447", "listen address")
+	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "disk result-cache directory (survives restarts)")
+	flag.IntVar(&cfg.cacheCap, "cache", 4096, "in-memory LRU capacity when -cache-dir is unset (0 = no cache)")
+	flag.IntVar(&cfg.workers, "workers", 0, "scenario-level parallelism per sweep (0 = all cores)")
+	flag.StringVar(&cfg.backend, "backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim")
+	flag.Parse()
+
+	srv, err := newServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fairnessd:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.mux()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// Shutdown returns only once the in-flight handlers drained (or the
+	// grace period expired); main must wait for it, or exiting would cut
+	// live NDJSON streams mid-scenario.
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shutdownCtx)
+	}()
+	fmt.Fprintf(os.Stderr, "fairnessd: listening on %s (backend=%s cache=%s)\n",
+		cfg.addr, srv.backendName, srv.cacheDesc)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "fairnessd:", err)
+		os.Exit(1)
+	}
+	stop() // unblock the shutdown goroutine if the listener failed on its own
+	<-shutdownDone
+}
+
+// config assembles a server.
+type config struct {
+	addr     string
+	cacheDir string
+	cacheCap int
+	workers  int
+	backend  string
+}
+
+// server is the HTTP face of one shared Engine.
+type server struct {
+	eng         *fairness.Engine
+	cache       fairness.CacheStore
+	backendName string
+	cacheDesc   string
+	start       time.Time
+	evaluates   atomic.Int64
+	sweeps      atomic.Int64
+}
+
+// maxBodyBytes bounds request bodies; scenario documents are tiny.
+const maxBodyBytes = 4 << 20
+
+func newServer(cfg config) (*server, error) {
+	s := &server{start: time.Now(), backendName: cfg.backend, cacheDesc: "none"}
+	if s.backendName == "" {
+		s.backendName = "montecarlo"
+	}
+	var ev fairness.Evaluator
+	switch s.backendName {
+	case "montecarlo":
+	case "theory":
+		ev = fairness.TheoryBackend()
+	case "chainsim":
+		ev = fairness.ChainSimBackend()
+	default:
+		return nil, fmt.Errorf("unknown backend %q (known: montecarlo, theory, chainsim)", cfg.backend)
+	}
+	switch {
+	case cfg.cacheDir != "":
+		disk, err := fairness.NewDiskCache(cfg.cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = disk
+		s.cacheDesc = "disk:" + disk.Dir()
+	case cfg.cacheCap > 0:
+		s.cache = fairness.NewSweepCache(cfg.cacheCap)
+		s.cacheDesc = fmt.Sprintf("lru:%d", cfg.cacheCap)
+	}
+	opts := []fairness.EngineOption{fairness.WithWorkers(cfg.workers)}
+	if s.cache != nil {
+		opts = append(opts, fairness.WithCache(s.cache))
+	}
+	if ev != nil {
+		opts = append(opts, fairness.WithBackend(ev))
+	}
+	s.eng = fairness.NewEngine(opts...)
+	return s, nil
+}
+
+func (s *server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+// httpError writes a JSON error body with the given status.
+func httpError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// readBody slurps a bounded request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+}
+
+// handleEvaluate answers one scenario through the shared Engine: cache
+// hits are served without computing, and the outcome records which
+// backend produced it.
+func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	s.evaluates.Add(1)
+	body, err := readBody(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := scenario.Decode(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	out, err := s.eng.EvaluateScenario(r.Context(), spec)
+	switch {
+	case errors.Is(err, context.Canceled):
+		return // client went away; nothing to write
+	case err != nil:
+		httpError(w, statusFor(err), err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// sweepSummary is the trailing NDJSON line of a /v1/sweep response.
+type sweepSummary struct {
+	Done      bool    `json:"done"`
+	Scenarios int     `json:"scenarios"`
+	Streamed  int     `json:"streamed"`
+	CacheHits int     `json:"cache_hits"`
+	WallMS    float64 `json:"wall_ms"`
+	Partial   bool    `json:"partial,omitempty"`
+}
+
+// handleSweep expands the request into a scenario list and streams one
+// NDJSON outcome line per scenario as the shared Engine completes it,
+// then a summary line. The request context cancels the sweep, so a
+// dropped connection stops computing within one scenario.
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.sweeps.Add(1)
+	body, err := readBody(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	specs, err := decodeSpecs(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	start := time.Now()
+	sum := sweepSummary{Scenarios: len(specs)}
+	for out, err := range s.eng.Stream(r.Context(), specs) {
+		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				return // client went away mid-stream
+			}
+			sum.Partial = true
+			enc.Encode(map[string]string{"error": err.Error()})
+			break
+		}
+		sum.Streamed++
+		if out.CacheHit {
+			sum.CacheHits++
+		}
+		if enc.Encode(out) != nil {
+			return // write failure: the connection is gone
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	sum.Done = !sum.Partial
+	sum.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	enc.Encode(sum)
+}
+
+// handleHealthz reports liveness plus the shared cache and backend
+// state. It is probe-friendly: everything reported is O(1) — notably it
+// never walks the disk cache (cache hit/miss counters come from this
+// instance's atomics, and an entry count is only included for the
+// in-memory LRU, whose Len is constant-time).
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	type health struct {
+		Status      string  `json:"status"`
+		Backend     string  `json:"backend"`
+		Cache       string  `json:"cache"`
+		CacheLen    *int    `json:"cache_len,omitempty"`
+		CacheHits   *uint64 `json:"cache_hits,omitempty"`
+		CacheMisses *uint64 `json:"cache_misses,omitempty"`
+		Evaluates   int64   `json:"evaluates"`
+		Sweeps      int64   `json:"sweeps"`
+		UptimeMS    int64   `json:"uptime_ms"`
+		GoMaxProcs  int     `json:"gomaxprocs"`
+	}
+	h := health{
+		Status:     "ok",
+		Backend:    s.backendName,
+		Cache:      s.cacheDesc,
+		Evaluates:  s.evaluates.Load(),
+		Sweeps:     s.sweeps.Load(),
+		UptimeMS:   time.Since(s.start).Milliseconds(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	if c, ok := s.cache.(interface{ Counters() (hits, misses uint64) }); ok {
+		hits, misses := c.Counters()
+		h.CacheHits, h.CacheMisses = &hits, &misses
+	}
+	if lru, ok := s.cache.(*fairness.SweepCache); ok {
+		n := lru.Len()
+		h.CacheLen = &n
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h)
+}
+
+// decodeSpecs accepts either an explicit scenario array or a grid object
+// — the same two formats fairsweep -spec files use — and returns the
+// validated scenario list.
+func decodeSpecs(body []byte) ([]fairness.Scenario, error) {
+	trimmed := strings.TrimSpace(string(body))
+	if strings.HasPrefix(trimmed, "[") {
+		list, err := scenario.DecodeList(body)
+		if err != nil {
+			return nil, err
+		}
+		for i := range list {
+			if err := list[i].Validate(); err != nil {
+				return nil, fmt.Errorf("scenario %d: %w", i, err)
+			}
+		}
+		if len(list) == 0 {
+			return nil, fmt.Errorf("empty scenario list")
+		}
+		return list, nil
+	}
+	grid, err := scenario.DecodeGrid(body)
+	if err != nil {
+		return nil, err
+	}
+	specs, err := grid.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("grid expands to zero scenarios")
+	}
+	return specs, nil
+}
+
+// statusFor maps evaluation errors onto HTTP statuses: spec problems and
+// backend-coverage gaps are the client's fault, everything else is ours.
+func statusFor(err error) int {
+	if errors.Is(err, scenario.ErrSpec) || errors.Is(err, fairness.ErrBackend) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}

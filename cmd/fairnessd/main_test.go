@@ -1,0 +1,252 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// testServer boots the handler stack over httptest with a small default
+// configuration.
+func testServer(t *testing.T, cfg config) (*server, *httptest.Server) {
+	t.Helper()
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.mux())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+type outcomeLine struct {
+	Name     string `json:"name"`
+	Hash     string `json:"hash"`
+	Backend  string `json:"backend"`
+	CacheHit bool   `json:"cache_hit"`
+	Verdict  struct {
+		Protocol          string
+		UnfairProbability float64
+	} `json:"verdict"`
+	Error string `json:"error"`
+	Done  *bool  `json:"done"`
+}
+
+func TestEvaluateEndpointWithSharedCache(t *testing.T) {
+	_, ts := testServer(t, config{cacheCap: 16})
+	body := `{"protocol":"pow","stake":0.2,"blocks":200,"trials":20,"seed":3}`
+
+	post := func() outcomeLine {
+		resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var o outcomeLine
+		if err := json.NewDecoder(resp.Body).Decode(&o); err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	first := post()
+	if first.Hash == "" || first.Backend != "montecarlo" || first.CacheHit {
+		t.Errorf("first outcome: %+v", first)
+	}
+	second := post()
+	if !second.CacheHit {
+		t.Error("second identical request should hit the shared cache")
+	}
+	if second.Verdict.UnfairProbability != first.Verdict.UnfairProbability {
+		t.Error("cache changed the verdict")
+	}
+}
+
+func TestEvaluateEndpointRejectsBadSpecs(t *testing.T) {
+	_, ts := testServer(t, config{})
+	for _, body := range []string{
+		`{"protocol":"nope"}`,
+		`{"protocl":"pow"}`, // typo field
+		`not json`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/evaluate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestSweepEndpointStreamsNDJSON(t *testing.T) {
+	_, ts := testServer(t, config{cacheCap: 64})
+	grid := `{"base":{"blocks":150,"trials":15,"seed":5},"protocols":["pow","mlpos"],"stake":[0.2,0.3]}`
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(grid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	dec := json.NewDecoder(resp.Body)
+	var outcomes []outcomeLine
+	var summary *outcomeLine
+	for dec.More() {
+		var line outcomeLine
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Done != nil {
+			summary = &line
+			break
+		}
+		outcomes = append(outcomes, line)
+	}
+	if len(outcomes) != 4 {
+		t.Fatalf("streamed %d outcomes, want 4", len(outcomes))
+	}
+	for _, o := range outcomes {
+		if o.Hash == "" || o.Verdict.Protocol == "" {
+			t.Errorf("incomplete outcome: %+v", o)
+		}
+	}
+	if summary == nil || !*summary.Done {
+		t.Fatalf("missing/failed summary line: %+v", summary)
+	}
+
+	// The same sweep again is answered from the shared cache.
+	resp2, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(grid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	dec2 := json.NewDecoder(resp2.Body)
+	hits := 0
+	for dec2.More() {
+		var line outcomeLine
+		if err := dec2.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Done == nil && line.CacheHit {
+			hits++
+		}
+	}
+	if hits != 4 {
+		t.Errorf("second sweep: %d cache hits, want 4", hits)
+	}
+}
+
+func TestSweepEndpointAcceptsExplicitArray(t *testing.T) {
+	_, ts := testServer(t, config{})
+	body := `[{"protocol":"pow","blocks":100,"trials":10},{"protocol":"slpos","blocks":100,"trials":10}]`
+	resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	count := 0
+	for dec.More() {
+		var line outcomeLine
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Done == nil {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("streamed %d outcomes, want 2", count)
+	}
+}
+
+func TestSweepEndpointRejectsBadBodies(t *testing.T) {
+	_, ts := testServer(t, config{})
+	for _, body := range []string{`[]`, `{"protocls":["pow"]}`, `[{"protocol":"nope"}]`} {
+		resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	cacheDir := t.TempDir()
+	_, ts := testServer(t, config{cacheDir: cacheDir, backend: "theory"})
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status  string `json:"status"`
+		Backend string `json:"backend"`
+		Cache   string `json:"cache"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Backend != "theory" || !strings.HasPrefix(h.Cache, "disk:") {
+		t.Errorf("healthz: %+v", h)
+	}
+}
+
+func TestUnknownBackendConfig(t *testing.T) {
+	if _, err := newServer(config{backend: "quantum"}); err == nil {
+		t.Error("unknown backend should fail construction")
+	}
+}
+
+func TestDiskCacheSharedAcrossDaemonRestarts(t *testing.T) {
+	// Boot, sweep, shut down; boot a second daemon over the same cache
+	// directory: every scenario is a hit.
+	dir := t.TempDir()
+	grid := `{"base":{"blocks":120,"trials":10,"seed":9},"protocols":["pow","mlpos"],"stake":[0.2]}`
+
+	_, ts1 := testServer(t, config{cacheDir: dir})
+	resp, err := http.Post(ts1.URL+"/v1/sweep", "application/json", strings.NewReader(grid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ts1.Close()
+
+	_, ts2 := testServer(t, config{cacheDir: dir})
+	resp2, err := http.Post(ts2.URL+"/v1/sweep", "application/json", strings.NewReader(grid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	dec := json.NewDecoder(resp2.Body)
+	hits, total := 0, 0
+	for dec.More() {
+		var line outcomeLine
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Done != nil {
+			continue
+		}
+		total++
+		if line.CacheHit {
+			hits++
+		}
+	}
+	if total != 2 || hits != 2 {
+		t.Errorf("restarted daemon: %d/%d cache hits, want 2/2", hits, total)
+	}
+}

@@ -25,41 +25,90 @@
 //
 // Run flags:
 //
-//	-workers N   scenario-level parallelism (0 = all cores)
-//	-cache N     LRU result-cache capacity (0 = no cache)
-//	-repeat N    run the sweep N times against the shared cache
-//	-json        print the report as JSON instead of a table
-//	-out FILE    also write the JSON report to FILE
+//	-workers N     scenario-level parallelism (0 = all cores)
+//	-cache N       LRU result-cache capacity (0 = no cache)
+//	-cache-dir DIR disk result cache (survives restarts; overrides -cache)
+//	-backend NAME  evaluator backend: montecarlo (default), theory, chainsim
+//	-repeat N      run the sweep N times against the shared cache
+//	-json          print the report as JSON instead of a table
+//	-ndjson        stream outcomes as NDJSON lines as they complete
+//	-out FILE      also write the JSON report to FILE
+//
+// Sweeps run through the public fairness.Engine and honour Ctrl-C: an
+// interrupted sweep prints the partial report it finished and exits
+// non-zero.
 //
 // Examples:
 //
 //	fairsweep expand -protocols mlpos -w 0.001,0.01,0.1 -stake 0.2
 //	fairsweep run -trials 300 -blocks 1500 -cache 64 -repeat 2
+//	fairsweep run -cache-dir ~/.cache/fairsweep -trials 300 -blocks 1500
+//	fairsweep run -backend theory -protocols pow,mlpos,cpos
 //	fairsweep bench -protocols pow,mlpos -trials 100 -blocks 500
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
+	fairness "repro"
 	"repro/internal/montecarlo"
 	"repro/internal/scenario"
-	"repro/internal/sweep"
 )
 
-// stdout is swapped by tests to capture output.
-var stdout io.Writer = os.Stdout
+// stdout is swapped by tests to capture output; stderr carries summary
+// lines in -ndjson mode so stdout stays machine-parseable.
+var (
+	stdout io.Writer = os.Stdout
+	stderr io.Writer = os.Stderr
+)
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "fairsweep:", err)
 		os.Exit(1)
 	}
+}
+
+// signalContext returns a context cancelled by SIGINT/SIGTERM, so an
+// interrupted sweep stops within one scenario and reports what finished.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// backendFor maps the -backend flag onto an Evaluator; nil selects the
+// engine's Monte-Carlo default.
+func backendFor(name string) (fairness.Evaluator, error) {
+	switch name {
+	case "", "montecarlo":
+		return nil, nil
+	case "theory":
+		return fairness.TheoryBackend(), nil
+	case "chainsim":
+		return fairness.ChainSimBackend(), nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q (known: montecarlo, theory, chainsim)", name)
+	}
+}
+
+// cacheFor resolves the -cache/-cache-dir pair into a CacheStore (nil
+// means uncached).
+func cacheFor(capacity int, dir string) (fairness.CacheStore, error) {
+	if dir != "" {
+		return fairness.NewDiskCache(dir)
+	}
+	if capacity > 0 {
+		return fairness.NewSweepCache(capacity), nil
+	}
+	return nil, nil
 }
 
 func run(args []string) error {
@@ -217,8 +266,11 @@ func runCmd(args []string) error {
 	gf := addGridFlags(fs)
 	workers := fs.Int("workers", 0, "scenario-level parallelism (0 = all cores)")
 	cacheCap := fs.Int("cache", 0, "LRU result-cache capacity (0 = no cache)")
+	cacheDir := fs.String("cache-dir", "", "disk result-cache directory (overrides -cache)")
+	backend := fs.String("backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim")
 	repeat := fs.Int("repeat", 1, "run the sweep N times against the shared cache")
 	asJSON := fs.Bool("json", false, "print the report as JSON")
+	asNDJSON := fs.Bool("ndjson", false, "stream outcomes as NDJSON lines as they complete")
 	outFile := fs.String("out", "", "also write the JSON report to FILE")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -233,30 +285,64 @@ func runCmd(args []string) error {
 	if *repeat < 1 {
 		*repeat = 1
 	}
-	opts := sweep.Options{Workers: *workers}
-	if *cacheCap > 0 {
-		opts.Cache = sweep.NewCache(*cacheCap)
+	ev, err := backendFor(*backend)
+	if err != nil {
+		return err
 	}
-	var rep *sweep.Report
+	cache, err := cacheFor(*cacheCap, *cacheDir)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signalContext()
+	defer stop()
+
+	engOpts := []fairness.EngineOption{fairness.WithWorkers(*workers)}
+	if cache != nil {
+		engOpts = append(engOpts, fairness.WithCache(cache))
+	}
+	if ev != nil {
+		engOpts = append(engOpts, fairness.WithBackend(ev))
+	}
+	enc := json.NewEncoder(stdout)
+	if *asNDJSON {
+		engOpts = append(engOpts, fairness.WithObserver(func(o fairness.SweepOutcome) {
+			enc.Encode(o)
+		}))
+	}
+	eng := fairness.NewEngine(engOpts...)
+
+	var rep *fairness.SweepReport
 	summaries := make([]string, 0, *repeat)
 	for pass := 1; pass <= *repeat; pass++ {
-		rep, err = sweep.Run(specs, opts)
+		rep, err = eng.Sweep(ctx, specs)
 		if err != nil {
+			if rep != nil && rep.Partial {
+				fmt.Fprintf(stderr, "sweep interrupted: %s\n", rep.Summary())
+			}
 			return err
 		}
 		summaries = append(summaries, fmt.Sprintf("pass %d: %s", pass, rep.Summary()))
 	}
-	if *asJSON {
+	switch {
+	case *asNDJSON:
+		// Outcome lines already streamed; keep stdout pure NDJSON.
+		for _, s := range summaries {
+			fmt.Fprintln(stderr, s)
+		}
+	case *asJSON:
 		data, err := rep.JSON()
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(stdout, "%s\n", data)
-	} else {
+		for _, s := range summaries {
+			fmt.Fprintln(stdout, s)
+		}
+	default:
 		fmt.Fprintln(stdout, rep.Table())
-	}
-	for _, s := range summaries {
-		fmt.Fprintln(stdout, s)
+		for _, s := range summaries {
+			fmt.Fprintln(stdout, s)
+		}
 	}
 	if *outFile != "" {
 		data, err := rep.JSON()
@@ -276,6 +362,8 @@ func benchCmd(args []string) error {
 	gf := addGridFlags(fs)
 	workers := fs.Int("workers", 0, "scenario-level parallelism (0 = all cores)")
 	cacheCap := fs.Int("cache", 0, "cache capacity for the warm pass (0 = fit the grid)")
+	cacheDir := fs.String("cache-dir", "", "disk result-cache directory (overrides -cache)")
+	backend := fs.String("backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -290,12 +378,26 @@ func benchCmd(args []string) error {
 	if capacity <= 0 {
 		capacity = len(specs)
 	}
-	cache := sweep.NewCache(capacity)
-	cold, err := sweep.Run(specs, sweep.Options{Workers: *workers, Cache: cache})
+	ev, err := backendFor(*backend)
 	if err != nil {
 		return err
 	}
-	warm, err := sweep.Run(specs, sweep.Options{Workers: *workers, Cache: cache})
+	cache, err := cacheFor(capacity, *cacheDir)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	engOpts := []fairness.EngineOption{fairness.WithWorkers(*workers), fairness.WithCache(cache)}
+	if ev != nil {
+		engOpts = append(engOpts, fairness.WithBackend(ev))
+	}
+	eng := fairness.NewEngine(engOpts...)
+	cold, err := eng.Sweep(ctx, specs)
+	if err != nil {
+		return err
+	}
+	warm, err := eng.Sweep(ctx, specs)
 	if err != nil {
 		return err
 	}
@@ -365,6 +467,7 @@ grid flags:
   -blocks N  -trials N  -checkpoints N  -seed S
 
 run flags:
-  -workers N  -cache N  -repeat N  -json  -out FILE
+  -workers N  -cache N  -cache-dir DIR  -backend NAME  -repeat N
+  -json  -ndjson  -out FILE
 `, "\n"))
 }

@@ -234,3 +234,87 @@ func TestBadFlagsAndCommands(t *testing.T) {
 		t.Errorf("help errored: %v", err)
 	}
 }
+
+// captureErr redirects the CLI's stderr writer for one test.
+func captureErr(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	old := stderr
+	stderr = &buf
+	t.Cleanup(func() { stderr = old })
+	return &buf
+}
+
+func TestRunDiskCacheSurvivesInvocations(t *testing.T) {
+	// Two separate CLI invocations against the same -cache-dir stand in
+	// for two processes: the second recomputes nothing.
+	dir := filepath.Join(t.TempDir(), "cache")
+	args := []string{"run", "-protocols", "pow,mlpos", "-stake", "0.2,0.3",
+		"-trials", "15", "-blocks", "120", "-seed", "21", "-cache-dir", dir}
+	buf := capture(t)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pass 1: 4 scenarios: 4 computed, 0 cache hits") {
+		t.Fatalf("first invocation not cold:\n%s", buf.String())
+	}
+	buf2 := capture(t)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf2.String(), "pass 1: 4 scenarios: 0 computed, 4 cache hits, 0 trials") {
+		t.Errorf("second invocation should be all disk hits:\n%s", buf2.String())
+	}
+}
+
+func TestRunTheoryBackend(t *testing.T) {
+	buf := capture(t)
+	args := []string{"run", "-backend", "theory", "-protocols", "pow,mlpos,cpos",
+		"-stake", "0.2", "-w", "0.01", "-blocks", "5000", "-trials", "1", "-json"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"backend": "theory"`) {
+		t.Errorf("missing backend marker:\n%s", out)
+	}
+	if !strings.Contains(out, `"trials_run": 0`) {
+		t.Errorf("theory backend should run zero trials:\n%s", out)
+	}
+}
+
+func TestRunUnknownBackend(t *testing.T) {
+	capture(t)
+	if err := run([]string{"run", "-backend", "quantum"}); err == nil {
+		t.Error("unknown backend should error")
+	}
+}
+
+func TestRunNDJSONStream(t *testing.T) {
+	buf := capture(t)
+	errBuf := captureErr(t)
+	args := []string{"run", "-protocols", "pow,mlpos", "-stake", "0.2,0.3",
+		"-trials", "10", "-blocks", "100", "-seed", "2", "-ndjson"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("streamed %d NDJSON lines, want 4:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var o struct {
+			Hash    string          `json:"hash"`
+			Verdict json.RawMessage `json:"verdict"`
+		}
+		if err := json.Unmarshal([]byte(line), &o); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		if o.Hash == "" || o.Verdict == nil {
+			t.Errorf("incomplete outcome line: %s", line)
+		}
+	}
+	if !strings.Contains(errBuf.String(), "pass 1: 4 scenarios") {
+		t.Errorf("summary should go to stderr in -ndjson mode:\n%s", errBuf.String())
+	}
+}

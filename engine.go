@@ -1,0 +1,260 @@
+package fairness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+
+	"repro/internal/game"
+	"repro/internal/montecarlo"
+	"repro/internal/sweep"
+)
+
+// Engine is the context-aware entry point of the library: one configured
+// evaluation pipeline — a backend, a result cache, a worker budget, an
+// observer — shared by every run. Construct it once with NewEngine and
+// functional options, then drive it with Evaluate (one ad-hoc protocol),
+// EvaluateScenario (one declarative scenario), Sweep (a scenario list,
+// aggregated) or Stream (a scenario list, as an iterator).
+//
+// Every method takes a context.Context threaded down through the sweep
+// runner and the Monte-Carlo trial loops, so cancelling a context stops
+// a run promptly: Sweep returns the partial report it finished together
+// with ctx.Err().
+//
+// The zero-configuration NewEngine() reproduces the library's historical
+// behaviour exactly: Monte-Carlo backend, no cache, GOMAXPROCS workers.
+// An Engine is safe for concurrent use when its cache and observer are
+// (both shipped CacheStore implementations are).
+type Engine struct {
+	workers      int
+	trialWorkers int
+	cache        CacheStore
+	backend      Evaluator
+	observer     func(SweepOutcome)
+}
+
+// EngineOption configures an Engine.
+type EngineOption func(*Engine)
+
+// WithWorkers caps scenario-level parallelism (0 = GOMAXPROCS).
+func WithWorkers(n int) EngineOption {
+	return func(e *Engine) { e.workers = n }
+}
+
+// WithTrialWorkers caps each scenario's inner Monte-Carlo trial
+// parallelism (0 = the saturation-aware default: 1 while scenario
+// workers fill the machine, GOMAXPROCS otherwise).
+func WithTrialWorkers(n int) EngineOption {
+	return func(e *Engine) { e.trialWorkers = n }
+}
+
+// WithCache plugs a result cache into the engine: NewSweepCache for an
+// in-process LRU, NewDiskCache for a content-addressed store that
+// survives restarts and can be shared across processes. Keys are
+// namespaced by backend, so one cache may serve several engines.
+func WithCache(c CacheStore) EngineOption {
+	return func(e *Engine) { e.cache = c }
+}
+
+// WithBackend selects the Evaluator answering each scenario:
+// MonteCarloBackend (the default), TheoryBackend or ChainSimBackend —
+// or any custom Evaluator implementation.
+func WithBackend(ev Evaluator) EngineOption {
+	return func(e *Engine) { e.backend = ev }
+}
+
+// WithObserver streams every outcome to fn as it is produced, across all
+// of the engine's sweeps. Calls are serialised within one run; the
+// completion order is scheduling-dependent.
+func WithObserver(fn func(SweepOutcome)) EngineOption {
+	return func(e *Engine) { e.observer = fn }
+}
+
+// NewEngine builds an evaluation engine from functional options.
+func NewEngine(opts ...EngineOption) *Engine {
+	e := &Engine{}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// sweepOptions assembles the sweep.Options for one run, chaining an
+// optional per-run observer after the engine-level one.
+func (e *Engine) sweepOptions(onOutcome func(SweepOutcome)) sweep.Options {
+	opts := sweep.Options{
+		Workers:      e.workers,
+		TrialWorkers: e.trialWorkers,
+		Cache:        e.cache,
+		Evaluator:    e.backend,
+	}
+	switch {
+	case e.observer != nil && onOutcome != nil:
+		obs := e.observer
+		opts.OnOutcome = func(o sweep.Outcome) { obs(o); onOutcome(o) }
+	case e.observer != nil:
+		opts.OnOutcome = e.observer
+	case onOutcome != nil:
+		opts.OnOutcome = onOutcome
+	}
+	return opts
+}
+
+// Sweep evaluates every scenario through the engine's backend and cache
+// and aggregates per-scenario fairness verdicts with cache/throughput
+// statistics. Outcomes stream to the engine's observer as they complete.
+//
+// On cancellation Sweep returns the partial report — completed positions
+// filled, Report.Partial set — together with ctx.Err(); completed
+// outcomes are identical to an uncancelled run's.
+func (e *Engine) Sweep(ctx context.Context, specs []Scenario) (*SweepReport, error) {
+	return sweep.RunContext(ctx, specs, e.sweepOptions(nil))
+}
+
+// Stream evaluates the scenarios and yields each outcome as it
+// completes, in completion order. Breaking out of the loop cancels the
+// remaining work. A run-level error (including ctx cancellation) is
+// yielded once, with a zero outcome, after the completed outcomes.
+func (e *Engine) Stream(ctx context.Context, specs []Scenario) iter.Seq2[SweepOutcome, error] {
+	return func(yield func(SweepOutcome, error) bool) {
+		runCtx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		outCh := make(chan SweepOutcome)
+		errCh := make(chan error, 1)
+		go func() {
+			_, err := sweep.RunContext(runCtx, specs, e.sweepOptions(func(o SweepOutcome) {
+				select {
+				case outCh <- o:
+				case <-runCtx.Done():
+				}
+			}))
+			errCh <- err
+			close(outCh)
+		}()
+		stopped := false
+		for o := range outCh {
+			if !yield(o, nil) {
+				stopped = true
+				cancel()
+				break
+			}
+		}
+		for range outCh { // drain so the runner's sends never block
+		}
+		if err := <-errCh; err != nil && !stopped {
+			yield(SweepOutcome{}, err)
+		}
+	}
+}
+
+// EvaluateScenario answers one declarative scenario through the engine's
+// backend and cache — a one-element sweep, sharing every piece of the
+// pipeline (so repeated calls hit the cache, and the observer sees the
+// outcome).
+func (e *Engine) EvaluateScenario(ctx context.Context, s Scenario) (SweepOutcome, error) {
+	rep, err := e.Sweep(ctx, []Scenario{s})
+	if err != nil {
+		return SweepOutcome{}, err
+	}
+	return rep.Outcomes[0], nil
+}
+
+// ErrInvalidAllocation reports an initial allocation Evaluate cannot
+// assess (empty, or no positive total).
+var ErrInvalidAllocation = errors.New("fairness: invalid initial allocation")
+
+// evalSettings carries Engine.Evaluate's resolved run parameters.
+// Explicitly-set zero values are honoured — unlike the deprecated
+// EvalConfig, where zero always meant "default".
+type evalSettings struct {
+	trials    int
+	blocks    int
+	seed      uint64
+	seedSet   bool
+	params    Params
+	paramsSet bool
+	withhold  int
+}
+
+// EvalOption configures one Engine.Evaluate run.
+type EvalOption func(*evalSettings)
+
+// WithTrials sets the number of independent games (default 1000).
+func WithTrials(n int) EvalOption {
+	return func(s *evalSettings) { s.trials = n }
+}
+
+// WithBlocks sets the horizon in blocks/epochs (default 5000).
+func WithBlocks(n int) EvalOption {
+	return func(s *evalSettings) { s.blocks = n }
+}
+
+// WithSeed sets the base RNG seed. Unlike the deprecated EvalConfig,
+// WithSeed(0) really does run seed 0 — unset defaults to 1.
+func WithSeed(seed uint64) EvalOption {
+	return func(s *evalSettings) { s.seed, s.seedSet = seed, true }
+}
+
+// WithFairnessParams sets the robust-fairness (ε, δ). Unlike the
+// deprecated EvalConfig, a literal zero Params is honoured (ε = 0
+// collapses the fair area to the point {a}) — unset defaults to
+// DefaultParams.
+func WithFairnessParams(p Params) EvalOption {
+	return func(s *evalSettings) { s.params, s.paramsSet = p, true }
+}
+
+// WithWithholding applies the Section 6.3 reward-withholding treatment
+// with period k (default: off).
+func WithWithholding(k int) EvalOption {
+	return func(s *evalSettings) { s.withhold = k }
+}
+
+// Evaluate runs a Monte-Carlo experiment for miner 0 of the given
+// initial allocation and assesses both fairness notions at the final
+// horizon.
+//
+// The protocol is an arbitrary instance, not a declarative scenario, so
+// this path bypasses the scenario pipeline entirely: it has no content
+// hash to cache under, and it ALWAYS samples via Monte-Carlo — the
+// engine's WithBackend and WithCache configuration does not apply here.
+// To evaluate through the configured backend and cache, express the
+// question as a Scenario and call EvaluateScenario.
+//
+// Defaults: 1000 trials, 5000 blocks, seed 1, DefaultParams. Options
+// distinguish unset from zero — WithSeed(0) and a zero WithFairnessParams
+// are both expressible, which the deprecated EvalConfig could not say.
+func (e *Engine) Evaluate(ctx context.Context, p Protocol, initial []float64, opts ...EvalOption) (Verdict, error) {
+	s := evalSettings{trials: 1000, blocks: 5000, seed: 1, params: DefaultParams}
+	for _, opt := range opts {
+		opt(&s)
+	}
+	if len(initial) == 0 {
+		return Verdict{}, fmt.Errorf("%w: empty", ErrInvalidAllocation)
+	}
+	total := 0.0
+	for _, v := range initial {
+		total += v
+	}
+	if !(total > 0) {
+		return Verdict{}, fmt.Errorf("%w: total share %v, need > 0", ErrInvalidAllocation, total)
+	}
+	var gameOpts []game.Option
+	if s.withhold > 0 {
+		gameOpts = append(gameOpts, game.WithWithholding(s.withhold))
+	}
+	res, err := montecarlo.RunContext(ctx, p, initial, montecarlo.Config{
+		Trials:      s.trials,
+		Blocks:      s.blocks,
+		Seed:        s.seed,
+		Checkpoints: []int{s.blocks},
+		Workers:     e.trialWorkers,
+		GameOptions: gameOpts,
+	})
+	if err != nil {
+		return Verdict{}, err
+	}
+	a := initial[0] / total
+	return s.params.Assess(p.Name(), res.FinalSamples(), a), nil
+}

@@ -1,0 +1,240 @@
+package fairness
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestEvaluateEmptyAllocationRegression is the regression test for the
+// empty/nil-initial crash path: both the deprecated wrapper and the
+// Engine must return a validation error, never panic or surface an
+// internal config error.
+func TestEvaluateEmptyAllocationRegression(t *testing.T) {
+	for _, initial := range [][]float64{nil, {}} {
+		if _, err := Evaluate(NewPoW(0.01), initial, EvalConfig{}); !errors.Is(err, ErrInvalidAllocation) {
+			t.Errorf("Evaluate(%v) err = %v, want ErrInvalidAllocation", initial, err)
+		}
+		_, err := NewEngine().Evaluate(context.Background(), NewPoW(0.01), initial)
+		if !errors.Is(err, ErrInvalidAllocation) {
+			t.Errorf("Engine.Evaluate(%v) err = %v, want ErrInvalidAllocation", initial, err)
+		}
+	}
+	// All-zero totals are equally unassessable.
+	if _, err := NewEngine().Evaluate(context.Background(), NewPoW(0.01), []float64{0, 0}); !errors.Is(err, ErrInvalidAllocation) {
+		t.Errorf("zero-total err = %v, want ErrInvalidAllocation", err)
+	}
+}
+
+func TestEngineEvaluateMatchesDeprecatedWrapper(t *testing.T) {
+	// The wrapper's contract: bit-identical verdicts through the Engine.
+	cfg := EvalConfig{Trials: 200, Blocks: 1000, Seed: 9}
+	old, err := Evaluate(NewMLPoS(0.01), TwoMiner(0.2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine().Evaluate(context.Background(), NewMLPoS(0.01), TwoMiner(0.2),
+		WithTrials(200), WithBlocks(1000), WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old != eng {
+		t.Errorf("wrapper %+v != engine %+v", old, eng)
+	}
+}
+
+func TestEngineSeedZeroIsDistinctFromUnset(t *testing.T) {
+	// The satellite contract: the option API distinguishes unset from
+	// zero. EvalConfig{Seed: 0} historically meant seed 1; WithSeed(0)
+	// must actually run seed 0.
+	eng := NewEngine()
+	ctx := context.Background()
+	p := func() Protocol { return NewMLPoS(0.1) }
+	unset, err := eng.Evaluate(ctx, p(), TwoMiner(0.2), WithTrials(150), WithBlocks(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed1, err := eng.Evaluate(ctx, p(), TwoMiner(0.2), WithTrials(150), WithBlocks(400), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed0, err := eng.Evaluate(ctx, p(), TwoMiner(0.2), WithTrials(150), WithBlocks(400), WithSeed(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unset != seed1 {
+		t.Errorf("unset seed should default to 1:\n%+v\n%+v", unset, seed1)
+	}
+	if seed0 == seed1 {
+		t.Errorf("WithSeed(0) produced the seed-1 run — zero is being treated as unset: %+v", seed0)
+	}
+}
+
+func TestEngineZeroFairnessParamsHonoured(t *testing.T) {
+	// ε = 0 collapses the fair area to the single point {a}: continuous
+	// protocols are then (almost) never fair — a verdict unreachable
+	// through the zero-means-default EvalConfig.
+	v, err := NewEngine().Evaluate(context.Background(), NewMLPoS(0.01), TwoMiner(0.2),
+		WithTrials(100), WithBlocks(300), WithFairnessParams(Params{Eps: 0, Delta: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.RobustFair || v.UnfairProbability < 0.99 {
+		t.Errorf("zero params should collapse the fair area: %+v", v)
+	}
+}
+
+func TestEngineEvaluateCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewEngine().Evaluate(ctx, NewPoW(0.01), TwoMiner(0.2))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestEngineSweepMatchesDeprecatedSweep(t *testing.T) {
+	specs, err := ExpandScenarios(ScenarioGrid{
+		Base:      Scenario{Blocks: 400, Trials: 60, Seed: 2},
+		Protocols: []string{"pow", "mlpos"},
+		Stake:     []float64{0.2, 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := Sweep(specs, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewEngine().Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range old.Outcomes {
+		if old.Outcomes[i].Verdict != rep.Outcomes[i].Verdict ||
+			old.Outcomes[i].Equitability != rep.Outcomes[i].Equitability {
+			t.Errorf("outcome %d differs between Sweep and Engine.Sweep", i)
+		}
+	}
+}
+
+func TestEngineObserverAndEvaluateScenario(t *testing.T) {
+	var seen []string
+	eng := NewEngine(
+		WithCache(NewSweepCache(16)),
+		WithObserver(func(o SweepOutcome) { seen = append(seen, o.Name) }),
+		WithWorkers(1),
+	)
+	spec := Scenario{Name: "probe", Protocol: "pow", Stake: 0.2, Blocks: 300, Trials: 30, Seed: 4}
+	out, err := eng.EvaluateScenario(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "probe" || out.CacheHit {
+		t.Errorf("first evaluation: %+v", out)
+	}
+	again, err := eng.EvaluateScenario(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Error("second evaluation should hit the engine cache")
+	}
+	if len(seen) != 2 || seen[0] != "probe" {
+		t.Errorf("observer saw %v", seen)
+	}
+}
+
+func TestEngineStreamYieldsAllThenStopsEarly(t *testing.T) {
+	specs, err := ExpandScenarios(ScenarioGrid{
+		Base:      Scenario{Blocks: 300, Trials: 30, Seed: 6},
+		Protocols: []string{"pow", "mlpos", "slpos", "fslpos"},
+		Stake:     []float64{0.2, 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine(WithWorkers(2))
+
+	count := 0
+	for o, err := range eng.Stream(context.Background(), specs) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Hash == "" {
+			t.Error("streamed outcome missing hash")
+		}
+		count++
+	}
+	if count != len(specs) {
+		t.Errorf("streamed %d outcomes, want %d", count, len(specs))
+	}
+
+	// Early break cancels the remaining work without deadlocking.
+	got := 0
+	for _, err := range eng.Stream(context.Background(), specs) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		got++
+		break
+	}
+	if got != 1 {
+		t.Errorf("broke after %d outcomes", got)
+	}
+}
+
+func TestEngineStreamSurfacesRunError(t *testing.T) {
+	var last error
+	n := 0
+	for _, err := range NewEngine().Stream(context.Background(), []Scenario{{Protocol: "nope"}}) {
+		last = err
+		n++
+	}
+	if n != 1 || last == nil {
+		t.Errorf("stream yielded %d items, last err %v; want the validation error", n, last)
+	}
+}
+
+func TestEngineDiskCacheAcrossEngines(t *testing.T) {
+	// Facade-level acceptance: engine two, with a fresh DiskCache over
+	// the same directory, serves every completed scenario warm.
+	dir := t.TempDir()
+	specs, err := ExpandScenarios(ScenarioGrid{
+		Base:      Scenario{Blocks: 300, Trials: 30, Seed: 8},
+		Protocols: []string{"pow", "mlpos"},
+		Stake:     []float64{0.2, 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache1, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(WithCache(cache1)).Sweep(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	cache2, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := NewEngine(WithCache(cache2)).Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Computed != 0 || rep.Stats.CacheHits != len(specs) {
+		t.Errorf("second engine stats: %+v", rep.Stats)
+	}
+}
+
+func TestEngineTheoryBackendFacade(t *testing.T) {
+	out, err := NewEngine(WithBackend(TheoryBackend())).EvaluateScenario(context.Background(),
+		Scenario{Protocol: "pow", Stake: 0.2, Blocks: 4000, Trials: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Backend != "theory" || !out.Verdict.RobustFair {
+		t.Errorf("theory outcome: %+v", out)
+	}
+}

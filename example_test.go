@@ -1,0 +1,51 @@
+package fairness_test
+
+import (
+	"context"
+	"fmt"
+
+	fairness "repro"
+)
+
+// ExampleEngine_Evaluate assesses one protocol instance ad hoc: ML-PoS
+// with the paper's block reward is expectationally fair but fails
+// (ε,δ)-robust fairness at this horizon.
+func ExampleEngine_Evaluate() {
+	eng := fairness.NewEngine()
+	verdict, err := eng.Evaluate(context.Background(),
+		fairness.NewMLPoS(0.01), fairness.TwoMiner(0.2),
+		fairness.WithTrials(400), fairness.WithBlocks(2000), fairness.WithSeed(1))
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("expectational=%t robust=%t\n", verdict.ExpectationalFair, verdict.RobustFair)
+	// Output:
+	// expectational=true robust=false
+}
+
+// ExampleEngine_Sweep runs a declarative scenario grid through the
+// closed-form theory backend — no sampling, certified verdicts.
+func ExampleEngine_Sweep() {
+	specs, err := fairness.ExpandScenarios(fairness.ScenarioGrid{
+		Base:      fairness.Scenario{Stake: 0.2, Blocks: 5000},
+		Protocols: []string{"pow", "mlpos", "cpos"},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	eng := fairness.NewEngine(fairness.WithBackend(fairness.TheoryBackend()))
+	report, err := eng.Sweep(context.Background(), specs)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, o := range report.Outcomes {
+		fmt.Printf("%-6s robust=%t\n", o.Spec.Protocol, o.Verdict.RobustFair)
+	}
+	// Output:
+	// pow    robust=true
+	// mlpos  robust=false
+	// cpos   robust=true
+}

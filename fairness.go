@@ -8,14 +8,20 @@
 // It exposes the incentive protocols the paper analyses (PoW, ML-PoS,
 // SL-PoS, C-PoS, the FSL-PoS treatment and the Section 6.4 extensions),
 // the two fairness notions (expectational and (ε,δ)-robust fairness), the
-// theory calculators of Theorems 4.2/4.3/4.10, and a deterministic
-// Monte-Carlo engine for measuring both notions empirically.
+// theory calculators of Theorems 4.2/4.3/4.10, and a context-aware
+// evaluation Engine with pluggable backends (Monte-Carlo sampling,
+// closed-form theory, block-level chain simulation) and pluggable result
+// caches (in-memory LRU, cross-process disk store).
 //
 // Quick start:
 //
-//	verdict, err := fairness.Evaluate(fairness.NewMLPoS(0.01),
-//		fairness.TwoMiner(0.2), fairness.EvalConfig{Trials: 1000, Blocks: 5000})
+//	eng := fairness.NewEngine()
+//	verdict, err := eng.Evaluate(ctx, fairness.NewMLPoS(0.01),
+//		fairness.TwoMiner(0.2), fairness.WithTrials(1000), fairness.WithBlocks(5000))
 //	fmt.Println(verdict) // expectationally fair, not robustly fair
+//
+// The top-level Evaluate, MonteCarlo and Sweep functions are deprecated
+// wrappers over a default Engine, kept for compatibility.
 //
 // The internal packages carry the substrates: internal/chainsim is a
 // block-level blockchain simulator with real SHA-256 puzzles standing in
@@ -25,6 +31,8 @@
 package fairness
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/game"
 	"repro/internal/montecarlo"
@@ -64,12 +72,29 @@ type (
 	SweepOutcome = sweep.Outcome
 	// SweepReport aggregates a sweep's outcomes and throughput stats.
 	SweepReport = sweep.Report
-	// SweepCache is the LRU result cache shared across sweeps.
+	// SweepCache is the in-memory LRU result cache shared across sweeps.
 	SweepCache = sweep.Cache
+	// CacheStore is the pluggable result-cache interface of the Engine:
+	// NewSweepCache's LRU and NewDiskCache's cross-process store both
+	// implement it.
+	CacheStore = sweep.CacheStore
+	// DiskCache is the content-addressed disk result cache; warm results
+	// survive restarts and may be shared across processes.
+	DiskCache = sweep.DiskCache
+	// Evaluator is the pluggable scenario backend interface of the
+	// Engine; see MonteCarloBackend, TheoryBackend and ChainSimBackend.
+	Evaluator = sweep.Evaluator
+	// Evaluation is the backend-independent result an Evaluator returns.
+	Evaluation = sweep.Evaluation
 )
 
 // DefaultParams is the paper's evaluation setting: ε = 0.1, δ = 0.1.
 var DefaultParams = core.DefaultParams
+
+// ErrBackend reports a scenario outside the selected Evaluator backend's
+// coverage (e.g. asking the theory backend about a protocol the paper
+// proves no bound for).
+var ErrBackend = sweep.ErrBackend
 
 // NewPoW returns the Proof-of-Work incentive model with block reward w
 // (Section 2.1). Fair in both senses for long horizons.
@@ -136,60 +161,75 @@ func NewRand(seed uint64) *Rand { return rng.New(seed) }
 func Run(p Protocol, st *State, r *Rand, n int) { protocol.Run(p, st, r, n) }
 
 // MonteCarlo runs repeated games and returns the per-checkpoint λ samples.
+//
+// Deprecated: use montecarlo via Engine runs, or MonteCarloContext when
+// cancellation is needed. Retained as a thin compatibility wrapper.
 func MonteCarlo(p Protocol, initial []float64, cfg MonteCarloConfig) (*Result, error) {
 	return montecarlo.Run(p, initial, cfg)
 }
 
-// EvalConfig configures Evaluate.
+// MonteCarloContext is MonteCarlo honouring ctx: cancellation stops the
+// run promptly and returns ctx.Err().
+func MonteCarloContext(ctx context.Context, p Protocol, initial []float64, cfg MonteCarloConfig) (*Result, error) {
+	return montecarlo.RunContext(ctx, p, initial, cfg)
+}
+
+// EvalConfig configures the deprecated Evaluate wrapper.
+//
+// Zero-value caveat: every zero field means "use the default" — so
+// Trials/Blocks 0, Seed 0 and a literal-zero Params are UNREACHABLE
+// through this struct (Seed 0 silently becomes 1, zero Params become
+// DefaultParams). The Engine.Evaluate option API distinguishes unset
+// from zero: WithSeed(0) runs seed 0 and WithFairnessParams(Params{})
+// collapses the fair area, both inexpressible here.
 type EvalConfig struct {
 	// Trials is the number of independent games (default 1000).
 	Trials int
 	// Blocks is the horizon (default 5000).
 	Blocks int
-	// Seed is the base RNG seed (default 1).
+	// Seed is the base RNG seed (default 1; a literal seed 0 cannot be
+	// requested through this struct — use Engine.Evaluate + WithSeed(0)).
 	Seed uint64
-	// Params are the fairness parameters (default: ε = δ = 0.1).
+	// Params are the fairness parameters (default: ε = δ = 0.1; literal
+	// zeros cannot be requested through this struct — use
+	// Engine.Evaluate + WithFairnessParams).
 	Params Params
 	// WithholdEvery applies reward withholding when > 0.
 	WithholdEvery int
 }
 
+// options translates the zero-means-default struct into the explicit
+// option list, preserving the historical semantics exactly.
+func (cfg EvalConfig) options() []EvalOption {
+	var opts []EvalOption
+	if cfg.Trials != 0 {
+		opts = append(opts, WithTrials(cfg.Trials))
+	}
+	if cfg.Blocks != 0 {
+		opts = append(opts, WithBlocks(cfg.Blocks))
+	}
+	if cfg.Seed != 0 {
+		opts = append(opts, WithSeed(cfg.Seed))
+	}
+	if cfg.Params != (Params{}) {
+		opts = append(opts, WithFairnessParams(cfg.Params))
+	}
+	if cfg.WithholdEvery > 0 {
+		opts = append(opts, WithWithholding(cfg.WithholdEvery))
+	}
+	return opts
+}
+
 // Evaluate runs a Monte-Carlo experiment for miner 0 of the given initial
 // allocation and assesses both fairness notions at the final horizon.
+// An empty or all-zero allocation returns ErrInvalidAllocation.
+//
+// Deprecated: use Engine.Evaluate, which adds context cancellation and
+// distinguishes unset options from explicit zeros (see EvalConfig's
+// zero-value caveat). This wrapper delegates to a default Engine with
+// background context and produces bit-identical verdicts.
 func Evaluate(p Protocol, initial []float64, cfg EvalConfig) (Verdict, error) {
-	if cfg.Trials == 0 {
-		cfg.Trials = 1000
-	}
-	if cfg.Blocks == 0 {
-		cfg.Blocks = 5000
-	}
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
-	if cfg.Params == (Params{}) {
-		cfg.Params = DefaultParams
-	}
-	var opts []game.Option
-	if cfg.WithholdEvery > 0 {
-		opts = append(opts, game.WithWithholding(cfg.WithholdEvery))
-	}
-	res, err := montecarlo.Run(p, initial, montecarlo.Config{
-		Trials:      cfg.Trials,
-		Blocks:      cfg.Blocks,
-		Seed:        cfg.Seed,
-		Checkpoints: []int{cfg.Blocks},
-		GameOptions: opts,
-	})
-	if err != nil {
-		return Verdict{}, err
-	}
-	a := initial[0]
-	total := 0.0
-	for _, v := range initial {
-		total += v
-	}
-	a /= total
-	return cfg.Params.Assess(p.Name(), res.FinalSamples(), a), nil
+	return NewEngine().Evaluate(context.Background(), p, initial, cfg.options()...)
 }
 
 // Scenario sweep entry points (cmd/fairsweep is the CLI face of these).
@@ -202,12 +242,39 @@ func ExpandScenarios(g ScenarioGrid) ([]Scenario, error) { return g.Expand() }
 // sweep cache key, stable across JSON field order and input sugar.
 func ScenarioHash(s Scenario) (string, error) { return s.Hash() }
 
-// NewSweepCache returns an LRU result cache to share across sweeps
-// (capacity <= 0 picks a default).
+// NewSweepCache returns an in-memory LRU result cache to share across
+// sweeps (capacity <= 0 picks a default).
 func NewSweepCache(capacity int) *SweepCache { return sweep.NewCache(capacity) }
+
+// NewDiskCache opens (creating if needed) a content-addressed disk
+// result cache rooted at dir. Warm results survive restarts: a second
+// process pointed at the same directory answers cached scenarios without
+// recomputing them.
+func NewDiskCache(dir string) (*DiskCache, error) { return sweep.NewDiskCache(dir) }
+
+// MonteCarloBackend returns the reference Evaluator: deterministic
+// repeated mining games through the Monte-Carlo engine (the default
+// backend of every Engine).
+func MonteCarloBackend() Evaluator { return &sweep.MonteCarloEvaluator{} }
+
+// TheoryBackend returns the closed-form Evaluator built on the paper's
+// theorems (4.2 exact binomial for PoW, 4.3/4.10 Azuma bounds for
+// ML-PoS/C-PoS, 4.9's mean-field skeleton for SL-PoS). It runs no
+// trials; scenarios outside the theory's coverage return an error.
+func TheoryBackend() Evaluator { return &sweep.TheoryEvaluator{} }
+
+// ChainSimBackend returns the block-level simulation Evaluator: real
+// SHA-256 puzzles and kernel lotteries through internal/chainsim. It is
+// the most faithful and most expensive backend; it covers pow, mlpos,
+// slpos and fslpos.
+func ChainSimBackend() Evaluator { return &sweep.ChainSimEvaluator{} }
 
 // Sweep evaluates every scenario through the Monte-Carlo engine and
 // aggregates per-scenario fairness verdicts with cache/throughput stats.
+//
+// Deprecated: use Engine.Sweep, which adds context cancellation,
+// pluggable backends and streaming. This wrapper is the exact
+// equivalent of NewEngine(...).Sweep(context.Background(), specs).
 func Sweep(specs []Scenario, opts SweepOptions) (*SweepReport, error) {
 	return sweep.Run(specs, opts)
 }

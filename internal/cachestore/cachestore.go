@@ -1,0 +1,191 @@
+// Package cachestore is a content-addressed blob store on disk: the
+// persistence layer of the sweep result cache. Keys are content hashes
+// (optionally namespaced, "backend:hash"), values are opaque byte
+// payloads; entries survive process restarts, so a second process pointed
+// at the same directory answers warm for everything the first computed.
+//
+// Layout: `<dir>/<namespace>/<hh>/<hash>` where `hh` is the first two
+// characters of the hash — a conventional fan-out that keeps directories
+// small for large caches. Writes go through a temp file and an atomic
+// rename, so readers never observe a torn entry and concurrent writers of
+// the same key converge on one complete payload. Unreadable or missing
+// entries report as absences, never as errors that could fail a sweep.
+package cachestore
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// ErrKey reports a key that cannot be mapped onto the disk layout.
+var ErrKey = errors.New("cachestore: invalid key")
+
+// Dir is a content-addressed blob store rooted at one directory. The zero
+// value is unusable; construct with Open. Dir is safe for concurrent use
+// by multiple goroutines and — thanks to atomic renames — by multiple
+// processes sharing the directory.
+type Dir struct {
+	root   string
+	hits   atomic.Uint64
+	misses atomic.Uint64
+	writes atomic.Uint64
+}
+
+// Open roots a store at dir, creating the directory if needed.
+func Open(dir string) (*Dir, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("cachestore: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cachestore: %w", err)
+	}
+	return &Dir{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (d *Dir) Root() string { return d.root }
+
+// path maps a key onto the sharded layout. Keys are one or more
+// path-safe segments joined by ':'; the last segment (the content hash)
+// fans out over its first two characters.
+func (d *Dir) path(key string) (string, error) {
+	segs := strings.Split(key, ":")
+	parts := make([]string, 0, len(segs)+1)
+	for i, s := range segs {
+		if s == "" || !pathSafe(s) {
+			return "", fmt.Errorf("%w: %q", ErrKey, key)
+		}
+		if i == len(segs)-1 && len(s) > 2 {
+			parts = append(parts, s[:2])
+		}
+		parts = append(parts, s)
+	}
+	return filepath.Join(append([]string{d.root}, parts...)...), nil
+}
+
+// pathSafe reports whether a key segment is a plain file-name atom:
+// letters, digits, dot, dash, underscore — no separators, no traversal.
+func pathSafe(s string) bool {
+	if s == "." || s == ".." {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '-', r == '_':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the payload stored under key. A missing or unreadable
+// entry reports ok = false; err is reserved for invalid keys.
+func (d *Dir) Get(key string) (data []byte, ok bool, err error) {
+	p, err := d.path(key)
+	if err != nil {
+		return nil, false, err
+	}
+	data, rerr := os.ReadFile(p)
+	if rerr != nil {
+		d.misses.Add(1)
+		return nil, false, nil
+	}
+	d.hits.Add(1)
+	return data, true, nil
+}
+
+// Put stores payload under key, atomically: concurrent readers see either
+// nothing or the complete payload, never a prefix.
+func (d *Dir) Put(key string, payload []byte) error {
+	p, err := d.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(payload); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	if err := os.Rename(tmpName, p); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	d.writes.Add(1)
+	return nil
+}
+
+// Delete removes the entry under key; deleting an absent key is a no-op.
+func (d *Dir) Delete(key string) error {
+	p, err := d.path(key)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(p); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("cachestore: %w", err)
+	}
+	return nil
+}
+
+// Len walks the store and counts entries. It is a maintenance/stats
+// operation, not a hot-path one.
+func (d *Dir) Len() int {
+	n := 0
+	filepath.WalkDir(d.root, func(path string, e fs.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if !e.IsDir() && !strings.HasPrefix(e.Name(), ".tmp-") {
+			n++
+		}
+		return nil
+	})
+	return n
+}
+
+// Keys walks the store and returns every stored key, reconstructed from
+// the sharded layout. Order is directory-walk order.
+func (d *Dir) Keys() []string {
+	var keys []string
+	filepath.WalkDir(d.root, func(path string, e fs.DirEntry, err error) error {
+		if err != nil || e.IsDir() || strings.HasPrefix(e.Name(), ".tmp-") {
+			return nil
+		}
+		rel, rerr := filepath.Rel(d.root, path)
+		if rerr != nil {
+			return nil
+		}
+		segs := strings.Split(filepath.ToSlash(rel), "/")
+		// Drop the two-character fan-out directory preceding the hash.
+		if len(segs) >= 2 && segs[len(segs)-2] == e.Name()[:min(2, len(e.Name()))] {
+			segs = append(segs[:len(segs)-2], segs[len(segs)-1])
+		}
+		keys = append(keys, strings.Join(segs, ":"))
+		return nil
+	})
+	return keys
+}
+
+// Counters returns cumulative hit, miss and write counts for this store
+// instance (not persisted across processes).
+func (d *Dir) Counters() (hits, misses, writes uint64) {
+	return d.hits.Load(), d.misses.Load(), d.writes.Load()
+}

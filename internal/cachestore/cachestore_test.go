@@ -1,0 +1,181 @@
+package cachestore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestPutGetRoundTrip(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "montecarlo:abcdef0123456789"
+	if _, ok, err := d.Get(key); ok || err != nil {
+		t.Fatalf("empty store: ok=%v err=%v", ok, err)
+	}
+	if err := d.Put(key, []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	data, ok, err := d.Get(key)
+	if err != nil || !ok || string(data) != `{"x":1}` {
+		t.Fatalf("get = %q ok=%v err=%v", data, ok, err)
+	}
+	// Overwrite replaces the payload.
+	if err := d.Put(key, []byte(`{"x":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	if data, _, _ := d.Get(key); string(data) != `{"x":2}` {
+		t.Errorf("overwrite lost: %q", data)
+	}
+	if d.Len() != 1 {
+		t.Errorf("len = %d", d.Len())
+	}
+}
+
+func TestShardedLayout(t *testing.T) {
+	root := t.TempDir()
+	d, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("theory:cafe1234", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	want := filepath.Join(root, "theory", "ca", "cafe1234")
+	if _, err := os.Stat(want); err != nil {
+		t.Errorf("expected sharded path %s: %v", want, err)
+	}
+}
+
+func TestCrossInstanceReuse(t *testing.T) {
+	// The cross-process story: a second store over the same directory sees
+	// everything the first wrote.
+	root := t.TempDir()
+	a, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := a.Put(fmt.Sprintf("mc:hash%02d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 5 {
+		t.Fatalf("second instance sees %d entries, want 5", b.Len())
+	}
+	for i := 0; i < 5; i++ {
+		data, ok, err := b.Get(fmt.Sprintf("mc:hash%02d", i))
+		if err != nil || !ok || data[0] != byte(i) {
+			t.Errorf("entry %d: %v %v %v", i, data, ok, err)
+		}
+	}
+	keys := b.Keys()
+	sort.Strings(keys)
+	if len(keys) != 5 || keys[0] != "mc:hash00" || keys[4] != "mc:hash04" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestCorruptEntryIsAMiss(t *testing.T) {
+	// The store is byte-oriented, so "corruption" at this layer means an
+	// unreadable file; it must report as a miss, not an error.
+	root := t.TempDir()
+	d, err := Open(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("mc:deadbeef", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(root, "mc", "de", "deadbeef")
+	if err := os.Chmod(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chmod(p, 0o644) })
+	if os.Geteuid() != 0 { // root bypasses permission bits
+		if _, ok, err := d.Get("mc:deadbeef"); ok || err != nil {
+			t.Errorf("unreadable entry: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func TestInvalidKeys(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "a:", ":b", "../evil", "a/b", "a:..", "sp ace"} {
+		if err := d.Put(key, []byte("v")); !errors.Is(err, ErrKey) {
+			t.Errorf("Put(%q) err = %v, want ErrKey", key, err)
+		}
+		if _, _, err := d.Get(key); !errors.Is(err, ErrKey) {
+			t.Errorf("Get(%q) err = %v, want ErrKey", key, err)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("mc:aa11", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete("mc:aa11"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := d.Get("mc:aa11"); ok {
+		t.Error("entry survived delete")
+	}
+	if err := d.Delete("mc:aa11"); err != nil {
+		t.Errorf("double delete: %v", err)
+	}
+}
+
+func TestConcurrentWritersConverge(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			d.Put("mc:shared", []byte("the-one-true-payload"))
+		}()
+	}
+	wg.Wait()
+	data, ok, err := d.Get("mc:shared")
+	if err != nil || !ok || string(data) != "the-one-true-payload" {
+		t.Fatalf("converged entry: %q ok=%v err=%v", data, ok, err)
+	}
+	if d.Len() != 1 {
+		t.Errorf("len = %d, want 1 (no leftover temp files)", d.Len())
+	}
+}
+
+func TestCounters(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Get("mc:absent")
+	d.Put("mc:present", []byte("v"))
+	d.Get("mc:present")
+	hits, misses, writes := d.Counters()
+	if hits != 1 || misses != 1 || writes != 1 {
+		t.Errorf("counters = %d/%d/%d", hits, misses, writes)
+	}
+}

@@ -1,12 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	fairness "repro"
 	"repro/internal/montecarlo"
 	"repro/internal/scenario"
-	"repro/internal/sweep"
 )
 
 func init() {
@@ -55,11 +56,14 @@ func Fig3SweepSpecs(cfg Config) []scenario.Spec {
 }
 
 // runFig3Sweep regenerates Figure 3's headline metrics through the
-// scenario sweep engine, emitting the same metric keys as runFig3 so the
-// two paths can be diffed directly.
+// public Engine API — the facade path every external caller takes —
+// emitting the same metric keys as runFig3 so the two paths can be
+// diffed directly. The Engine adds orchestration (context, backends,
+// caching), never semantics, so the metrics stay bit-identical.
 func runFig3Sweep(cfg Config) (*Report, error) {
 	specs := Fig3SweepSpecs(cfg)
-	rep, err := sweep.Run(specs, sweep.Options{Workers: cfg.Workers})
+	eng := fairness.NewEngine(fairness.WithWorkers(cfg.Workers))
+	rep, err := eng.Sweep(context.Background(), specs)
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@
 package montecarlo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -113,8 +114,24 @@ func LogCheckpoints(n, k int) []int {
 	return cps
 }
 
-// Run executes the Monte-Carlo experiment for one protocol.
+// Run executes the Monte-Carlo experiment for one protocol. It is
+// RunContext with a background context; use RunContext when the caller
+// needs cancellation.
 func Run(p protocol.Protocol, initial []float64, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), p, initial, cfg)
+}
+
+// ctxCheckInterval is how many blocks a trial advances between context
+// checks: frequent enough that cancellation lands mid-trial within
+// microseconds, rare enough to stay invisible in the step loop's profile.
+const ctxCheckInterval = 4096
+
+// RunContext executes the Monte-Carlo experiment for one protocol,
+// honouring ctx: cancellation stops dispatching new trials, interrupts
+// running trials at the next block-batch boundary, and returns ctx.Err().
+// A cancelled run never returns a partial Result — samples are either
+// complete and deterministic or absent.
+func RunContext(ctx context.Context, p protocol.Protocol, initial []float64, cfg Config) (*Result, error) {
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("%w: Trials = %d", ErrConfig, cfg.Trials)
 	}
@@ -170,7 +187,10 @@ func Run(p protocol.Protocol, initial []float64, cfg Config) (*Result, error) {
 		go func() {
 			defer wg.Done()
 			for trial := range trialCh {
-				if err := runTrial(p, initial, cfg, cps, res, trial); err != nil {
+				if ctx.Err() != nil {
+					continue
+				}
+				if err := runTrial(ctx, p, initial, cfg, cps, res, trial); err != nil {
 					errOnce.Do(func() { firstErr = err })
 					continue
 				}
@@ -182,18 +202,26 @@ func Run(p protocol.Protocol, initial []float64, cfg Config) (*Result, error) {
 			}
 		}()
 	}
+dispatch:
 	for trial := 0; trial < cfg.Trials; trial++ {
-		trialCh <- trial
+		select {
+		case trialCh <- trial:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(trialCh)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	return res, nil
 }
 
-func runTrial(p protocol.Protocol, initial []float64, cfg Config, cps []int, res *Result, trial int) error {
+func runTrial(ctx context.Context, p protocol.Protocol, initial []float64, cfg Config, cps []int, res *Result, trial int) error {
 	st, err := game.New(initial, cfg.GameOptions...)
 	if err != nil {
 		return err
@@ -201,6 +229,9 @@ func runTrial(p protocol.Protocol, initial []float64, cfg Config, cps []int, res
 	r := rng.Stream(cfg.Seed, trial)
 	next := 0
 	for b := 1; b <= cfg.Blocks && next < len(cps); b++ {
+		if b%ctxCheckInterval == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
 		p.Step(st, r)
 		if b == cps[next] {
 			if cfg.CheckInvariants {

@@ -1,6 +1,7 @@
 package montecarlo
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -248,5 +249,67 @@ func TestMultiMinerTracking(t *testing.T) {
 	mean := res.MeanSeries()
 	if math.Abs(mean[len(mean)-1]-0.2) > 0.02 {
 		t.Errorf("miner 2 mean λ = %v, want ~0.2", mean[len(mean)-1])
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	// A context cancelled before the run starts returns ctx.Err() and no
+	// result; trials never execute.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := 0
+	res, err := RunContext(ctx, protocol.NewPoW(0.01), game.TwoMiner(0.2), Config{
+		Trials: 100, Blocks: 1000, Seed: 1,
+		OnTrialDone: func(int, float64) { ran++ },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled run should not return a result")
+	}
+	if ran != 0 {
+		t.Errorf("%d trials completed after pre-cancel", ran)
+	}
+}
+
+func TestRunContextCancelMidRun(t *testing.T) {
+	// Cancelling after the first completed trial stops the run promptly:
+	// far fewer trials complete than requested, and the error is ctx.Err().
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := 0
+	_, err := RunContext(ctx, protocol.NewPoW(0.01), game.TwoMiner(0.2), Config{
+		Trials: 10_000, Blocks: 2000, Seed: 1, Workers: 2,
+		OnTrialDone: func(int, float64) {
+			done++
+			cancel()
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if done >= 10_000 {
+		t.Errorf("all %d trials completed despite cancellation", done)
+	}
+}
+
+func TestRunContextMatchesRun(t *testing.T) {
+	// With a background context, RunContext is exactly Run.
+	cfg := Config{Trials: 40, Blocks: 300, Seed: 9}
+	a, err := Run(protocol.NewMLPoS(0.01), game.TwoMiner(0.2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunContext(context.Background(), protocol.NewMLPoS(0.01), game.TwoMiner(0.2), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range a.Lambda {
+		for tr := range a.Lambda[c] {
+			if a.Lambda[c][tr] != b.Lambda[c][tr] {
+				t.Fatalf("lambda[%d][%d] differs", c, tr)
+			}
+		}
 	}
 }

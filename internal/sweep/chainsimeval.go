@@ -1,0 +1,143 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/chainsim"
+	"repro/internal/montecarlo"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+)
+
+// ChainSimEvaluator answers scenarios by running full block-level
+// simulations through internal/chainsim: real SHA-256 puzzles and kernel
+// lotteries, chain validation on every block, integer-unit ledgers — the
+// repo's stand-in for the paper's Geth/Qtum/NXT deployments. It is the
+// most faithful backend and by far the most expensive one; use it to
+// cross-check the abstract Monte-Carlo model on small scenarios, not for
+// wide grids at paper scale.
+//
+// Coverage: pow, mlpos, slpos and fslpos — the protocols internal/chainsim
+// implements as consensus engines. Stake shares are discretised into
+// integer units (StakeUnits per unit of total stake), and the block
+// reward becomes round(w·StakeUnits) ledger units, so very small w or
+// very skewed allocations lose resolution; Evaluate rejects scenarios
+// whose reward would truncate to zero.
+type ChainSimEvaluator struct {
+	// StakeUnits is the integer total supply the stake vector is scaled
+	// to (default 1,000,000).
+	StakeUnits uint64
+	// PoWTarget is the per-hash success threshold out of 2^64 for the
+	// PoW engine (default 1<<57, ≈128 hashes per miner per block).
+	PoWTarget uint64
+}
+
+// chainsimProtocols lists the protocols the chainsim backend covers.
+var chainsimProtocols = []string{"pow", "mlpos", "slpos", "fslpos"}
+
+// chainsimBlockChunk bounds how many blocks run between context checks.
+const chainsimBlockChunk = 128
+
+// Name implements Evaluator.
+func (e *ChainSimEvaluator) Name() string { return "chainsim" }
+
+// Evaluate implements Evaluator.
+func (e *ChainSimEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) (Evaluation, error) {
+	n := spec.Normalized()
+	p, err := n.Build() // display name + protocol validation
+	if err != nil {
+		return Evaluation{}, err
+	}
+	units := e.StakeUnits
+	if units == 0 {
+		units = 1_000_000
+	}
+	total := 0.0
+	for _, s := range n.Stakes {
+		total += s
+	}
+	miners := make([]chainsim.MinerSpec, len(n.Stakes))
+	var totalUnits uint64
+	for i, s := range n.Stakes {
+		r := uint64(math.Round(s / total * float64(units)))
+		if r == 0 {
+			r = 1
+		}
+		miners[i] = chainsim.MinerSpec{Name: fmt.Sprintf("m%d", i), Resource: r}
+		totalUnits += r
+	}
+	reward := uint64(math.Round(n.W * float64(units)))
+	if reward == 0 && n.Protocol != "pow" {
+		return Evaluation{}, fmt.Errorf("%w: w = %v truncates to zero ledger units at %d stake units",
+			ErrBackend, n.W, units)
+	}
+	engine := func() chainsim.Engine {
+		switch n.Protocol {
+		case "pow":
+			target := e.PoWTarget
+			if target == 0 {
+				target = 1 << 57
+			}
+			return &chainsim.PoWEngine{Target: target, BlockReward: reward}
+		case "mlpos":
+			// One kernel trial per staker per slot; aim for ≈1/32
+			// network-wide success per slot, as the bench grids do.
+			perUnit := uint64(math.Exp2(64) / 32 / float64(totalUnits))
+			if perUnit == 0 {
+				perUnit = 1
+			}
+			return &chainsim.MLPoSEngine{TargetPerUnit: perUnit, BlockReward: reward}
+		case "slpos":
+			return &chainsim.SLPoSEngine{BlockReward: reward}
+		case "fslpos":
+			return &chainsim.FSLPoSEngine{BlockReward: reward}
+		}
+		return nil
+	}
+	if engine() == nil {
+		return Evaluation{}, unsupported("chainsim", n.Protocol, chainsimProtocols)
+	}
+
+	tracked := fmt.Sprintf("m%d", n.Miner)
+	cps := n.Checkpoints
+	lambda := make([][]float64, len(cps))
+	for i := range lambda {
+		lambda[i] = make([]float64, n.Trials)
+	}
+	for trial := 0; trial < n.Trials; trial++ {
+		if err := ctx.Err(); err != nil {
+			return Evaluation{TrialsRun: int64(trial)}, err
+		}
+		// Trial streams mirror the Monte-Carlo engine's seeding scheme so
+		// chainsim runs are equally reproducible and worker-independent.
+		tr := rng.Stream(n.Seed, trial)
+		net, err := chainsim.NewNetwork(chainsim.NetworkConfig{
+			Engine:        engine(), // fresh engine: NewNetwork wires per-network miner sets into it
+			Miners:        miners,
+			Seed:          tr.Uint64(),
+			Salt:          tr.Uint64(),
+			WithholdEvery: uint64(n.WithholdEvery),
+		})
+		if err != nil {
+			return Evaluation{TrialsRun: int64(trial)}, err
+		}
+		height := 0
+		for ci, c := range cps {
+			for height < c {
+				step := min(chainsimBlockChunk, c-height)
+				if err := ctx.Err(); err != nil {
+					return Evaluation{TrialsRun: int64(trial)}, err
+				}
+				if err := net.RunBlocks(step); err != nil {
+					return Evaluation{TrialsRun: int64(trial)}, err
+				}
+				height += step
+			}
+			lambda[ci][trial] = net.Lambda(tracked)
+		}
+	}
+	res := &montecarlo.Result{Protocol: p.Name(), Checkpoints: cps, Lambda: lambda}
+	return assessSamples(n, p.Name(), res, int64(n.Trials)), nil
+}

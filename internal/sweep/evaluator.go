@@ -1,0 +1,140 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/game"
+	"repro/internal/montecarlo"
+	"repro/internal/scenario"
+)
+
+// Evaluator is a pluggable scenario backend: anything that can turn a
+// declarative scenario into a fairness evaluation. The sweep runner is
+// backend-agnostic — it handles validation, deduplication, caching,
+// parallelism and streaming, and delegates the actual fairness question
+// to an Evaluator.
+//
+// Three implementations ship with the engine:
+//
+//   - MonteCarloEvaluator — the reference backend: deterministic repeated
+//     mining games through internal/montecarlo (the PR-1 semantics,
+//     bit for bit).
+//   - TheoryEvaluator — closed-form answers from the paper's theorems,
+//     no sampling at all.
+//   - ChainSimEvaluator — block-level simulation with real SHA-256
+//     puzzles through internal/chainsim.
+//
+// Evaluate receives the scenario in normalised form and must honour ctx:
+// on cancellation it returns promptly with ctx.Err(). Results must be a
+// pure function of the spec — the runner caches them under
+// "name:contenthash", so a nondeterministic evaluator would poison every
+// later sweep that shares the cache.
+type Evaluator interface {
+	// Name identifies the backend; it namespaces cache keys, so two
+	// evaluators with different semantics must never share a name.
+	Name() string
+	// Evaluate answers one normalised, validated scenario.
+	Evaluate(ctx context.Context, spec scenario.Spec) (Evaluation, error)
+}
+
+// Evaluation is the backend-independent result of evaluating one
+// scenario: the fairness verdict plus the auxiliary metrics every
+// Outcome carries. Bookkeeping (hashes, timing, cache state) is the
+// runner's job, not the evaluator's.
+type Evaluation struct {
+	// Verdict carries both fairness notions at the final horizon.
+	Verdict core.Verdict
+	// Equitability is Fanti et al.'s normalised dispersion of final λ.
+	Equitability float64
+	// ConvergenceBlock is the first checkpoint from which the unfair
+	// probability stays at or below δ, or -1.
+	ConvergenceBlock int
+	// TrialsRun counts the trials the evaluation actually executed
+	// (zero for closed-form backends).
+	TrialsRun int64
+}
+
+// ErrBackend reports a scenario outside an evaluator's coverage.
+var ErrBackend = errors.New("sweep: scenario not supported by backend")
+
+// MonteCarloEvaluator is the reference backend: it runs the scenario's
+// deterministic Monte-Carlo experiment through internal/montecarlo and
+// assesses both fairness notions on the final-checkpoint λ samples. Its
+// results are a pure function of the spec — independent of worker counts
+// and identical to the pre-Evaluator sweep engine, bit for bit.
+type MonteCarloEvaluator struct {
+	// TrialWorkers caps each scenario's inner trial parallelism; 0 lets
+	// the sweep runner pick its saturation-aware default (1 while
+	// scenario-level workers already fill the machine, GOMAXPROCS when
+	// scenarios run one at a time).
+	TrialWorkers int
+}
+
+// Name implements Evaluator.
+func (e *MonteCarloEvaluator) Name() string { return "montecarlo" }
+
+// Evaluate implements Evaluator.
+func (e *MonteCarloEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) (Evaluation, error) {
+	n := spec.Normalized()
+	p, err := n.Build()
+	if err != nil {
+		return Evaluation{}, err
+	}
+	var gameOpts []game.Option
+	if n.WithholdEvery > 0 {
+		gameOpts = append(gameOpts, game.WithWithholding(n.WithholdEvery))
+	}
+	var trials atomic.Int64
+	res, err := montecarlo.RunContext(ctx, p, n.Stakes, montecarlo.Config{
+		Trials:      n.Trials,
+		Blocks:      n.Blocks,
+		Checkpoints: n.Checkpoints,
+		Miner:       n.Miner,
+		Seed:        n.Seed,
+		Workers:     e.TrialWorkers,
+		GameOptions: gameOpts,
+		OnTrialDone: func(int, float64) { trials.Add(1) },
+	})
+	if err != nil {
+		return Evaluation{TrialsRun: trials.Load()}, err
+	}
+	return assessSamples(n, p.Name(), res, trials.Load()), nil
+}
+
+// withTrialWorkers returns the evaluator the runner should use given the
+// resolved per-scenario trial parallelism: custom evaluators pass
+// through untouched; a Monte-Carlo evaluator with no explicit
+// TrialWorkers adopts the resolved value.
+func withTrialWorkers(ev Evaluator, trialWorkers int) Evaluator {
+	if ev == nil {
+		return &MonteCarloEvaluator{TrialWorkers: trialWorkers}
+	}
+	if mc, ok := ev.(*MonteCarloEvaluator); ok && mc.TrialWorkers == 0 {
+		return &MonteCarloEvaluator{TrialWorkers: trialWorkers}
+	}
+	return ev
+}
+
+// assessSamples turns a per-checkpoint λ sample matrix into an
+// Evaluation — the shared tail of every sampling backend.
+func assessSamples(spec scenario.Spec, protocolName string, res *montecarlo.Result, trialsRun int64) Evaluation {
+	a := spec.TrackedShare()
+	params := core.Params{Eps: spec.Eps, Delta: spec.Delta}
+	final := res.FinalSamples()
+	return Evaluation{
+		Verdict:          params.Assess(protocolName, final, a),
+		Equitability:     core.Equitability(final, a),
+		ConvergenceBlock: res.ConvergenceBlock(a, spec.Eps, spec.Delta),
+		TrialsRun:        trialsRun,
+	}
+}
+
+// unsupported builds the canonical ErrBackend error.
+func unsupported(backend, protocol string, supported []string) error {
+	return fmt.Errorf("%w: %s backend does not cover protocol %q (covered: %v)",
+		ErrBackend, backend, protocol, supported)
+}

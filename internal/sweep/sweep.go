@@ -1,18 +1,25 @@
 // Package sweep is the scenario sweep engine: it fans a list of
 // declarative fairness scenarios (internal/scenario) across a worker
-// pool, evaluates each one with the deterministic Monte-Carlo engine
-// (internal/montecarlo), deduplicates and caches results by scenario
-// content hash, and aggregates everything into a Report with per-scenario
-// fairness verdicts and sweep-level throughput/cache statistics.
+// pool, evaluates each one through a pluggable Evaluator backend
+// (Monte-Carlo, closed-form theory, or block-level chainsim),
+// deduplicates and caches results by scenario content hash through a
+// pluggable CacheStore (in-memory LRU or content-addressed disk), and
+// aggregates everything into a Report with per-scenario fairness
+// verdicts and sweep-level throughput/cache statistics.
 //
-// Determinism: scenario seeds live in the specs themselves and montecarlo
-// derives per-trial streams from them, so a sweep's Report is a pure
-// function of its scenario list — independent of worker count, scheduling
-// and cache state (cache hits change only the timing stats, never the
-// verdicts).
+// Runs are context-aware: RunContext stops dispatching on cancellation,
+// interrupts the in-flight evaluations, and returns the partial report
+// together with ctx.Err(), so callers can stream what completed.
+//
+// Determinism: scenario seeds live in the specs themselves and backends
+// derive per-trial streams from them, so a sweep's Report is a pure
+// function of its scenario list and backend — independent of worker
+// count, scheduling and cache state (cache hits change only the timing
+// stats, never the verdicts).
 package sweep
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"runtime"
@@ -22,11 +29,23 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/game"
-	"repro/internal/montecarlo"
 	"repro/internal/scenario"
 	"repro/internal/table"
 )
+
+// CacheStore is a pluggable result cache keyed by "backend:contenthash".
+// Two implementations ship with the engine: the in-memory LRU Cache and
+// the cross-process DiskCache. Implementations must be safe for
+// concurrent use; Get/Add follow cache semantics — lossy, never failing
+// the computation they memoise.
+type CacheStore interface {
+	// Get returns the cached outcome under key, if present.
+	Get(key string) (Outcome, bool)
+	// Add stores an outcome under key (best-effort).
+	Add(key string, out Outcome)
+	// Len returns the number of cached outcomes.
+	Len() int
+}
 
 // Options configures a sweep run.
 type Options struct {
@@ -37,9 +56,14 @@ type Options struct {
 	// machine, GOMAXPROCS when scenarios run one at a time.
 	TrialWorkers int
 	// Cache, when non-nil, is consulted before computing a scenario and
-	// filled afterwards. Sharing one Cache across sweeps lets
-	// overlapping grids skip recomputation entirely.
-	Cache *Cache
+	// filled afterwards. Sharing one CacheStore across sweeps (or, for a
+	// DiskCache, across processes) lets overlapping grids skip
+	// recomputation entirely. Keys are namespaced by backend, so caches
+	// may be shared between sweeps running different Evaluators.
+	Cache CacheStore
+	// Evaluator selects the backend answering each scenario; nil means
+	// the reference MonteCarloEvaluator.
+	Evaluator Evaluator
 	// OnOutcome, when non-nil, streams each outcome as it is produced
 	// (calls are serialised; completion order is scheduling-dependent).
 	OnOutcome func(Outcome)
@@ -60,11 +84,13 @@ type Outcome struct {
 	// ConvergenceBlock is the first checkpoint from which the unfair
 	// probability stays at or below δ, or -1 (Table 1's "Cvg. Time").
 	ConvergenceBlock int `json:"convergence_block"`
+	// Backend names the Evaluator that produced the outcome.
+	Backend string `json:"backend,omitempty"`
 	// ElapsedMS is the wall time spent computing this scenario; 0 for
 	// cache hits.
 	ElapsedMS float64 `json:"elapsed_ms"`
 	// CacheHit reports whether the outcome was served without running
-	// any Monte-Carlo trial (result cache or in-sweep deduplication).
+	// any evaluation (result cache or in-sweep deduplication).
 	CacheHit bool `json:"cache_hit"`
 }
 
@@ -94,12 +120,29 @@ func (s Stats) ScenariosPerSec() float64 {
 type Report struct {
 	Outcomes []Outcome `json:"outcomes"`
 	Stats    Stats     `json:"stats"`
+	// Partial marks a report cut short by context cancellation: positions
+	// whose outcome has an empty Hash were never evaluated.
+	Partial bool `json:"partial,omitempty"`
 }
 
-// Run evaluates every scenario and aggregates the outcomes. Scenarios
-// are validated up front; identical scenarios (same content hash) are
-// computed once and fanned out to every position that requested them.
+// Run evaluates every scenario and aggregates the outcomes. It is
+// RunContext with a background context.
 func Run(specs []scenario.Spec, opts Options) (*Report, error) {
+	return RunContext(context.Background(), specs, opts)
+}
+
+// RunContext evaluates every scenario and aggregates the outcomes.
+// Scenarios are validated up front; identical scenarios (same content
+// hash) are computed once and fanned out to every position that
+// requested them.
+//
+// Cancellation: when ctx ends mid-sweep, no new scenario starts, the
+// in-flight evaluations are interrupted at their next check, and
+// RunContext returns the PARTIAL report — completed positions filled,
+// the rest zero-valued and the report marked Partial — together with
+// ctx.Err(). Completed outcomes are identical to what an uncancelled
+// sweep would have produced.
+func RunContext(ctx context.Context, specs []scenario.Spec, opts Options) (*Report, error) {
 	start := time.Now()
 	norm := make([]scenario.Spec, len(specs))
 	hashes := make([]string, len(specs))
@@ -148,6 +191,8 @@ func Run(specs []scenario.Spec, opts Options) (*Report, error) {
 	rep := &Report{Outcomes: make([]Outcome, len(specs))}
 	rep.Stats.Scenarios = len(specs)
 
+	ev := withTrialWorkers(opts.Evaluator, trialWorkers)
+
 	var (
 		wg        sync.WaitGroup
 		errOnce   sync.Once
@@ -162,10 +207,17 @@ func Run(specs []scenario.Spec, opts Options) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for h := range hashCh {
+				if ctx.Err() != nil {
+					continue // drain the channel without starting new work
+				}
 				idxs := groups[h]
 				spec := norm[idxs[0]]
-				out, hit, err := evaluate(spec, h, opts.Cache, trialWorkers, &trialsRun)
+				out, hit, trials, err := evaluate(ctx, ev, spec, h, opts.Cache)
+				trialsRun.Add(trials)
 				if err != nil {
+					if ctx.Err() != nil {
+						continue // cancellation, not an evaluation failure
+					}
 					errOnce.Do(func() { firstErr = fmt.Errorf("sweep: scenario %q: %w", specs[idxs[0]].Name, err) })
 					continue
 				}
@@ -190,68 +242,71 @@ func Run(specs []scenario.Spec, opts Options) (*Report, error) {
 			}
 		}()
 	}
+dispatch:
 	for _, h := range uniq {
-		hashCh <- h
+		select {
+		case hashCh <- h:
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(hashCh)
 	wg.Wait()
+
+	rep.Stats.TrialsRun = trialsRun.Load()
+	rep.Stats.Computed = int(computed.Load())
+	rep.Stats.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	if cerr := ctx.Err(); cerr != nil {
+		rep.Partial = true
+		filled := 0
+		for _, o := range rep.Outcomes {
+			if o.Hash != "" {
+				filled++
+			}
+		}
+		rep.Stats.CacheHits = filled - rep.Stats.Computed
+		return rep, cerr
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
-
-	rep.Stats.Computed = int(computed.Load())
 	rep.Stats.CacheHits = len(specs) - rep.Stats.Computed
-	rep.Stats.TrialsRun = trialsRun.Load()
-	rep.Stats.WallMS = float64(time.Since(start).Microseconds()) / 1000
 	return rep, nil
 }
 
+// CacheKey returns the result-cache key of a scenario hash under a
+// backend: keys are namespaced by evaluator name so different backends
+// never serve each other's answers.
+func CacheKey(backend, hash string) string { return backend + ":" + hash }
+
 // evaluate answers one unique scenario: from the cache when possible,
-// otherwise by running its Monte-Carlo experiment and caching the result.
-func evaluate(n scenario.Spec, hash string, cache *Cache, trialWorkers int, trialsRun *atomic.Int64) (Outcome, bool, error) {
+// otherwise through the Evaluator, caching the result.
+func evaluate(ctx context.Context, ev Evaluator, n scenario.Spec, hash string, cache CacheStore) (Outcome, bool, int64, error) {
+	key := CacheKey(ev.Name(), hash)
 	if cache != nil {
-		if out, ok := cache.Get(hash); ok {
-			return out, true, nil
+		if out, ok := cache.Get(key); ok {
+			return out, true, 0, nil
 		}
 	}
 	begin := time.Now()
-	p, err := n.Build()
+	evl, err := ev.Evaluate(ctx, n)
 	if err != nil {
-		return Outcome{}, false, err
+		return Outcome{}, false, evl.TrialsRun, err
 	}
-	var gameOpts []game.Option
-	if n.WithholdEvery > 0 {
-		gameOpts = append(gameOpts, game.WithWithholding(n.WithholdEvery))
-	}
-	res, err := montecarlo.Run(p, n.Stakes, montecarlo.Config{
-		Trials:      n.Trials,
-		Blocks:      n.Blocks,
-		Checkpoints: n.Checkpoints,
-		Miner:       n.Miner,
-		Seed:        n.Seed,
-		Workers:     trialWorkers,
-		GameOptions: gameOpts,
-		OnTrialDone: func(int, float64) { trialsRun.Add(1) },
-	})
-	if err != nil {
-		return Outcome{}, false, err
-	}
-	a := n.TrackedShare()
-	params := core.Params{Eps: n.Eps, Delta: n.Delta}
-	final := res.FinalSamples()
 	out := Outcome{
 		Hash:             hash,
 		Spec:             n,
-		Share:            a,
-		Verdict:          params.Assess(p.Name(), final, a),
-		Equitability:     core.Equitability(final, a),
-		ConvergenceBlock: res.ConvergenceBlock(a, n.Eps, n.Delta),
+		Share:            n.TrackedShare(),
+		Backend:          ev.Name(),
+		Verdict:          evl.Verdict,
+		Equitability:     evl.Equitability,
+		ConvergenceBlock: evl.ConvergenceBlock,
 		ElapsedMS:        float64(time.Since(begin).Microseconds()) / 1000,
 	}
 	if cache != nil {
-		cache.Add(hash, out)
+		cache.Add(key, out)
 	}
-	return out, false, nil
+	return out, false, evl.TrialsRun, nil
 }
 
 // Table renders the report as an aligned text table, one scenario per
