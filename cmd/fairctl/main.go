@@ -1,0 +1,331 @@
+// Command fairctl is the cluster coordinator CLI: it takes the same
+// declarative scenario grids fairsweep runs locally and fans them out
+// over a pool of fairnessd worker nodes (internal/cluster), merging the
+// workers' streams into one report that is bit-identical — modulo
+// timing/cache bookkeeping — to a single-process `fairsweep run` of the
+// same spec.
+//
+// Usage:
+//
+//	fairctl run -workers host1:7447,host2:7447 [flags] spec.json
+//	fairctl status -workers host1:7447,host2:7447
+//	fairctl expand [flags] [spec.json]
+//
+// Run flags:
+//
+//	-workers CSV         fairnessd base URLs (required; host:port or URL)
+//	-spec FILE           JSON grid or scenario array (or a positional file)
+//	-backend NAME        backend every worker must run: montecarlo
+//	                     (default), theory or chainsim — mismatched
+//	                     workers fail the run
+//	-cache-dir DIR       coordinator-side disk cache; point it at the
+//	                     directory the workers share and warm work items
+//	                     are never shipped at all
+//	-cache-max-bytes N   size-cap the coordinator cache (LRU eviction)
+//	-shard-size N        work items per shard (0 = auto)
+//	-retries N           attempts per shard before the run fails (default 3)
+//	-seed S              sweep base seed for grid specs
+//	-json / -ndjson      report as JSON / stream outcomes as NDJSON
+//	-out FILE            also write the JSON report to FILE
+//
+// Failure semantics: a worker that dies mid-shard just loses the shard —
+// it re-enters the shared queue with exponential backoff and any live
+// worker steals it; the merged report is unchanged. The run fails only
+// when a shard exhausts its retry budget, every worker is lost, or a
+// worker is misconfigured (wrong backend).
+//
+// Example session:
+//
+//	fairnessd -addr :7447 -cache-dir /shared/cache &
+//	fairnessd -addr :7448 -cache-dir /shared/cache &
+//	fairctl status -workers localhost:7447,localhost:7448
+//	fairctl run -workers localhost:7447,localhost:7448 grid.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	fairness "repro"
+	"repro/internal/cluster"
+	"repro/internal/scenario"
+	"repro/internal/table"
+)
+
+// stdout/stderr are swapped by tests; stderr carries summaries in
+// -ndjson mode so stdout stays machine-parseable.
+var (
+	stdout io.Writer = os.Stdout
+	stderr io.Writer = os.Stderr
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fairctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing command")
+	}
+	switch args[0] {
+	case "run":
+		return runCmd(args[1:])
+	case "status":
+		return statusCmd(args[1:])
+	case "expand":
+		return expandCmd(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// signalContext cancels on SIGINT/SIGTERM so an interrupted distributed
+// run reports what its workers finished.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// splitWorkers parses the -workers CSV into base URLs.
+func splitWorkers(csv string) []string {
+	var out []string
+	for _, w := range strings.Split(csv, ",") {
+		if u := cluster.NormalizeWorkerURL(w); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// loadSpecs reads a grid or scenario-array file — the same two formats
+// fairsweep and fairnessd accept — into a validated scenario list.
+func loadSpecs(path string, seed uint64) ([]fairness.Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return scenario.DecodeSpecsOrGrid(data, seed)
+}
+
+// specPath resolves -spec against a positional file argument.
+func specPath(specFlag string, fs *flag.FlagSet) (string, error) {
+	path := specFlag
+	if fs.NArg() > 0 {
+		if path != "" {
+			return "", fmt.Errorf("both -spec and a positional spec file given")
+		}
+		path = fs.Arg(0)
+	}
+	if path == "" {
+		return "", fmt.Errorf("no spec: pass -spec FILE or a positional spec file")
+	}
+	return path, nil
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	workers := fs.String("workers", "", "fairnessd worker base URLs (CSV, required)")
+	spec := fs.String("spec", "", "JSON grid or scenario-array file")
+	backend := fs.String("backend", "montecarlo", "backend every worker must run: montecarlo, theory, chainsim")
+	cacheDir := fs.String("cache-dir", "", "coordinator-side disk result cache (share the workers' dir for free warm starts)")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "size cap for -cache-dir: evict LRU entries beyond N bytes (0 = unbounded)")
+	shardSize := fs.Int("shard-size", 0, "work items per shard (0 = auto)")
+	retries := fs.Int("retries", 0, "attempts per shard before the run fails (0 = default 3)")
+	seed := fs.Uint64("seed", 1, "sweep base seed for grid specs")
+	asJSON := fs.Bool("json", false, "print the report as JSON")
+	asNDJSON := fs.Bool("ndjson", false, "stream outcomes as NDJSON lines as they complete")
+	outFile := fs.String("out", "", "also write the JSON report to FILE")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pool := splitWorkers(*workers)
+	if len(pool) == 0 {
+		return fmt.Errorf("no workers: pass -workers host1:port,host2:port")
+	}
+	path, err := specPath(*spec, fs)
+	if err != nil {
+		return err
+	}
+	specs, err := loadSpecs(path, *seed)
+	if err != nil {
+		return err
+	}
+	// In cluster mode the evaluator never runs locally — it names the
+	// backend the workers must match and the cache namespace.
+	ev, err := fairness.BackendByName(*backend)
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signalContext()
+	defer stop()
+
+	engOpts := []fairness.EngineOption{fairness.WithCluster(fairness.ClusterOptions{
+		Workers:     pool,
+		ShardSize:   *shardSize,
+		MaxAttempts: *retries,
+	})}
+	if *cacheDir != "" {
+		disk, err := fairness.NewDiskCache(*cacheDir)
+		if err != nil {
+			return err
+		}
+		if *cacheMaxBytes > 0 {
+			disk.SetMaxBytes(*cacheMaxBytes)
+		}
+		engOpts = append(engOpts, fairness.WithCache(disk))
+	}
+	if ev != nil {
+		engOpts = append(engOpts, fairness.WithBackend(ev))
+	}
+	enc := json.NewEncoder(stdout)
+	if *asNDJSON {
+		engOpts = append(engOpts, fairness.WithObserver(func(o fairness.SweepOutcome) {
+			enc.Encode(o)
+		}))
+	}
+	eng := fairness.NewEngine(engOpts...)
+
+	rep, err := eng.Sweep(ctx, specs)
+	if err != nil {
+		if rep != nil && rep.Partial {
+			fmt.Fprintf(stderr, "cluster run interrupted: %s\n", rep.Summary())
+		}
+		return err
+	}
+	summary := fmt.Sprintf("%s across %d workers", rep.Summary(), len(pool))
+	switch {
+	case *asNDJSON:
+		fmt.Fprintln(stderr, summary)
+	case *asJSON:
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", data)
+		fmt.Fprintln(stdout, summary)
+	default:
+		fmt.Fprintln(stdout, rep.Table())
+		fmt.Fprintln(stdout, summary)
+	}
+	if *outFile != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outFile, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *outFile)
+	}
+	return nil
+}
+
+func statusCmd(args []string) error {
+	fs := flag.NewFlagSet("status", flag.ContinueOnError)
+	workers := fs.String("workers", "", "fairnessd worker base URLs (CSV, required)")
+	asJSON := fs.Bool("json", false, "print worker health as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	pool := splitWorkers(*workers)
+	if len(pool) == 0 {
+		return fmt.Errorf("no workers: pass -workers host1:port,host2:port")
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	health := fairness.ClusterStatus(ctx, pool)
+	if *asJSON {
+		data, err := json.MarshalIndent(health, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", data)
+		return nil
+	}
+	tb := table.New("Worker", "Status", "Backend", "Cache", "In-flight", "Done", "Uptime(s)").
+		AlignAll(table.Right).SetAlign(0, table.Left).SetAlign(1, table.Left)
+	up := 0
+	for _, h := range health {
+		status := "ok"
+		if !h.OK {
+			status = "DOWN: " + h.Error
+		} else {
+			up++
+		}
+		tb.AddRow(h.URL, status, h.Backend, h.Cache,
+			fmt.Sprintf("%d", h.ShardsInFlight), fmt.Sprintf("%d", h.ShardsDone),
+			fmt.Sprintf("%.0f", float64(h.UptimeMS)/1000))
+	}
+	fmt.Fprintln(stdout, tb.String())
+	fmt.Fprintf(stdout, "%d/%d workers up\n", up, len(health))
+	if up == 0 {
+		return fmt.Errorf("no workers up")
+	}
+	return nil
+}
+
+func expandCmd(args []string) error {
+	fs := flag.NewFlagSet("expand", flag.ContinueOnError)
+	spec := fs.String("spec", "", "JSON grid or scenario-array file")
+	seed := fs.Uint64("seed", 1, "sweep base seed for grid specs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := specPath(*spec, fs)
+	if err != nil {
+		return err
+	}
+	specs, err := loadSpecs(path, *seed)
+	if err != nil {
+		return err
+	}
+	type hashed struct {
+		fairness.Scenario
+		Hash string `json:"hash"`
+	}
+	out := make([]hashed, len(specs))
+	for i, s := range specs {
+		h, err := s.Hash()
+		if err != nil {
+			return err
+		}
+		out[i] = hashed{Scenario: s.Normalized(), Hash: h}
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s\n", data)
+	fmt.Fprintf(stdout, "expanded %d scenarios\n", len(specs))
+	return nil
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, strings.TrimLeft(`
+fairctl — coordinate fairness-scenario sweeps across fairnessd workers
+
+commands:
+  run -workers CSV [flags] spec.json     distribute the sweep, print the report
+  status -workers CSV [-json]            probe every worker's /v1/healthz
+  expand [-spec FILE|spec.json] [-seed]  expand the grid, print scenarios + hashes
+
+run flags:
+  -workers CSV  -spec FILE  -backend NAME  -cache-dir DIR  -cache-max-bytes N
+  -shard-size N  -retries N  -seed S  -json  -ndjson  -out FILE
+`, "\n"))
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sweep"
+)
+
+// startWorker boots one in-process worker node speaking the cluster
+// protocol — the same handlers fairnessd mounts.
+func startWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	ws := cluster.NewWorkerServer(cluster.LocalRunner(sweep.Options{}))
+	mux := http.NewServeMux()
+	ws.Register(mux)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"status": "ok", "backend": "montecarlo", "cache": "none",
+			"shards_in_flight": ws.InFlight(), "shards_done": ws.Done(),
+		})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// capture swaps stdout/stderr for one command invocation.
+func capture(t *testing.T, args []string) (string, string, error) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	oldOut, oldErr := stdout, stderr
+	stdout, stderr = &out, &errOut
+	defer func() { stdout, stderr = oldOut, oldErr }()
+	err := run(args)
+	return out.String(), errOut.String(), err
+}
+
+// writeGrid drops a small grid spec into a temp file.
+func writeGrid(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "grid.json")
+	grid := `{"seed":7,"base":{"blocks":120,"trials":12},"protocols":["pow","mlpos"],"stake":[0.2,0.4]}`
+	if err := os.WriteFile(path, []byte(grid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAgainstTwoWorkersMatchesLocalSweep(t *testing.T) {
+	w1, w2 := startWorker(t), startWorker(t)
+	spec := writeGrid(t)
+
+	out, _, err := capture(t, []string{"run",
+		"-workers", w1.URL + "," + w2.URL, "-json", spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep sweep.Report
+	decoded := json.NewDecoder(strings.NewReader(out))
+	if err := decoded.Decode(&rep); err != nil {
+		t.Fatalf("run -json output not a report: %v\n%s", err, out)
+	}
+	if rep.Stats.Scenarios != 4 || rep.Stats.Computed != 4 {
+		t.Errorf("stats: %+v", rep.Stats)
+	}
+	if !strings.Contains(out, "across 2 workers") {
+		t.Errorf("summary missing worker count:\n%s", out)
+	}
+}
+
+func TestRunNDJSONStreamsOutcomes(t *testing.T) {
+	w := startWorker(t)
+	out, errOut, err := capture(t, []string{"run", "-workers", w.URL, "-ndjson", writeGrid(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	dec := json.NewDecoder(strings.NewReader(out))
+	for dec.More() {
+		var o sweep.Outcome
+		if err := dec.Decode(&o); err != nil {
+			t.Fatalf("bad NDJSON line: %v", err)
+		}
+		if o.Hash == "" {
+			t.Error("outcome line missing hash")
+		}
+		lines++
+	}
+	if lines != 4 {
+		t.Errorf("streamed %d outcomes, want 4", lines)
+	}
+	if !strings.Contains(errOut, "4 scenarios") {
+		t.Errorf("summary not on stderr: %q", errOut)
+	}
+}
+
+func TestRunRequiresWorkersAndSpec(t *testing.T) {
+	if _, _, err := capture(t, []string{"run", writeGrid(t)}); err == nil {
+		t.Error("run without -workers should fail")
+	}
+	w := startWorker(t)
+	if _, _, err := capture(t, []string{"run", "-workers", w.URL}); err == nil {
+		t.Error("run without a spec should fail")
+	}
+}
+
+func TestStatusReportsWorkers(t *testing.T) {
+	w := startWorker(t)
+	out, _, err := capture(t, []string{"status", "-workers", w.URL + ",127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "1/2 workers up") {
+		t.Errorf("status output:\n%s", out)
+	}
+	if !strings.Contains(out, "DOWN") {
+		t.Errorf("unreachable worker not marked down:\n%s", out)
+	}
+
+	// All workers down is an error exit for scripting.
+	if _, _, err := capture(t, []string{"status", "-workers", "127.0.0.1:1"}); err == nil {
+		t.Error("status with every worker down should fail")
+	}
+}
+
+func TestExpandPrintsHashes(t *testing.T) {
+	out, _, err := capture(t, []string{"expand", writeGrid(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"hash"`) || !strings.Contains(out, "expanded 4 scenarios") {
+		t.Errorf("expand output:\n%s", out)
+	}
+}
+
+func TestUnknownCommand(t *testing.T) {
+	if _, _, err := capture(t, []string{"frobnicate"}); err == nil {
+		t.Error("unknown command should fail")
+	}
+}

@@ -14,15 +14,27 @@
 //	                   line as it completes, then a final summary line
 //	                   {"done":true,...}. Closing the connection cancels
 //	                   the sweep within one scenario.
-//	GET  /v1/healthz   → {"status":"ok",...} with cache and backend info
+//	POST /v1/shard     cluster work item (internal/cluster): claim a
+//	                   shard of scenarios, stream its outcomes as NDJSON,
+//	                   finish with a {"done":true,"shard_id":...} summary.
+//	POST /v1/shard/ack coordinator confirmation that a shard was merged.
+//	GET  /v1/healthz   → {"status":"ok",...} with backend, cache hit/miss
+//	                   counters and in-flight shard counts — everything a
+//	                   coordinator or load balancer needs for placement.
 //
 // Flags:
 //
-//	-addr ADDR      listen address (default :7447)
-//	-cache-dir DIR  disk result cache shared across restarts
-//	-cache N        in-memory LRU capacity when -cache-dir is unset
-//	-workers N      scenario-level parallelism per sweep (0 = all cores)
-//	-backend NAME   montecarlo (default), theory or chainsim
+//	-addr ADDR          listen address (default :7447)
+//	-cache-dir DIR      disk result cache shared across restarts
+//	-cache-max-bytes N  size-cap the disk cache: LRU entries are evicted
+//	                    once stored outcomes exceed N bytes (0 = unbounded)
+//	-cache N            in-memory LRU capacity when -cache-dir is unset
+//	-workers N          scenario-level parallelism per sweep (0 = all cores)
+//	-backend NAME       montecarlo (default), theory or chainsim
+//
+// Run several fairnessd instances pointed at one shared -cache-dir and a
+// fairctl coordinator turns them into a sweep cluster with a communal
+// warm cache; see README "Cluster mode".
 //
 // Example session:
 //
@@ -43,19 +55,21 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
 
 	fairness "repro"
+	"repro/internal/cluster"
 	"repro/internal/scenario"
+	"repro/internal/sweep"
 )
 
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.addr, "addr", ":7447", "listen address")
 	flag.StringVar(&cfg.cacheDir, "cache-dir", "", "disk result-cache directory (survives restarts)")
+	flag.Int64Var(&cfg.cacheMaxBytes, "cache-max-bytes", 0, "size cap for -cache-dir: evict LRU entries beyond N bytes (0 = unbounded)")
 	flag.IntVar(&cfg.cacheCap, "cache", 4096, "in-memory LRU capacity when -cache-dir is unset (0 = no cache)")
 	flag.IntVar(&cfg.workers, "workers", 0, "scenario-level parallelism per sweep (0 = all cores)")
 	flag.StringVar(&cfg.backend, "backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim")
@@ -92,17 +106,19 @@ func main() {
 
 // config assembles a server.
 type config struct {
-	addr     string
-	cacheDir string
-	cacheCap int
-	workers  int
-	backend  string
+	addr          string
+	cacheDir      string
+	cacheMaxBytes int64
+	cacheCap      int
+	workers       int
+	backend       string
 }
 
 // server is the HTTP face of one shared Engine.
 type server struct {
 	eng         *fairness.Engine
 	cache       fairness.CacheStore
+	shards      *cluster.WorkerServer
 	backendName string
 	cacheDesc   string
 	start       time.Time
@@ -118,21 +134,18 @@ func newServer(cfg config) (*server, error) {
 	if s.backendName == "" {
 		s.backendName = "montecarlo"
 	}
-	var ev fairness.Evaluator
-	switch s.backendName {
-	case "montecarlo":
-	case "theory":
-		ev = fairness.TheoryBackend()
-	case "chainsim":
-		ev = fairness.ChainSimBackend()
-	default:
-		return nil, fmt.Errorf("unknown backend %q (known: montecarlo, theory, chainsim)", cfg.backend)
+	ev, err := fairness.BackendByName(s.backendName)
+	if err != nil {
+		return nil, err
 	}
 	switch {
 	case cfg.cacheDir != "":
 		disk, err := fairness.NewDiskCache(cfg.cacheDir)
 		if err != nil {
 			return nil, err
+		}
+		if cfg.cacheMaxBytes > 0 {
+			disk.SetMaxBytes(cfg.cacheMaxBytes)
 		}
 		s.cache = disk
 		s.cacheDesc = "disk:" + disk.Dir()
@@ -148,6 +161,16 @@ func newServer(cfg config) (*server, error) {
 		opts = append(opts, fairness.WithBackend(ev))
 	}
 	s.eng = fairness.NewEngine(opts...)
+	// The worker-node face of the cluster protocol: shards evaluate
+	// through the same shared Engine (and therefore the same cache) as
+	// every other request.
+	s.shards = cluster.NewWorkerServer(func(ctx context.Context, specs []scenario.Spec, on func(sweep.Outcome)) (sweep.Stats, error) {
+		rep, err := s.eng.SweepObserved(ctx, specs, on)
+		if rep != nil {
+			return rep.Stats, err
+		}
+		return sweep.Stats{}, err
+	})
 	return s, nil
 }
 
@@ -156,6 +179,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.shards.Register(mux)
 	return mux
 }
 
@@ -261,25 +285,31 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // in-memory LRU, whose Len is constant-time).
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
-		Status      string  `json:"status"`
-		Backend     string  `json:"backend"`
-		Cache       string  `json:"cache"`
-		CacheLen    *int    `json:"cache_len,omitempty"`
-		CacheHits   *uint64 `json:"cache_hits,omitempty"`
-		CacheMisses *uint64 `json:"cache_misses,omitempty"`
-		Evaluates   int64   `json:"evaluates"`
-		Sweeps      int64   `json:"sweeps"`
-		UptimeMS    int64   `json:"uptime_ms"`
-		GoMaxProcs  int     `json:"gomaxprocs"`
+		Status         string  `json:"status"`
+		Backend        string  `json:"backend"`
+		Cache          string  `json:"cache"`
+		CacheLen       *int    `json:"cache_len,omitempty"`
+		CacheHits      *uint64 `json:"cache_hits,omitempty"`
+		CacheMisses    *uint64 `json:"cache_misses,omitempty"`
+		Evaluates      int64   `json:"evaluates"`
+		Sweeps         int64   `json:"sweeps"`
+		ShardsInFlight int64   `json:"shards_in_flight"`
+		ShardsDone     int64   `json:"shards_done"`
+		PendingAcks    int     `json:"pending_acks"`
+		UptimeMS       int64   `json:"uptime_ms"`
+		GoMaxProcs     int     `json:"gomaxprocs"`
 	}
 	h := health{
-		Status:     "ok",
-		Backend:    s.backendName,
-		Cache:      s.cacheDesc,
-		Evaluates:  s.evaluates.Load(),
-		Sweeps:     s.sweeps.Load(),
-		UptimeMS:   time.Since(s.start).Milliseconds(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Status:         "ok",
+		Backend:        s.backendName,
+		Cache:          s.cacheDesc,
+		Evaluates:      s.evaluates.Load(),
+		Sweeps:         s.sweeps.Load(),
+		ShardsInFlight: s.shards.InFlight(),
+		ShardsDone:     s.shards.Done(),
+		PendingAcks:    s.shards.PendingAcks(),
+		UptimeMS:       time.Since(s.start).Milliseconds(),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
 	}
 	if c, ok := s.cache.(interface{ Counters() (hits, misses uint64) }); ok {
 		hits, misses := c.Counters()
@@ -297,34 +327,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // — the same two formats fairsweep -spec files use — and returns the
 // validated scenario list.
 func decodeSpecs(body []byte) ([]fairness.Scenario, error) {
-	trimmed := strings.TrimSpace(string(body))
-	if strings.HasPrefix(trimmed, "[") {
-		list, err := scenario.DecodeList(body)
-		if err != nil {
-			return nil, err
-		}
-		for i := range list {
-			if err := list[i].Validate(); err != nil {
-				return nil, fmt.Errorf("scenario %d: %w", i, err)
-			}
-		}
-		if len(list) == 0 {
-			return nil, fmt.Errorf("empty scenario list")
-		}
-		return list, nil
-	}
-	grid, err := scenario.DecodeGrid(body)
-	if err != nil {
-		return nil, err
-	}
-	specs, err := grid.Expand()
-	if err != nil {
-		return nil, err
-	}
-	if len(specs) == 0 {
-		return nil, fmt.Errorf("grid expands to zero scenarios")
-	}
-	return specs, nil
+	return scenario.DecodeSpecsOrGrid(body, 0)
 }
 
 // statusFor maps evaluation errors onto HTTP statuses: spec problems and

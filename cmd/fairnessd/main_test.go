@@ -1,11 +1,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	fairness "repro"
 )
 
 // testServer boots the handler stack over httptest with a small default
@@ -248,5 +251,142 @@ func TestDiskCacheSharedAcrossDaemonRestarts(t *testing.T) {
 	}
 	if total != 2 || hits != 2 {
 		t.Errorf("restarted daemon: %d/%d cache hits, want 2/2", hits, total)
+	}
+}
+
+func TestShardEndpointClaimStreamAckAndHealthzCounters(t *testing.T) {
+	// The worker-node face of cluster mode: claim a shard, count the
+	// streamed outcomes, then check the healthz placement counters and
+	// the ack handshake.
+	_, ts := testServer(t, config{cacheCap: 16})
+	shard := `{"shard_id":"deadbeef","scenarios":[
+		{"protocol":"pow","stake":0.2,"blocks":100,"trials":10,"seed":4},
+		{"protocol":"mlpos","stake":0.2,"blocks":100,"trials":10,"seed":4}]}`
+	resp, err := http.Post(ts.URL+"/v1/shard", "application/json", strings.NewReader(shard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("claim status %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	outcomes := 0
+	var sum struct {
+		Done      bool   `json:"done"`
+		ShardID   string `json:"shard_id"`
+		Streamed  int    `json:"streamed"`
+		TrialsRun int64  `json:"trials_run"`
+	}
+	for dec.More() {
+		var line outcomeLine
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Done != nil {
+			sum.Done, sum.Streamed = *line.Done, outcomes
+			continue
+		}
+		outcomes++
+	}
+	if outcomes != 2 || !sum.Done {
+		t.Fatalf("shard stream: %d outcomes, done=%v", outcomes, sum.Done)
+	}
+
+	var h struct {
+		ShardsInFlight int64 `json:"shards_in_flight"`
+		ShardsDone     int64 `json:"shards_done"`
+		PendingAcks    int   `json:"pending_acks"`
+	}
+	hr, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.ShardsInFlight != 0 || h.ShardsDone != 1 || h.PendingAcks != 1 {
+		t.Errorf("healthz shard counters: %+v", h)
+	}
+
+	ack, err := http.Post(ts.URL+"/v1/shard/ack", "application/json",
+		strings.NewReader(`{"shard_id":"deadbeef"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ack.Body.Close()
+	var acked struct {
+		Acked bool `json:"acked"`
+	}
+	if err := json.NewDecoder(ack.Body).Decode(&acked); err != nil {
+		t.Fatal(err)
+	}
+	if !acked.Acked {
+		t.Error("ack of a completed shard reported acked=false")
+	}
+}
+
+func TestClusterCoordinatorAgainstTwoDaemons(t *testing.T) {
+	// The acceptance criterion, in-process: a coordinator over two real
+	// fairnessd workers sharing one cache directory must produce a report
+	// bit-identical (modulo timing/cache bookkeeping) to a single-process
+	// Engine.Sweep of the same spec.
+	sharedCache := t.TempDir()
+	_, w1 := testServer(t, config{cacheDir: sharedCache})
+	_, w2 := testServer(t, config{cacheDir: sharedCache})
+
+	grid := fairness.ScenarioGrid{
+		Base:      fairness.Scenario{Blocks: 150, Trials: 15},
+		Protocols: []string{"pow", "mlpos", "slpos"},
+		Stake:     []float64{0.1, 0.3},
+		Seed:      21,
+	}
+	specs, err := fairness.ExpandScenarios(grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := fairness.NewEngine().Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := fairness.NewEngine(fairness.WithCluster(fairness.ClusterOptions{
+		Workers: []string{w1.URL, w2.URL},
+	}))
+	dist, err := eng.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := func(outs []fairness.SweepOutcome) string {
+		c := make([]fairness.SweepOutcome, len(outs))
+		copy(c, outs)
+		for i := range c {
+			c[i].ElapsedMS = 0
+			c[i].CacheHit = false
+		}
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if got, want := canon(dist.Outcomes), canon(local.Outcomes); got != want {
+		t.Errorf("cluster report differs from local Engine.Sweep:\n%s\n%s", got, want)
+	}
+	if dist.Stats.Scenarios != local.Stats.Scenarios {
+		t.Errorf("stats: cluster %+v, local %+v", dist.Stats, local.Stats)
+	}
+
+	// Second pass through the same engine: the workers' shared disk cache
+	// answers everything, with no new computation anywhere.
+	warm, err := eng.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.TrialsRun != 0 {
+		t.Errorf("warm cluster pass ran %d trials, want 0", warm.Stats.TrialsRun)
+	}
+	if got, want := canon(warm.Outcomes), canon(local.Outcomes); got != want {
+		t.Error("warm cluster report differs from local Engine.Sweep")
 	}
 }

@@ -28,6 +28,8 @@
 //	-workers N     scenario-level parallelism (0 = all cores)
 //	-cache N       LRU result-cache capacity (0 = no cache)
 //	-cache-dir DIR disk result cache (survives restarts; overrides -cache)
+//	-cache-max-bytes N  size-cap the disk cache: least-recently-used
+//	               entries are evicted once it exceeds N bytes
 //	-backend NAME  evaluator backend: montecarlo (default), theory, chainsim
 //	-repeat N      run the sweep N times against the shared cache
 //	-json          print the report as JSON instead of a table
@@ -84,26 +86,18 @@ func signalContext() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 }
 
-// backendFor maps the -backend flag onto an Evaluator; nil selects the
-// engine's Monte-Carlo default.
-func backendFor(name string) (fairness.Evaluator, error) {
-	switch name {
-	case "", "montecarlo":
-		return nil, nil
-	case "theory":
-		return fairness.TheoryBackend(), nil
-	case "chainsim":
-		return fairness.ChainSimBackend(), nil
-	default:
-		return nil, fmt.Errorf("unknown backend %q (known: montecarlo, theory, chainsim)", name)
-	}
-}
-
-// cacheFor resolves the -cache/-cache-dir pair into a CacheStore (nil
-// means uncached).
-func cacheFor(capacity int, dir string) (fairness.CacheStore, error) {
+// cacheFor resolves the -cache/-cache-dir/-cache-max-bytes flags into a
+// CacheStore (nil means uncached).
+func cacheFor(capacity int, dir string, maxBytes int64) (fairness.CacheStore, error) {
 	if dir != "" {
-		return fairness.NewDiskCache(dir)
+		disk, err := fairness.NewDiskCache(dir)
+		if err != nil {
+			return nil, err
+		}
+		if maxBytes > 0 {
+			disk.SetMaxBytes(maxBytes)
+		}
+		return disk, nil
 	}
 	if capacity > 0 {
 		return fairness.NewSweepCache(capacity), nil
@@ -168,30 +162,10 @@ func (g *gridFlags) specs() ([]scenario.Spec, error) {
 		if err != nil {
 			return nil, err
 		}
-		trimmed := strings.TrimSpace(string(data))
-		if strings.HasPrefix(trimmed, "[") {
-			// An explicit scenario array is taken verbatim — seeds and
-			// all — so the CLI computes exactly what fairness.Sweep
-			// would for the same document (-seed applies to grids only).
-			list, err := scenario.DecodeList(data)
-			if err != nil {
-				return nil, err
-			}
-			for i := range list {
-				if err := list[i].Validate(); err != nil {
-					return nil, fmt.Errorf("scenario %d: %w", i, err)
-				}
-			}
-			return list, nil
-		}
-		grid, err := scenario.DecodeGrid(data)
-		if err != nil {
-			return nil, err
-		}
-		if grid.Seed == 0 {
-			grid.Seed = *g.seed
-		}
-		return grid.Expand()
+		// Explicit scenario arrays are taken verbatim — seeds and all —
+		// so the CLI computes exactly what fairness.Sweep would for the
+		// same document (-seed applies to grids only).
+		return scenario.DecodeSpecsOrGrid(data, *g.seed)
 	}
 
 	protocols, err := splitStrings(*g.protocols)
@@ -267,6 +241,7 @@ func runCmd(args []string) error {
 	workers := fs.Int("workers", 0, "scenario-level parallelism (0 = all cores)")
 	cacheCap := fs.Int("cache", 0, "LRU result-cache capacity (0 = no cache)")
 	cacheDir := fs.String("cache-dir", "", "disk result-cache directory (overrides -cache)")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "size cap for -cache-dir: evict LRU entries beyond N bytes (0 = unbounded)")
 	backend := fs.String("backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim")
 	repeat := fs.Int("repeat", 1, "run the sweep N times against the shared cache")
 	asJSON := fs.Bool("json", false, "print the report as JSON")
@@ -285,11 +260,11 @@ func runCmd(args []string) error {
 	if *repeat < 1 {
 		*repeat = 1
 	}
-	ev, err := backendFor(*backend)
+	ev, err := fairness.BackendByName(*backend)
 	if err != nil {
 		return err
 	}
-	cache, err := cacheFor(*cacheCap, *cacheDir)
+	cache, err := cacheFor(*cacheCap, *cacheDir, *cacheMaxBytes)
 	if err != nil {
 		return err
 	}
@@ -363,6 +338,7 @@ func benchCmd(args []string) error {
 	workers := fs.Int("workers", 0, "scenario-level parallelism (0 = all cores)")
 	cacheCap := fs.Int("cache", 0, "cache capacity for the warm pass (0 = fit the grid)")
 	cacheDir := fs.String("cache-dir", "", "disk result-cache directory (overrides -cache)")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "size cap for -cache-dir: evict LRU entries beyond N bytes (0 = unbounded)")
 	backend := fs.String("backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -378,11 +354,11 @@ func benchCmd(args []string) error {
 	if capacity <= 0 {
 		capacity = len(specs)
 	}
-	ev, err := backendFor(*backend)
+	ev, err := fairness.BackendByName(*backend)
 	if err != nil {
 		return err
 	}
-	cache, err := cacheFor(capacity, *cacheDir)
+	cache, err := cacheFor(capacity, *cacheDir, *cacheMaxBytes)
 	if err != nil {
 		return err
 	}
@@ -467,7 +443,7 @@ grid flags:
   -blocks N  -trials N  -checkpoints N  -seed S
 
 run flags:
-  -workers N  -cache N  -cache-dir DIR  -backend NAME  -repeat N
-  -json  -ndjson  -out FILE
+  -workers N  -cache N  -cache-dir DIR  -cache-max-bytes N  -backend NAME
+  -repeat N  -json  -ndjson  -out FILE
 `, "\n"))
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"iter"
 
+	"repro/internal/cluster"
 	"repro/internal/game"
 	"repro/internal/montecarlo"
 	"repro/internal/sweep"
@@ -33,6 +34,7 @@ type Engine struct {
 	cache        CacheStore
 	backend      Evaluator
 	observer     func(SweepOutcome)
+	cluster      *cluster.Options
 }
 
 // EngineOption configures an Engine.
@@ -72,6 +74,30 @@ func WithObserver(fn func(SweepOutcome)) EngineOption {
 	return func(e *Engine) { e.observer = fn }
 }
 
+// WithCluster distributes the engine's sweeps across a pool of fairnessd
+// worker nodes (internal/cluster): the coordinator partitions the
+// scenario list into shards, fans them out over HTTP with work-stealing
+// and per-shard retries, and merges the workers' streams into a report
+// bit-identical — modulo timing/cache bookkeeping — to a local sweep.
+//
+// The engine owns three of the options: Cache defaults to the engine's
+// cache (pointing both at one shared directory gives the whole cluster a
+// warm start), Backend is always the engine's backend name (every worker
+// must run the same backend — the coordinator verifies this via
+// /v1/healthz and refuses mismatches), and OnOutcome is the engine's
+// observer chain. Evaluation itself happens on the workers; the engine's
+// local WithBackend evaluator only names the expected backend and the
+// cache namespace.
+//
+// Evaluate (ad-hoc protocols) never goes through the cluster — it
+// bypasses the scenario pipeline entirely.
+func WithCluster(opts ClusterOptions) EngineOption {
+	return func(e *Engine) {
+		c := opts
+		e.cluster = &c
+	}
+}
+
 // NewEngine builds an evaluation engine from functional options.
 func NewEngine(opts ...EngineOption) *Engine {
 	e := &Engine{}
@@ -102,6 +128,33 @@ func (e *Engine) sweepOptions(onOutcome func(SweepOutcome)) sweep.Options {
 	return opts
 }
 
+// backendName returns the evaluator name the engine computes (or, in
+// cluster mode, expects its workers to compute) under — the cache-key
+// namespace of every run.
+func (e *Engine) backendName() string {
+	if e.backend == nil {
+		return "montecarlo"
+	}
+	return e.backend.Name()
+}
+
+// runSweep is the single dispatch point of every scenario run: local
+// through the sweep runner, or distributed through the cluster
+// coordinator when WithCluster is configured.
+func (e *Engine) runSweep(ctx context.Context, specs []Scenario, onOutcome func(SweepOutcome)) (*SweepReport, error) {
+	opts := e.sweepOptions(onOutcome)
+	if e.cluster == nil {
+		return sweep.RunContext(ctx, specs, opts)
+	}
+	c := *e.cluster
+	if c.Cache == nil {
+		c.Cache = e.cache
+	}
+	c.Backend = e.backendName()
+	c.OnOutcome = opts.OnOutcome
+	return cluster.Run(ctx, specs, c)
+}
+
 // Sweep evaluates every scenario through the engine's backend and cache
 // and aggregates per-scenario fairness verdicts with cache/throughput
 // statistics. Outcomes stream to the engine's observer as they complete.
@@ -110,7 +163,16 @@ func (e *Engine) sweepOptions(onOutcome func(SweepOutcome)) sweep.Options {
 // filled, Report.Partial set — together with ctx.Err(); completed
 // outcomes are identical to an uncancelled run's.
 func (e *Engine) Sweep(ctx context.Context, specs []Scenario) (*SweepReport, error) {
-	return sweep.RunContext(ctx, specs, e.sweepOptions(nil))
+	return e.runSweep(ctx, specs, nil)
+}
+
+// SweepObserved is Sweep with a per-run observer: fn sees every outcome
+// as it completes (after the engine-level observer, when both are set)
+// AND the aggregated report comes back with its statistics — the shape
+// service frontends like fairnessd's shard endpoint need, where one
+// response must both stream outcomes and close with a summary.
+func (e *Engine) SweepObserved(ctx context.Context, specs []Scenario, fn func(SweepOutcome)) (*SweepReport, error) {
+	return e.runSweep(ctx, specs, fn)
 }
 
 // Stream evaluates the scenarios and yields each outcome as it
@@ -124,12 +186,12 @@ func (e *Engine) Stream(ctx context.Context, specs []Scenario) iter.Seq2[SweepOu
 		outCh := make(chan SweepOutcome)
 		errCh := make(chan error, 1)
 		go func() {
-			_, err := sweep.RunContext(runCtx, specs, e.sweepOptions(func(o SweepOutcome) {
+			_, err := e.runSweep(runCtx, specs, func(o SweepOutcome) {
 				select {
 				case outCh <- o:
 				case <-runCtx.Done():
 				}
-			}))
+			})
 			errCh <- err
 			close(outCh)
 		}()

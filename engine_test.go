@@ -2,8 +2,14 @@ package fairness
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"net/http"
+	"net/http/httptest"
 	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sweep"
 )
 
 // TestEvaluateEmptyAllocationRegression is the regression test for the
@@ -236,5 +242,93 @@ func TestEngineTheoryBackendFacade(t *testing.T) {
 	}
 	if out.Backend != "theory" || !out.Verdict.RobustFair {
 		t.Errorf("theory outcome: %+v", out)
+	}
+}
+
+// startClusterWorker boots one in-process worker node speaking the
+// cluster shard protocol over a plain local sweep pipeline.
+func startClusterWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	ws := cluster.NewWorkerServer(cluster.LocalRunner(sweep.Options{}))
+	mux := http.NewServeMux()
+	ws.Register(mux)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok", "backend": "montecarlo"})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func clusterTestSpecs(t *testing.T) []Scenario {
+	t.Helper()
+	specs, err := ExpandScenarios(ScenarioGrid{
+		Base:      Scenario{Blocks: 150, Trials: 15},
+		Protocols: []string{"pow", "mlpos"},
+		Stake:     []float64{0.2, 0.4},
+		Seed:      13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
+func TestEngineSweepObservedStreamsAndAggregates(t *testing.T) {
+	specs := clusterTestSpecs(t)
+	var engineSaw, runSaw int
+	eng := NewEngine(WithObserver(func(SweepOutcome) { engineSaw++ }))
+	rep, err := eng.SweepObserved(context.Background(), specs, func(SweepOutcome) { runSaw++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engineSaw != len(specs) || runSaw != len(specs) {
+		t.Errorf("observers saw engine=%d run=%d outcomes, want %d each", engineSaw, runSaw, len(specs))
+	}
+	if rep.Stats.Scenarios != len(specs) || rep.Stats.Computed != len(specs) {
+		t.Errorf("stats: %+v", rep.Stats)
+	}
+}
+
+func TestEngineStreamThroughCluster(t *testing.T) {
+	// Stream in cluster mode: outcomes arrive through the coordinator's
+	// merge path and the iterator contract is unchanged.
+	w1, w2 := startClusterWorker(t), startClusterWorker(t)
+	specs := clusterTestSpecs(t)
+	local, err := NewEngine().Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantByName := map[string]Verdict{}
+	for _, o := range local.Outcomes {
+		wantByName[o.Name] = o.Verdict
+	}
+	eng := NewEngine(WithCluster(ClusterOptions{Workers: []string{w1.URL, w2.URL}}))
+	seen := 0
+	for o, err := range eng.Stream(context.Background(), specs) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Verdict != wantByName[o.Name] {
+			t.Errorf("streamed verdict for %q differs from local sweep", o.Name)
+		}
+		seen++
+	}
+	if seen != len(specs) {
+		t.Errorf("stream yielded %d outcomes, want %d", seen, len(specs))
+	}
+}
+
+func TestEngineClusterBackendMismatchSurfaces(t *testing.T) {
+	// A theory-configured engine must refuse montecarlo workers: silently
+	// mixing backends would poison the cache namespace.
+	w := startClusterWorker(t)
+	eng := NewEngine(
+		WithBackend(TheoryBackend()),
+		WithCluster(ClusterOptions{Workers: []string{w.URL}}),
+	)
+	_, err := eng.Sweep(context.Background(), clusterTestSpecs(t))
+	if !errors.Is(err, ErrClusterBackendMismatch) {
+		t.Errorf("err = %v, want ErrClusterBackendMismatch", err)
 	}
 }

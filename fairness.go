@@ -32,7 +32,9 @@ package fairness
 
 import (
 	"context"
+	"fmt"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/game"
 	"repro/internal/montecarlo"
@@ -86,6 +88,12 @@ type (
 	Evaluator = sweep.Evaluator
 	// Evaluation is the backend-independent result an Evaluator returns.
 	Evaluation = sweep.Evaluation
+	// ClusterOptions configures distributed sweeps over fairnessd worker
+	// nodes; pass it to WithCluster. See internal/cluster for the shard
+	// protocol and failure semantics.
+	ClusterOptions = cluster.Options
+	// ClusterHealth is one worker's probed /v1/healthz view.
+	ClusterHealth = cluster.Health
 )
 
 // DefaultParams is the paper's evaluation setting: ε = 0.1, δ = 0.1.
@@ -95,6 +103,19 @@ var DefaultParams = core.DefaultParams
 // coverage (e.g. asking the theory backend about a protocol the paper
 // proves no bound for).
 var ErrBackend = sweep.ErrBackend
+
+// Cluster-mode errors: a distributed sweep with no reachable worker, and
+// a worker whose configured backend differs from the coordinator's.
+var (
+	ErrNoClusterWorkers       = cluster.ErrNoWorkers
+	ErrClusterBackendMismatch = cluster.ErrBackendMismatch
+)
+
+// ClusterStatus probes every worker's /v1/healthz concurrently — the
+// placement/diagnostics view fairctl status renders.
+func ClusterStatus(ctx context.Context, workers []string) []ClusterHealth {
+	return cluster.Status(ctx, workers, nil, 0)
+}
 
 // NewPoW returns the Proof-of-Work incentive model with block reward w
 // (Section 2.1). Fair in both senses for long horizons.
@@ -266,8 +287,26 @@ func TheoryBackend() Evaluator { return &sweep.TheoryEvaluator{} }
 // ChainSimBackend returns the block-level simulation Evaluator: real
 // SHA-256 puzzles and kernel lotteries through internal/chainsim. It is
 // the most faithful and most expensive backend; it covers pow, mlpos,
-// slpos and fslpos.
+// slpos, fslpos and cpos.
 func ChainSimBackend() Evaluator { return &sweep.ChainSimEvaluator{} }
+
+// BackendByName maps a CLI/service backend name onto an Evaluator: ""
+// and "montecarlo" select the engine's default (a nil Evaluator),
+// "theory" and "chainsim" their respective backends. Every binary's
+// -backend flag resolves through this one function, so the accepted
+// names can never drift apart.
+func BackendByName(name string) (Evaluator, error) {
+	switch name {
+	case "", "montecarlo":
+		return nil, nil
+	case "theory":
+		return TheoryBackend(), nil
+	case "chainsim":
+		return ChainSimBackend(), nil
+	default:
+		return nil, fmt.Errorf("unknown backend %q (known: montecarlo, theory, chainsim)", name)
+	}
+}
 
 // Sweep evaluates every scenario through the Monte-Carlo engine and
 // aggregates per-scenario fairness verdicts with cache/throughput stats.

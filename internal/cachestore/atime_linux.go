@@ -1,0 +1,26 @@
+//go:build linux
+
+package cachestore
+
+import (
+	"io/fs"
+	"os"
+	"syscall"
+	"time"
+)
+
+// atime returns the file's access time — the LRU ordering key of the
+// size-capped GC. Get bumps it explicitly (see bumpUsed), so eviction
+// order tracks real cache usage even on relatime/noatime mounts.
+func atime(fi fs.FileInfo) time.Time {
+	if st, ok := fi.Sys().(*syscall.Stat_t); ok {
+		return time.Unix(st.Atim.Sec, st.Atim.Nsec)
+	}
+	return fi.ModTime()
+}
+
+// bumpUsed marks an entry as just-used: atime moves to now, mtime is
+// preserved (atime is what the collector orders by here).
+func bumpUsed(path string, fi fs.FileInfo) {
+	os.Chtimes(path, time.Now(), fi.ModTime())
+}

@@ -1,0 +1,21 @@
+//go:build !linux
+
+package cachestore
+
+import (
+	"io/fs"
+	"os"
+	"time"
+)
+
+// atime falls back to the modification time where the platform's stat
+// shape isn't wired up; bumpUsed below keeps it meaningful as an LRU key.
+func atime(fi fs.FileInfo) time.Time { return fi.ModTime() }
+
+// bumpUsed marks an entry as just-used. The collector on this platform
+// orders by ModTime, so the bump must move mtime too — preserving it
+// (as the Linux variant does) would make reads invisible to eviction.
+func bumpUsed(path string, _ fs.FileInfo) {
+	now := time.Now()
+	os.Chtimes(path, now, now)
+}

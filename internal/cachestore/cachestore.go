@@ -10,6 +10,10 @@
 // rename, so readers never observe a torn entry and concurrent writers of
 // the same key converge on one complete payload. Unreadable or missing
 // entries report as absences, never as errors that could fail a sweep.
+//
+// The store can be size-capped: SetMaxBytes arms a byte budget and Put
+// evicts least-recently-used entries (atime order) once it is exceeded —
+// see gc.go. Without a budget the store grows without bound.
 package cachestore
 
 import (
@@ -19,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -34,6 +39,14 @@ type Dir struct {
 	hits   atomic.Uint64
 	misses atomic.Uint64
 	writes atomic.Uint64
+
+	// Size-capped GC state (see gc.go): the byte budget, an approximate
+	// running payload total (exact after each collection), whether the
+	// total has been seeded by a full scan, and the collector lock.
+	maxBytes    atomic.Int64
+	approxBytes atomic.Int64
+	sized       atomic.Bool
+	gcMu        sync.Mutex
 }
 
 // Open roots a store at dir, creating the directory if needed.
@@ -98,6 +111,7 @@ func (d *Dir) Get(key string) (data []byte, ok bool, err error) {
 		return nil, false, nil
 	}
 	d.hits.Add(1)
+	d.touch(p)
 	return data, true, nil
 }
 
@@ -130,6 +144,7 @@ func (d *Dir) Put(key string, payload []byte) error {
 		return fmt.Errorf("cachestore: %w", err)
 	}
 	d.writes.Add(1)
+	d.maybeGC(int64(len(payload)))
 	return nil
 }
 

@@ -3,11 +3,13 @@ package cachestore
 import (
 	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestPutGetRoundTrip(t *testing.T) {
@@ -177,5 +179,152 @@ func TestCounters(t *testing.T) {
 	hits, misses, writes := d.Counters()
 	if hits != 1 || misses != 1 || writes != 1 {
 		t.Errorf("counters = %d/%d/%d", hits, misses, writes)
+	}
+}
+
+func TestGCEvictsLeastRecentlyUsed(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 100)
+	keys := []string{"mc:aaaa1", "mc:bbbb2", "mc:cccc3", "mc:dddd4"}
+	for _, k := range keys {
+		if err := d.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Stagger access times explicitly so the LRU order is unambiguous:
+	// cccc3 oldest, then aaaa1, bbbb2, dddd4 newest.
+	base := time.Now().Add(-time.Hour)
+	for i, k := range []string{"mc:cccc3", "mc:aaaa1", "mc:bbbb2", "mc:dddd4"} {
+		p, perr := d.path(k)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+		at := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(p, at, at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A 250-byte budget has a 225-byte low-water mark: the collection
+	// must stop at two entries (200 bytes), evicting exactly the two
+	// least recently used.
+	d.maxBytes.Store(250) // arm without collecting, to exercise GC itself
+	if removed, freed := d.GC(); removed != 2 || freed != 200 {
+		t.Fatalf("GC removed %d entries / %d bytes, want 2 / 200", removed, freed)
+	}
+	for k, want := range map[string]bool{
+		"mc:cccc3": false, "mc:aaaa1": false, "mc:bbbb2": true, "mc:dddd4": true,
+	} {
+		_, ok, err := d.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok != want {
+			t.Errorf("after GC, %s present = %v, want %v", k, ok, want)
+		}
+	}
+}
+
+func TestPutEnforcesMaxBytes(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetMaxBytes(1000)
+	payload := make([]byte, 100)
+	for i := 0; i < 50; i++ {
+		if err := d.Put(fmt.Sprintf("mc:key%04d", i), payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.GC() // settle the approximate counter into an exact measurement
+	if n := d.Len(); n > 10 {
+		t.Errorf("store holds %d entries over a 10-entry budget", n)
+	}
+	if got := d.approxBytes.Load(); got > 1000 {
+		t.Errorf("payload bytes %d exceed the 1000-byte budget", got)
+	}
+}
+
+func TestGetTouchKeepsHotEntriesAlive(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetMaxBytes(250)
+	payload := make([]byte, 100)
+	if err := d.Put("mc:hot000", payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("mc:cold00", payload); err != nil {
+		t.Fatal(err)
+	}
+	// Age both entries, then touch the hot one through a read.
+	old := time.Now().Add(-time.Hour)
+	for _, k := range []string{"mc:hot000", "mc:cold00"} {
+		p, _ := d.path(k)
+		if err := os.Chtimes(p, old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok, _ := d.Get("mc:hot000"); !ok {
+		t.Fatal("hot entry missing before GC")
+	}
+	// A third entry pushes the store over budget; the untouched cold
+	// entry must be the one evicted.
+	if err := d.Put("mc:new000", payload); err != nil {
+		t.Fatal(err)
+	}
+	d.GC()
+	if _, ok, _ := d.Get("mc:hot000"); !ok {
+		t.Error("recently-read entry was evicted")
+	}
+	if _, ok, _ := d.Get("mc:cold00"); ok {
+		t.Error("least-recently-used entry survived over the hot one")
+	}
+}
+
+func TestGCUnboundedByDefault(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := d.Put(fmt.Sprintf("mc:key%04d", i), make([]byte, 1000)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if removed, _ := d.GC(); removed != 0 {
+		t.Errorf("GC evicted %d entries with no budget set", removed)
+	}
+	if n := d.Len(); n != 20 {
+		t.Errorf("Len = %d, want 20", n)
+	}
+}
+
+func TestGCRemovesStaleTempFiles(t *testing.T) {
+	d, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("mc:aaaa1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(d.Root(), "mc", "aa", ".tmp-orphan")
+	if err := os.WriteFile(stale, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * staleTempAge)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+	d.GC()
+	if _, err := os.Stat(stale); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("stale temp file survived GC: %v", err)
+	}
+	if _, ok, _ := d.Get("mc:aaaa1"); !ok {
+		t.Error("real entry lost during temp cleanup")
 	}
 }

@@ -1,0 +1,573 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+// Cluster errors. Per-shard worker failures retry transparently; these
+// surface only when the run as a whole cannot make progress.
+var (
+	// ErrNoWorkers reports a run with no reachable worker (and work left
+	// to do after the cache pre-scan).
+	ErrNoWorkers = errors.New("cluster: no live workers")
+	// ErrBackendMismatch reports a worker whose configured backend differs
+	// from the coordinator's: silently merging outcomes computed under a
+	// different evaluator would poison the report and the shared cache.
+	ErrBackendMismatch = errors.New("cluster: worker backend mismatch")
+	// ErrShard reports a shard that exhausted its retry budget.
+	ErrShard = errors.New("cluster: shard failed")
+)
+
+// Options configures a distributed sweep.
+type Options struct {
+	// Workers lists the fairnessd base URLs ("host:port" or full URL)
+	// the coordinator fans shards out to.
+	Workers []string
+	// Backend is the evaluator the workers are expected to run
+	// ("" = montecarlo). Every worker's /v1/healthz must report the same
+	// backend, or the run fails with ErrBackendMismatch; the name also
+	// namespaces shared-cache keys exactly as a local sweep would.
+	Backend string
+	// Cache, when non-nil, is consulted before scheduling — work items
+	// already present are served locally and never leave the coordinator
+	// — and filled as worker outcomes arrive. Point it at the same
+	// content-addressed directory the workers share and the whole
+	// cluster warm-starts for free.
+	Cache sweep.CacheStore
+	// ShardSize is the number of unique work items per shard; 0 picks
+	// ceil(items / (4·workers)), capped to [1, 16], so every worker gets
+	// several steals even on modest grids.
+	ShardSize int
+	// MaxAttempts caps how many times one shard is tried before the run
+	// fails (0 = 3). Attempts may land on different workers.
+	MaxAttempts int
+	// BackoffBase and BackoffMax shape the exponential retry delay
+	// (defaults 100ms and 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// ProbeTimeout bounds each /v1/healthz probe (0 = 2s).
+	ProbeTimeout time.Duration
+	// HTTPClient overrides the transport (nil = a default client with no
+	// overall timeout, since shard streams are long-lived).
+	HTTPClient *http.Client
+	// OnOutcome, when non-nil, streams every per-position outcome as its
+	// shard is merged (calls are serialised; order is scheduling-
+	// dependent, exactly like a local sweep's observer).
+	OnOutcome func(sweep.Outcome)
+}
+
+// Health is one worker's /v1/healthz view, as probed by the coordinator
+// (and surfaced by `fairctl status`).
+type Health struct {
+	URL            string  `json:"url"`
+	OK             bool    `json:"ok"`
+	Error          string  `json:"error,omitempty"`
+	Status         string  `json:"status"`
+	Backend        string  `json:"backend"`
+	Cache          string  `json:"cache"`
+	CacheHits      *uint64 `json:"cache_hits,omitempty"`
+	CacheMisses    *uint64 `json:"cache_misses,omitempty"`
+	ShardsInFlight int64   `json:"shards_in_flight"`
+	ShardsDone     int64   `json:"shards_done"`
+	UptimeMS       int64   `json:"uptime_ms"`
+}
+
+// NormalizeWorkerURL turns "host:port" or a full URL into a canonical
+// scheme-qualified base URL without a trailing slash.
+func NormalizeWorkerURL(s string) string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return s
+	}
+	if !strings.Contains(s, "://") {
+		s = "http://" + s
+	}
+	return strings.TrimRight(s, "/")
+}
+
+// Probe fetches one worker's /v1/healthz.
+func Probe(ctx context.Context, client *http.Client, url string, timeout time.Duration) Health {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	url = NormalizeWorkerURL(url)
+	h := Health{URL: url}
+	probeCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(probeCtx, http.MethodGet, url+"/v1/healthz", nil)
+	if err != nil {
+		h.Error = err.Error()
+		return h
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		h.Error = err.Error()
+		return h
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		h.Error = fmt.Sprintf("healthz status %d", resp.StatusCode)
+		return h
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<16)).Decode(&h); err != nil {
+		h.Error = err.Error()
+		return h
+	}
+	h.URL = url // healthz bodies don't carry the URL; keep the probe's
+	h.OK = h.Status == "ok"
+	if !h.OK && h.Error == "" {
+		h.Error = fmt.Sprintf("status %q", h.Status)
+	}
+	return h
+}
+
+// Status probes every worker concurrently — the `fairctl status` engine.
+func Status(ctx context.Context, workers []string, client *http.Client, timeout time.Duration) []Health {
+	out := make([]Health, len(workers))
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w string) {
+			defer wg.Done()
+			out[i] = Probe(ctx, client, w, timeout)
+		}(i, w)
+	}
+	wg.Wait()
+	return out
+}
+
+// ShardID names a shard after its content: the SHA-256 of the scenario
+// hashes it carries. Identical shards claim under identical IDs on every
+// worker and every retry, which is what makes reassignment idempotent.
+func ShardID(hashes []string) string {
+	h := sha256.New()
+	for _, s := range hashes {
+		h.Write([]byte(s))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// task is one shard on the queue.
+type task struct {
+	id       string
+	hashes   []string
+	specs    []scenario.Spec
+	attempts int
+}
+
+// Run distributes the scenario list across the configured workers and
+// merges their streams into one report with local-sweep semantics:
+// outcomes in input order, identical scenarios computed once and fanned
+// out to every position, evaluation errors failing the run, and
+// cancellation returning the partial report with ctx.Err(). Completed
+// outcomes are bit-identical to sweep.RunContext's for the same list —
+// only the timing/cache bookkeeping (ElapsedMS, CacheHit, Stats) can
+// differ, since those record where and how the work actually ran.
+func Run(ctx context.Context, specs []scenario.Spec, opts Options) (*sweep.Report, error) {
+	start := time.Now()
+
+	// Prologue mirrors the local sweep runner: validate, normalise, hash,
+	// group positions by content hash.
+	norm := make([]scenario.Spec, len(specs))
+	hashes := make([]string, len(specs))
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: scenario %d (%s): %w", i, s.Name, err)
+		}
+		norm[i] = s.Normalized()
+		norm[i].Name = ""
+		h, err := s.Hash()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: scenario %d (%s): %w", i, s.Name, err)
+		}
+		hashes[i] = h
+	}
+	groups := make(map[string][]int, len(specs))
+	uniq := make([]string, 0, len(specs))
+	for i, h := range hashes {
+		if _, seen := groups[h]; !seen {
+			uniq = append(uniq, h)
+		}
+		groups[h] = append(groups[h], i)
+	}
+
+	backend := opts.Backend
+	if backend == "" {
+		backend = "montecarlo"
+	}
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+	backoffBase := opts.BackoffBase
+	if backoffBase <= 0 {
+		backoffBase = 100 * time.Millisecond
+	}
+	backoffMax := opts.BackoffMax
+	if backoffMax <= 0 {
+		backoffMax = 2 * time.Second
+	}
+	client := opts.HTTPClient
+	if client == nil {
+		// A private connection pool, drained when the run ends: a
+		// coordinator must not leave keep-alive goroutines behind.
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		defer tr.CloseIdleConnections()
+		client = &http.Client{Transport: tr}
+	}
+
+	rep := &sweep.Report{Outcomes: make([]sweep.Outcome, len(specs))}
+	rep.Stats.Scenarios = len(specs)
+
+	var (
+		mu        sync.Mutex // serialises merging and OnOutcome
+		computed  int
+		trialsRun int64
+	)
+	// deliver fans one unique scenario's outcome out to every position
+	// that requested it, with the local runner's position-level cache
+	// semantics: the first position carries the compute cost, the rest
+	// are in-sweep deduplication hits.
+	deliver := func(h string, base sweep.Outcome, hit bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !hit {
+			computed++
+		}
+		for j, idx := range groups[h] {
+			o := base
+			o.Name = specs[idx].Name
+			o.CacheHit = hit || j > 0
+			if o.CacheHit {
+				o.ElapsedMS = 0
+			}
+			rep.Outcomes[idx] = o
+			if opts.OnOutcome != nil {
+				opts.OnOutcome(o)
+			}
+		}
+	}
+
+	// Cache-aware scheduling: work items already in the shared store are
+	// served locally and never shipped to a worker.
+	items := make([]string, 0, len(uniq))
+	for _, h := range uniq {
+		if opts.Cache != nil {
+			if out, ok := opts.Cache.Get(sweep.CacheKey(backend, h)); ok {
+				deliver(h, out, true)
+				continue
+			}
+		}
+		items = append(items, h)
+	}
+
+	if len(items) > 0 {
+		if err := runShards(ctx, items, norm, groups, rep, opts, clusterRun{
+			backend:     backend,
+			maxAttempts: maxAttempts,
+			backoffBase: backoffBase,
+			backoffMax:  backoffMax,
+			client:      client,
+			deliver:     deliver,
+			addTrials:   func(n int64) { mu.Lock(); trialsRun += n; mu.Unlock() },
+		}); err != nil {
+			if ctx.Err() != nil {
+				// Partial report, local-sweep cancellation semantics.
+				mu.Lock()
+				rep.Partial = true
+				filled := 0
+				for _, o := range rep.Outcomes {
+					if o.Hash != "" {
+						filled++
+					}
+				}
+				rep.Stats.Computed = computed
+				rep.Stats.CacheHits = filled - computed
+				rep.Stats.TrialsRun = trialsRun
+				mu.Unlock()
+				rep.Stats.WallMS = float64(time.Since(start).Microseconds()) / 1000
+				return rep, ctx.Err()
+			}
+			return nil, err
+		}
+	}
+
+	mu.Lock()
+	rep.Stats.Computed = computed
+	rep.Stats.TrialsRun = trialsRun
+	mu.Unlock()
+	rep.Stats.CacheHits = len(specs) - rep.Stats.Computed
+	rep.Stats.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	return rep, nil
+}
+
+// clusterRun carries the resolved knobs and merge hooks into the pool.
+type clusterRun struct {
+	backend     string
+	maxAttempts int
+	backoffBase time.Duration
+	backoffMax  time.Duration
+	client      *http.Client
+	deliver     func(h string, base sweep.Outcome, hit bool)
+	addTrials   func(int64)
+}
+
+// runShards probes the workers, chunks the work items into shards and
+// drives the work-stealing pool to completion.
+func runShards(ctx context.Context, items []string, norm []scenario.Spec,
+	groups map[string][]int, rep *sweep.Report, opts Options, run clusterRun) error {
+	// Probe: drop unreachable workers, reject misconfigured ones loudly.
+	urls := make([]string, 0, len(opts.Workers))
+	for _, w := range opts.Workers {
+		if u := NormalizeWorkerURL(w); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	var live []string
+	for _, h := range Status(ctx, urls, run.client, opts.ProbeTimeout) {
+		if !h.OK {
+			continue
+		}
+		if h.Backend != "" && h.Backend != run.backend {
+			return fmt.Errorf("%w: %s runs %q, coordinator expects %q",
+				ErrBackendMismatch, h.URL, h.Backend, run.backend)
+		}
+		live = append(live, h.URL)
+	}
+	if len(live) == 0 {
+		return fmt.Errorf("%w: none of %d configured workers answered /v1/healthz", ErrNoWorkers, len(urls))
+	}
+
+	shardSize := opts.ShardSize
+	if shardSize <= 0 {
+		shardSize = (len(items) + 4*len(live) - 1) / (4 * len(live))
+		if shardSize < 1 {
+			shardSize = 1
+		}
+		if shardSize > 16 {
+			shardSize = 16
+		}
+	}
+	var tasks []*task
+	for off := 0; off < len(items); off += shardSize {
+		end := min(off+shardSize, len(items))
+		hs := items[off:end]
+		sp := make([]scenario.Spec, len(hs))
+		for i, h := range hs {
+			sp[i] = norm[groups[h][0]]
+		}
+		tasks = append(tasks, &task{id: ShardID(hs), hashes: hs, specs: sp})
+	}
+
+	queue := make(chan *task, len(tasks))
+	for _, t := range tasks {
+		queue <- t
+	}
+	var (
+		remaining   atomic.Int64
+		liveWorkers atomic.Int64
+		errOnce     sync.Once
+		firstErr    error
+		wg          sync.WaitGroup
+	)
+	remaining.Store(int64(len(tasks)))
+	liveWorkers.Store(int64(len(live)))
+	finish := func(t *task, err error) {
+		if err != nil {
+			errOnce.Do(func() { firstErr = err })
+		}
+		if remaining.Add(-1) == 0 {
+			close(queue)
+		}
+	}
+
+	for _, url := range live {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			for t := range queue {
+				if ctx.Err() != nil {
+					finish(t, ctx.Err())
+					continue // drain: every queued task must be finished
+				}
+				if t.attempts > 0 {
+					d := min(run.backoffBase<<(t.attempts-1), run.backoffMax)
+					select {
+					case <-time.After(d):
+					case <-ctx.Done():
+						finish(t, ctx.Err())
+						continue
+					}
+				}
+				outs, sum, err := claimShard(ctx, run.client, url, t)
+				if err == nil {
+					ackShard(run.client, url, t.id, opts.ProbeTimeout)
+					run.addTrials(sum.TrialsRun)
+					for _, h := range t.hashes {
+						o := outs[h]
+						// Fill the coordinator-side cache exactly as the local
+						// runner would: the canonical, name-free outcome.
+						// (With a shared cache dir the worker already wrote
+						// it; the atomic store makes the rewrite harmless.)
+						if opts.Cache != nil && !o.CacheHit {
+							c := o
+							c.Name = ""
+							opts.Cache.Add(sweep.CacheKey(run.backend, h), c)
+						}
+						run.deliver(h, o, o.CacheHit)
+					}
+					finish(t, nil)
+					continue
+				}
+				if ctx.Err() != nil {
+					finish(t, ctx.Err())
+					continue
+				}
+				t.attempts++
+				if t.attempts >= run.maxAttempts {
+					finish(t, fmt.Errorf("%w: shard %.12s after %d attempts (last worker %s): %v",
+						ErrShard, t.id, t.attempts, url, err))
+					continue
+				}
+				// Requeue for any worker to steal, then decide whether this
+				// worker is still worth keeping in the pool.
+				queue <- t
+				if !Probe(ctx, run.client, url, opts.ProbeTimeout).OK {
+					if liveWorkers.Add(-1) == 0 {
+						// Last live worker leaving: fail whatever is queued so
+						// the run terminates instead of deadlocking.
+						for {
+							select {
+							case t, ok := <-queue:
+								if !ok {
+									return
+								}
+								finish(t, fmt.Errorf("%w: all workers lost mid-run", ErrNoWorkers))
+							default:
+								return
+							}
+						}
+					}
+					return
+				}
+			}
+		}(url)
+	}
+	wg.Wait()
+	if ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return firstErr
+}
+
+// claimShard runs one claim/stream exchange and parses the NDJSON
+// response. It succeeds only when the summary line confirms every
+// scenario streamed and every expected hash arrived; any shortfall —
+// transport error, HTTP error, torn stream, short shard — is a retryable
+// failure.
+func claimShard(ctx context.Context, client *http.Client, url string, t *task) (map[string]sweep.Outcome, shardSummary, error) {
+	body, err := json.Marshal(shardRequest{ShardID: t.id, Scenarios: t.specs})
+	if err != nil {
+		return nil, shardSummary{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/shard", bytes.NewReader(body))
+	if err != nil {
+		return nil, shardSummary{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, shardSummary{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
+		return nil, shardSummary{}, fmt.Errorf("shard claim status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+
+	outs := make(map[string]sweep.Outcome, len(t.hashes))
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), 4<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Done  *bool  `json:"done"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, shardSummary{}, fmt.Errorf("undecodable stream line: %v", err)
+		}
+		if probe.Done != nil {
+			var sum shardSummary
+			if err := json.Unmarshal(line, &sum); err != nil {
+				return nil, shardSummary{}, err
+			}
+			if sum.Error != "" {
+				return nil, sum, fmt.Errorf("worker error: %s", sum.Error)
+			}
+			if sum.ShardID != t.id {
+				return nil, sum, fmt.Errorf("summary for shard %.12s, expected %.12s", sum.ShardID, t.id)
+			}
+			for _, h := range t.hashes {
+				if _, ok := outs[h]; !ok {
+					return nil, sum, fmt.Errorf("stream missing outcome %.12s", h)
+				}
+			}
+			return outs, sum, nil
+		}
+		if probe.Error != "" {
+			return nil, shardSummary{}, fmt.Errorf("worker error: %s", probe.Error)
+		}
+		var o sweep.Outcome
+		if err := json.Unmarshal(line, &o); err != nil {
+			return nil, shardSummary{}, fmt.Errorf("undecodable outcome line: %v", err)
+		}
+		outs[o.Hash] = o
+	}
+	if err := sc.Err(); err != nil {
+		return nil, shardSummary{}, err
+	}
+	return nil, shardSummary{}, fmt.Errorf("stream ended without a summary line")
+}
+
+// ackShard tells the worker its shard was merged; best-effort.
+func ackShard(client *http.Client, url, shardID string, timeout time.Duration) {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	body, _ := json.Marshal(map[string]string{"shard_id": shardID})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/shard/ack", bytes.NewReader(body))
+	if err != nil {
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if resp, err := client.Do(req); err == nil {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+// testGrid expands a small but non-trivial scenario list: three
+// protocols, two stakes, plus one duplicate position to exercise
+// in-sweep deduplication fan-out.
+func testGrid(t *testing.T) []scenario.Spec {
+	t.Helper()
+	g := scenario.Grid{
+		Base:      scenario.Spec{Blocks: 200, Trials: 20, Seed: 9},
+		Protocols: []string{"pow", "mlpos", "slpos"},
+		Stake:     []float64{0.2, 0.3},
+	}
+	specs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := specs[0]
+	dup.Name = "dup-of-first"
+	return append(specs, dup)
+}
+
+// startWorker boots one in-process worker node: the real shard protocol
+// handlers over a local sweep pipeline, plus the minimal healthz the
+// coordinator probes.
+func startWorker(t *testing.T, opts sweep.Options, backendName string) (*httptest.Server, *WorkerServer) {
+	t.Helper()
+	ws := NewWorkerServer(LocalRunner(opts))
+	mux := http.NewServeMux()
+	ws.Register(mux)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{
+			"status": "ok", "backend": backendName,
+			"shards_in_flight": ws.InFlight(), "shards_done": ws.Done(),
+		})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv, ws
+}
+
+// canonicalOutcomes strips the fields that legitimately differ between a
+// local and a distributed run — where/when the work ran — leaving
+// everything the paper cares about, byte for byte.
+func canonicalOutcomes(t *testing.T, rep *sweep.Report) string {
+	t.Helper()
+	outs := make([]sweep.Outcome, len(rep.Outcomes))
+	copy(outs, rep.Outcomes)
+	for i := range outs {
+		outs[i].ElapsedMS = 0
+		outs[i].CacheHit = false
+	}
+	b, err := json.Marshal(outs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// countGoroutines samples the goroutine count after a settle loop so
+// already-exiting goroutines don't read as leaks.
+func countGoroutines(settleBelow int) int {
+	n := runtime.NumGoroutine()
+	for i := 0; i < 100 && n > settleBelow; i++ {
+		time.Sleep(2 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+func TestClusterRunMatchesLocalSweepBitIdentical(t *testing.T) {
+	specs := testGrid(t)
+	local, err := sweep.Run(specs, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, ws1 := startWorker(t, sweep.Options{}, "montecarlo")
+	w2, ws2 := startWorker(t, sweep.Options{}, "montecarlo")
+	var streamed atomic.Int64
+	rep, err := Run(context.Background(), specs, Options{
+		Workers:   []string{w1.URL, w2.URL},
+		OnOutcome: func(sweep.Outcome) { streamed.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonicalOutcomes(t, rep), canonicalOutcomes(t, local); got != want {
+		t.Errorf("distributed outcomes differ from local sweep:\n%s\n%s", got, want)
+	}
+	// The stats must agree too — everything but wall time is a pure
+	// function of the scenario list.
+	ls, cs := local.Stats, rep.Stats
+	if cs.Scenarios != ls.Scenarios || cs.Computed != ls.Computed ||
+		cs.CacheHits != ls.CacheHits || cs.TrialsRun != ls.TrialsRun {
+		t.Errorf("stats differ: cluster %+v, local %+v", cs, ls)
+	}
+	if int(streamed.Load()) != len(specs) {
+		t.Errorf("observer saw %d outcomes, want %d", streamed.Load(), len(specs))
+	}
+	// The duplicate position must be an in-sweep hit, exactly like local.
+	last := rep.Outcomes[len(specs)-1]
+	if !last.CacheHit || last.Name != "dup-of-first" {
+		t.Errorf("duplicate position: %+v", last)
+	}
+	if ws1.Done()+ws2.Done() == 0 {
+		t.Error("no worker completed any shard")
+	}
+	if ws1.InFlight()+ws2.InFlight() != 0 {
+		t.Error("in-flight counters did not return to zero")
+	}
+}
+
+func TestClusterWarmCacheNeverShipsWork(t *testing.T) {
+	// Cache-aware scheduling: a coordinator whose cache already holds
+	// every work item must answer without touching a single worker — the
+	// configured pool is unreachable on purpose.
+	specs := testGrid(t)
+	cache := sweep.NewCache(64)
+	local, err := sweep.Run(specs, sweep.Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(context.Background(), specs, Options{
+		Workers: []string{"127.0.0.1:1"}, // nothing listens here
+		Cache:   cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonicalOutcomes(t, rep), canonicalOutcomes(t, local); got != want {
+		t.Errorf("warm-cache outcomes differ from local sweep")
+	}
+	if rep.Stats.Computed != 0 || rep.Stats.CacheHits != len(specs) {
+		t.Errorf("warm run stats: %+v", rep.Stats)
+	}
+	for i, o := range rep.Outcomes {
+		if !o.CacheHit {
+			t.Errorf("outcome %d not served from cache", i)
+		}
+	}
+}
+
+// flakyWorker wraps a healthy worker node and kills it mid-shard: the
+// first claim streams one line and tears the connection, and from then
+// on the whole node answers 503 — a crashed process as seen over HTTP.
+type flakyWorker struct {
+	inner http.Handler
+	dead  atomic.Bool
+	hits  atomic.Int64
+}
+
+func (f *flakyWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if f.dead.Load() {
+		http.Error(w, "worker crashed", http.StatusServiceUnavailable)
+		return
+	}
+	if r.Method == http.MethodPost && r.URL.Path == "/v1/shard" {
+		f.hits.Add(1)
+		f.dead.Store(true)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"hash":"torn`) // half a line, then the connection dies
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	}
+	f.inner.ServeHTTP(w, r)
+}
+
+func TestClusterReassignsShardsFromKilledWorker(t *testing.T) {
+	specs := testGrid(t)
+	local, err := sweep.Run(specs, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	healthy, _ := startWorker(t, sweep.Options{}, "montecarlo")
+	ws := NewWorkerServer(LocalRunner(sweep.Options{}))
+	mux := http.NewServeMux()
+	ws.Register(mux)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok", "backend": "montecarlo"})
+	})
+	flaky := &flakyWorker{inner: mux}
+	flakySrv := httptest.NewServer(flaky)
+	t.Cleanup(flakySrv.Close)
+
+	before := countGoroutines(0)
+	rep, err := Run(context.Background(), specs, Options{
+		Workers:     []string{flakySrv.URL, healthy.URL},
+		BackoffBase: time.Millisecond, // keep the retry path fast under test
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flaky.hits.Load() == 0 {
+		t.Fatal("flaky worker was never claimed — the failure path did not run")
+	}
+	// The merged report must be indistinguishable from an undisturbed
+	// local sweep: the killed worker's shard was recomputed elsewhere.
+	if got, want := canonicalOutcomes(t, rep), canonicalOutcomes(t, local); got != want {
+		t.Errorf("outcomes after worker failure differ from local sweep:\n%s\n%s", got, want)
+	}
+	if rep.Partial {
+		t.Error("report marked partial despite successful reassignment")
+	}
+	if after := countGoroutines(before); after > before {
+		t.Errorf("goroutines leaked across worker failure: %d -> %d", before, after)
+	}
+}
+
+func TestClusterBackendMismatchRefused(t *testing.T) {
+	w, _ := startWorker(t, sweep.Options{Evaluator: &sweep.TheoryEvaluator{}}, "theory")
+	_, err := Run(context.Background(), testGrid(t), Options{Workers: []string{w.URL}})
+	if !errors.Is(err, ErrBackendMismatch) {
+		t.Errorf("err = %v, want ErrBackendMismatch", err)
+	}
+}
+
+func TestClusterNoLiveWorkers(t *testing.T) {
+	_, err := Run(context.Background(), testGrid(t), Options{Workers: []string{"127.0.0.1:1"}})
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Errorf("err = %v, want ErrNoWorkers", err)
+	}
+}
+
+func TestClusterPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	w, _ := startWorker(t, sweep.Options{}, "montecarlo")
+	rep, err := Run(ctx, testGrid(t), Options{Workers: []string{w.URL}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil || !rep.Partial {
+		t.Fatalf("cancelled cluster run must return a partial report, got %+v", rep)
+	}
+}
+
+func TestClusterInvalidScenarioRejectedLocally(t *testing.T) {
+	_, err := Run(context.Background(), []scenario.Spec{{Protocol: "nope"}}, Options{})
+	if !errors.Is(err, scenario.ErrSpec) {
+		t.Errorf("err = %v, want ErrSpec", err)
+	}
+}
+
+func TestShardIDDeterministic(t *testing.T) {
+	a := ShardID([]string{"aa", "bb"})
+	if a != ShardID([]string{"aa", "bb"}) {
+		t.Error("same items, different shard ids")
+	}
+	if a == ShardID([]string{"bb", "aa"}) {
+		t.Error("shard id ignores item order")
+	}
+	if a == ShardID([]string{"a", "abb"}) {
+		t.Error("shard id must separate items, not concatenate them")
+	}
+}
+
+func TestNormalizeWorkerURL(t *testing.T) {
+	cases := map[string]string{
+		"localhost:7447":         "http://localhost:7447",
+		"http://h:1/":            "http://h:1",
+		"https://pool.example/w": "https://pool.example/w",
+		"  h:2  ":                "http://h:2",
+		"":                       "",
+	}
+	for in, want := range cases {
+		if got := NormalizeWorkerURL(in); got != want {
+			t.Errorf("NormalizeWorkerURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

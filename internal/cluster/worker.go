@@ -1,0 +1,242 @@
+// Package cluster distributes scenario sweeps across fairnessd worker
+// nodes: a coordinator partitions the expanded grid into shards keyed by
+// scenario content hashes (internal/scenario), fans them out over HTTP,
+// and merges the workers' NDJSON outcome streams into one deterministic
+// report — bit-identical, modulo timing bookkeeping, to a local
+// sweep.RunContext of the same scenario list.
+//
+// The wire protocol is deliberately small:
+//
+//	POST /v1/shard      {"shard_id":"...","scenarios":[...]} — claim:
+//	                    the worker registers the shard in flight and
+//	                    streams one NDJSON outcome per scenario, then a
+//	                    summary line {"done":true,"shard_id":...}.
+//	POST /v1/shard/ack  {"shard_id":"..."} — ack: the coordinator
+//	                    confirms it merged the shard; the worker drops
+//	                    it from its pending table.
+//	GET  /v1/healthz    liveness plus backend, cache counters and
+//	                    in-flight shard count, used for placement and
+//	                    failure detection.
+//
+// Work-stealing: shards live on one shared queue and every worker pulls
+// the next shard the moment it finishes the last, so fast (or
+// cache-warm) workers naturally take more of the grid. A failed shard
+// retries with exponential backoff and re-enters the queue for any live
+// worker; a worker whose health probe fails drops out of the pool.
+// Shards are deterministic and idempotent — their identity is the hash
+// of the scenario hashes they carry — so a reassigned shard recomputes
+// (or cache-serves) exactly the same outcomes on the new worker.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+// RunFunc evaluates one shard's scenario list on the worker, streaming
+// each outcome through onOutcome as it completes, and returns the run's
+// sweep statistics. Implementations must serialise onOutcome calls (both
+// sweep.RunContext's OnOutcome and the Engine observer already do).
+type RunFunc func(ctx context.Context, specs []scenario.Spec, onOutcome func(sweep.Outcome)) (sweep.Stats, error)
+
+// LocalRunner adapts a sweep.Options pipeline into a RunFunc: the
+// simplest possible worker, used by tests and in-process clusters. The
+// per-shard onOutcome is chained after any OnOutcome already present.
+func LocalRunner(opts sweep.Options) RunFunc {
+	return func(ctx context.Context, specs []scenario.Spec, onOutcome func(sweep.Outcome)) (sweep.Stats, error) {
+		o := opts
+		prev := o.OnOutcome
+		switch {
+		case prev != nil && onOutcome != nil:
+			o.OnOutcome = func(out sweep.Outcome) { prev(out); onOutcome(out) }
+		case onOutcome != nil:
+			o.OnOutcome = onOutcome
+		}
+		rep, err := sweep.RunContext(ctx, specs, o)
+		if rep != nil {
+			return rep.Stats, err
+		}
+		return sweep.Stats{}, err
+	}
+}
+
+// shardRequest is the claim body of POST /v1/shard.
+type shardRequest struct {
+	ShardID   string          `json:"shard_id"`
+	Scenarios []scenario.Spec `json:"scenarios"`
+}
+
+// shardSummary is the trailing NDJSON line of a shard stream: the
+// worker-side ack that every scenario of the shard was answered.
+type shardSummary struct {
+	Done      bool    `json:"done"`
+	ShardID   string  `json:"shard_id"`
+	Scenarios int     `json:"scenarios"`
+	Streamed  int     `json:"streamed"`
+	TrialsRun int64   `json:"trials_run"`
+	CacheHits int     `json:"cache_hits"`
+	WallMS    float64 `json:"wall_ms"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// maxShardBodyBytes bounds claim bodies; even thousand-scenario shards
+// are far below this.
+const maxShardBodyBytes = 32 << 20
+
+// maxPendingShards caps the completed-but-unacked table so a coordinator
+// that never acks cannot grow worker memory without bound.
+const maxPendingShards = 1024
+
+// WorkerServer is the worker-node side of the cluster protocol: it
+// mounts the /v1/shard claim/stream and /v1/shard/ack endpoints over any
+// sweep pipeline (a fairnessd Engine, or a bare LocalRunner) and tracks
+// the in-flight/completed shard counters health endpoints report.
+type WorkerServer struct {
+	run      RunFunc
+	inFlight atomic.Int64
+	done     atomic.Int64
+
+	mu      sync.Mutex
+	pending map[string]time.Time // completed shards awaiting coordinator ack
+}
+
+// NewWorkerServer builds a worker server over the given shard runner.
+func NewWorkerServer(run RunFunc) *WorkerServer {
+	return &WorkerServer{run: run, pending: make(map[string]time.Time)}
+}
+
+// Register mounts the shard endpoints on mux.
+func (s *WorkerServer) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/shard", s.handleShard)
+	mux.HandleFunc("POST /v1/shard/ack", s.handleAck)
+}
+
+// InFlight returns the number of shards currently being evaluated.
+func (s *WorkerServer) InFlight() int64 { return s.inFlight.Load() }
+
+// Done returns the number of shards completed since startup.
+func (s *WorkerServer) Done() int64 { return s.done.Load() }
+
+// PendingAcks returns the number of completed shards not yet acked.
+func (s *WorkerServer) PendingAcks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// recordPending marks a completed shard as awaiting ack, evicting the
+// oldest entry when the table is full.
+func (s *WorkerServer) recordPending(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pending) >= maxPendingShards {
+		oldestID, oldest := "", time.Time{}
+		for k, at := range s.pending {
+			if oldest.IsZero() || at.Before(oldest) {
+				oldestID, oldest = k, at
+			}
+		}
+		delete(s.pending, oldestID)
+	}
+	s.pending[id] = time.Now()
+}
+
+// handleShard is the claim+stream exchange: it validates the shard,
+// counts it in flight, streams one NDJSON outcome per scenario and
+// finishes with a summary line. The summary's Done:true is the worker's
+// promise that every scenario streamed; anything else (an Error line, a
+// torn connection, a short stream) tells the coordinator to retry the
+// shard elsewhere.
+func (s *WorkerServer) handleShard(w http.ResponseWriter, r *http.Request) {
+	var req shardRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxShardBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		shardError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.ShardID == "" {
+		shardError(w, http.StatusBadRequest, fmt.Errorf("missing shard_id"))
+		return
+	}
+	if len(req.Scenarios) == 0 {
+		shardError(w, http.StatusBadRequest, fmt.Errorf("empty shard"))
+		return
+	}
+	for i := range req.Scenarios {
+		if err := req.Scenarios[i].Validate(); err != nil {
+			shardError(w, http.StatusBadRequest, fmt.Errorf("scenario %d: %w", i, err))
+			return
+		}
+	}
+
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	streamed := 0
+	start := time.Now()
+	stats, err := s.run(r.Context(), req.Scenarios, func(out sweep.Outcome) {
+		if enc.Encode(out) == nil {
+			streamed++
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	sum := shardSummary{
+		ShardID:   req.ShardID,
+		Scenarios: len(req.Scenarios),
+		Streamed:  streamed,
+		TrialsRun: stats.TrialsRun,
+		CacheHits: stats.CacheHits,
+		WallMS:    float64(time.Since(start).Microseconds()) / 1000,
+	}
+	switch {
+	case r.Context().Err() != nil:
+		return // coordinator went away; nothing left to tell it
+	case err != nil:
+		sum.Error = err.Error()
+	default:
+		sum.Done = true
+		s.done.Add(1)
+		s.recordPending(req.ShardID)
+	}
+	enc.Encode(sum)
+}
+
+// handleAck drops an acked shard from the pending table. Acking an
+// unknown shard is not an error — acks are best-effort and idempotent.
+func (s *WorkerServer) handleAck(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		ShardID string `json:"shard_id"`
+	}
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+		shardError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	_, known := s.pending[req.ShardID]
+	delete(s.pending, req.ShardID)
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]bool{"acked": known})
+}
+
+// shardError writes a JSON error with the given status — the pre-stream
+// failure shape (mid-stream failures surface as NDJSON Error lines).
+func shardError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}

@@ -113,6 +113,46 @@ func DecodeGrid(data []byte) (Grid, error) {
 	return g, nil
 }
 
+// DecodeSpecsOrGrid parses the two sweep-input document formats every
+// CLI and service accepts — an explicit scenario array, or a grid
+// object — into a validated, non-empty scenario list. Arrays are taken
+// verbatim, seeds and all; grids that don't name their own seed fall
+// back to baseSeed (0 keeps the grid's usual Base.Seed/1 fallback).
+// This is the single decode path of fairsweep -spec files, fairnessd
+// /v1/sweep bodies and fairctl spec arguments.
+func DecodeSpecsOrGrid(data []byte, baseSeed uint64) ([]Spec, error) {
+	if strings.HasPrefix(strings.TrimSpace(string(data)), "[") {
+		list, err := DecodeList(data)
+		if err != nil {
+			return nil, err
+		}
+		for i := range list {
+			if err := list[i].Validate(); err != nil {
+				return nil, fmt.Errorf("scenario %d: %w", i, err)
+			}
+		}
+		if len(list) == 0 {
+			return nil, fmt.Errorf("%w: empty scenario list", ErrSpec)
+		}
+		return list, nil
+	}
+	grid, err := DecodeGrid(data)
+	if err != nil {
+		return nil, err
+	}
+	if grid.Seed == 0 {
+		grid.Seed = baseSeed
+	}
+	specs, err := grid.Expand()
+	if err != nil {
+		return nil, err
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("%w: grid expands to zero scenarios", ErrSpec)
+	}
+	return specs, nil
+}
+
 // cellName labels an expanded scenario. Protocol, reward and share are
 // always shown; any other axis the grid actually sweeps (more than one
 // value) is appended, so distinct grid cells never share a name.

@@ -19,12 +19,19 @@ import (
 // cross-check the abstract Monte-Carlo model on small scenarios, not for
 // wide grids at paper scale.
 //
-// Coverage: pow, mlpos, slpos and fslpos — the protocols internal/chainsim
-// implements as consensus engines. Stake shares are discretised into
-// integer units (StakeUnits per unit of total stake), and the block
-// reward becomes round(w·StakeUnits) ledger units, so very small w or
-// very skewed allocations lose resolution; Evaluate rejects scenarios
-// whose reward would truncate to zero.
+// Coverage: pow, mlpos, slpos, fslpos and cpos — the protocols
+// internal/chainsim implements as consensus engines. Stake shares are
+// discretised into integer units (StakeUnits per unit of total stake),
+// and rewards become round(w·StakeUnits) ledger units (for C-PoS,
+// round(w/P·StakeUnits) per shard block plus round(v·StakeUnits)
+// inflation per epoch), so very small w or very skewed allocations lose
+// resolution; Evaluate rejects scenarios whose reward would truncate to
+// zero.
+//
+// Horizons: a scenario "block" is one protocol step. For C-PoS a step is
+// an epoch of Shards shard blocks, so the chain runs Blocks·Shards real
+// blocks and checkpoints land on epoch boundaries — the same epoch
+// semantics as the abstract Monte-Carlo model.
 type ChainSimEvaluator struct {
 	// StakeUnits is the integer total supply the stake vector is scaled
 	// to (default 1,000,000).
@@ -35,7 +42,7 @@ type ChainSimEvaluator struct {
 }
 
 // chainsimProtocols lists the protocols the chainsim backend covers.
-var chainsimProtocols = []string{"pow", "mlpos", "slpos", "fslpos"}
+var chainsimProtocols = []string{"pow", "mlpos", "slpos", "fslpos", "cpos"}
 
 // chainsimBlockChunk bounds how many blocks run between context checks.
 const chainsimBlockChunk = 128
@@ -69,9 +76,21 @@ func (e *ChainSimEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) (E
 		totalUnits += r
 	}
 	reward := uint64(math.Round(n.W * float64(units)))
-	if reward == 0 && n.Protocol != "pow" {
+	if reward == 0 && n.Protocol != "pow" && n.Protocol != "cpos" {
 		return Evaluation{}, fmt.Errorf("%w: w = %v truncates to zero ledger units at %d stake units",
 			ErrBackend, n.W, units)
+	}
+	// C-PoS rewards discretise per shard block; steps-per-block widens an
+	// abstract epoch into its real shard blocks.
+	perShard := uint64(0)
+	stepsPerBlock := 1
+	if n.Protocol == "cpos" {
+		perShard = uint64(math.Round(n.W / float64(n.Shards) * float64(units)))
+		if perShard == 0 {
+			return Evaluation{}, fmt.Errorf("%w: w/P = %v truncates to zero ledger units per shard block at %d stake units",
+				ErrBackend, n.W/float64(n.Shards), units)
+		}
+		stepsPerBlock = n.Shards
 	}
 	engine := func() chainsim.Engine {
 		switch n.Protocol {
@@ -93,6 +112,14 @@ func (e *ChainSimEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) (E
 			return &chainsim.SLPoSEngine{BlockReward: reward}
 		case "fslpos":
 			return &chainsim.FSLPoSEngine{BlockReward: reward}
+		case "cpos":
+			// NewNetwork defaults WithholdEvery to Shards for C-PoS, which
+			// reproduces the paper's epoch-start stake-snapshot semantics.
+			return &chainsim.CPoSEngine{
+				PerShardReward:    perShard,
+				InflationPerEpoch: uint64(math.Round(n.V * float64(units))),
+				Shards:            uint64(n.Shards),
+			}
 		}
 		return nil
 	}
@@ -113,20 +140,22 @@ func (e *ChainSimEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) (E
 		// Trial streams mirror the Monte-Carlo engine's seeding scheme so
 		// chainsim runs are equally reproducible and worker-independent.
 		tr := rng.Stream(n.Seed, trial)
+		// An explicit withholding period is stated in protocol steps;
+		// widen it to shard blocks for C-PoS like everything else.
 		net, err := chainsim.NewNetwork(chainsim.NetworkConfig{
 			Engine:        engine(), // fresh engine: NewNetwork wires per-network miner sets into it
 			Miners:        miners,
 			Seed:          tr.Uint64(),
 			Salt:          tr.Uint64(),
-			WithholdEvery: uint64(n.WithholdEvery),
+			WithholdEvery: uint64(n.WithholdEvery) * uint64(stepsPerBlock),
 		})
 		if err != nil {
 			return Evaluation{TrialsRun: int64(trial)}, err
 		}
 		height := 0
 		for ci, c := range cps {
-			for height < c {
-				step := min(chainsimBlockChunk, c-height)
+			for height < c*stepsPerBlock {
+				step := min(chainsimBlockChunk, c*stepsPerBlock-height)
 				if err := ctx.Err(); err != nil {
 					return Evaluation{TrialsRun: int64(trial)}, err
 				}

@@ -33,6 +33,17 @@ func NewDiskCache(dir string) (*DiskCache, error) {
 // Dir returns the cache's root directory.
 func (d *DiskCache) Dir() string { return d.store.Root() }
 
+// SetMaxBytes arms (or, with n <= 0, disarms) a size cap on the
+// underlying store: once stored outcomes exceed n bytes, adds evict the
+// least-recently-used entries until the total fits. Reads of an evicted
+// entry are ordinary misses — the scenario recomputes and re-enters the
+// cache as fresh.
+func (d *DiskCache) SetMaxBytes(n int64) { d.store.SetMaxBytes(n) }
+
+// GC forces a collection now and reports how many entries and bytes it
+// evicted (always zero without a size cap).
+func (d *DiskCache) GC() (removed int, freed int64) { return d.store.GC() }
+
 // Get implements CacheStore: a missing, unreadable or undecodable entry
 // is a miss. Undecodable entries are evicted so they recompute cleanly.
 func (d *DiskCache) Get(key string) (Outcome, bool) {

@@ -117,3 +117,54 @@ func TestDiskCacheSharedAcrossBackends(t *testing.T) {
 		}
 	}
 }
+
+func TestDiskCacheMaxBytesEvicts(t *testing.T) {
+	// The fairsweep -cache-max-bytes contract: a size-capped cache stays
+	// within budget, evictions read as ordinary misses, and evicted
+	// scenarios recompute and re-enter the store.
+	dir := t.TempDir()
+	cache, err := NewDiskCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := quickGrid(t)
+	if _, err := Run(specs, Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	full := cache.Len()
+	if full != len(specs) {
+		t.Fatalf("cache holds %d entries, want %d", full, len(specs))
+	}
+	// One stored outcome is a small JSON document; budget for roughly
+	// half the grid and force a collection.
+	var entryBytes int64
+	filepath.WalkDir(dir, func(path string, e os.DirEntry, err error) error {
+		if err == nil && !e.IsDir() && entryBytes == 0 {
+			if fi, ferr := e.Info(); ferr == nil {
+				entryBytes = fi.Size()
+			}
+		}
+		return nil
+	})
+	if entryBytes == 0 {
+		t.Fatal("no cache entries found on disk")
+	}
+	// Arming the cap enforces it immediately: no explicit GC call needed.
+	cache.SetMaxBytes(entryBytes * int64(full) / 2)
+	surviving := cache.Len()
+	if surviving == 0 || surviving >= full {
+		t.Fatalf("eviction left %d of %d entries, want a strict subset", surviving, full)
+	}
+	// The sweep self-heals: evicted scenarios recompute, survivors hit.
+	// Disarm the budget first so the recomputes' own writes cannot evict
+	// the survivors mid-sweep (cache semantics allow that — it would just
+	// make the assertion scheduling-dependent).
+	cache.SetMaxBytes(0)
+	rep, err := Run(specs, Options{Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.CacheHits != surviving || rep.Stats.Computed != full-surviving {
+		t.Errorf("want %d hits + %d recomputes, got %+v", surviving, full-surviving, rep.Stats)
+	}
+}

@@ -244,7 +244,7 @@ func TestChainSimEvaluatorSmoke(t *testing.T) {
 }
 
 func TestChainSimEvaluatorUnsupportedProtocol(t *testing.T) {
-	_, err := Run([]scenario.Spec{{Protocol: "cpos", Blocks: 50, Trials: 2}},
+	_, err := Run([]scenario.Spec{{Protocol: "neo", Blocks: 50, Trials: 2}},
 		Options{Evaluator: &ChainSimEvaluator{}})
 	if !errors.Is(err, ErrBackend) {
 		t.Errorf("err = %v, want ErrBackend", err)
@@ -282,5 +282,58 @@ func TestCacheKeysNamespacedByBackend(t *testing.T) {
 	}
 	if mc.Outcomes[0].Verdict.UnfairProbability == th.Outcomes[0].Verdict.UnfairProbability {
 		t.Log("note: MC and theory agree exactly here; namespacing still required")
+	}
+}
+
+func TestChainSimEvaluatorCPoSParityWithMonteCarlo(t *testing.T) {
+	// C-PoS coverage of the block-level backend: the real shard lotteries
+	// and epoch inflation of internal/chainsim must agree with the
+	// abstract Monte-Carlo model on both fairness verdicts, and land on
+	// essentially the same mean reward fraction. The inflation reward
+	// dominates (v >> w), so lambda concentrates near the initial share
+	// and the comparison is sharp.
+	spec := scenario.Spec{Protocol: "cpos", W: 0.02, V: 0.1, Shards: 4,
+		Stake: 0.2, Blocks: 40, Trials: 24, Seed: 5}
+	cs, err := Run([]scenario.Spec{spec}, Options{Evaluator: &ChainSimEvaluator{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := Run([]scenario.Spec{spec}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, mv := cs.Outcomes[0].Verdict, mc.Outcomes[0].Verdict
+	if cv.Protocol != "C-PoS" || cs.Outcomes[0].Backend != "chainsim" {
+		t.Fatalf("chainsim outcome: protocol %q backend %q", cv.Protocol, cs.Outcomes[0].Backend)
+	}
+	if cv.ExpectationalFair != mv.ExpectationalFair {
+		t.Errorf("expectational fairness: chainsim %v, montecarlo %v", cv.ExpectationalFair, mv.ExpectationalFair)
+	}
+	if cv.RobustFair != mv.RobustFair {
+		t.Errorf("robust fairness: chainsim %v, montecarlo %v", cv.RobustFair, mv.RobustFair)
+	}
+	if d := math.Abs(cv.MeanLambda - mv.MeanLambda); d > 0.03 {
+		t.Errorf("mean lambda: chainsim %.4f vs montecarlo %.4f (diff %.4f)", cv.MeanLambda, mv.MeanLambda, d)
+	}
+	if cs.Stats.TrialsRun != 24 {
+		t.Errorf("chainsim trials = %d", cs.Stats.TrialsRun)
+	}
+	// Determinism across runs (the cache-poisoning guarantee).
+	cs2, err := Run([]scenario.Spec{spec}, Options{Evaluator: &ChainSimEvaluator{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs2.Outcomes[0].Verdict != cv {
+		t.Errorf("chainsim cpos not deterministic:\n%+v\n%+v", cv, cs2.Outcomes[0].Verdict)
+	}
+}
+
+func TestChainSimEvaluatorCPoSRejectsZeroPerShardReward(t *testing.T) {
+	// w/P below half a ledger unit cannot be represented; fail loudly
+	// instead of silently simulating a rewardless chain.
+	_, err := (&ChainSimEvaluator{StakeUnits: 100}).Evaluate(context.Background(),
+		scenario.Spec{Protocol: "cpos", W: 0.001, Shards: 32, Blocks: 10, Trials: 2}.Normalized())
+	if !errors.Is(err, ErrBackend) {
+		t.Errorf("err = %v, want ErrBackend", err)
 	}
 }
