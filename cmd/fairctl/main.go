@@ -1,7 +1,9 @@
 // Command fairctl is the cluster coordinator CLI: it takes the same
-// declarative scenario grids fairsweep runs locally and fans them out
-// over a pool of fairnessd worker nodes (internal/cluster), merging the
-// workers' streams into one report that is bit-identical — modulo
+// declarative scenario grids fairsweep runs locally — including
+// adversarial specs with adversary/network blocks and gamma/fork_rate
+// axes, which ship over the shard protocol unchanged — and fans them
+// out over a pool of fairnessd worker nodes (internal/cluster), merging
+// the workers' streams into one report that is bit-identical — modulo
 // timing/cache bookkeeping — to a single-process `fairsweep run` of the
 // same spec.
 //

@@ -285,23 +285,29 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // in-memory LRU, whose Len is constant-time).
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
-		Status         string  `json:"status"`
-		Backend        string  `json:"backend"`
-		Cache          string  `json:"cache"`
-		CacheLen       *int    `json:"cache_len,omitempty"`
-		CacheHits      *uint64 `json:"cache_hits,omitempty"`
-		CacheMisses    *uint64 `json:"cache_misses,omitempty"`
-		Evaluates      int64   `json:"evaluates"`
-		Sweeps         int64   `json:"sweeps"`
-		ShardsInFlight int64   `json:"shards_in_flight"`
-		ShardsDone     int64   `json:"shards_done"`
-		PendingAcks    int     `json:"pending_acks"`
-		UptimeMS       int64   `json:"uptime_ms"`
-		GoMaxProcs     int     `json:"gomaxprocs"`
+		Status  string `json:"status"`
+		Backend string `json:"backend"`
+		// Capabilities is the backend's declared scenario coverage, so a
+		// coordinator (or an operator's curl) can see up front whether
+		// this worker answers adversarial or fork-aware scenarios.
+		Capabilities   fairness.Capabilities `json:"capabilities"`
+		Cache          string                `json:"cache"`
+		CacheLen       *int                  `json:"cache_len,omitempty"`
+		CacheHits      *uint64               `json:"cache_hits,omitempty"`
+		CacheMisses    *uint64               `json:"cache_misses,omitempty"`
+		Evaluates      int64                 `json:"evaluates"`
+		Sweeps         int64                 `json:"sweeps"`
+		ShardsInFlight int64                 `json:"shards_in_flight"`
+		ShardsDone     int64                 `json:"shards_done"`
+		PendingAcks    int                   `json:"pending_acks"`
+		UptimeMS       int64                 `json:"uptime_ms"`
+		GoMaxProcs     int                   `json:"gomaxprocs"`
 	}
+	caps, _ := fairness.BackendCapabilities(s.backendName)
 	h := health{
 		Status:         "ok",
 		Backend:        s.backendName,
+		Capabilities:   caps,
 		Cache:          s.cacheDesc,
 		Evaluates:      s.evaluates.Load(),
 		Sweeps:         s.sweeps.Load(),

@@ -6,8 +6,9 @@
 //	fairsweep expand [flags]   expand the grid, print the scenario list as JSON
 //	fairsweep run [flags]      run the sweep, print the fairness report
 //	fairsweep bench [flags]    run cold + warm cache passes, print throughput
+//	fairsweep conform [flags]  run the cross-backend conformance corpus
 //
-// Grid flags (shared by all commands):
+// Grid flags (shared by expand/run/bench):
 //
 //	-spec FILE      JSON grid {"base":{...},"protocols":[...],"stake":[...]}
 //	                or scenario array [{...}, ...]; overrides the axis flags
@@ -16,6 +17,9 @@
 //	-stake CSV      tracked-miner share axis (default 0.1,0.2,0.3,0.4)
 //	-miners CSV     miner-count axis (default 2)
 //	-withhold CSV   reward-withholding period axis (default none)
+//	-selfish N      make miner N a rational selfish miner (pow only)
+//	-gamma CSV      selfish network-advantage axis (needs -selfish)
+//	-fork-rate CSV  network fork-rate axis (pow only; 0 = honest cell)
 //	-blocks N       horizon in blocks/epochs (default 5000)
 //	-trials N       Monte-Carlo trials per scenario (default 1000)
 //	-checkpoints N  record λ at N linear checkpoints (default: final only)
@@ -46,7 +50,10 @@
 //	fairsweep run -trials 300 -blocks 1500 -cache 64 -repeat 2
 //	fairsweep run -cache-dir ~/.cache/fairsweep -trials 300 -blocks 1500
 //	fairsweep run -backend theory -protocols pow,mlpos,cpos
+//	fairsweep run -protocols pow -stake 0.35,0.4,0.45 -selfish 0 -gamma 0,0.5
+//	fairsweep run -protocols pow -stake 0.4 -fork-rate 0,0.4,0.8
 //	fairsweep bench -protocols pow,mlpos -trials 100 -blocks 500
+//	fairsweep conform
 package main
 
 import (
@@ -62,6 +69,7 @@ import (
 	"syscall"
 
 	fairness "repro"
+	"repro/internal/conformance"
 	"repro/internal/montecarlo"
 	"repro/internal/scenario"
 )
@@ -117,6 +125,8 @@ func run(args []string) error {
 		return runCmd(args[1:])
 	case "bench":
 		return benchCmd(args[1:])
+	case "conform":
+		return conformCmd(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -134,6 +144,9 @@ type gridFlags struct {
 	stake       *string
 	miners      *string
 	withhold    *string
+	selfish     *int
+	gamma       *string
+	forkRate    *string
 	blocks      *int
 	trials      *int
 	checkpoints *int
@@ -148,6 +161,9 @@ func addGridFlags(fs *flag.FlagSet) *gridFlags {
 		stake:       fs.String("stake", "0.1,0.2,0.3,0.4", "tracked-miner share axis (CSV)"),
 		miners:      fs.String("miners", "2", "miner-count axis (CSV)"),
 		withhold:    fs.String("withhold", "", "withholding-period axis (CSV)"),
+		selfish:     fs.Int("selfish", -1, "make miner N a rational selfish miner (pow only; -1 = off)"),
+		gamma:       fs.String("gamma", "", "selfish network-advantage axis (CSV, needs -selfish)"),
+		forkRate:    fs.String("fork-rate", "", "network fork-rate axis (CSV, pow only; 0 = honest cell)"),
 		blocks:      fs.Int("blocks", 5000, "horizon in blocks/epochs"),
 		trials:      fs.Int("trials", 1000, "Monte-Carlo trials per scenario"),
 		checkpoints: fs.Int("checkpoints", 0, "record lambda at N linear checkpoints (0 = final only)"),
@@ -188,9 +204,22 @@ func (g *gridFlags) specs() ([]scenario.Spec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("-withhold: %w", err)
 	}
+	gammas, err := splitFloats(*g.gamma)
+	if err != nil {
+		return nil, fmt.Errorf("-gamma: %w", err)
+	}
+	forkRates, err := splitFloats(*g.forkRate)
+	if err != nil {
+		return nil, fmt.Errorf("-fork-rate: %w", err)
+	}
 	base := scenario.Spec{Blocks: *g.blocks, Trials: *g.trials}
 	if *g.checkpoints > 0 {
 		base.Checkpoints = montecarlo.LinearCheckpoints(*g.blocks, *g.checkpoints)
+	}
+	if *g.selfish >= 0 {
+		base.Adversary = &scenario.Adversary{Strategy: scenario.StrategySelfish, Miner: *g.selfish}
+	} else if len(gammas) > 0 {
+		return nil, fmt.Errorf("-gamma needs -selfish")
 	}
 	grid := scenario.Grid{
 		Base:      base,
@@ -199,6 +228,8 @@ func (g *gridFlags) specs() ([]scenario.Spec, error) {
 		Stake:     stakes,
 		Miners:    miners,
 		Withhold:  withhold,
+		Gamma:     gammas,
+		ForkRate:  forkRates,
 		Seed:      *g.seed,
 	}
 	return grid.Expand()
@@ -385,6 +416,39 @@ func benchCmd(args []string) error {
 	return nil
 }
 
+// conformCmd runs the cross-backend conformance suite: the canonical
+// honest + adversarial corpus on montecarlo and chainsim with
+// statistical-parity and skew-direction assertions, plus the exact
+// capability-error contract. Exits non-zero on any violation, so CI can
+// gate on it directly.
+func conformCmd(args []string) error {
+	fs := flag.NewFlagSet("conform", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "print the conformance report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	a, b := conformance.DefaultBackends()
+	rep, err := conformance.Run(ctx, a, b, conformance.Corpus())
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", data)
+	} else {
+		fmt.Fprint(stdout, rep.Summary())
+	}
+	if n := rep.Failures(); n > 0 {
+		return fmt.Errorf("%d conformance failures", n)
+	}
+	return nil
+}
+
 func splitStrings(csv string) ([]string, error) {
 	var out []string
 	for _, f := range strings.Split(csv, ",") {
@@ -437,13 +501,19 @@ commands:
   expand [flags]   expand the grid, print the scenario list as JSON
   run [flags]      run the sweep, print the fairness report
   bench [flags]    run cold + warm cache passes, print throughput
+  conform [flags]  run the cross-backend conformance corpus (montecarlo
+                   vs chainsim parity, capability-error contract)
 
 grid flags:
   -spec FILE  -protocols CSV  -w CSV  -stake CSV  -miners CSV  -withhold CSV
+  -selfish N  -gamma CSV  -fork-rate CSV
   -blocks N  -trials N  -checkpoints N  -seed S
 
 run flags:
   -workers N  -cache N  -cache-dir DIR  -cache-max-bytes N  -backend NAME
   -repeat N  -json  -ndjson  -out FILE
+
+conform flags:
+  -json
 `, "\n"))
 }

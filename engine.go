@@ -138,6 +138,15 @@ func (e *Engine) backendName() string {
 	return e.backend.Name()
 }
 
+// Capabilities returns the configured backend's declared scenario
+// coverage: which protocols it answers and whether it covers the
+// withholding, adversary and network treatment blocks. A scenario
+// outside this coverage fails with a CapabilityError rather than a
+// silently wrong number.
+func (e *Engine) Capabilities() Capabilities {
+	return sweep.CapabilityOf(e.backend)
+}
+
 // runSweep is the single dispatch point of every scenario run: local
 // through the sweep runner, or distributed through the cluster
 // coordinator when WithCluster is configured.
@@ -145,6 +154,20 @@ func (e *Engine) runSweep(ctx context.Context, specs []Scenario, onOutcome func(
 	opts := e.sweepOptions(onOutcome)
 	if e.cluster == nil {
 		return sweep.RunContext(ctx, specs, opts)
+	}
+	// A scenario outside the backend's coverage would fail on the worker
+	// as a generic shard error and be retried with backoff — a slow path
+	// to a lost CapabilityError. Refuse it here, before any shard ships,
+	// with the same typed error a local run returns. Custom evaluators
+	// that don't declare capabilities are skipped: only they know what
+	// their remote twins cover.
+	if _, capable := e.backend.(sweep.Capable); capable || e.backend == nil {
+		caps := sweep.CapabilityOf(e.backend)
+		for i := range specs {
+			if err := caps.Check(specs[i].Normalized()); err != nil {
+				return nil, fmt.Errorf("fairness: scenario %d (%s): %w", i, specs[i].Name, err)
+			}
+		}
 	}
 	c := *e.cluster
 	if c.Cache == nil {

@@ -6,7 +6,10 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/sweep"
@@ -316,6 +319,100 @@ func TestEngineStreamThroughCluster(t *testing.T) {
 	}
 	if seen != len(specs) {
 		t.Errorf("stream yielded %d outcomes, want %d", seen, len(specs))
+	}
+}
+
+// adversarialClusterSpecs expands a selfish-mining grid big and slow
+// enough that a mid-shard cancellation lands while work is in flight.
+func adversarialClusterSpecs(t *testing.T) []Scenario {
+	t.Helper()
+	specs, err := ExpandScenarios(ScenarioGrid{
+		Base: Scenario{Protocol: "pow", Blocks: 4000, Trials: 400, Seed: 31,
+			Adversary: &Adversary{Strategy: "selfish"}},
+		Stake: []float64{0.35, 0.4, 0.45},
+		Gamma: []float64{0, 0.25, 0.5, 0.75},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
+// countGoroutines samples the goroutine count after a settle loop so
+// already-exiting goroutines don't read as leaks.
+func countGoroutines(settleBelow int) int {
+	n := runtime.NumGoroutine()
+	for i := 0; i < 100 && n > settleBelow; i++ {
+		time.Sleep(2 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	return n
+}
+
+func TestEngineSweepObservedClusterAdversarialCancelMidShard(t *testing.T) {
+	// SweepObserved in cluster mode over an adversarial scenario grid,
+	// cancelled from the observer mid-shard: the coordinator must come
+	// back promptly with a partial report and ctx.Err(), the worker's
+	// in-flight selfish simulations must stop, and neither side may leak
+	// goroutines. Runs under -race in CI, so the cancellation path's
+	// synchronisation is exercised too.
+	w1, w2 := startClusterWorker(t), startClusterWorker(t)
+	specs := adversarialClusterSpecs(t)
+	before := countGoroutines(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var streamed atomic.Int64
+	eng := NewEngine(WithCluster(ClusterOptions{Workers: []string{w1.URL, w2.URL}}))
+	rep, err := eng.SweepObserved(ctx, specs, func(SweepOutcome) {
+		if streamed.Add(1) == 1 {
+			cancel() // first adversarial outcome lands mid-shard
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep == nil || !rep.Partial {
+		t.Fatalf("cancelled cluster sweep must return a partial report, got %+v", rep)
+	}
+	filled := 0
+	for _, o := range rep.Outcomes {
+		if o.Hash != "" {
+			filled++
+		}
+	}
+	if filled == 0 || filled >= len(specs) {
+		t.Errorf("partial report has %d/%d outcomes, want some but not all", filled, len(specs))
+	}
+	// The whole pipeline — coordinator keep-alives, shard streams, the
+	// worker's local sweep pool and its per-trial selfish loops — must
+	// drain; nothing may keep grinding after cancellation.
+	if after := countGoroutines(before); after > before {
+		t.Errorf("goroutines leaked by cancelled cluster sweep: %d -> %d", before, after)
+	}
+}
+
+func TestEngineClusterCapabilityRefusalIsTypedAndFast(t *testing.T) {
+	// A theory-backed cluster engine must refuse an adversarial spec with
+	// the same typed CapabilityError a local run returns — before probing
+	// or shipping anything (the worker pool here is unreachable on
+	// purpose), instead of burning shard retries on a deterministic
+	// refusal and surfacing a stringly shard error.
+	eng := NewEngine(
+		WithBackend(TheoryBackend()),
+		WithCluster(ClusterOptions{Workers: []string{"127.0.0.1:1"}}),
+	)
+	spec := Scenario{Protocol: "pow", Stake: 0.4, Blocks: 100, Trials: 10,
+		Adversary: &Adversary{Strategy: "selfish", Gamma: 0.5}}
+	_, err := eng.Sweep(context.Background(), []Scenario{spec})
+	if !errors.Is(err, ErrBackend) {
+		t.Fatalf("err = %v, want ErrBackend", err)
+	}
+	var capErr *CapabilityError
+	if !errors.As(err, &capErr) {
+		t.Fatalf("err = %T %v, want *CapabilityError", err, err)
+	}
+	if capErr.Backend != "theory" || capErr.Feature != "adversary" {
+		t.Errorf("capability error = %+v", capErr)
 	}
 }
 

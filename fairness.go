@@ -34,6 +34,7 @@ import (
 	"context"
 	"fmt"
 
+	"repro/internal/attack"
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/game"
@@ -67,6 +68,13 @@ type (
 	// ScenarioGrid declares a sweep over scenario axes; Expand turns it
 	// into a concrete scenario list.
 	ScenarioGrid = scenario.Grid
+	// Adversary is a Scenario's strategic-deviation block: one miner
+	// running rational Eyal–Sirer selfish mining (PoW only).
+	Adversary = scenario.Adversary
+	// Network is a Scenario's propagation block: a per-height fork rate
+	// bending rewards toward large miners à la Sakurai & Shudo (PoW
+	// only).
+	Network = scenario.Network
 	// SweepOptions configures a scenario sweep (workers, result cache,
 	// streaming callback).
 	SweepOptions = sweep.Options
@@ -94,6 +102,14 @@ type (
 	ClusterOptions = cluster.Options
 	// ClusterHealth is one worker's probed /v1/healthz view.
 	ClusterHealth = cluster.Health
+	// Capabilities declares which scenario features — protocols,
+	// withholding, adversary and network blocks — an Evaluator backend
+	// covers; see Engine.Capabilities and BackendCapabilities.
+	Capabilities = sweep.Capabilities
+	// CapabilityError is the typed refusal an Evaluator returns for a
+	// scenario feature outside its coverage. It unwraps to ErrBackend;
+	// errors.As exposes the exact backend/feature/protocol fields.
+	CapabilityError = sweep.CapabilityError
 )
 
 // DefaultParams is the paper's evaluation setting: ε = 0.1, δ = 0.1.
@@ -306,6 +322,41 @@ func BackendByName(name string) (Evaluator, error) {
 	default:
 		return nil, fmt.Errorf("unknown backend %q (known: montecarlo, theory, chainsim)", name)
 	}
+}
+
+// BackendCapabilities returns the declared scenario coverage of a named
+// backend — the machine-readable form of the README capability matrix,
+// also served by fairnessd /v1/healthz.
+func BackendCapabilities(name string) (Capabilities, error) {
+	ev, err := BackendByName(name)
+	if err != nil {
+		return Capabilities{}, err
+	}
+	return sweep.CapabilityOf(ev), nil
+}
+
+// Selfish-mining and fork-skew closed forms (internal/attack), the
+// theory twins of the adversary/network scenario blocks.
+
+// SelfishMiningRevenue returns the closed-form Eyal–Sirer relative
+// revenue of a selfish pool with hash share alpha and network advantage
+// gamma — the stationary λ of a Scenario with an Adversary block.
+func SelfishMiningRevenue(alpha, gamma float64) (float64, error) {
+	return attack.SelfishMining{Alpha: alpha, Gamma: gamma}.Revenue()
+}
+
+// SelfishMiningThreshold returns the minimum hash share above which
+// selfish mining beats honest mining for a given gamma: (1−γ)/(3−2γ).
+func SelfishMiningThreshold(gamma float64) (float64, error) {
+	return attack.ProfitThreshold(gamma)
+}
+
+// ForkEffectivePowers returns each miner's per-height canonical-block
+// probability under the Sakurai–Shudo fork-race model at the given fork
+// rate — the effective-power correction a Network block applies to a
+// PoW scenario's win probabilities.
+func ForkEffectivePowers(shares []float64, forkRate float64) ([]float64, error) {
+	return attack.ForkEffectivePowers(shares, forkRate)
 }
 
 // Sweep evaluates every scenario through the Monte-Carlo engine and

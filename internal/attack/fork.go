@@ -1,0 +1,83 @@
+package attack
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fork-induced reward skew, after Sakurai & Shudo, "The Rich Get Richer
+// in Bitcoin Mining Induced by Blockchain Forks". Even with every miner
+// honest, imperfect propagation makes concurrent blocks race, and races
+// favour large miners: a miner always mines on its own candidate block,
+// so it backs the winning branch of its own races with probability equal
+// to its full power, while small miners mostly back whichever branch
+// they heard first. Over many heights this inflates the canonical-block
+// share of large miners above their power share — expectational
+// unfairness without any protocol deviation.
+//
+// The model quantified here (the same one internal/chainsim simulates
+// block by block): at each chain height, with probability f a second
+// concurrent block contests the height. The first block's producer i is
+// drawn proportional to power, the contender j proportional to power
+// among the rest. Both producers mine on their own branch; every neutral
+// miner picks a side with probability ½ each. The race resolves when the
+// next block is found — by a power-proportional draw over all miners —
+// and the finder's side wins the height.
+//
+// Conditional on the racing pair {i, j}, branch i therefore survives
+// with probability
+//
+//	s_ij = p_i + (1 − p_i − p_j)/2 = ½ + (p_i − p_j)/2 ,
+//
+// strictly increasing in the power gap — the rich-get-richer mechanism.
+
+// ErrFork reports invalid fork-model parameters.
+var ErrFork = fmt.Errorf("%w: fork model", ErrParams)
+
+// ForkEffectivePowers returns each miner's per-height probability of
+// owning the canonical block under fork rate f — the "effective power"
+// vector p′ with
+//
+//	p′_i = (1−f)·p_i + f·Σ_{j≠i} π_ij·s_ij ,
+//
+// where π_ij is the probability that {i, j} is the racing pair
+// (p_i·p_j/(1−p_i) + p_j·p_i/(1−p_j)) and s_ij the survival probability
+// above. The result sums to 1; f = 0 returns the nominal shares.
+// Shares are normalised before the correction, so any positive vector
+// is accepted.
+func ForkEffectivePowers(shares []float64, forkRate float64) ([]float64, error) {
+	if !(forkRate >= 0 && forkRate < 1) || math.IsNaN(forkRate) {
+		return nil, fmt.Errorf("%w: fork rate = %v, need [0, 1)", ErrFork, forkRate)
+	}
+	if len(shares) < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 miners, got %d", ErrFork, len(shares))
+	}
+	total := 0.0
+	for i, v := range shares {
+		if !(v > 0) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: shares[%d] = %v, need positive and finite", ErrFork, i, v)
+		}
+		total += v
+	}
+	p := make([]float64, len(shares))
+	for i, v := range shares {
+		p[i] = v / total
+	}
+	if forkRate == 0 {
+		return p, nil
+	}
+	eff := make([]float64, len(p))
+	for i := range p {
+		q := 0.0
+		for j := range p {
+			if j == i {
+				continue
+			}
+			pair := p[i]*p[j]/(1-p[i]) + p[j]*p[i]/(1-p[j])
+			survive := 0.5 + (p[i]-p[j])/2
+			q += pair * survive
+		}
+		eff[i] = (1-forkRate)*p[i] + forkRate*q
+	}
+	return eff, nil
+}

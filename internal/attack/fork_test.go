@@ -1,0 +1,144 @@
+package attack
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSimStepMatchesSimulate(t *testing.T) {
+	// The stepping machine and the one-shot Simulate must be the same
+	// computation, draw for draw: stepping n times and snapshotting gives
+	// exactly Simulate(n) on an identically seeded generator.
+	s := SelfishMining{Alpha: 0.4, Gamma: 0.5}
+	want, err := s.Simulate(50000, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := s.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	for i := 0; i < 50000; i++ {
+		sim.Step(r)
+	}
+	if got := sim.Snapshot(); got != want {
+		t.Errorf("stepped result %+v != Simulate %+v", got, want)
+	}
+}
+
+func TestSimSnapshotDoesNotMutate(t *testing.T) {
+	s := SelfishMining{Alpha: 0.45, Gamma: 0}
+	sim, err := s.NewSim()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	for i := 0; i < 1000; i++ {
+		sim.Step(r)
+	}
+	a := sim.Snapshot()
+	b := sim.Snapshot()
+	if a != b {
+		t.Errorf("snapshots differ: %+v vs %+v", a, b)
+	}
+	// Snapshots settle in-flight state without losing events: totals are
+	// monotone in the event count.
+	sim.Step(r)
+	c := sim.Snapshot()
+	if c.SelfishBlocks+c.HonestBlocks+c.Orphans != a.SelfishBlocks+a.HonestBlocks+a.Orphans+1 {
+		t.Errorf("event accounting broke across Step: %+v then %+v", a, c)
+	}
+}
+
+func TestNewSimValidates(t *testing.T) {
+	if _, err := (SelfishMining{Alpha: 0.7}).NewSim(); !errors.Is(err, ErrParams) {
+		t.Errorf("invalid alpha accepted: %v", err)
+	}
+}
+
+func TestForkEffectivePowersIdentityCases(t *testing.T) {
+	// f = 0 is the identity; equal shares stay equal at any fork rate
+	// (symmetry leaves nothing to skew).
+	p, err := ForkEffectivePowers([]float64{0.3, 0.7}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p[0]-0.3) > 1e-15 || math.Abs(p[1]-0.7) > 1e-15 {
+		t.Errorf("f=0 changed shares: %v", p)
+	}
+	p, err = ForkEffectivePowers([]float64{1, 1, 1, 1}, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range p {
+		if math.Abs(v-0.25) > 1e-12 {
+			t.Errorf("equal shares skewed: p[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestForkEffectivePowersRichGetRicher(t *testing.T) {
+	shares := []float64{0.6, 0.2, 0.1, 0.1}
+	for _, f := range []float64{0.1, 0.4, 0.8} {
+		p, err := ForkEffectivePowers(shares, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, v := range p {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("f=%v: effective powers sum to %v", f, sum)
+		}
+		if p[0] <= shares[0] {
+			t.Errorf("f=%v: largest miner not favoured: %v <= %v", f, p[0], shares[0])
+		}
+		if p[2] >= shares[2] {
+			t.Errorf("f=%v: small miner not penalised: %v >= %v", f, p[2], shares[2])
+		}
+	}
+	// The skew grows with the fork rate.
+	lo, _ := ForkEffectivePowers(shares, 0.2)
+	hi, _ := ForkEffectivePowers(shares, 0.8)
+	if hi[0] <= lo[0] {
+		t.Errorf("skew not monotone in f: %v then %v", lo[0], hi[0])
+	}
+}
+
+func TestForkEffectivePowersRejectsBadInput(t *testing.T) {
+	cases := []struct {
+		shares []float64
+		f      float64
+	}{
+		{[]float64{0.5, 0.5}, -0.1},
+		{[]float64{0.5, 0.5}, 1},
+		{[]float64{0.5, 0.5}, math.NaN()},
+		{[]float64{0.5}, 0.3},
+		{[]float64{0.5, 0}, 0.3},
+		{[]float64{0.5, -1}, 0.3},
+		{[]float64{0.5, math.Inf(1)}, 0.3},
+	}
+	for _, c := range cases {
+		if _, err := ForkEffectivePowers(c.shares, c.f); !errors.Is(err, ErrParams) {
+			t.Errorf("ForkEffectivePowers(%v, %v) accepted", c.shares, c.f)
+		}
+	}
+}
+
+var sinkPowers []float64
+
+func BenchmarkForkEffectivePowers(b *testing.B) {
+	shares := make([]float64, 64)
+	r := rng.New(1)
+	for i := range shares {
+		shares[i] = r.Float64() + 0.01
+	}
+	for i := 0; i < b.N; i++ {
+		sinkPowers, _ = ForkEffectivePowers(shares, 0.3)
+	}
+}

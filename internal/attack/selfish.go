@@ -6,6 +6,10 @@
 // mining strategy, both as an event-driven simulation and in closed form,
 // and expressing its profitability as a violation of expectational
 // fairness: an attacker with hash share α earning a revenue share R > α.
+// The package also models the honest cousin of that skew — fork-induced
+// rich-get-richer dynamics à la Sakurai & Shudo (fork.go) — so the
+// scenario vocabulary can bend rewards with and without a deviating
+// miner.
 package attack
 
 import (
@@ -59,83 +63,111 @@ func (r Result) RevenueShare() float64 {
 	return float64(r.SelfishBlocks) / float64(total)
 }
 
-// Simulate runs the Eyal–Sirer state machine for the given number of
-// block-discovery events and returns the main-chain outcome.
-//
-// State: the attacker's private lead over the public chain. The classic
+// Sim is a stepping Eyal–Sirer simulation: the same state machine
+// Simulate runs, exposed one block-discovery event at a time so callers
+// (the sweep engine's Monte-Carlo backend) can snapshot the revenue
+// split at intermediate checkpoints.
+type Sim struct {
+	strategy SelfishMining
+	res      Result
+	lead     int  // private branch length minus public branch length
+	racing   bool // 1-vs-1 fork race in progress
+}
+
+// NewSim validates the strategy and returns a simulation at the genesis
+// state.
+func (s SelfishMining) NewSim() (*Sim, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Sim{strategy: s}, nil
+}
+
+// Step advances the machine by one block-discovery event. The classic
 // transitions are implemented exactly, including the lead-2 hand-over
 // (publishing the whole private branch when the lead collapses to 1
 // after an honest find) and the 1-vs-1 race decided by γ.
+func (m *Sim) Step(r *rng.Rand) {
+	s := m.strategy
+	selfishFound := r.Float64() < s.Alpha
+	switch {
+	case m.racing:
+		// Branches of length 1 compete.
+		switch {
+		case selfishFound:
+			// Attacker extends her branch and publishes: she takes
+			// both blocks; the honest race block is orphaned.
+			m.res.SelfishBlocks += 2
+			m.res.Orphans++
+		case r.Float64() < s.Gamma:
+			// Honest miner extends the selfish branch: the selfish
+			// race block and the new honest block win; the honest
+			// race block is orphaned.
+			m.res.SelfishBlocks++
+			m.res.HonestBlocks++
+			m.res.Orphans++
+		default:
+			// Honest miner extends the honest branch: the selfish
+			// race block is orphaned.
+			m.res.HonestBlocks += 2
+			m.res.Orphans++
+		}
+		m.racing = false
+		m.lead = 0
+	case selfishFound:
+		m.lead++
+	default: // honest block found
+		switch m.lead {
+		case 0:
+			m.res.HonestBlocks++
+		case 1:
+			// Attacker publishes her single private block: race.
+			m.racing = true
+		case 2:
+			// Attacker publishes the whole branch and takes it all;
+			// the honest block is orphaned.
+			m.res.SelfishBlocks += 2
+			m.res.Orphans++
+			m.lead = 0
+		default:
+			// Lead > 2: publish one block, keep mining privately.
+			m.res.SelfishBlocks++
+			m.res.Orphans++ // the honest block will never make the chain
+			m.lead--
+		}
+	}
+}
+
+// Snapshot returns the main-chain outcome as of the current event,
+// settling in-flight state the way Simulate settles the horizon: an
+// unresolved race goes to the public honest block (the conservative
+// outcome for the attacker) and a private lead is flushed to the
+// attacker. Snapshot does not advance or mutate the machine.
+func (m *Sim) Snapshot() Result {
+	res := m.res
+	if m.racing {
+		res.HonestBlocks++
+		res.Orphans++
+	} else if m.lead > 0 {
+		res.SelfishBlocks += m.lead
+	}
+	return res
+}
+
+// Simulate runs the Eyal–Sirer state machine for the given number of
+// block-discovery events and returns the main-chain outcome.
 func (s SelfishMining) Simulate(events int, r *rng.Rand) (Result, error) {
-	if err := s.Validate(); err != nil {
+	sim, err := s.NewSim()
+	if err != nil {
 		return Result{}, err
 	}
 	if events <= 0 {
 		return Result{}, fmt.Errorf("%w: events = %d", ErrParams, events)
 	}
-	var res Result
-	lead := 0       // private branch length minus public branch length
-	racing := false // 1-vs-1 fork race in progress
 	for i := 0; i < events; i++ {
-		selfishFound := r.Float64() < s.Alpha
-		switch {
-		case racing:
-			// Branches of length 1 compete.
-			switch {
-			case selfishFound:
-				// Attacker extends her branch and publishes: she takes
-				// both blocks; the honest race block is orphaned.
-				res.SelfishBlocks += 2
-				res.Orphans++
-			case r.Float64() < s.Gamma:
-				// Honest miner extends the selfish branch: the selfish
-				// race block and the new honest block win; the honest
-				// race block is orphaned.
-				res.SelfishBlocks++
-				res.HonestBlocks++
-				res.Orphans++
-			default:
-				// Honest miner extends the honest branch: the selfish
-				// race block is orphaned.
-				res.HonestBlocks += 2
-				res.Orphans++
-			}
-			racing = false
-			lead = 0
-		case selfishFound:
-			lead++
-		default: // honest block found
-			switch lead {
-			case 0:
-				res.HonestBlocks++
-			case 1:
-				// Attacker publishes her single private block: race.
-				racing = true
-			case 2:
-				// Attacker publishes the whole branch and takes it all;
-				// the honest block is orphaned.
-				res.SelfishBlocks += 2
-				res.Orphans++
-				lead = 0
-			default:
-				// Lead > 2: publish one block, keep mining privately.
-				res.SelfishBlocks++
-				res.Orphans++ // the honest block will never make the chain
-				lead--
-			}
-		}
+		sim.Step(r)
 	}
-	// Flush any remaining private branch at the horizon.
-	if racing {
-		// Unresolved race: split by γ-weighted expectation is not
-		// well-defined per-trial; award the public honest block (the
-		// conservative outcome for the attacker).
-		res.HonestBlocks++
-		res.Orphans++
-	} else if lead > 0 {
-		res.SelfishBlocks += lead
-	}
-	return res, nil
+	return sim.Snapshot(), nil
 }
 
 // Revenue returns the closed-form Eyal–Sirer relative revenue of the

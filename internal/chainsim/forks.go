@@ -1,0 +1,275 @@
+package chainsim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Fork-aware PoW simulation. The single-Chain Network resolves every
+// block race instantly and the round-based P2PSim models latency per
+// link; ForkSim sits between the two: it models the *outcome* of
+// imperfect propagation — concurrent blocks at one height racing for the
+// chain — with real nonce-ground blocks, at a configurable per-height
+// fork rate. The race protocol follows Sakurai & Shudo ("The Rich Get
+// Richer in Bitcoin Mining Induced by Blockchain Forks"): each candidate
+// block's producer keeps mining on its own block, every neutral miner
+// picks a side evenly, and the side that finds the next block wins the
+// height. Large miners therefore win races in proportion to their full
+// power while small miners split — the fork-induced rich-get-richer
+// skew, emerging here from actual SHA-256 puzzle races
+// (internal/attack.ForkEffectivePowers is the closed-form twin of this
+// simulation).
+
+// ErrForkSim reports an invalid fork-simulation configuration.
+var ErrForkSim = errors.New("chainsim: invalid fork sim config")
+
+// powMiner is one grinding participant of a fork-aware simulation.
+type powMiner struct {
+	name  string
+	addr  Address
+	power uint64
+}
+
+// buildPoWMiners validates and converts a MinerSpec list.
+func buildPoWMiners(specs []MinerSpec) ([]powMiner, uint64, error) {
+	if len(specs) < 2 {
+		return nil, 0, fmt.Errorf("%w: need at least 2 miners, got %d", ErrForkSim, len(specs))
+	}
+	miners := make([]powMiner, len(specs))
+	seen := make(map[Address]bool, len(specs))
+	var total uint64
+	for i, m := range specs {
+		if m.Resource == 0 {
+			return nil, 0, fmt.Errorf("%w: miner %q has zero hash power", ErrForkSim, m.Name)
+		}
+		a := AddressFromSeed(m.Name)
+		if seen[a] {
+			return nil, 0, fmt.Errorf("%w: duplicate miner name %q", ErrForkSim, m.Name)
+		}
+		seen[a] = true
+		miners[i] = powMiner{name: m.Name, addr: a, power: m.Resource}
+		total += m.Resource
+	}
+	return miners, total, nil
+}
+
+// grindBlock races the given miners' nonce searches, each from its own
+// parent block, and seals the earliest success in trial-time: trials
+// divided by hash power, refined by the winning digest's position below
+// the target (uniform on [0, 1), so it interpolates continuous time
+// within the successful hash interval — without it, every trial-0
+// success would tie at time zero and coarse targets would flatten the
+// power-proportional race). parents[i] selects miner i's branch tip; a
+// nil parent sits the miner out. Returns the sealed block and the
+// winner's index.
+func grindBlock(miners []powMiner, parents []*Block, target, maxTrials, reward uint64, r *rng.Rand) (*Block, int, error) {
+	if maxTrials == 0 {
+		maxTrials = 1 << 22
+	}
+	bestTime := math.Inf(1)
+	winner := -1
+	var winNonce uint64
+	for i, m := range miners {
+		if parents[i] == nil {
+			continue
+		}
+		parentHash := parents[i].Hash()
+		offset := r.Uint64()
+		for trial := uint64(0); trial < maxTrials; trial++ {
+			nonce := offset + trial
+			if d := powDigest(parentHash, m.addr, nonce); d < target {
+				frac := float64(d) / float64(target)
+				if t := (float64(trial) + frac) / float64(m.power); t < bestTime {
+					bestTime = t
+					winner = i
+					winNonce = nonce
+				}
+				break
+			}
+		}
+	}
+	if winner < 0 {
+		return nil, -1, fmt.Errorf("chainsim: PoW search exhausted %d trials without a solution", maxTrials)
+	}
+	parent := parents[winner]
+	return &Block{Header: Header{
+		Height:     parent.Header.Height + 1,
+		ParentHash: parent.Hash(),
+		Kind:       KindPoW,
+		Proposer:   miners[winner].addr,
+		Timestamp:  parent.Header.Timestamp + 1 + uint64(bestTime),
+		Nonce:      winNonce,
+		Reward:     reward,
+	}}, winner, nil
+}
+
+// verifyLink re-validates a block against its claimed parent before it
+// settles: hash linkage, height and the PoW digest. Any simulation bug
+// surfaces here rather than as a silently corrupt λ.
+func verifyLink(parent, b *Block, target uint64) error {
+	if b.Header.ParentHash != parent.Hash() {
+		return ErrBadParent
+	}
+	if b.Header.Height != parent.Header.Height+1 {
+		return fmt.Errorf("%w: got %d, parent %d", ErrBadHeight, b.Header.Height, parent.Header.Height)
+	}
+	if powDigest(b.Header.ParentHash, b.Header.Proposer, b.Header.Nonce) >= target {
+		return ErrBadPoW
+	}
+	return nil
+}
+
+// ForkConfig assembles a fork-aware honest-PoW simulation.
+type ForkConfig struct {
+	// Target is the per-hash success threshold out of 2^64 (default
+	// 1<<57, ≈128 hashes per miner per block).
+	Target uint64
+	// BlockReward is the coinbase per canonical block in ledger units.
+	BlockReward uint64
+	// Miners lists the participants; Resource is hash power.
+	Miners []MinerSpec
+	// ForkRate is the per-height probability that a second concurrent
+	// block contests the height, in [0, 1).
+	ForkRate float64
+	// Seed drives nonce offsets, fork coin flips and race sides.
+	Seed uint64
+	// Salt differentiates the genesis across Monte-Carlo trials.
+	Salt uint64
+	// MaxTrials caps each per-miner nonce search (0 = default).
+	MaxTrials uint64
+}
+
+// ForkSim drives one fork-aware chain. Use NewForkSim, then RunBlocks to
+// a horizon, reading Lambda at checkpoints.
+type ForkSim struct {
+	cfg        ForkConfig
+	miners     []powMiner
+	totalPower uint64
+	tip        *Block
+	chain      []*Block
+	rewards    map[Address]uint64
+	total      uint64
+	orphans    int
+	r          *rng.Rand
+}
+
+// NewForkSim validates the configuration and builds the genesis state.
+func NewForkSim(cfg ForkConfig) (*ForkSim, error) {
+	if cfg.Target == 0 {
+		cfg.Target = 1 << 57
+	}
+	if !(cfg.ForkRate >= 0 && cfg.ForkRate < 1) || math.IsNaN(cfg.ForkRate) {
+		return nil, fmt.Errorf("%w: fork rate = %v, need [0, 1)", ErrForkSim, cfg.ForkRate)
+	}
+	miners, total, err := buildPoWMiners(cfg.Miners)
+	if err != nil {
+		return nil, err
+	}
+	genesis := &Block{Header: Header{Kind: KindPoW, Nonce: cfg.Salt}}
+	return &ForkSim{
+		cfg:        cfg,
+		miners:     miners,
+		totalPower: total,
+		tip:        genesis,
+		chain:      []*Block{genesis},
+		rewards:    make(map[Address]uint64, len(miners)),
+		r:          rng.New(cfg.Seed),
+	}, nil
+}
+
+// settle verifies and appends a canonical block.
+func (s *ForkSim) settle(b *Block) error {
+	if err := verifyLink(s.tip, b, s.cfg.Target); err != nil {
+		return err
+	}
+	s.chain = append(s.chain, b)
+	s.tip = b
+	s.rewards[b.Header.Proposer] += b.Header.Reward
+	s.total += b.Header.Reward
+	return nil
+}
+
+// powerWeightedPick draws a miner index proportional to hash power.
+func powerWeightedPick(miners []powMiner, totalPower uint64, r *rng.Rand) int {
+	x := r.Float64() * float64(totalPower)
+	acc := 0.0
+	for i, m := range miners {
+		acc += float64(m.power)
+		if x < acc {
+			return i
+		}
+	}
+	return len(miners) - 1
+}
+
+// RunBlocks advances the canonical chain by count heights. At each
+// height one block is mined for real; with probability ForkRate a
+// concurrent rival is mined from the same parent and the race is
+// resolved by the next-block rule described in the package comment —
+// the winning candidate settles, the loser is orphaned.
+func (s *ForkSim) RunBlocks(count int) error {
+	parents := make([]*Block, len(s.miners))
+	for n := 0; n < count; n++ {
+		for i := range parents {
+			parents[i] = s.tip
+		}
+		first, finder, err := grindBlock(s.miners, parents, s.cfg.Target, s.cfg.MaxTrials, s.cfg.BlockReward, s.r)
+		if err != nil {
+			return err
+		}
+		if s.cfg.ForkRate == 0 || s.r.Float64() >= s.cfg.ForkRate {
+			if err := s.settle(first); err != nil {
+				return err
+			}
+			continue
+		}
+		// Fork: a contender found a rival block concurrently.
+		parents[finder] = nil
+		rival, contender, err := grindBlock(s.miners, parents, s.cfg.Target, s.cfg.MaxTrials, s.cfg.BlockReward, s.r)
+		if err != nil {
+			return err
+		}
+		// Producers mine on their own block; neutral miners split evenly.
+		// The side of the next power-proportional find wins the height.
+		sides := make([]bool, len(s.miners)) // true = first block's side
+		for i := range s.miners {
+			switch i {
+			case finder:
+				sides[i] = true
+			case contender:
+				sides[i] = false
+			default:
+				sides[i] = s.r.Float64() < 0.5
+			}
+		}
+		winner := rival
+		if resolver := powerWeightedPick(s.miners, s.totalPower, s.r); sides[resolver] {
+			winner = first
+		}
+		if err := s.settle(winner); err != nil {
+			return err
+		}
+		s.orphans++
+	}
+	return nil
+}
+
+// Lambda returns the named miner's fraction of canonical-chain rewards.
+func (s *ForkSim) Lambda(name string) float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return float64(s.rewards[AddressFromSeed(name)]) / float64(s.total)
+}
+
+// Height returns the canonical chain height.
+func (s *ForkSim) Height() int { return len(s.chain) - 1 }
+
+// Orphans returns the number of race-losing blocks discarded so far.
+func (s *ForkSim) Orphans() int { return s.orphans }
+
+// Canonical returns the settled chain, genesis first.
+func (s *ForkSim) Canonical() []*Block { return s.chain }

@@ -1,0 +1,229 @@
+package chainsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/attack"
+)
+
+// easyTarget keeps nonce searches to a handful of hashes per block so
+// fork tests stay fast.
+const easyTarget = uint64(1) << 60
+
+func forkMiners() []MinerSpec {
+	return []MinerSpec{
+		{Name: "whale", Resource: 600},
+		{Name: "m1", Resource: 200},
+		{Name: "m2", Resource: 100},
+		{Name: "m3", Resource: 100},
+	}
+}
+
+func TestForkSimNoForksMatchesPowerShares(t *testing.T) {
+	// With ForkRate 0 the sim is a plain PoW lottery: over many blocks
+	// every miner's reward share approaches its power share.
+	sim, err := NewForkSim(ForkConfig{
+		Target: easyTarget, BlockReward: 5, Miners: forkMiners(), Seed: 3, Salt: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunBlocks(3000); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Orphans() != 0 {
+		t.Errorf("fork-free run produced %d orphans", sim.Orphans())
+	}
+	if sim.Height() != 3000 {
+		t.Errorf("height = %d, want 3000", sim.Height())
+	}
+	if l := sim.Lambda("whale"); math.Abs(l-0.6) > 0.04 {
+		t.Errorf("whale lambda = %v, want ≈ 0.6", l)
+	}
+}
+
+func TestForkSimRichGetRicher(t *testing.T) {
+	// At a high fork rate the largest miner's canonical share must exceed
+	// its power share, and the closed-form effective-power correction
+	// must predict the simulated share — the two are the same model.
+	miners := forkMiners()
+	shares := []float64{0.6, 0.2, 0.1, 0.1}
+	eff, err := attack.ForkEffectivePowers(shares, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average a few seeds to tighten the sampling noise.
+	sum, runs := 0.0, 6
+	orphans := 0
+	for seed := uint64(1); seed <= uint64(runs); seed++ {
+		sim, err := NewForkSim(ForkConfig{
+			Target: easyTarget, BlockReward: 5, Miners: miners,
+			ForkRate: 0.8, Seed: seed, Salt: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.RunBlocks(2000); err != nil {
+			t.Fatal(err)
+		}
+		sum += sim.Lambda("whale")
+		orphans += sim.Orphans()
+	}
+	got := sum / float64(runs)
+	if got <= shares[0] {
+		t.Errorf("whale lambda %v not above power share %v — no fork skew", got, shares[0])
+	}
+	if math.Abs(got-eff[0]) > 0.02 {
+		t.Errorf("simulated whale lambda %v, closed-form effective power %v", got, eff[0])
+	}
+	if orphans == 0 {
+		t.Error("fork rate 0.8 produced no orphans")
+	}
+}
+
+func TestForkSimDeterministicAndValidChain(t *testing.T) {
+	run := func() (*ForkSim, error) {
+		sim, err := NewForkSim(ForkConfig{
+			Target: easyTarget, BlockReward: 5, Miners: forkMiners(),
+			ForkRate: 0.5, Seed: 11, Salt: 7,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return sim, sim.RunBlocks(400)
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"whale", "m1", "m2", "m3"} {
+		if a.Lambda(name) != b.Lambda(name) {
+			t.Errorf("lambda(%s) not deterministic: %v vs %v", name, a.Lambda(name), b.Lambda(name))
+		}
+	}
+	if a.Orphans() != b.Orphans() {
+		t.Errorf("orphans not deterministic: %d vs %d", a.Orphans(), b.Orphans())
+	}
+	// Every settled block must re-validate as a real PoW chain.
+	if err := VerifyCanonical(a.Canonical(), easyTarget); err != nil {
+		t.Errorf("canonical chain invalid: %v", err)
+	}
+}
+
+func TestForkSimRejectsBadConfig(t *testing.T) {
+	bad := []ForkConfig{
+		{Miners: forkMiners(), ForkRate: -0.1},
+		{Miners: forkMiners(), ForkRate: 1},
+		{Miners: forkMiners()[:1]},
+		{Miners: []MinerSpec{{Name: "a", Resource: 1}, {Name: "a", Resource: 2}}},
+		{Miners: []MinerSpec{{Name: "a", Resource: 1}, {Name: "b", Resource: 0}}},
+	}
+	for i, cfg := range bad {
+		if _, err := NewForkSim(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestSelfishSimAboveThresholdGains(t *testing.T) {
+	// A 40% attacker with γ=0 is above the 1/3 Eyal–Sirer threshold: its
+	// revenue share must exceed its power share and track the closed
+	// form. γ=0 is exact for the abstract machine (no honest miner ever
+	// backs the attacker), so the match is tight.
+	want, err := attack.SelfishMining{Alpha: 0.4, Gamma: 0}.Revenue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	miners := []MinerSpec{
+		{Name: "attacker", Resource: 400},
+		{Name: "h1", Resource: 200}, {Name: "h2", Resource: 200},
+		{Name: "h3", Resource: 100}, {Name: "h4", Resource: 100},
+	}
+	sum, runs := 0.0, 4
+	orphans := 0
+	for seed := uint64(1); seed <= uint64(runs); seed++ {
+		sim, err := NewSelfishSim(SelfishConfig{
+			Target: easyTarget, BlockReward: 5, Miners: miners,
+			Attacker: 0, Gamma: 0, Seed: seed, Salt: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.RunEvents(4000); err != nil {
+			t.Fatal(err)
+		}
+		sum += sim.Lambda("attacker")
+		orphans += sim.Orphans()
+	}
+	got := sum / float64(runs)
+	if got <= 0.4 {
+		t.Errorf("attacker lambda %v not above power share 0.4", got)
+	}
+	if math.Abs(got-want) > 0.03 {
+		t.Errorf("simulated revenue %v, closed form %v", got, want)
+	}
+	if orphans == 0 {
+		t.Error("selfish mining produced no orphans")
+	}
+}
+
+func TestSelfishSimChainStaysValidAndDeterministic(t *testing.T) {
+	cfg := SelfishConfig{
+		Target: easyTarget, BlockReward: 3,
+		Miners: []MinerSpec{
+			{Name: "attacker", Resource: 350},
+			{Name: "h1", Resource: 250}, {Name: "h2", Resource: 200}, {Name: "h3", Resource: 200},
+		},
+		Attacker: 0, Gamma: 0.5, Seed: 9, Salt: 2,
+	}
+	run := func() (*SelfishSim, error) {
+		sim, err := NewSelfishSim(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return sim, sim.RunEvents(800)
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Lambda("attacker") != b.Lambda("attacker") || a.Lambda("h2") != b.Lambda("h2") {
+		t.Error("selfish sim not deterministic")
+	}
+	if err := VerifyCanonical(a.Canonical(), easyTarget); err != nil {
+		t.Errorf("canonical chain invalid: %v", err)
+	}
+	// Lambda is a proper distribution over miners (flush included).
+	total := 0.0
+	for _, m := range cfg.Miners {
+		total += a.Lambda(m.Name)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("lambdas sum to %v", total)
+	}
+}
+
+func TestSelfishSimRejectsBadConfig(t *testing.T) {
+	miners := []MinerSpec{{Name: "a", Resource: 1}, {Name: "b", Resource: 2}}
+	bad := []SelfishConfig{
+		{Miners: miners, Attacker: -1},
+		{Miners: miners, Attacker: 2},
+		{Miners: miners, Gamma: -0.5},
+		{Miners: miners, Gamma: 1.5},
+		{Miners: miners[:1]},
+	}
+	for i, cfg := range bad {
+		if _, err := NewSelfishSim(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

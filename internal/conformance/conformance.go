@@ -1,0 +1,317 @@
+// Package conformance is the cross-backend contract of the scenario
+// vocabulary: a canonical corpus of honest and adversarial scenarios,
+// statistical-parity checks between the sampling backends (Monte-Carlo
+// and chainsim), directional expectations from the theory (selfish
+// mining gains above the Eyal–Sirer threshold and reverts to honest
+// below it; fork races favour large miners), and exact capability-error
+// assertions for features a backend refuses.
+//
+// The suite is one artifact reused three ways: the package's unit tests
+// run it under `go test` (and `-race` in CI), `fairsweep conform` runs
+// it from the command line and prints the parity summary, and the CI
+// attack-smoke job diffs that summary across backends. Growing the
+// scenario vocabulary means growing the corpus here, so a backend can
+// never silently diverge on a scenario class the others answer.
+package conformance
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+	"repro/internal/table"
+)
+
+// Case is one corpus scenario with its cross-backend tolerances and
+// directional expectations.
+type Case struct {
+	// Name labels the case in reports.
+	Name string
+	// Spec is the scenario, shared verbatim by every backend.
+	Spec scenario.Spec
+	// MeanTol is the allowed |Δ mean λ| between the two sampling
+	// backends (sampling noise plus documented model discrepancies).
+	MeanTol float64
+	// SkewAbove, when > 0, asserts that BOTH backends report
+	// mean λ ≥ share + SkewAbove — the rich-get-richer / attacker-gain
+	// direction.
+	SkewAbove float64
+	// NearShare, when > 0, asserts that BOTH backends report
+	// |mean λ − share| ≤ NearShare — honest-equilibrium scenarios.
+	NearShare float64
+}
+
+// Corpus returns the canonical conformance corpus: HonestCorpus plus
+// AdversarialCorpus.
+func Corpus() []Case {
+	return append(HonestCorpus(), AdversarialCorpus()...)
+}
+
+// HonestCorpus returns the honest-execution baseline cases.
+func HonestCorpus() []Case {
+	return []Case{
+		{
+			Name: "honest/pow-baseline",
+			Spec: scenario.Spec{
+				Protocol: "pow", Stake: 0.3, Miners: 4,
+				Blocks: 1200, Trials: 40, Seed: 101,
+			},
+			MeanTol:   0.015,
+			NearShare: 0.02,
+		},
+	}
+}
+
+// AdversarialCorpus returns the fork- and attack-aware cases. All are
+// PoW — the protocol whose longest-chain race the adversary and network
+// blocks model.
+func AdversarialCorpus() []Case {
+	return []Case{
+		{
+			// 40% attacker, γ=0: above the 1/3 threshold, where the
+			// abstract machine and the block-level simulation agree
+			// exactly in expectation (no honest miner ever backs the
+			// attacker's race block).
+			Name: "selfish/above-threshold-gamma0",
+			Spec: scenario.Spec{
+				Protocol: "pow", Stake: 0.4, Miners: 5,
+				Blocks: 1500, Trials: 40, Seed: 211,
+				Adversary: &scenario.Adversary{Strategy: "selfish", Gamma: 0},
+			},
+			MeanTol:   0.025,
+			SkewAbove: 0.04, // closed-form excess revenue is ≈ 0.084
+		},
+		{
+			// 30% attacker, γ=0.5: above the 0.25 threshold. The
+			// block-level γ is realised per honest miner with the race
+			// producer always backing its own block, so the effective
+			// advantage is slightly below γ — covered by MeanTol.
+			Name: "selfish/above-threshold-gamma05",
+			Spec: scenario.Spec{
+				Protocol: "pow", Stake: 0.3, Miners: 8,
+				Blocks: 1500, Trials: 40, Seed: 223,
+				Adversary: &scenario.Adversary{Strategy: "selfish", Gamma: 0.5},
+			},
+			MeanTol:   0.03,
+			SkewAbove: 0.005, // closed-form excess is ≈ 0.027 (≈ 0.019 block-level)
+		},
+		{
+			// 20% attacker, γ=0: below the threshold the rational
+			// attacker mines honestly and earns exactly its power share.
+			Name: "selfish/below-threshold-honest",
+			Spec: scenario.Spec{
+				Protocol: "pow", Stake: 0.2, Miners: 3,
+				Blocks: 800, Trials: 40, Seed: 227,
+				Adversary: &scenario.Adversary{Strategy: "selfish", Gamma: 0},
+			},
+			MeanTol:   0.02,
+			NearShare: 0.02,
+		},
+		{
+			// Honest miners over a forking network: the 60% whale's
+			// canonical share must exceed its power share (Sakurai–Shudo
+			// fork skew), and both backends implement the same race
+			// model, so parity is tight.
+			Name: "fork/whale-rich-get-richer",
+			Spec: scenario.Spec{
+				Protocol: "pow", Stakes: []float64{0.6, 0.2, 0.1, 0.1},
+				Blocks: 1500, Trials: 40, Seed: 229,
+				Network: &scenario.Network{ForkRate: 0.8},
+			},
+			MeanTol:   0.02,
+			SkewAbove: 0.015, // closed-form effective power is ≈ 0.634
+		},
+	}
+}
+
+// DefaultBackends returns the canonical sampling pair the suite
+// compares: the reference Monte-Carlo backend and the block-level
+// chainsim backend at a coarse PoW target (≈16 hashes per miner per
+// block — the digest-interpolated race times keep winner selection
+// power-exact, so coarseness costs accuracy nothing and keeps the suite
+// fast enough for CI).
+func DefaultBackends() (a, b sweep.Evaluator) {
+	return &sweep.MonteCarloEvaluator{}, &sweep.ChainSimEvaluator{PoWTarget: 1 << 60}
+}
+
+// CaseResult is one case's cross-backend outcome.
+type CaseResult struct {
+	Name string `json:"name"`
+	// Share is the tracked miner's resource share a.
+	Share float64 `json:"share"`
+	// MeanA and MeanB are the two backends' mean λ.
+	MeanA float64 `json:"mean_a"`
+	MeanB float64 `json:"mean_b"`
+	// Delta is |MeanA − MeanB|.
+	Delta float64 `json:"delta"`
+	// Failures lists every violated assertion, empty when the case
+	// conforms.
+	Failures []string `json:"failures,omitempty"`
+}
+
+// Report aggregates one conformance run.
+type Report struct {
+	BackendA string       `json:"backend_a"`
+	BackendB string       `json:"backend_b"`
+	Results  []CaseResult `json:"results"`
+	// CapabilityFailures lists violated capability-error contracts.
+	CapabilityFailures []string `json:"capability_failures,omitempty"`
+}
+
+// Failures counts every violated assertion across the run.
+func (r *Report) Failures() int {
+	n := len(r.CapabilityFailures)
+	for _, c := range r.Results {
+		n += len(c.Failures)
+	}
+	return n
+}
+
+// Summary renders the parity table plus any failures — the artifact the
+// CI attack-smoke job diffs. It is deterministic: no timing, no
+// ordering dependence beyond the corpus order.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	tb := table.New("Case", "a", r.BackendA, r.BackendB, "Delta", "Status").
+		AlignAll(table.Right).SetAlign(0, table.Left)
+	for _, c := range r.Results {
+		status := "ok"
+		if len(c.Failures) > 0 {
+			status = "FAIL"
+		}
+		tb.AddRow(c.Name,
+			fmt.Sprintf("%.3f", c.Share),
+			fmt.Sprintf("%.4f", c.MeanA),
+			fmt.Sprintf("%.4f", c.MeanB),
+			fmt.Sprintf("%.4f", c.Delta),
+			status)
+	}
+	b.WriteString(tb.String())
+	for _, c := range r.Results {
+		for _, f := range c.Failures {
+			fmt.Fprintf(&b, "\nFAIL %s: %s", c.Name, f)
+		}
+	}
+	for _, f := range r.CapabilityFailures {
+		fmt.Fprintf(&b, "\nFAIL capability: %s", f)
+	}
+	fmt.Fprintf(&b, "\n%d cases, %d failures\n", len(r.Results), r.Failures())
+	return b.String()
+}
+
+// Run evaluates every case on both backends, checks parity and
+// directional expectations, and verifies the capability-error contract.
+// It returns an error only for infrastructure problems (cancellation,
+// an evaluation that should have succeeded failing); conformance
+// violations are reported in the Report.
+func Run(ctx context.Context, a, b sweep.Evaluator, cases []Case) (*Report, error) {
+	rep := &Report{BackendA: a.Name(), BackendB: b.Name()}
+	for _, c := range cases {
+		if err := c.Spec.Validate(); err != nil {
+			return nil, fmt.Errorf("conformance: case %s: %w", c.Name, err)
+		}
+		n := c.Spec.Normalized()
+		evA, err := a.Evaluate(ctx, n)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: case %s on %s: %w", c.Name, a.Name(), err)
+		}
+		evB, err := b.Evaluate(ctx, n)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: case %s on %s: %w", c.Name, b.Name(), err)
+		}
+		res := CaseResult{
+			Name:  c.Name,
+			Share: c.Spec.TrackedShare(),
+			MeanA: evA.Verdict.MeanLambda,
+			MeanB: evB.Verdict.MeanLambda,
+			Delta: math.Abs(evA.Verdict.MeanLambda - evB.Verdict.MeanLambda),
+		}
+		if res.Delta > c.MeanTol {
+			res.Failures = append(res.Failures,
+				fmt.Sprintf("parity: |%.4f - %.4f| = %.4f > tolerance %.4f", res.MeanA, res.MeanB, res.Delta, c.MeanTol))
+		}
+		for _, m := range []struct {
+			backend string
+			mean    float64
+		}{{a.Name(), res.MeanA}, {b.Name(), res.MeanB}} {
+			if c.SkewAbove > 0 && m.mean < res.Share+c.SkewAbove {
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("skew: %s mean %.4f below share %.4f + margin %.4f", m.backend, m.mean, res.Share, c.SkewAbove))
+			}
+			if c.NearShare > 0 && math.Abs(m.mean-res.Share) > c.NearShare {
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("near-share: %s mean %.4f off share %.4f by more than %.4f", m.backend, m.mean, res.Share, c.NearShare))
+			}
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	rep.CapabilityFailures = CheckCapabilities(ctx)
+	return rep, nil
+}
+
+// CheckCapabilities verifies the capability-error contract on canonical
+// out-of-coverage probes: the theory backend must refuse every
+// adversarial corpus scenario with a typed *sweep.CapabilityError
+// naming the exact uncovered feature, the chainsim backend must refuse
+// protocols it has no engine for, and declared Capabilities must match
+// refusal behaviour. Returns one description per violation.
+func CheckCapabilities(ctx context.Context) []string {
+	var fails []string
+	theory := &sweep.TheoryEvaluator{}
+	for _, c := range AdversarialCorpus() {
+		n := c.Spec.Normalized()
+		want := "adversary"
+		if n.Adversary == nil {
+			want = "network"
+		}
+		fails = append(fails, checkCapabilityError(ctx, theory, n, want)...)
+	}
+	chainsim := &sweep.ChainSimEvaluator{}
+	neo := scenario.Spec{Protocol: "neo", Stake: 0.2, Blocks: 10, Trials: 2}
+	fails = append(fails, checkCapabilityError(ctx, chainsim, neo.Normalized(), "protocol")...)
+	// Declared capabilities must agree with behaviour: a backend that
+	// declares a feature covered must not refuse it, and vice versa.
+	for _, ev := range []sweep.Evaluator{theory, chainsim, &sweep.MonteCarloEvaluator{}} {
+		caps := sweep.CapabilityOf(ev)
+		if caps.Backend != ev.Name() {
+			fails = append(fails, fmt.Sprintf("%s declares capabilities under name %q", ev.Name(), caps.Backend))
+		}
+		adv := AdversarialCorpus()[0].Spec.Normalized()
+		err := caps.Check(adv)
+		if caps.Adversary && err != nil {
+			fails = append(fails, fmt.Sprintf("%s declares adversary coverage but Check refuses: %v", ev.Name(), err))
+		}
+		if !caps.Adversary && err == nil {
+			fails = append(fails, fmt.Sprintf("%s declares no adversary coverage but Check accepts", ev.Name()))
+		}
+	}
+	return fails
+}
+
+// checkCapabilityError asserts that ev refuses the spec with a typed
+// capability error naming the expected feature.
+func checkCapabilityError(ctx context.Context, ev sweep.Evaluator, n scenario.Spec, feature string) []string {
+	_, err := ev.Evaluate(ctx, n)
+	if err == nil {
+		return []string{fmt.Sprintf("%s accepted an uncovered spec (%s): %s", ev.Name(), feature, n.String())}
+	}
+	if !errors.Is(err, sweep.ErrBackend) {
+		return []string{fmt.Sprintf("%s refusal does not unwrap to ErrBackend: %v", ev.Name(), err)}
+	}
+	var capErr *sweep.CapabilityError
+	if !errors.As(err, &capErr) {
+		return []string{fmt.Sprintf("%s refusal is not a *CapabilityError: %v", ev.Name(), err)}
+	}
+	var fails []string
+	if capErr.Backend != ev.Name() {
+		fails = append(fails, fmt.Sprintf("%s refusal names backend %q", ev.Name(), capErr.Backend))
+	}
+	if capErr.Feature != feature {
+		fails = append(fails, fmt.Sprintf("%s refusal names feature %q, want %q", ev.Name(), capErr.Feature, feature))
+	}
+	return fails
+}

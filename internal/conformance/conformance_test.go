@@ -1,0 +1,97 @@
+package conformance
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+)
+
+func TestCorpusConformsAcrossSamplingBackends(t *testing.T) {
+	// The acceptance gate of the adversarial scenario vocabulary:
+	// montecarlo and chainsim must agree on every corpus case, selfish
+	// mining must reproduce the known skew direction on both, and the
+	// theory backend must refuse adversarial specs with exact typed
+	// errors.
+	a, b := DefaultBackends()
+	rep, err := Run(context.Background(), a, b, Corpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rep.Failures(); n != 0 {
+		t.Errorf("%d conformance failures:\n%s", n, rep.Summary())
+	}
+	if len(rep.Results) != len(Corpus()) {
+		t.Errorf("ran %d cases, corpus has %d", len(rep.Results), len(Corpus()))
+	}
+}
+
+func TestCorpusSpecsAreValidAndDistinct(t *testing.T) {
+	seen := map[string]string{}
+	for _, c := range Corpus() {
+		if err := c.Spec.Validate(); err != nil {
+			t.Errorf("case %s invalid: %v", c.Name, err)
+		}
+		h, err := c.Spec.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("cases %s and %s share a content hash", prev, c.Name)
+		}
+		seen[h] = c.Name
+		if c.MeanTol <= 0 {
+			t.Errorf("case %s has no parity tolerance", c.Name)
+		}
+		if c.SkewAbove > 0 && c.NearShare > 0 {
+			t.Errorf("case %s asserts both skew and near-share", c.Name)
+		}
+	}
+}
+
+func TestAdversarialCorpusReachableThroughSweepRunner(t *testing.T) {
+	// The corpus must flow through the ordinary sweep pipeline (the path
+	// fairsweep/fairnessd/fairctl take), not just direct Evaluate calls.
+	specs := make([]scenario.Spec, 0, len(AdversarialCorpus()))
+	for _, c := range AdversarialCorpus() {
+		s := c.Spec
+		s.Name = c.Name
+		s.Trials, s.Blocks = 4, 200 // smoke scale
+		specs = append(specs, s)
+	}
+	rep, err := sweep.Run(specs, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range rep.Outcomes {
+		if o.Backend != "montecarlo" || o.Hash == "" {
+			t.Errorf("outcome %d: %+v", i, o)
+		}
+	}
+}
+
+func TestCheckCapabilitiesCatchesContractViolations(t *testing.T) {
+	if fails := CheckCapabilities(context.Background()); len(fails) != 0 {
+		t.Errorf("capability contract violated:\n%s", strings.Join(fails, "\n"))
+	}
+}
+
+func TestSummaryIsDeterministic(t *testing.T) {
+	a, b := DefaultBackends()
+	r1, err := Run(context.Background(), a, b, HonestCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(context.Background(), a, b, HonestCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Summary() != r2.Summary() {
+		t.Error("conformance summary not deterministic")
+	}
+	if !strings.Contains(r1.Summary(), "honest/pow-baseline") {
+		t.Errorf("summary missing case name:\n%s", r1.Summary())
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	fairness "repro"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current output")
+
+// TestFig3SweepReportGolden byte-locks the fig3 sweep report against a
+// checked-in fixture. The report is a pure function of the scenario
+// list (seeds, hashes, verdicts, equitability, convergence, stats), so
+// any drift — a normalisation change, a hash-input change, a reordered
+// axis, an RNG regression — shows up as a byte diff here before it can
+// silently poison caches or published numbers. Timing fields are the
+// only nondeterminism and are zeroed before comparison.
+//
+// To regenerate after an INTENDED semantic change:
+//
+//	go test ./internal/experiments -run Fig3SweepReportGolden -update
+func TestFig3SweepReportGolden(t *testing.T) {
+	cfg := Config{Quick: true, Trials: 40, Blocks: 300, Seed: 9}
+	specs := Fig3SweepSpecs(cfg)
+	eng := fairness.NewEngine()
+	rep, err := eng.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scrub the wall-clock bookkeeping; everything else must be stable.
+	for i := range rep.Outcomes {
+		rep.Outcomes[i].ElapsedMS = 0
+	}
+	rep.Stats.WallMS = 0
+	got, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	golden := filepath.Join("testdata", "fig3sweep.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the fixture)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("fig3 sweep report drifted from %s (%d vs %d bytes).\n"+
+			"If the change is intentional, regenerate with:\n"+
+			"  go test ./internal/experiments -run Fig3SweepReportGolden -update\n"+
+			"and justify the diff in the commit.", golden, len(got), len(want))
+	}
+}

@@ -1,0 +1,318 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Property: a grid's expansion count equals the product of its
+// non-empty axis lengths — Size() and Expand() can never disagree —
+// and every expanded spec is valid with a distinct name.
+func TestGridExpansionCountEqualsAxisProduct(t *testing.T) {
+	r := rng.New(42)
+	protoPool := []string{"pow", "mlpos", "slpos", "fslpos", "cpos"}
+	stakePool := []float64{0.1, 0.2, 0.3, 0.4, 0.45}
+	wPool := []float64{0.005, 0.01, 0.02, 0.05}
+	intPool := []int{100, 200, 400, 800}
+	trialPool := []int{5, 10, 20, 40}
+	minersPool := []int{2, 3, 4, 5}
+	withholdPool := []int{0, 2, 5, 10}
+	forkPool := []float64{0, 0.2, 0.5, 0.9}
+
+	pick := func(n int) int { return int(r.Uint64() % uint64(n+1)) } // 0..n axis length
+	for iter := 0; iter < 200; iter++ {
+		g := Grid{
+			Base:      Spec{Blocks: 100, Trials: 5},
+			Protocols: protoPool[:1+int(r.Uint64()%uint64(len(protoPool)))],
+			W:         wPool[:pick(len(wPool))],
+			Stake:     stakePool[:pick(len(stakePool))],
+			Miners:    minersPool[:pick(len(minersPool))],
+			Blocks:    intPool[:pick(len(intPool))],
+			Trials:    trialPool[:pick(len(trialPool))],
+			Withhold:  withholdPool[:pick(len(withholdPool))],
+			Seed:      r.Uint64() | 1,
+		}
+		// The fork-rate axis applies to pow only; exercise it on
+		// pow-only grids so every cell stays valid.
+		if len(g.Protocols) == 1 && g.Protocols[0] == "pow" && len(g.Withhold) == 0 {
+			g.ForkRate = forkPool[:pick(len(forkPool))]
+		}
+		want := 1
+		for _, n := range []int{
+			len(g.Protocols), len(g.W), len(g.Stake), len(g.Miners),
+			len(g.Blocks), len(g.Trials), len(g.Withhold), len(g.ForkRate),
+		} {
+			if n > 0 {
+				want *= n
+			}
+		}
+		if got := g.Size(); got != want {
+			t.Fatalf("iter %d: Size() = %d, want %d (%+v)", iter, got, want, g)
+		}
+		specs, err := g.Expand()
+		if err != nil {
+			t.Fatalf("iter %d: Expand: %v (%+v)", iter, err, g)
+		}
+		if len(specs) != want {
+			t.Fatalf("iter %d: expanded %d, want %d (%+v)", iter, len(specs), want, g)
+		}
+		names := make(map[string]bool, len(specs))
+		for _, s := range specs {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("iter %d: expanded spec invalid: %v", iter, err)
+			}
+			if names[s.Name] {
+				t.Fatalf("iter %d: duplicate cell name %q", iter, s.Name)
+			}
+			names[s.Name] = true
+		}
+	}
+}
+
+// Property: the gamma axis multiplies cardinality like any other axis
+// and clones the adversary block per cell (no aliasing).
+func TestGridGammaAxisExpansion(t *testing.T) {
+	g := Grid{
+		Base: Spec{Protocol: "pow", Stake: 0.4, Blocks: 100, Trials: 5,
+			Adversary: &Adversary{Strategy: "selfish"}},
+		Gamma: []float64{0, 0.5, 1},
+	}
+	if g.Size() != 3 {
+		t.Fatalf("Size() = %d, want 3", g.Size())
+	}
+	specs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[float64]bool{}
+	for i := range specs {
+		if specs[i].Adversary == nil {
+			t.Fatalf("cell %d lost the adversary block", i)
+		}
+		seen[specs[i].Adversary.Gamma] = true
+		for j := range specs {
+			if i != j && specs[i].Adversary == specs[j].Adversary {
+				t.Fatalf("cells %d and %d alias one Adversary struct", i, j)
+			}
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("gammas = %v, want 3 distinct", seen)
+	}
+	if g.Base.Adversary.Gamma != 0 {
+		t.Error("expansion mutated the base adversary block")
+	}
+	// Gamma without a base adversary is a spec error, not a panic.
+	if _, err := (Grid{Base: Spec{Protocol: "pow"}, Gamma: []float64{0.5}}).Expand(); !errors.Is(err, ErrSpec) {
+		t.Errorf("gamma axis without adversary: err = %v, want ErrSpec", err)
+	}
+}
+
+func TestGridForkRateAxisRejectsInvalidValues(t *testing.T) {
+	// An out-of-range fork_rate axis value must fail expansion, not
+	// collapse into a duplicate honest cell with a reused name and seed.
+	for _, bad := range []float64{-0.5, 1, 1.5} {
+		g := Grid{Base: Spec{Protocol: "pow", Stake: 0.4, Blocks: 50, Trials: 5},
+			ForkRate: []float64{0, bad}}
+		if _, err := g.Expand(); !errors.Is(err, ErrSpec) {
+			t.Errorf("fork_rate axis value %v accepted: %v", bad, err)
+		}
+	}
+}
+
+// Property: content hashes are insensitive to JSON object key order —
+// including inside the nested adversary/network blocks — and to the
+// stake-sugar form.
+func TestHashOrderInsensitive(t *testing.T) {
+	pairs := [][2]string{
+		{
+			`{"protocol":"pow","stake":0.4,"blocks":100,"adversary":{"strategy":"selfish","gamma":0.5}}`,
+			`{"adversary":{"gamma":0.5,"strategy":"selfish"},"blocks":100,"stake":0.4,"protocol":"pow"}`,
+		},
+		{
+			`{"protocol":"pow","stakes":[0.4,0.6],"network":{"fork_rate":0.3},"trials":7}`,
+			`{"trials":7,"network":{"fork_rate":0.3},"protocol":"pow","stakes":[0.4,0.6]}`,
+		},
+		{
+			// Stake/Miners sugar vs the explicit vector it materialises.
+			`{"protocol":"mlpos","stake":0.2,"miners":2}`,
+			`{"protocol":"mlpos","stakes":[0.2,0.8]}`,
+		},
+		{
+			// A zero fork rate normalises away entirely.
+			`{"protocol":"pow","stake":0.3,"network":{"fork_rate":0}}`,
+			`{"protocol":"pow","stake":0.3}`,
+		},
+	}
+	for i, pair := range pairs {
+		a, err := Decode([]byte(pair[0]))
+		if err != nil {
+			t.Fatalf("pair %d: %v", i, err)
+		}
+		b, err := Decode([]byte(pair[1]))
+		if err != nil {
+			t.Fatalf("pair %d: %v", i, err)
+		}
+		ha, err := a.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		hb, err := b.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ha != hb {
+			t.Errorf("pair %d: hashes differ:\n%s\n%s", i, pair[0], pair[1])
+		}
+	}
+}
+
+// Property: malformed specs always return errors wrapping ErrSpec —
+// never a panic, never silent acceptance.
+func TestMalformedSpecsAlwaysError(t *testing.T) {
+	bad := []Spec{
+		// A present-but-empty strategy must error, never silently run
+		// honest: the user asked for an attack and forgot the name.
+		{Protocol: "pow", Stake: 0.4, Adversary: &Adversary{}},
+		{Protocol: "pow", Stake: 0.4, Adversary: &Adversary{Miner: 0, Gamma: 0.5}},
+		{Protocol: "pow", Stake: 0.4, Adversary: &Adversary{Strategy: "bribe"}},
+		{Protocol: "mlpos", Stake: 0.4, Adversary: &Adversary{Strategy: "selfish"}},
+		{Protocol: "pow", Stake: 0.6, Adversary: &Adversary{Strategy: "selfish"}},
+		{Protocol: "pow", Stake: 0.4, Adversary: &Adversary{Strategy: "selfish", Gamma: 1.5}},
+		{Protocol: "pow", Stake: 0.4, Adversary: &Adversary{Strategy: "selfish", Gamma: -0.1}},
+		{Protocol: "pow", Stake: 0.4, Adversary: &Adversary{Strategy: "selfish", Miner: 5}},
+		{Protocol: "pow", Stake: 0.4, Adversary: &Adversary{Strategy: "selfish"}, WithholdEvery: 3},
+		{Protocol: "pow", Stake: 0.4, Adversary: &Adversary{Strategy: "selfish"},
+			Network: &Network{ForkRate: 0.2}},
+		{Protocol: "pow", Stake: 0.4, Network: &Network{ForkRate: 1}},
+		{Protocol: "pow", Stake: 0.4, Network: &Network{ForkRate: -0.2}},
+		{Protocol: "cpos", Stake: 0.4, Network: &Network{ForkRate: 0.2}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); !errors.Is(err, ErrSpec) {
+			t.Errorf("spec %d accepted or wrong error: %v (%+v)", i, err, s)
+		}
+	}
+}
+
+// FuzzDecodeSpec feeds arbitrary bytes through the strict decoder: any
+// input either errors with ErrSpec or yields a spec whose Validate,
+// Hash and String never panic, and whose normalisation is idempotent.
+func FuzzDecodeSpec(f *testing.F) {
+	seeds := []string{
+		`{"protocol":"pow","stake":0.2}`,
+		`{"protocol":"mlpos","stakes":[0.2,0.3,0.5],"trials":10,"blocks":50}`,
+		`{"protocol":"pow","stake":0.4,"adversary":{"strategy":"selfish","gamma":0.5}}`,
+		`{"protocol":"pow","stake":0.4,"network":{"fork_rate":0.8}}`,
+		`{"protocol":"pow","adversary":{"strategy":""}}`,
+		`{"protocol":"cpos","shards":-1}`,
+		`{"protocol":"pow","checkpoints":[5,3]}`,
+		`{"stake":1e308,"miners":-2}`,
+		`{"protocol":"pow","w":null}`,
+		`[]`, `{}`, `{"unknown":1}`, `not json at all`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrSpec) {
+				t.Fatalf("Decode error does not wrap ErrSpec: %v", err)
+			}
+			return
+		}
+		_ = s.String()
+		if err := s.Validate(); err != nil {
+			if !errors.Is(err, ErrSpec) {
+				t.Fatalf("Validate error does not wrap ErrSpec: %v", err)
+			}
+			return
+		}
+		h1, err := s.Hash()
+		if err != nil {
+			t.Fatalf("valid spec failed to hash: %v", err)
+		}
+		n := s.Normalized()
+		if nn := n.Normalized(); fmt.Sprintf("%+v", nn) != fmt.Sprintf("%+v", n) {
+			t.Fatalf("normalisation not idempotent:\n%+v\n%+v", n, nn)
+		}
+		h2, err := n.Hash()
+		if err != nil || h1 != h2 {
+			t.Fatalf("hash not stable under normalisation: %q vs %q (%v)", h1, h2, err)
+		}
+		_ = DeriveSeed(1, s)
+	})
+}
+
+// FuzzDecodeGrid feeds arbitrary bytes through the grid decoder: any
+// accepted grid either fails Expand with ErrSpec or expands to exactly
+// Size() valid scenarios.
+func FuzzDecodeGrid(f *testing.F) {
+	seeds := []string{
+		`{"base":{"protocol":"pow","stake":0.2,"blocks":50,"trials":5}}`,
+		`{"base":{"blocks":50,"trials":5},"protocols":["pow","mlpos"],"stake":[0.1,0.2]}`,
+		`{"base":{"protocol":"pow","stake":0.4,"blocks":50,"trials":5,"adversary":{"strategy":"selfish"}},"gamma":[0,0.5]}`,
+		`{"base":{"protocol":"pow","stake":0.4,"blocks":50,"trials":5},"fork_rate":[0,0.4]}`,
+		`{"base":{"protocol":"pow"},"gamma":[0.5]}`,
+		`{"seed":9}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := DecodeGrid(data)
+		if err != nil {
+			if !errors.Is(err, ErrSpec) {
+				t.Fatalf("DecodeGrid error does not wrap ErrSpec: %v", err)
+			}
+			return
+		}
+		specs, err := g.Expand()
+		if err != nil {
+			if !errors.Is(err, ErrSpec) {
+				t.Fatalf("Expand error does not wrap ErrSpec: %v", err)
+			}
+			return
+		}
+		if len(specs) != g.Size() {
+			t.Fatalf("expanded %d != Size %d", len(specs), g.Size())
+		}
+		for _, s := range specs {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("expanded spec invalid: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzSpecRoundTrip checks that every valid decoded spec JSON-round-trips
+// through its normalised form without changing its content hash — the
+// property the result cache and the cluster wire protocol rely on.
+func FuzzSpecRoundTrip(f *testing.F) {
+	f.Add(`{"protocol":"pow","stake":0.4,"adversary":{"strategy":"selfish","gamma":0.25},"seed":3}`)
+	f.Add(`{"protocol":"pow","stakes":[0.5,0.3,0.2],"network":{"fork_rate":0.6}}`)
+	f.Add(`{"protocol":"cpos","v":0.2,"shards":8,"stake":0.3}`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		s, err := Decode([]byte(doc))
+		if err != nil || s.Validate() != nil {
+			return
+		}
+		h1 := s.MustHash()
+		data, err := json.Marshal(s.Normalized())
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		back, err := Decode(data)
+		if err != nil {
+			t.Fatalf("re-decode of normalised spec failed: %v\n%s", err, data)
+		}
+		if h2 := back.MustHash(); h1 != h2 {
+			t.Fatalf("hash changed across round trip: %q vs %q\n%s", h1, h2, data)
+		}
+	})
+}

@@ -23,6 +23,12 @@ type Grid struct {
 	Blocks    []int     `json:"blocks,omitempty"`
 	Trials    []int     `json:"trials,omitempty"`
 	Withhold  []int     `json:"withhold,omitempty"`
+	// Gamma sweeps the adversary's network advantage; it requires an
+	// adversary block on Base (the axis overrides its gamma).
+	Gamma []float64 `json:"gamma,omitempty"`
+	// ForkRate sweeps the network fork rate; a value of 0 is the honest
+	// perfect-network cell (no network block).
+	ForkRate []float64 `json:"fork_rate,omitempty"`
 
 	// Seed is the sweep base seed from which each scenario's seed is
 	// derived (DeriveSeed); 0 falls back to Base.Seed, then to 1.
@@ -35,6 +41,7 @@ func (g Grid) Size() int {
 	for _, n := range []int{
 		len(g.Protocols), len(g.W), len(g.V), len(g.Stake),
 		len(g.Miners), len(g.Blocks), len(g.Trials), len(g.Withhold),
+		len(g.Gamma), len(g.ForkRate),
 	} {
 		if n > 0 {
 			size *= n
@@ -56,13 +63,25 @@ func (g Grid) baseSeed() uint64 {
 
 // Expand returns the concrete, validated scenario list of the grid in a
 // deterministic axis order (protocols ▸ w ▸ v ▸ stake ▸ miners ▸ blocks ▸
-// trials ▸ withhold). Every scenario gets a descriptive Name and a seed
-// derived from the grid seed and its own parameter content, so the list —
-// seeds included — is a pure function of the grid.
+// trials ▸ withhold ▸ gamma ▸ fork-rate). Every scenario gets a
+// descriptive Name and a seed derived from the grid seed and its own
+// parameter content, so the list — seeds included — is a pure function of
+// the grid.
 func (g Grid) Expand() ([]Spec, error) {
 	protocols := g.Protocols
 	if len(protocols) == 0 {
 		protocols = []string{g.Base.Protocol}
+	}
+	if len(g.Gamma) > 0 && g.Base.Adversary == nil {
+		return nil, fmt.Errorf("%w: gamma axis needs an adversary block on the base spec", ErrSpec)
+	}
+	baseGamma := 0.0
+	if g.Base.Adversary != nil {
+		baseGamma = g.Base.Adversary.Gamma
+	}
+	baseFork := 0.0
+	if g.Base.Network != nil {
+		baseFork = g.Base.Network.ForkRate
 	}
 	specs := make([]Spec, 0, g.Size())
 	base := g.baseSeed()
@@ -74,23 +93,44 @@ func (g Grid) Expand() ([]Spec, error) {
 						for _, blocks := range orInt(g.Blocks, g.Base.Blocks) {
 							for _, trials := range orInt(g.Trials, g.Base.Trials) {
 								for _, withhold := range orInt(g.Withhold, g.Base.WithholdEvery) {
-									s := g.Base
-									s.Protocol = proto
-									s.W, s.V = w, v
-									s.Blocks, s.Trials = blocks, trials
-									s.WithholdEvery = withhold
-									if len(g.Stake) > 0 || len(g.Miners) > 0 {
-										// Stake axes override any explicit base allocation.
-										s.Stakes = nil
-										s.Stake, s.Miners = stake, miners
+									for _, gamma := range orFloat(g.Gamma, baseGamma) {
+										for _, fork := range orFloat(g.ForkRate, baseFork) {
+											s := g.Base
+											s.Protocol = proto
+											s.W, s.V = w, v
+											s.Blocks, s.Trials = blocks, trials
+											s.WithholdEvery = withhold
+											if len(g.Stake) > 0 || len(g.Miners) > 0 {
+												// Stake axes override any explicit base allocation.
+												s.Stakes = nil
+												s.Stake, s.Miners = stake, miners
+											}
+											// Clone the pointer blocks so grid cells never alias
+											// the base (or each other) through shared structs.
+											if s.Adversary != nil {
+												adv := *s.Adversary
+												adv.Gamma = gamma
+												s.Adversary = &adv
+											}
+											// A literal 0 is the honest perfect-network cell; any
+											// other value — including an invalid one — materialises
+											// a block so Validate vets it below, rather than an
+											// out-of-range axis value silently collapsing into a
+											// duplicate honest cell.
+											if fork != 0 {
+												s.Network = &Network{ForkRate: fork}
+											} else {
+												s.Network = nil
+											}
+											s.Seed = 0
+											s.Seed = DeriveSeed(base, s)
+											s.Name = g.cellName(s)
+											if err := s.Validate(); err != nil {
+												return nil, fmt.Errorf("expanding %s: %w", s.Name, err)
+											}
+											specs = append(specs, s)
+										}
 									}
-									s.Seed = 0
-									s.Seed = DeriveSeed(base, s)
-									s.Name = g.cellName(s)
-									if err := s.Validate(); err != nil {
-										return nil, fmt.Errorf("expanding %s: %w", s.Name, err)
-									}
-									specs = append(specs, s)
 								}
 							}
 						}
@@ -173,6 +213,15 @@ func (g Grid) cellName(s Spec) string {
 	}
 	if s.WithholdEvery > 0 {
 		name += fmt.Sprintf("/k=%d", s.WithholdEvery)
+	}
+	if n.Adversary != nil {
+		name += fmt.Sprintf("/%s@%d", n.Adversary.Strategy, n.Adversary.Miner)
+		if len(g.Gamma) > 1 {
+			name += fmt.Sprintf("/g=%g", n.Adversary.Gamma)
+		}
+	}
+	if n.Network != nil {
+		name += fmt.Sprintf("/f=%g", n.Network.ForkRate)
 	}
 	return name
 }

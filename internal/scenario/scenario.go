@@ -75,10 +75,54 @@ type Spec struct {
 	// with period k when > 0.
 	WithholdEvery int `json:"withhold_every,omitempty"`
 
+	// Adversary, when present, makes one miner deviate strategically from
+	// the protocol (currently: Eyal–Sirer selfish mining, PoW only).
+	Adversary *Adversary `json:"adversary,omitempty"`
+	// Network, when present, models imperfect block propagation: a
+	// per-height fork rate in the Sakurai–Shudo style (PoW only).
+	Network *Network `json:"network,omitempty"`
+
 	// Eps and Delta are the robust-fairness parameters (default 0.1).
 	Eps   float64 `json:"eps,omitempty"`
 	Delta float64 `json:"delta,omitempty"`
 }
+
+// Adversary declares one strategically deviating miner. The paper's
+// fairness notions assume honest execution; an adversary block asks how
+// far a deviation bends λ away from the deviator's resource share a —
+// selfish mining converts PoW's fair lottery into a rich-get-richer one
+// once the attacker's share clears the Eyal–Sirer profitability
+// threshold (1−γ)/(3−2γ).
+type Adversary struct {
+	// Strategy names the deviation. The only strategy currently known is
+	// "selfish": rational Eyal–Sirer selfish mining — the miner withholds
+	// found blocks and releases them to orphan honest work when the
+	// closed-form revenue beats honest mining, and mines honestly below
+	// the profitability threshold.
+	Strategy string `json:"strategy"`
+	// Miner is the index of the deviating miner (default 0, the tracked
+	// miner).
+	Miner int `json:"miner,omitempty"`
+	// Gamma is the attacker's network advantage: the fraction of honest
+	// power that mines on the attacker's branch during a 1-vs-1 fork
+	// race, in [0, 1].
+	Gamma float64 `json:"gamma,omitempty"`
+}
+
+// Network declares imperfect block propagation. Sakurai & Shudo ("The
+// Rich Get Richer in Bitcoin Mining Induced by Blockchain Forks") show
+// that fork races systematically favour large miners, because a miner
+// always mines on its own candidate block and wins races in proportion
+// to its power; ForkRate is the knob that turns that effect on.
+type Network struct {
+	// ForkRate is the probability, per chain height, that a second
+	// concurrent block contests the height and a fork race resolves it,
+	// in [0, 1).
+	ForkRate float64 `json:"fork_rate,omitempty"`
+}
+
+// StrategySelfish is the canonical name of the selfish-mining strategy.
+const StrategySelfish = "selfish"
 
 // knownProtocols maps canonical protocol names to constructors.
 var knownProtocols = map[string]func(Spec) protocol.Protocol{
@@ -173,6 +217,26 @@ func (s Spec) Normalized() Spec {
 	if len(n.Checkpoints) == 0 {
 		n.Checkpoints = []int{n.Blocks}
 	}
+	// Clone the adversary/network blocks so normalising never mutates the
+	// caller's spec, and collapse the zero fork rate — a nil network
+	// block and fork_rate 0 both mean "perfect network" and must share
+	// one canonical encoding (and one hash). An adversary block is NEVER
+	// collapsed: a present-but-empty strategy is a validation error, not
+	// an honest run — silently dropping it would report honest numbers
+	// for a spec that asked for an attack.
+	if s.Adversary != nil {
+		a := *s.Adversary
+		a.Strategy = CanonicalProtocol(a.Strategy)
+		n.Adversary = &a
+	}
+	if s.Network != nil {
+		if s.Network.ForkRate == 0 {
+			n.Network = nil
+		} else {
+			nw := *s.Network
+			n.Network = &nw
+		}
+	}
 	if n.Eps == 0 {
 		n.Eps = 0.1
 	}
@@ -240,11 +304,60 @@ func (s Spec) Validate() error {
 	if n.WithholdEvery < 0 {
 		return fmt.Errorf("%w: withhold_every = %d", ErrSpec, n.WithholdEvery)
 	}
+	if err := n.validateAdversaryNetwork(); err != nil {
+		return err
+	}
 	if n.Eps <= 0 || math.IsNaN(n.Eps) {
 		return fmt.Errorf("%w: eps = %v", ErrSpec, n.Eps)
 	}
 	if n.Delta <= 0 || n.Delta >= 1 || math.IsNaN(n.Delta) {
 		return fmt.Errorf("%w: delta = %v, need (0, 1)", ErrSpec, n.Delta)
+	}
+	return nil
+}
+
+// validateAdversaryNetwork checks the adversary and network blocks of an
+// already-normalised spec. Both model fork dynamics of the longest-chain
+// PoW race, so both are restricted to protocol "pow"; they are mutually
+// exclusive because the adversary block already subsumes network effects
+// through gamma.
+func (n Spec) validateAdversaryNetwork() error {
+	if nw := n.Network; nw != nil {
+		if n.Protocol != "pow" {
+			return fmt.Errorf("%w: network block models PoW fork races; protocol is %q", ErrSpec, n.Protocol)
+		}
+		if !(nw.ForkRate > 0 && nw.ForkRate < 1) || math.IsNaN(nw.ForkRate) {
+			return fmt.Errorf("%w: network.fork_rate = %v, need [0, 1)", ErrSpec, nw.ForkRate)
+		}
+	}
+	adv := n.Adversary
+	if adv == nil {
+		return nil
+	}
+	if adv.Strategy != StrategySelfish {
+		return fmt.Errorf("%w: unknown adversary strategy %q (known: %s)", ErrSpec, adv.Strategy, StrategySelfish)
+	}
+	if n.Protocol != "pow" {
+		return fmt.Errorf("%w: adversary strategy %q models PoW; protocol is %q", ErrSpec, adv.Strategy, n.Protocol)
+	}
+	if n.Network != nil {
+		return fmt.Errorf("%w: adversary and network blocks cannot be combined (gamma already models the network advantage)", ErrSpec)
+	}
+	if n.WithholdEvery > 0 {
+		return fmt.Errorf("%w: adversary cannot be combined with withhold_every", ErrSpec)
+	}
+	if adv.Miner < 0 || adv.Miner >= len(n.Stakes) {
+		return fmt.Errorf("%w: adversary.miner = %d with %d miners", ErrSpec, adv.Miner, len(n.Stakes))
+	}
+	if !(adv.Gamma >= 0 && adv.Gamma <= 1) || math.IsNaN(adv.Gamma) {
+		return fmt.Errorf("%w: adversary.gamma = %v, need [0, 1]", ErrSpec, adv.Gamma)
+	}
+	total := 0.0
+	for _, v := range n.Stakes {
+		total += v
+	}
+	if alpha := n.Stakes[adv.Miner] / total; !(alpha > 0 && alpha < 0.5) {
+		return fmt.Errorf("%w: adversary share = %v, need (0, 0.5) — a majority attacker trivially wins", ErrSpec, alpha)
 	}
 	return nil
 }
@@ -361,6 +474,12 @@ func (s Spec) String() string {
 	fmt.Fprintf(&b, " a=%.3f m=%d n=%d trials=%d", s.TrackedShare(), len(n.Stakes), n.Blocks, n.Trials)
 	if n.WithholdEvery > 0 {
 		fmt.Fprintf(&b, " withhold=%d", n.WithholdEvery)
+	}
+	if n.Adversary != nil {
+		fmt.Fprintf(&b, " %s@%d gamma=%g", n.Adversary.Strategy, n.Adversary.Miner, n.Adversary.Gamma)
+	}
+	if n.Network != nil {
+		fmt.Fprintf(&b, " fork=%g", n.Network.ForkRate)
 	}
 	return b.String()
 }

@@ -1,0 +1,210 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/scenario"
+)
+
+// selfishSpec is a profitable selfish-mining scenario: a 40% attacker
+// with γ=0 sits above the 1/3 Eyal–Sirer threshold.
+func selfishSpec() scenario.Spec {
+	return scenario.Spec{
+		Protocol: "pow", Stake: 0.4, Miners: 5, Blocks: 2000, Trials: 60, Seed: 13,
+		Adversary: &scenario.Adversary{Strategy: "selfish", Gamma: 0},
+	}
+}
+
+func TestMonteCarloSelfishMatchesClosedForm(t *testing.T) {
+	want, err := attack.SelfishMining{Alpha: 0.4, Gamma: 0}.Revenue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run([]scenario.Spec{selfishSpec()}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Outcomes[0]
+	if math.Abs(o.Verdict.MeanLambda-want) > 0.02 {
+		t.Errorf("mean lambda %v, closed form %v", o.Verdict.MeanLambda, want)
+	}
+	if o.Verdict.ExpectationalFair {
+		t.Error("profitable selfish mining must break expectational fairness")
+	}
+	if o.Verdict.MeanLambda <= o.Share {
+		t.Errorf("attacker revenue %v not above power share %v", o.Verdict.MeanLambda, o.Share)
+	}
+	if rep.Stats.TrialsRun != 60 {
+		t.Errorf("trials = %d", rep.Stats.TrialsRun)
+	}
+}
+
+func TestMonteCarloSelfishTrackedHonestVictim(t *testing.T) {
+	// Tracking an honest miner while miner 0 attacks: the victim's λ must
+	// fall below its power share by the attacker's excess revenue, split
+	// power-proportionally across the honest pool.
+	spec := selfishSpec()
+	spec.Miner = 1 // track an honest miner (share 0.15 of the 5-miner pack)
+	rep, err := Run([]scenario.Spec{spec}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Outcomes[0]
+	rev, _ := attack.SelfishMining{Alpha: 0.4, Gamma: 0}.Revenue()
+	want := (1 - rev) * (0.15 / 0.6)
+	if math.Abs(o.Verdict.MeanLambda-want) > 0.02 {
+		t.Errorf("victim mean lambda %v, want ≈ %v", o.Verdict.MeanLambda, want)
+	}
+	if o.Verdict.MeanLambda >= o.Share {
+		t.Errorf("victim %v not squeezed below its share %v", o.Verdict.MeanLambda, o.Share)
+	}
+}
+
+func TestMonteCarloSelfishBelowThresholdFallsBackToHonest(t *testing.T) {
+	// A 20% attacker with γ=0 is unprofitable; the rational adversary
+	// mines honestly, so the run must be bit-identical to the honest twin
+	// of the spec (same seed, adversary block stripped).
+	spec := scenario.Spec{
+		Protocol: "pow", Stake: 0.2, Blocks: 800, Trials: 40, Seed: 7,
+		Adversary: &scenario.Adversary{Strategy: "selfish", Gamma: 0},
+	}
+	honest := spec
+	honest.Adversary = nil
+	adv, err := Run([]scenario.Spec{spec}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hon, err := Run([]scenario.Spec{honest}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Outcomes[0].Verdict != hon.Outcomes[0].Verdict {
+		t.Errorf("below-threshold adversary differs from honest run:\n%+v\n%+v",
+			adv.Outcomes[0].Verdict, hon.Outcomes[0].Verdict)
+	}
+	if adv.Outcomes[0].Hash == hon.Outcomes[0].Hash {
+		t.Error("adversarial and honest specs must still hash differently")
+	}
+}
+
+func TestMonteCarloForkSkewMatchesEffectivePowers(t *testing.T) {
+	spec := scenario.Spec{
+		Protocol: "pow", Stakes: []float64{0.6, 0.2, 0.1, 0.1},
+		Blocks: 2000, Trials: 60, Seed: 3,
+		Network: &scenario.Network{ForkRate: 0.8},
+	}
+	rep, err := Run([]scenario.Spec{spec}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff, err := attack.ForkEffectivePowers(spec.Stakes, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Outcomes[0]
+	if math.Abs(o.Verdict.MeanLambda-eff[0]) > 0.02 {
+		t.Errorf("mean lambda %v, effective power %v", o.Verdict.MeanLambda, eff[0])
+	}
+	if o.Verdict.MeanLambda <= 0.6 {
+		t.Errorf("fork skew did not favour the whale: %v", o.Verdict.MeanLambda)
+	}
+}
+
+func TestTheoryRejectsAdversaryAndNetworkWithTypedError(t *testing.T) {
+	cases := []struct {
+		spec    scenario.Spec
+		feature string
+	}{
+		{selfishSpec(), "adversary"},
+		{scenario.Spec{Protocol: "pow", Stake: 0.3, Blocks: 100, Trials: 10,
+			Network: &scenario.Network{ForkRate: 0.2}}, "network"},
+		{scenario.Spec{Protocol: "mlpos", Stake: 0.3, Blocks: 100, Trials: 10,
+			WithholdEvery: 5}, "withholding"},
+		{scenario.Spec{Protocol: "eos", Stake: 0.3, Blocks: 100, Trials: 10}, "protocol"},
+	}
+	ev := &TheoryEvaluator{}
+	for _, c := range cases {
+		_, err := ev.Evaluate(context.Background(), c.spec.Normalized())
+		if !errors.Is(err, ErrBackend) {
+			t.Fatalf("%s: err = %v, want ErrBackend", c.feature, err)
+		}
+		var capErr *CapabilityError
+		if !errors.As(err, &capErr) {
+			t.Fatalf("%s: err = %T, want *CapabilityError", c.feature, err)
+		}
+		if capErr.Backend != "theory" || capErr.Feature != c.feature {
+			t.Errorf("capability error = %+v, want backend theory feature %s", capErr, c.feature)
+		}
+	}
+}
+
+func TestChainSimSelfishParityWithMonteCarlo(t *testing.T) {
+	// The block-level selfish simulation and the abstract state machine
+	// must agree on the attacker's stationary revenue at γ=0 (exact for
+	// the aggregate model) within sampling noise.
+	spec := selfishSpec()
+	spec.Blocks, spec.Trials = 1500, 40
+	// A coarse target (≈16 hashes per miner per event) keeps the test
+	// fast; the digest-interpolated race times keep it power-exact.
+	cs, err := Run([]scenario.Spec{spec}, Options{Evaluator: &ChainSimEvaluator{PoWTarget: 1 << 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := Run([]scenario.Spec{spec}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, mv := cs.Outcomes[0].Verdict, mc.Outcomes[0].Verdict
+	if d := math.Abs(cv.MeanLambda - mv.MeanLambda); d > 0.03 {
+		t.Errorf("mean lambda: chainsim %.4f vs montecarlo %.4f (diff %.4f)", cv.MeanLambda, mv.MeanLambda, d)
+	}
+	if cv.ExpectationalFair {
+		t.Error("chainsim selfish run must break expectational fairness")
+	}
+	// Determinism (the cache-poisoning guarantee) on the adversarial path.
+	cs2, err := Run([]scenario.Spec{spec}, Options{Evaluator: &ChainSimEvaluator{PoWTarget: 1 << 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs2.Outcomes[0].Verdict != cv {
+		t.Errorf("chainsim selfish not deterministic:\n%+v\n%+v", cv, cs2.Outcomes[0].Verdict)
+	}
+}
+
+func TestAdversarialSpecsCacheUnderDistinctKeys(t *testing.T) {
+	// An adversarial spec and its honest twin must never share a cache
+	// entry, even though the below-threshold adversary computes the same
+	// numbers.
+	honest := scenario.Spec{Protocol: "pow", Stake: 0.2, Blocks: 200, Trials: 10, Seed: 2}
+	adv := honest
+	adv.Adversary = &scenario.Adversary{Strategy: "selfish", Gamma: 0}
+	cache := NewCache(16)
+	if _, err := Run([]scenario.Spec{honest, adv}, Options{Cache: cache}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 2 {
+		t.Errorf("cache holds %d entries, want 2", cache.Len())
+	}
+}
+
+func TestCapabilityOfDeclarations(t *testing.T) {
+	mc := CapabilityOf(nil)
+	if mc.Backend != "montecarlo" || !mc.Adversary || !mc.Network || !mc.Withholding {
+		t.Errorf("montecarlo capabilities: %+v", mc)
+	}
+	th := CapabilityOf(&TheoryEvaluator{})
+	if th.Backend != "theory" || th.Adversary || th.Network || th.Withholding {
+		t.Errorf("theory capabilities: %+v", th)
+	}
+	cs := CapabilityOf(&ChainSimEvaluator{})
+	if cs.Backend != "chainsim" || !cs.Adversary || !cs.Network {
+		t.Errorf("chainsim capabilities: %+v", cs)
+	}
+	if len(cs.Protocols) >= len(mc.Protocols) {
+		t.Errorf("chainsim should cover fewer protocols than montecarlo: %v vs %v", cs.Protocols, mc.Protocols)
+	}
+}

@@ -1,0 +1,109 @@
+package sweep
+
+import (
+	"fmt"
+	"slices"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// Capabilities describes the scenario features one Evaluator backend
+// covers. The three shipped backends report theirs; the sweep runner,
+// the fairnessd healthz endpoint and the conformance suite all read the
+// same declaration, so the capability matrix can never drift from the
+// code that enforces it.
+type Capabilities struct {
+	// Backend is the evaluator name the capabilities describe.
+	Backend string `json:"backend"`
+	// Protocols lists the covered protocol names.
+	Protocols []string `json:"protocols"`
+	// Withholding reports whether the Section 6.3 reward-withholding
+	// treatment (withhold_every) is covered.
+	Withholding bool `json:"withholding"`
+	// Adversary reports whether adversary blocks (selfish mining) are
+	// covered.
+	Adversary bool `json:"adversary"`
+	// Network reports whether network blocks (fork rate) are covered.
+	Network bool `json:"network"`
+}
+
+// Capable is the optional interface evaluators implement to declare
+// their coverage. Backends that do not implement it are assumed to
+// cover every protocol but none of the treatment blocks.
+type Capable interface {
+	Capabilities() Capabilities
+}
+
+// CapabilityOf returns ev's declared coverage. A nil evaluator means
+// the default Monte-Carlo backend.
+func CapabilityOf(ev Evaluator) Capabilities {
+	if ev == nil {
+		return (&MonteCarloEvaluator{}).Capabilities()
+	}
+	if c, ok := ev.(Capable); ok {
+		return c.Capabilities()
+	}
+	return Capabilities{
+		Backend:   ev.Name(),
+		Protocols: scenario.ProtocolNames(),
+	}
+}
+
+// CapabilityError reports exactly which scenario feature put a spec
+// outside a backend's coverage. It unwraps to ErrBackend, so existing
+// errors.Is(err, ErrBackend) checks keep working; errors.As gives the
+// structured fields the conformance suite asserts on.
+type CapabilityError struct {
+	// Backend is the refusing evaluator.
+	Backend string
+	// Feature is the uncovered axis: "protocol", "withholding",
+	// "adversary", "network" or "resolution" (a parameter the backend's
+	// discretisation cannot represent).
+	Feature string
+	// Protocol is the scenario's protocol name.
+	Protocol string
+	// Supported lists the backend's covered protocols.
+	Supported []string
+	// Detail optionally narrows the refusal (e.g. the truncating value).
+	Detail string
+}
+
+// Error implements error.
+func (e *CapabilityError) Error() string {
+	msg := fmt.Sprintf("%v: %s backend does not cover %s", ErrBackend, e.Backend, e.Feature)
+	if e.Feature == "protocol" {
+		msg = fmt.Sprintf("%v: %s backend does not cover protocol %q (covered: %s)",
+			ErrBackend, e.Backend, e.Protocol, strings.Join(e.Supported, ", "))
+	} else if e.Protocol != "" {
+		msg += fmt.Sprintf(" for protocol %q", e.Protocol)
+	}
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	return msg
+}
+
+// Unwrap makes errors.Is(err, ErrBackend) hold for capability errors.
+func (e *CapabilityError) Unwrap() error { return ErrBackend }
+
+// Check returns the exact CapabilityError for the first feature of the
+// normalised spec the capabilities do not cover, or nil when the spec is
+// fully covered.
+func (c Capabilities) Check(n scenario.Spec) error {
+	if !slices.Contains(c.Protocols, n.Protocol) {
+		return &CapabilityError{Backend: c.Backend, Feature: "protocol", Protocol: n.Protocol, Supported: c.Protocols}
+	}
+	if n.WithholdEvery > 0 && !c.Withholding {
+		return &CapabilityError{Backend: c.Backend, Feature: "withholding", Protocol: n.Protocol, Supported: c.Protocols}
+	}
+	if n.Adversary != nil && !c.Adversary {
+		return &CapabilityError{Backend: c.Backend, Feature: "adversary", Protocol: n.Protocol, Supported: c.Protocols,
+			Detail: fmt.Sprintf("strategy %q", n.Adversary.Strategy)}
+	}
+	if n.Network != nil && !c.Network {
+		return &CapabilityError{Backend: c.Backend, Feature: "network", Protocol: n.Protocol, Supported: c.Protocols,
+			Detail: fmt.Sprintf("fork_rate %v", n.Network.ForkRate)}
+	}
+	return nil
+}

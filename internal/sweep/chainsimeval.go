@@ -50,6 +50,20 @@ const chainsimBlockChunk = 128
 // Name implements Evaluator.
 func (e *ChainSimEvaluator) Name() string { return "chainsim" }
 
+// Capabilities implements Capable: the protocols internal/chainsim has
+// consensus engines for, plus the withholding treatment and — through
+// the block-level fork and selfish-withholding simulations — the
+// adversary and network blocks (which spec validation restricts to PoW).
+func (e *ChainSimEvaluator) Capabilities() Capabilities {
+	return Capabilities{
+		Backend:     "chainsim",
+		Protocols:   chainsimProtocols,
+		Withholding: true,
+		Adversary:   true,
+		Network:     true,
+	}
+}
+
 // Evaluate implements Evaluator.
 func (e *ChainSimEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) (Evaluation, error) {
 	n := spec.Normalized()
@@ -57,24 +71,17 @@ func (e *ChainSimEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) (E
 	if err != nil {
 		return Evaluation{}, err
 	}
+	if err := e.Capabilities().Check(n); err != nil {
+		return Evaluation{}, err
+	}
+	if n.Adversary != nil || n.Network != nil {
+		return e.evaluateAdversarialPoW(ctx, n, p.Name())
+	}
 	units := e.StakeUnits
 	if units == 0 {
 		units = 1_000_000
 	}
-	total := 0.0
-	for _, s := range n.Stakes {
-		total += s
-	}
-	miners := make([]chainsim.MinerSpec, len(n.Stakes))
-	var totalUnits uint64
-	for i, s := range n.Stakes {
-		r := uint64(math.Round(s / total * float64(units)))
-		if r == 0 {
-			r = 1
-		}
-		miners[i] = chainsim.MinerSpec{Name: fmt.Sprintf("m%d", i), Resource: r}
-		totalUnits += r
-	}
+	miners, totalUnits := chainsimMiners(n.Stakes, units)
 	reward := uint64(math.Round(n.W * float64(units)))
 	if reward == 0 && n.Protocol != "pow" && n.Protocol != "cpos" {
 		return Evaluation{}, fmt.Errorf("%w: w = %v truncates to zero ledger units at %d stake units",
@@ -169,4 +176,108 @@ func (e *ChainSimEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) (E
 	}
 	res := &montecarlo.Result{Protocol: p.Name(), Checkpoints: cps, Lambda: lambda}
 	return assessSamples(n, p.Name(), res, int64(n.Trials)), nil
+}
+
+// chainsimMiners discretises a stake vector into integer-unit miner
+// specs (at least one unit each, so no participant vanishes).
+func chainsimMiners(stakes []float64, units uint64) ([]chainsim.MinerSpec, uint64) {
+	total := 0.0
+	for _, s := range stakes {
+		total += s
+	}
+	miners := make([]chainsim.MinerSpec, len(stakes))
+	var totalUnits uint64
+	for i, s := range stakes {
+		r := uint64(math.Round(s / total * float64(units)))
+		if r == 0 {
+			r = 1
+		}
+		miners[i] = chainsim.MinerSpec{Name: fmt.Sprintf("m%d", i), Resource: r}
+		totalUnits += r
+	}
+	return miners, totalUnits
+}
+
+// evaluateAdversarialPoW answers PoW scenarios carrying an adversary or
+// network block through the block-level fork simulations: SelfishSim for
+// a (profitably) selfish miner, ForkSim for honest mining over a forking
+// network. Both mine real SHA-256 blocks; the scenario's Blocks horizon
+// counts block-discovery events for the selfish case (matching
+// internal/attack's event semantics) and canonical heights for the fork
+// case.
+func (e *ChainSimEvaluator) evaluateAdversarialPoW(ctx context.Context, n scenario.Spec, protocolName string) (Evaluation, error) {
+	units := e.StakeUnits
+	if units == 0 {
+		units = 1_000_000
+	}
+	target := e.PoWTarget
+	if target == 0 {
+		target = 1 << 57
+	}
+	miners, _ := chainsimMiners(n.Stakes, units)
+	reward := uint64(math.Round(n.W * float64(units)))
+	if reward == 0 {
+		// Unlike the instant-race PoW path, fork accounting needs a
+		// representable per-block coinbase to attribute race outcomes.
+		return Evaluation{}, &CapabilityError{Backend: "chainsim", Feature: "resolution", Protocol: n.Protocol,
+			Supported: chainsimProtocols,
+			Detail:    fmt.Sprintf("w = %v truncates to zero ledger units at %d stake units", n.W, units)}
+	}
+	adv := rationalAdversary(n)
+	forkRate := 0.0
+	if n.Network != nil {
+		forkRate = n.Network.ForkRate
+	}
+	tracked := fmt.Sprintf("m%d", n.Miner)
+	cps := n.Checkpoints
+	lambda := make([][]float64, len(cps))
+	for i := range lambda {
+		lambda[i] = make([]float64, n.Trials)
+	}
+	for trial := 0; trial < n.Trials; trial++ {
+		if err := ctx.Err(); err != nil {
+			return Evaluation{TrialsRun: int64(trial)}, err
+		}
+		// Mirror the honest path's trial-stream seeding so adversarial
+		// runs are equally reproducible and worker-independent.
+		tr := rng.Stream(n.Seed, trial)
+		seed, salt := tr.Uint64(), tr.Uint64()
+		var run func(int) error
+		var lambdaAt func() float64
+		if adv != nil {
+			sim, err := chainsim.NewSelfishSim(chainsim.SelfishConfig{
+				Target: target, BlockReward: reward, Miners: miners,
+				Attacker: n.Adversary.Miner, Gamma: adv.Gamma, Seed: seed, Salt: salt,
+			})
+			if err != nil {
+				return Evaluation{TrialsRun: int64(trial)}, err
+			}
+			run, lambdaAt = sim.RunEvents, func() float64 { return sim.Lambda(tracked) }
+		} else {
+			sim, err := chainsim.NewForkSim(chainsim.ForkConfig{
+				Target: target, BlockReward: reward, Miners: miners,
+				ForkRate: forkRate, Seed: seed, Salt: salt,
+			})
+			if err != nil {
+				return Evaluation{TrialsRun: int64(trial)}, err
+			}
+			run, lambdaAt = sim.RunBlocks, func() float64 { return sim.Lambda(tracked) }
+		}
+		height := 0
+		for ci, c := range cps {
+			for height < c {
+				step := min(chainsimBlockChunk, c-height)
+				if err := ctx.Err(); err != nil {
+					return Evaluation{TrialsRun: int64(trial)}, err
+				}
+				if err := run(step); err != nil {
+					return Evaluation{TrialsRun: int64(trial)}, err
+				}
+				height += step
+			}
+			lambda[ci][trial] = lambdaAt()
+		}
+	}
+	res := &montecarlo.Result{Protocol: protocolName, Checkpoints: cps, Lambda: lambda}
+	return assessSamples(n, protocolName, res, int64(n.Trials)), nil
 }

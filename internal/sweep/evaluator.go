@@ -3,12 +3,13 @@ package sweep
 import (
 	"context"
 	"errors"
-	"fmt"
 	"sync/atomic"
 
+	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/game"
 	"repro/internal/montecarlo"
+	"repro/internal/rng"
 	"repro/internal/scenario"
 )
 
@@ -77,6 +78,18 @@ type MonteCarloEvaluator struct {
 // Name implements Evaluator.
 func (e *MonteCarloEvaluator) Name() string { return "montecarlo" }
 
+// Capabilities implements Capable: the reference backend covers the full
+// scenario vocabulary.
+func (e *MonteCarloEvaluator) Capabilities() Capabilities {
+	return Capabilities{
+		Backend:     "montecarlo",
+		Protocols:   scenario.ProtocolNames(),
+		Withholding: true,
+		Adversary:   true,
+		Network:     true,
+	}
+}
+
 // Evaluate implements Evaluator.
 func (e *MonteCarloEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) (Evaluation, error) {
 	n := spec.Normalized()
@@ -84,12 +97,25 @@ func (e *MonteCarloEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) 
 	if err != nil {
 		return Evaluation{}, err
 	}
+	if adv := rationalAdversary(n); adv != nil {
+		return e.evaluateSelfish(ctx, n, p.Name(), *adv)
+	}
+	stakes := n.Stakes
+	if n.Network != nil {
+		// Fork-induced skew (PoW only, enforced by spec validation):
+		// PoW power is static, so the Sakurai–Shudo race model reduces
+		// exactly to a per-height effective-power correction of the
+		// win-probability vector.
+		if stakes, err = attack.ForkEffectivePowers(n.Stakes, n.Network.ForkRate); err != nil {
+			return Evaluation{}, err
+		}
+	}
 	var gameOpts []game.Option
 	if n.WithholdEvery > 0 {
 		gameOpts = append(gameOpts, game.WithWithholding(n.WithholdEvery))
 	}
 	var trials atomic.Int64
-	res, err := montecarlo.RunContext(ctx, p, n.Stakes, montecarlo.Config{
+	res, err := montecarlo.RunContext(ctx, p, stakes, montecarlo.Config{
 		Trials:      n.Trials,
 		Blocks:      n.Blocks,
 		Checkpoints: n.Checkpoints,
@@ -103,6 +129,87 @@ func (e *MonteCarloEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) 
 		return Evaluation{TrialsRun: trials.Load()}, err
 	}
 	return assessSamples(n, p.Name(), res, trials.Load()), nil
+}
+
+// rationalAdversary resolves a normalised spec's adversary block under
+// the rational-attacker rule shared by every sampling backend: the
+// strategy runs only when its closed-form revenue beats honest mining;
+// below the Eyal–Sirer profitability threshold the deviator mines
+// honestly and the scenario collapses to its honest twin. Returns the
+// strategy to simulate, or nil for honest execution.
+func rationalAdversary(n scenario.Spec) *attack.SelfishMining {
+	if n.Adversary == nil {
+		return nil
+	}
+	s := attack.SelfishMining{Alpha: advShare(n), Gamma: n.Adversary.Gamma}
+	if profitable, err := s.BreaksExpectationalFairness(); err != nil || !profitable {
+		return nil
+	}
+	return &s
+}
+
+// advShare returns the adversary's resource share of a normalised spec.
+func advShare(n scenario.Spec) float64 {
+	total := 0.0
+	for _, v := range n.Stakes {
+		total += v
+	}
+	return n.Stakes[n.Adversary.Miner] / total
+}
+
+// selfishCtxCheckInterval bounds events between context checks in the
+// per-trial selfish loop.
+const selfishCtxCheckInterval = 4096
+
+// evaluateSelfish answers an adversarial PoW scenario by running the
+// Eyal–Sirer state machine per trial (internal/attack.Sim), seeding
+// trial i with rng.Stream(seed, i) exactly like the honest path. The
+// tracked miner's λ is the attacker's revenue share when she is the
+// tracked miner, and the tracked miner's power-proportional slice of the
+// honest pool's revenue otherwise.
+func (e *MonteCarloEvaluator) evaluateSelfish(ctx context.Context, n scenario.Spec, protocolName string, s attack.SelfishMining) (Evaluation, error) {
+	total := 0.0
+	for _, v := range n.Stakes {
+		total += v
+	}
+	trackedIsAttacker := n.Miner == n.Adversary.Miner
+	honestSlice := 0.0
+	if !trackedIsAttacker {
+		honestSlice = (n.Stakes[n.Miner] / total) / (1 - s.Alpha)
+	}
+	cps := n.Checkpoints
+	lambda := make([][]float64, len(cps))
+	for i := range lambda {
+		lambda[i] = make([]float64, n.Trials)
+	}
+	for trial := 0; trial < n.Trials; trial++ {
+		if err := ctx.Err(); err != nil {
+			return Evaluation{TrialsRun: int64(trial)}, err
+		}
+		sim, err := s.NewSim()
+		if err != nil {
+			return Evaluation{TrialsRun: int64(trial)}, err
+		}
+		r := rng.Stream(n.Seed, trial)
+		next := 0
+		for ev := 1; ev <= n.Blocks && next < len(cps); ev++ {
+			if ev%selfishCtxCheckInterval == 0 && ctx.Err() != nil {
+				return Evaluation{TrialsRun: int64(trial)}, ctx.Err()
+			}
+			sim.Step(r)
+			if ev == cps[next] {
+				share := sim.Snapshot().RevenueShare()
+				if trackedIsAttacker {
+					lambda[next][trial] = share
+				} else {
+					lambda[next][trial] = (1 - share) * honestSlice
+				}
+				next++
+			}
+		}
+	}
+	res := &montecarlo.Result{Protocol: protocolName, Checkpoints: cps, Lambda: lambda}
+	return assessSamples(n, protocolName, res, int64(n.Trials)), nil
 }
 
 // withTrialWorkers returns the evaluator the runner should use given the
@@ -133,8 +240,7 @@ func assessSamples(spec scenario.Spec, protocolName string, res *montecarlo.Resu
 	}
 }
 
-// unsupported builds the canonical ErrBackend error.
+// unsupported builds the canonical protocol-coverage CapabilityError.
 func unsupported(backend, protocol string, supported []string) error {
-	return fmt.Errorf("%w: %s backend does not cover protocol %q (covered: %v)",
-		ErrBackend, backend, protocol, supported)
+	return &CapabilityError{Backend: backend, Feature: "protocol", Protocol: protocol, Supported: supported}
 }

@@ -38,14 +38,26 @@ var theoryProtocols = []string{"pow", "mlpos", "cpos", "slpos"}
 // Name implements Evaluator.
 func (e *TheoryEvaluator) Name() string { return "theory" }
 
+// Capabilities implements Capable: coverage follows the theorems — no
+// withholding, no adversary, no network blocks. The paper proves no
+// bound for any of those treatments, and this backend refuses to guess:
+// an adversarial or fork-ridden spec gets a typed CapabilityError, never
+// a silently honest number.
+func (e *TheoryEvaluator) Capabilities() Capabilities {
+	return Capabilities{
+		Backend:   "theory",
+		Protocols: theoryProtocols,
+	}
+}
+
 // Evaluate implements Evaluator.
 func (e *TheoryEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) (Evaluation, error) {
 	if err := ctx.Err(); err != nil {
 		return Evaluation{}, err
 	}
 	n := spec.Normalized()
-	if n.WithholdEvery > 0 {
-		return Evaluation{}, unsupported("theory", n.Protocol+" with withholding", theoryProtocols)
+	if err := e.Capabilities().Check(n); err != nil {
+		return Evaluation{}, err
 	}
 	p, err := n.Build()
 	if err != nil {
