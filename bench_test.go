@@ -186,7 +186,7 @@ func sweepBenchSpecs(b *testing.B) []fairness.Scenario {
 // scenario computed from scratch — the perf baseline for the engine.
 func BenchmarkSweepColdCache(b *testing.B) {
 	specs := sweepBenchSpecs(b)
-	var perSec float64
+	var perSec, hits float64
 	for i := 0; i < b.N; i++ {
 		rep, err := fairness.Sweep(specs, fairness.SweepOptions{Cache: fairness.NewSweepCache(len(specs))})
 		if err != nil {
@@ -196,8 +196,10 @@ func BenchmarkSweepColdCache(b *testing.B) {
 			b.Fatalf("cold sweep computed %d of %d", rep.Stats.Computed, len(specs))
 		}
 		perSec = rep.Stats.ScenariosPerSec()
+		hits = float64(rep.Stats.CacheHits)
 	}
 	b.ReportMetric(perSec, "scenarios/s")
+	b.ReportMetric(hits, "cache_hits")
 }
 
 // BenchmarkSweepWarmCache measures the same sweep answered entirely from
@@ -209,7 +211,7 @@ func BenchmarkSweepWarmCache(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
-	var perSec float64
+	var perSec, hits float64
 	for i := 0; i < b.N; i++ {
 		rep, err := fairness.Sweep(specs, fairness.SweepOptions{Cache: cache})
 		if err != nil {
@@ -219,8 +221,10 @@ func BenchmarkSweepWarmCache(b *testing.B) {
 			b.Fatalf("warm sweep recomputed %d scenarios", rep.Stats.Computed)
 		}
 		perSec = rep.Stats.ScenariosPerSec()
+		hits = float64(rep.Stats.CacheHits)
 	}
 	b.ReportMetric(perSec, "scenarios/s")
+	b.ReportMetric(hits, "cache_hits")
 }
 
 // BenchmarkSweepFig3 times the sweep-engine reproduction of Figure 3,
@@ -235,7 +239,7 @@ func BenchmarkSweepFig3(b *testing.B) { runExhibit(b, "fig3-sweep", "unfair_PoW_
 func BenchmarkEngineSweepColdDiskCache(b *testing.B) {
 	specs := sweepBenchSpecs(b)
 	ctx := context.Background()
-	var perSec float64
+	var perSec, hits float64
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		cache, err := fairness.NewDiskCache(b.TempDir()) // fresh dir: every pass is cold
@@ -251,8 +255,10 @@ func BenchmarkEngineSweepColdDiskCache(b *testing.B) {
 			b.Fatalf("cold sweep computed %d of %d", rep.Stats.Computed, len(specs))
 		}
 		perSec = rep.Stats.ScenariosPerSec()
+		hits = float64(rep.Stats.CacheHits)
 	}
 	b.ReportMetric(perSec, "scenarios/s")
+	b.ReportMetric(hits, "cache_hits")
 }
 
 // BenchmarkEngineSweepWarmDiskCache measures the same sweep answered
@@ -270,7 +276,7 @@ func BenchmarkEngineSweepWarmDiskCache(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
-	var perSec float64
+	var perSec, hits float64
 	for i := 0; i < b.N; i++ {
 		cache, err := fairness.NewDiskCache(dir) // new instance: no warm memory
 		if err != nil {
@@ -284,8 +290,10 @@ func BenchmarkEngineSweepWarmDiskCache(b *testing.B) {
 			b.Fatalf("warm sweep recomputed %d scenarios", rep.Stats.Computed)
 		}
 		perSec = rep.Stats.ScenariosPerSec()
+		hits = float64(rep.Stats.CacheHits)
 	}
 	b.ReportMetric(perSec, "scenarios/s")
+	b.ReportMetric(hits, "cache_hits")
 }
 
 // BenchmarkEngineTheoryBackend measures the closed-form backend over the

@@ -1,0 +1,239 @@
+// Command benchgate turns `go test -bench` output into a structured
+// JSON artifact and enforces a performance-regression gate against a
+// committed baseline — the engine behind CI's `bench` job.
+//
+// It parses the standard benchmark result lines
+//
+//	BenchmarkSweepColdCache-8    1    64508976 ns/op    372.1 scenarios/s    0 cache_hits
+//
+// into {name → ns/op + custom metrics} (the GOMAXPROCS "-8" suffix is
+// stripped so results compare across machines), writes the table as
+// JSON, and — when a baseline file is given — fails with exit 1 if any
+// gated benchmark's ns/op regressed by more than the baseline's
+// max_regress fraction.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' . | benchgate -out BENCH_ci.json -baseline BENCH_baseline.json
+//	benchgate -in bench.txt -out BENCH_ci.json
+//
+// Flags:
+//
+//	-in FILE        benchmark output to parse (default: stdin)
+//	-out FILE       write the parsed results as JSON (default: stdout)
+//	-baseline FILE  baseline to gate against (no gating when omitted)
+//	-max-regress F  override the baseline's max_regress fraction
+//
+// Baseline format — the parsed-results document plus a "gate" block
+// naming the benchmarks whose ns/op is enforced:
+//
+//	{
+//	  "gate": {"max_regress": 0.25, "benchmarks": ["BenchmarkSweepColdCache"]},
+//	  "benchmarks": {"BenchmarkSweepColdCache": {"ns_per_op": 6.5e7, ...}}
+//	}
+//
+// Benchmarks named by the gate but missing from the new run fail the
+// gate too — a silently deleted benchmark must not pass as "no
+// regression".
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurements.
+type Result struct {
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// Metrics carries the custom b.ReportMetric units: scenarios/s,
+	// cache_hits, blocks/s, ...
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Gate names the enforced benchmarks and the allowed ns/op regression.
+type Gate struct {
+	// MaxRegress is the allowed fractional ns/op increase over the
+	// baseline (0.25 = fail beyond +25%).
+	MaxRegress float64 `json:"max_regress"`
+	// Benchmarks lists the gated benchmark names (GOMAXPROCS suffix
+	// stripped).
+	Benchmarks []string `json:"benchmarks"`
+}
+
+// Document is the benchgate JSON shape: results, plus the gate block in
+// baseline files.
+type Document struct {
+	Gate       *Gate             `json:"gate,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchgate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	in := fs.String("in", "", "benchmark output file (default: stdin)")
+	out := fs.String("out", "", "write parsed results JSON to FILE (default: stdout)")
+	baseline := fs.String("baseline", "", "baseline JSON to gate ns/op regressions against")
+	maxRegress := fs.Float64("max-regress", 0, "override the baseline's max_regress fraction")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	src := stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	doc, err := Parse(src)
+	if err != nil {
+		return err
+	}
+	if len(doc.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines found")
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "benchgate: wrote %d benchmarks to %s\n", len(doc.Benchmarks), *out)
+	} else {
+		stdout.Write(data)
+	}
+
+	if *baseline == "" {
+		return nil
+	}
+	baseData, err := os.ReadFile(*baseline)
+	if err != nil {
+		return err
+	}
+	var base Document
+	if err := json.Unmarshal(baseData, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", *baseline, err)
+	}
+	return Check(doc, base, *maxRegress, stderr)
+}
+
+// Parse reads `go test -bench` output into a Document.
+func Parse(r io.Reader) (Document, error) {
+	doc := Document{Benchmarks: make(map[string]Result)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		name, res, ok := parseLine(sc.Text())
+		if ok {
+			doc.Benchmarks[name] = res
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseLine decodes one "BenchmarkX-8  N  V unit  V unit..." line.
+func parseLine(line string) (string, Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	res := Result{Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			res.NsPerOp = v
+			continue
+		}
+		if res.Metrics == nil {
+			res.Metrics = make(map[string]float64)
+		}
+		res.Metrics[unit] = v
+	}
+	if res.NsPerOp == 0 {
+		return "", Result{}, false
+	}
+	return stripProcs(fields[0]), res, true
+}
+
+// stripProcs removes the trailing "-<GOMAXPROCS>" so names compare
+// across machines.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Check enforces the baseline's gate against the new results; regress
+// overrides the baseline's max_regress when > 0.
+func Check(doc, base Document, regress float64, w io.Writer) error {
+	if base.Gate == nil || len(base.Gate.Benchmarks) == 0 {
+		fmt.Fprintln(w, "benchgate: baseline has no gate block; nothing enforced")
+		return nil
+	}
+	if regress <= 0 {
+		regress = base.Gate.MaxRegress
+	}
+	if regress <= 0 {
+		return fmt.Errorf("gate has no max_regress and none was passed via -max-regress")
+	}
+	var failures []string
+	for _, name := range base.Gate.Benchmarks {
+		want, ok := base.Benchmarks[name]
+		if !ok {
+			return fmt.Errorf("gated benchmark %s missing from the baseline itself", name)
+		}
+		got, ok := doc.Benchmarks[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from this run", name))
+			continue
+		}
+		limit := want.NsPerOp * (1 + regress)
+		verdict := "ok"
+		if got.NsPerOp > limit {
+			verdict = "REGRESSED"
+			failures = append(failures, fmt.Sprintf("%s: %.0f ns/op vs baseline %.0f (+%.1f%%, limit +%.0f%%)",
+				name, got.NsPerOp, want.NsPerOp, 100*(got.NsPerOp/want.NsPerOp-1), 100*regress))
+		}
+		fmt.Fprintf(w, "benchgate: %-40s %12.0f ns/op  baseline %12.0f  %s\n",
+			name, got.NsPerOp, want.NsPerOp, verdict)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("performance gate failed:\n  %s", strings.Join(failures, "\n  "))
+	}
+	fmt.Fprintf(w, "benchgate: gate passed (%d benchmarks within +%.0f%% of baseline)\n",
+		len(base.Gate.Benchmarks), 100*regress)
+	return nil
+}

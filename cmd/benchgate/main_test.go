@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: SomeCPU
+BenchmarkSweepColdCache-8       	       1	64508976 ns/op	       372.1 scenarios/s	         0 cache_hits
+BenchmarkSweepWarmCache-8       	       1	  120034 ns/op	    199933 scenarios/s	        24 cache_hits
+BenchmarkStepPoW-8              	 4105918	     292.1 ns/op
+PASS
+ok  	repro	12.3s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	cold, ok := doc.Benchmarks["BenchmarkSweepColdCache"]
+	if !ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+	if cold.NsPerOp != 64508976 || cold.Iterations != 1 {
+		t.Errorf("cold: %+v", cold)
+	}
+	if cold.Metrics["scenarios/s"] != 372.1 || cold.Metrics["cache_hits"] != 0 {
+		t.Errorf("cold metrics: %+v", cold.Metrics)
+	}
+	warm := doc.Benchmarks["BenchmarkSweepWarmCache"]
+	if warm.Metrics["cache_hits"] != 24 {
+		t.Errorf("warm metrics: %+v", warm.Metrics)
+	}
+	step := doc.Benchmarks["BenchmarkStepPoW"]
+	if step.NsPerOp != 292.1 || step.Metrics != nil {
+		t.Errorf("step: %+v", step)
+	}
+}
+
+// gateBaseline builds a baseline document around one gated benchmark.
+func gateBaseline(ns float64) Document {
+	return Document{
+		Gate: &Gate{MaxRegress: 0.25, Benchmarks: []string{"BenchmarkSweepColdCache"}},
+		Benchmarks: map[string]Result{
+			"BenchmarkSweepColdCache": {Iterations: 1, NsPerOp: ns},
+		},
+	}
+}
+
+func TestCheckPassesWithinThreshold(t *testing.T) {
+	doc, _ := Parse(strings.NewReader(sampleOutput))
+	var out bytes.Buffer
+	// Baseline slightly slower than the run: improvement passes.
+	if err := Check(doc, gateBaseline(70_000_000), 0, &out); err != nil {
+		t.Errorf("improvement failed the gate: %v\n%s", err, out.String())
+	}
+	// Baseline such that the run is +24%: still inside the 25% budget.
+	if err := Check(doc, gateBaseline(64508976/1.24), 0, &out); err != nil {
+		t.Errorf("+24%% failed the 25%% gate: %v", err)
+	}
+}
+
+func TestCheckFailsBeyondThreshold(t *testing.T) {
+	doc, _ := Parse(strings.NewReader(sampleOutput))
+	var out bytes.Buffer
+	// Baseline such that the run regressed ~29%: must fail.
+	err := Check(doc, gateBaseline(50_000_000), 0, &out)
+	if err == nil || !strings.Contains(err.Error(), "REGRESSED") && !strings.Contains(err.Error(), "gate failed") {
+		t.Errorf("29%% regression passed the 25%% gate: %v", err)
+	}
+	// A tighter override catches smaller slips.
+	if err := Check(doc, gateBaseline(64508976/1.10), 0.05, &out); err == nil {
+		t.Error("10% regression passed a 5% override gate")
+	}
+}
+
+func TestCheckFailsWhenGatedBenchmarkDisappears(t *testing.T) {
+	base := gateBaseline(64508976)
+	base.Gate.Benchmarks = append(base.Gate.Benchmarks, "BenchmarkDeleted")
+	base.Benchmarks["BenchmarkDeleted"] = Result{Iterations: 1, NsPerOp: 100}
+	doc, _ := Parse(strings.NewReader(sampleOutput))
+	var out bytes.Buffer
+	if err := Check(doc, base, 0, &out); err == nil {
+		t.Error("missing gated benchmark passed the gate")
+	}
+}
+
+func TestRunEndToEndWritesArtifactAndGates(t *testing.T) {
+	dir := t.TempDir()
+	benchPath := filepath.Join(dir, "bench.txt")
+	outPath := filepath.Join(dir, "BENCH_ci.json")
+	basePath := filepath.Join(dir, "baseline.json")
+	if err := os.WriteFile(benchPath, []byte(sampleOutput), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	baseData, _ := json.Marshal(gateBaseline(70_000_000))
+	if err := os.WriteFile(basePath, baseData, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-in", benchPath, "-out", outPath, "-baseline", basePath},
+		strings.NewReader(""), &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("benchgate run: %v\nstderr: %s", err, stderr.String())
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("artifact not JSON: %v", err)
+	}
+	if doc.Benchmarks["BenchmarkSweepColdCache"].NsPerOp != 64508976 {
+		t.Errorf("artifact: %+v", doc.Benchmarks)
+	}
+	if !strings.Contains(stderr.String(), "gate passed") {
+		t.Errorf("gate verdict missing: %s", stderr.String())
+	}
+
+	// A regressed baseline flips the exit to failure.
+	baseData, _ = json.Marshal(gateBaseline(10_000_000))
+	os.WriteFile(basePath, baseData, 0o644)
+	err = run([]string{"-in", benchPath, "-out", outPath, "-baseline", basePath},
+		strings.NewReader(""), &stdout, &stderr)
+	if err == nil {
+		t.Error("regressed run passed the end-to-end gate")
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run(nil, strings.NewReader("no benchmarks here\n"), &stdout, &stderr); err == nil {
+		t.Error("empty benchmark input should fail")
+	}
+}

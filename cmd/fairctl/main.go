@@ -7,41 +7,61 @@
 // timing/cache bookkeeping — to a single-process `fairsweep run` of the
 // same spec.
 //
+// The pool is self-organizing: `run -listen` starts a registration
+// listener and workers announce THEMSELVES (`fairnessd -register`),
+// heartbeat to stay in the pool, and deregister on shutdown — no
+// hand-maintained worker list. A static `-workers` CSV is still
+// accepted, alone or alongside `-listen`. Shard sizes adapt to each
+// worker's measured scenarios/sec, and `watch` renders the live
+// per-shard progress of a running sweep.
+//
 // Usage:
 //
+//	fairctl run -listen :7800 [flags] spec.json
 //	fairctl run -workers host1:7447,host2:7447 [flags] spec.json
+//	fairctl watch -coordinator http://host:7800 [-workers CSV]
 //	fairctl status -workers host1:7447,host2:7447
 //	fairctl expand [flags] [spec.json]
 //
 // Run flags:
 //
-//	-workers CSV         fairnessd base URLs (required; host:port or URL)
+//	-listen ADDR         registration listener: workers join via POST
+//	                     /v1/register, progress is served on /v1/progress
+//	-workers CSV         static fairnessd base URLs (optional with -listen)
 //	-spec FILE           JSON grid or scenario array (or a positional file)
 //	-backend NAME        backend every worker must run: montecarlo
 //	                     (default), theory or chainsim — mismatched
-//	                     workers fail the run
+//	                     workers are refused
 //	-cache-dir DIR       coordinator-side disk cache; point it at the
 //	                     directory the workers share and warm work items
 //	                     are never shipped at all
 //	-cache-max-bytes N   size-cap the coordinator cache (LRU eviction)
-//	-shard-size N        work items per shard (0 = auto)
-//	-retries N           attempts per shard before the run fails (default 3)
+//	-shard-size N        pin work items per shard (0 = adaptive sizing)
+//	-shard-target D      adaptive-sizing wall-time target per shard
+//	-lease D             per-shard stream-inactivity lease; a worker that
+//	                     stalls longer loses the shard
+//	-retries N           attempts per work item before the run fails
+//	-progress            print live progress lines to stderr
 //	-seed S              sweep base seed for grid specs
 //	-json / -ndjson      report as JSON / stream outcomes as NDJSON
 //	-out FILE            also write the JSON report to FILE
 //
-// Failure semantics: a worker that dies mid-shard just loses the shard —
-// it re-enters the shared queue with exponential backoff and any live
-// worker steals it; the merged report is unchanged. The run fails only
-// when a shard exhausts its retry budget, every worker is lost, or a
-// worker is misconfigured (wrong backend).
+// Failure semantics: a worker that dies (or stalls past its lease)
+// mid-shard loses only the shard's undelivered remainder — everything
+// it already streamed stays merged, the remainder re-enters the shared
+// queue for any live worker, and the merged report is unchanged. A
+// registered worker that comes back later simply re-registers. The run
+// fails only when a work item exhausts its retry budget, a static-only
+// pool loses every worker, or a worker is misconfigured (wrong
+// backend). A registry-backed run with no workers waits for the first
+// registration instead of failing.
 //
 // Example session:
 //
-//	fairnessd -addr :7447 -cache-dir /shared/cache &
-//	fairnessd -addr :7448 -cache-dir /shared/cache &
-//	fairctl status -workers localhost:7447,localhost:7448
-//	fairctl run -workers localhost:7447,localhost:7448 grid.json
+//	fairctl run -listen :7800 grid.json &
+//	fairnessd -addr :7447 -register http://127.0.0.1:7800 -cache-dir /shared/cache &
+//	fairnessd -addr :7448 -register http://127.0.0.1:7800 -cache-dir /shared/cache &
+//	fairctl watch -coordinator http://127.0.0.1:7800
 package main
 
 import (
@@ -50,10 +70,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	fairness "repro"
 	"repro/internal/cluster"
@@ -83,6 +106,8 @@ func run(args []string) error {
 	switch args[0] {
 	case "run":
 		return runCmd(args[1:])
+	case "watch":
+		return watchCmd(args[1:])
 	case "status":
 		return statusCmd(args[1:])
 	case "expand":
@@ -140,13 +165,17 @@ func specPath(specFlag string, fs *flag.FlagSet) (string, error) {
 
 func runCmd(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
-	workers := fs.String("workers", "", "fairnessd worker base URLs (CSV, required)")
+	listen := fs.String("listen", "", "registration listener address (workers self-register via /v1/register)")
+	workers := fs.String("workers", "", "static fairnessd worker base URLs (CSV; optional with -listen)")
 	spec := fs.String("spec", "", "JSON grid or scenario-array file")
 	backend := fs.String("backend", "montecarlo", "backend every worker must run: montecarlo, theory, chainsim")
 	cacheDir := fs.String("cache-dir", "", "coordinator-side disk result cache (share the workers' dir for free warm starts)")
 	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "size cap for -cache-dir: evict LRU entries beyond N bytes (0 = unbounded)")
-	shardSize := fs.Int("shard-size", 0, "work items per shard (0 = auto)")
-	retries := fs.Int("retries", 0, "attempts per shard before the run fails (0 = default 3)")
+	shardSize := fs.Int("shard-size", 0, "pin work items per shard (0 = adaptive per-worker sizing)")
+	shardTarget := fs.Duration("shard-target", 0, "adaptive-sizing wall-time target per shard (0 = 1.5s)")
+	lease := fs.Duration("lease", 0, "per-shard stream-inactivity lease (0 = 5m)")
+	retries := fs.Int("retries", 0, "attempts per work item before the run fails (0 = default 3)")
+	progress := fs.Bool("progress", false, "print live progress lines to stderr")
 	seed := fs.Uint64("seed", 1, "sweep base seed for grid specs")
 	asJSON := fs.Bool("json", false, "print the report as JSON")
 	asNDJSON := fs.Bool("ndjson", false, "stream outcomes as NDJSON lines as they complete")
@@ -155,8 +184,8 @@ func runCmd(args []string) error {
 		return err
 	}
 	pool := splitWorkers(*workers)
-	if len(pool) == 0 {
-		return fmt.Errorf("no workers: pass -workers host1:port,host2:port")
+	if len(pool) == 0 && *listen == "" {
+		return fmt.Errorf("no workers: pass -listen ADDR (self-registration) and/or -workers host1:port,host2:port")
 	}
 	path, err := specPath(*spec, fs)
 	if err != nil {
@@ -176,11 +205,49 @@ func runCmd(args []string) error {
 	ctx, stop := signalContext()
 	defer stop()
 
-	engOpts := []fairness.EngineOption{fairness.WithCluster(fairness.ClusterOptions{
-		Workers:     pool,
-		ShardSize:   *shardSize,
-		MaxAttempts: *retries,
-	})}
+	clusterOpts := fairness.ClusterOptions{
+		Workers:         pool,
+		ShardSize:       *shardSize,
+		TargetShardTime: *shardTarget,
+		LeaseTTL:        *lease,
+		MaxAttempts:     *retries,
+	}
+	var engOpts []fairness.EngineOption
+	var progressFns []func(fairness.ClusterProgress)
+
+	// -listen: boot the registration listener so workers can join (and
+	// leave) on their own, and serve live run progress for `watch`.
+	if *listen != "" {
+		reg := fairness.NewClusterRegistry(*backend, 0)
+		regSrv := fairness.NewClusterRegistryServer(reg)
+		mux := http.NewServeMux()
+		regSrv.Register(mux)
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			return fmt.Errorf("coordinator listener: %w", err)
+		}
+		httpSrv := &http.Server{Handler: mux}
+		go httpSrv.Serve(ln)
+		defer httpSrv.Close()
+		clusterOpts.Registry = reg
+		progressFns = append(progressFns, regSrv.UpdateProgress)
+		fmt.Fprintf(stderr, "coordinator listening on %s (POST /v1/register to join; GET /v1/progress to watch)\n", ln.Addr())
+		if len(pool) == 0 {
+			fmt.Fprintln(stderr, "waiting for workers to register...")
+		}
+	}
+	if *progress {
+		progressFns = append(progressFns, progressPrinter(stderr))
+	}
+	if fns := progressFns; len(fns) > 0 {
+		engOpts = append(engOpts, fairness.WithClusterProgress(func(p fairness.ClusterProgress) {
+			for _, fn := range fns {
+				fn(p)
+			}
+		}))
+	}
+	engOpts = append(engOpts, fairness.WithCluster(clusterOpts))
+
 	if *cacheDir != "" {
 		disk, err := fairness.NewDiskCache(*cacheDir)
 		if err != nil {
@@ -209,7 +276,10 @@ func runCmd(args []string) error {
 		}
 		return err
 	}
-	summary := fmt.Sprintf("%s across %d workers", rep.Summary(), len(pool))
+	summary := rep.Summary()
+	if n := len(pool); n > 0 {
+		summary = fmt.Sprintf("%s across %d static workers", summary, n)
+	}
 	switch {
 	case *asNDJSON:
 		fmt.Fprintln(stderr, summary)
@@ -237,6 +307,127 @@ func runCmd(args []string) error {
 	return nil
 }
 
+// progressPrinter renders one throttled progress line per snapshot
+// burst — the -progress stderr ticker.
+func progressPrinter(w io.Writer) func(fairness.ClusterProgress) {
+	var last time.Time
+	return func(p fairness.ClusterProgress) {
+		// Serialised by the cluster's OnProgress contract; throttle to
+		// one line per 500ms plus the final snapshot.
+		if !p.Done && time.Since(last) < 500*time.Millisecond {
+			return
+		}
+		last = time.Now()
+		fmt.Fprintf(w, "progress: %d/%d delivered · %d local cache hits · shards %d claimed / %d acked / %d requeued · %d workers\n",
+			p.Delivered, p.Total, p.LocalCacheHits, p.ShardsClaimed, p.ShardsAcked, p.ShardsRequeued, p.Workers)
+	}
+}
+
+// getJSON fetches one JSON document with a bounded timeout.
+func getJSON(ctx context.Context, url string, v any) error {
+	reqCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(v)
+}
+
+// watchCmd polls coordinator and/or worker /v1/progress endpoints and
+// renders the live shard table — the operator's view of a running
+// distributed sweep.
+func watchCmd(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	coordinator := fs.String("coordinator", "", "coordinator base URL (fairctl run -listen) to poll for run progress")
+	workers := fs.String("workers", "", "fairnessd worker base URLs (CSV) to poll for per-worker progress")
+	interval := fs.Duration("interval", time.Second, "poll interval")
+	once := fs.Bool("once", false, "poll once and exit (scripting/CI)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	coord := cluster.NormalizeWorkerURL(*coordinator)
+	pool := splitWorkers(*workers)
+	if coord == "" && len(pool) == 0 {
+		return fmt.Errorf("nothing to watch: pass -coordinator URL and/or -workers CSV")
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	for {
+		done, err := watchTick(ctx, coord, pool)
+		if err != nil {
+			return err
+		}
+		if *once || done {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// watchTick renders one watch frame; it reports true once the
+// coordinator says the run is complete.
+func watchTick(ctx context.Context, coord string, pool []string) (bool, error) {
+	now := time.Now().Format("15:04:05")
+	done := false
+	if coord != "" {
+		var p fairness.ClusterProgress
+		if err := getJSON(ctx, coord+"/v1/progress", &p); err != nil {
+			fmt.Fprintf(stdout, "[%s] coordinator %s: %v\n", now, coord, err)
+		} else {
+			state := "running"
+			if p.Done {
+				state = "done"
+				done = p.Total > 0
+			}
+			fmt.Fprintf(stdout, "[%s] coordinator %s: %s · %d/%d delivered · %d local cache hits · shards %d claimed / %d acked / %d requeued · %d workers\n",
+				now, coord, state, p.Delivered, p.Total, p.LocalCacheHits,
+				p.ShardsClaimed, p.ShardsAcked, p.ShardsRequeued, p.Workers)
+			if len(p.Shards) > 0 {
+				tb := table.New("Shard", "Worker", "Scenarios", "Streamed", "State", "Age(s)").
+					AlignAll(table.Right).SetAlign(0, table.Left).SetAlign(1, table.Left).SetAlign(4, table.Left)
+				for _, sh := range p.Shards {
+					tb.AddRow(fmt.Sprintf("%.12s", sh.ID), sh.Worker, fmt.Sprintf("%d", sh.Scenarios),
+						fmt.Sprintf("%d", sh.Streamed), sh.State,
+						fmt.Sprintf("%.1f", float64(sh.AgeMS)/1000))
+				}
+				fmt.Fprintln(stdout, tb.String())
+			}
+		}
+	}
+	for _, w := range pool {
+		var p cluster.WorkerProgress
+		if err := getJSON(ctx, w+"/v1/progress", &p); err != nil {
+			fmt.Fprintf(stdout, "[%s] worker %s: %v\n", now, w, err)
+			continue
+		}
+		fmt.Fprintf(stdout, "[%s] worker %s: %d in-flight · %d done · %d acked · %d streamed · %.2f scenarios/s\n",
+			now, w, p.ShardsInFlight, p.ShardsDone, p.ShardsAcked, p.OutcomesStreamed, p.ScenariosPerSec)
+		for _, sh := range p.Shards {
+			if sh.State == "claimed" || sh.State == "done" {
+				fmt.Fprintf(stdout, "    shard %.12s: %d/%d streamed, %s, %.1fs\n",
+					sh.ID, sh.Streamed, sh.Scenarios, sh.State, float64(sh.AgeMS)/1000)
+			}
+		}
+	}
+	if done {
+		fmt.Fprintln(stdout, "run complete")
+	}
+	return done, nil
+}
+
 func statusCmd(args []string) error {
 	fs := flag.NewFlagSet("status", flag.ContinueOnError)
 	workers := fs.String("workers", "", "fairnessd worker base URLs (CSV, required)")
@@ -259,7 +450,7 @@ func statusCmd(args []string) error {
 		fmt.Fprintf(stdout, "%s\n", data)
 		return nil
 	}
-	tb := table.New("Worker", "Status", "Backend", "Cache", "In-flight", "Done", "Uptime(s)").
+	tb := table.New("Worker", "Status", "Backend", "Cache", "In-flight", "Done", "Acked", "Streamed", "Scen/s", "Uptime(s)").
 		AlignAll(table.Right).SetAlign(0, table.Left).SetAlign(1, table.Left)
 	up := 0
 	for _, h := range health {
@@ -271,6 +462,8 @@ func statusCmd(args []string) error {
 		}
 		tb.AddRow(h.URL, status, h.Backend, h.Cache,
 			fmt.Sprintf("%d", h.ShardsInFlight), fmt.Sprintf("%d", h.ShardsDone),
+			fmt.Sprintf("%d", h.ShardsAcked), fmt.Sprintf("%d", h.OutcomesStreamed),
+			fmt.Sprintf("%.2f", h.ScenariosPerSec),
 			fmt.Sprintf("%.0f", float64(h.UptimeMS)/1000))
 	}
 	fmt.Fprintln(stdout, tb.String())
@@ -322,12 +515,15 @@ func usage() {
 fairctl — coordinate fairness-scenario sweeps across fairnessd workers
 
 commands:
-  run -workers CSV [flags] spec.json     distribute the sweep, print the report
+  run -listen ADDR|-workers CSV [flags] spec.json
+                                         distribute the sweep, print the report
+  watch -coordinator URL [-workers CSV]  live per-shard progress of a running sweep
   status -workers CSV [-json]            probe every worker's /v1/healthz
   expand [-spec FILE|spec.json] [-seed]  expand the grid, print scenarios + hashes
 
 run flags:
-  -workers CSV  -spec FILE  -backend NAME  -cache-dir DIR  -cache-max-bytes N
-  -shard-size N  -retries N  -seed S  -json  -ndjson  -out FILE
+  -listen ADDR  -workers CSV  -spec FILE  -backend NAME  -cache-dir DIR
+  -cache-max-bytes N  -shard-size N  -shard-target D  -lease D  -retries N
+  -progress  -seed S  -json  -ndjson  -out FILE
 `, "\n"))
 }

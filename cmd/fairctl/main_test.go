@@ -3,12 +3,14 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/sweep"
@@ -71,7 +73,7 @@ func TestRunAgainstTwoWorkersMatchesLocalSweep(t *testing.T) {
 	if rep.Stats.Scenarios != 4 || rep.Stats.Computed != 4 {
 		t.Errorf("stats: %+v", rep.Stats)
 	}
-	if !strings.Contains(out, "across 2 workers") {
+	if !strings.Contains(out, "across 2 static workers") {
 		t.Errorf("summary missing worker count:\n%s", out)
 	}
 }
@@ -104,11 +106,121 @@ func TestRunNDJSONStreamsOutcomes(t *testing.T) {
 
 func TestRunRequiresWorkersAndSpec(t *testing.T) {
 	if _, _, err := capture(t, []string{"run", writeGrid(t)}); err == nil {
-		t.Error("run without -workers should fail")
+		t.Error("run without -workers or -listen should fail")
 	}
 	w := startWorker(t)
 	if _, _, err := capture(t, []string{"run", "-workers", w.URL}); err == nil {
 		t.Error("run without a spec should fail")
+	}
+}
+
+func TestRunListenZeroWorkersCompletesAfterRegistration(t *testing.T) {
+	// The acceptance path through the CLI: `run -listen` starts with an
+	// EMPTY pool, a worker self-registers against the coordinator's
+	// /v1/register endpoint mid-run, and the run completes.
+	w := startWorker(t)
+	spec := writeGrid(t)
+
+	// Reserve an ephemeral port for the coordinator listener so
+	// concurrent test runs never collide on a fixed address.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordAddr := probe.Addr().String()
+	probe.Close()
+
+	// Register the worker once the coordinator's listener answers.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			body := strings.NewReader(`{"url":"` + w.URL + `","backend":"montecarlo"}`)
+			resp, err := http.Post("http://"+coordAddr+"/v1/register", "application/json", body)
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}()
+
+	out, errOut, err := capture(t, []string{"run",
+		"-listen", coordAddr, "-progress", "-json", spec})
+	<-done
+	if err != nil {
+		t.Fatalf("run -listen failed: %v\nstderr:\n%s", err, errOut)
+	}
+	var rep sweep.Report
+	if err := json.NewDecoder(strings.NewReader(out)).Decode(&rep); err != nil {
+		t.Fatalf("run -json output not a report: %v\n%s", err, out)
+	}
+	if rep.Stats.Scenarios != 4 || rep.Stats.Computed != 4 {
+		t.Errorf("stats: %+v", rep.Stats)
+	}
+	if !strings.Contains(errOut, "waiting for workers to register") {
+		t.Errorf("stderr missing wait notice:\n%s", errOut)
+	}
+	if !strings.Contains(errOut, "progress:") {
+		t.Errorf("stderr missing -progress lines:\n%s", errOut)
+	}
+}
+
+func TestWatchRendersWorkerAndCoordinatorProgress(t *testing.T) {
+	// A fake coordinator and a real worker: watch -once must render the
+	// coordinator's shard table and the worker's counters.
+	w := startWorker(t)
+	coordMux := http.NewServeMux()
+	coordMux.HandleFunc("GET /v1/progress", func(wr http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(wr).Encode(cluster.Progress{
+			Total: 24, Delivered: 9, ShardsClaimed: 4, ShardsAcked: 2, Workers: 2,
+			Shards: []cluster.ShardProgress{{
+				ID: "abcdef0123456789", Worker: w.URL, Scenarios: 8,
+				Streamed: 3, State: "streaming", AgeMS: 1500,
+			}},
+		})
+	})
+	coord := httptest.NewServer(coordMux)
+	t.Cleanup(coord.Close)
+
+	out, _, err := capture(t, []string{"watch",
+		"-coordinator", coord.URL, "-workers", w.URL, "-once"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"9/24 delivered", "abcdef012345", "streaming", "worker " + w.URL, "scenarios/s",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("watch output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWatchExitsWhenCoordinatorReportsDone(t *testing.T) {
+	coordMux := http.NewServeMux()
+	coordMux.HandleFunc("GET /v1/progress", func(wr http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(wr).Encode(cluster.Progress{Total: 4, Delivered: 4, Done: true})
+	})
+	coord := httptest.NewServer(coordMux)
+	t.Cleanup(coord.Close)
+
+	// No -once: the done snapshot itself must end the loop.
+	out, _, err := capture(t, []string{"watch", "-coordinator", coord.URL, "-interval", "10ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "run complete") {
+		t.Errorf("watch did not announce completion:\n%s", out)
+	}
+}
+
+func TestWatchRequiresTarget(t *testing.T) {
+	if _, _, err := capture(t, []string{"watch"}); err == nil {
+		t.Error("watch without targets should fail")
 	}
 }
 

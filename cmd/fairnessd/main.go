@@ -18,9 +18,12 @@
 //	                   shard of scenarios, stream its outcomes as NDJSON,
 //	                   finish with a {"done":true,"shard_id":...} summary.
 //	POST /v1/shard/ack coordinator confirmation that a shard was merged.
+//	GET  /v1/progress  per-shard claimed/streamed/acked progress — the
+//	                   live view `fairctl watch` renders.
 //	GET  /v1/healthz   → {"status":"ok",...} with backend, cache hit/miss
-//	                   counters and in-flight shard counts — everything a
-//	                   coordinator or load balancer needs for placement.
+//	                   counters, shard counters and the measured
+//	                   scenarios/sec — everything a coordinator or load
+//	                   balancer needs for placement.
 //
 // Flags:
 //
@@ -31,17 +34,27 @@
 //	-cache N            in-memory LRU capacity when -cache-dir is unset
 //	-workers N          scenario-level parallelism per sweep (0 = all cores)
 //	-backend NAME       montecarlo (default), theory or chainsim
+//	-register URL       coordinator to register with: the worker joins the
+//	                    cluster by itself, heartbeats to keep its lease,
+//	                    and deregisters gracefully on SIGTERM
+//	-advertise URL      own base URL as reachable from the coordinator
+//	                    (default: derived from -addr)
+//	-heartbeat D        heartbeat interval override (0 = coordinator's
+//	                    suggestion, TTL/3)
 //
-// Run several fairnessd instances pointed at one shared -cache-dir and a
-// fairctl coordinator turns them into a sweep cluster with a communal
-// warm cache; see README "Cluster mode".
+// Run several fairnessd instances with -register pointed at a `fairctl
+// run -listen` coordinator (plus one shared -cache-dir) and they form a
+// self-organizing sweep cluster with a communal warm cache; see README
+// "Cluster mode".
 //
 // Example session:
 //
-//	fairnessd -addr :7447 -cache-dir /var/cache/fairnessd &
+//	fairnessd -addr :7447 -cache-dir /var/cache/fairnessd \
+//	    -register http://coordinator:7800 &
 //	curl -s localhost:7447/v1/evaluate -d '{"protocol":"mlpos","stake":0.2}'
 //	curl -sN localhost:7447/v1/sweep -d '{"protocols":["pow","mlpos"],"stake":[0.1,0.2]}'
 //	curl -s localhost:7447/v1/healthz
+//	curl -s localhost:7447/v1/progress
 package main
 
 import (
@@ -55,6 +68,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -73,6 +87,9 @@ func main() {
 	flag.IntVar(&cfg.cacheCap, "cache", 4096, "in-memory LRU capacity when -cache-dir is unset (0 = no cache)")
 	flag.IntVar(&cfg.workers, "workers", 0, "scenario-level parallelism per sweep (0 = all cores)")
 	flag.StringVar(&cfg.backend, "backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim")
+	flag.StringVar(&cfg.register, "register", "", "coordinator base URL to self-register with (heartbeats + graceful deregister)")
+	flag.StringVar(&cfg.advertise, "advertise", "", "own base URL as reachable from the coordinator (default: derived from -addr)")
+	flag.DurationVar(&cfg.heartbeat, "heartbeat", 0, "registration heartbeat interval (0 = coordinator's suggestion)")
 	flag.Parse()
 
 	srv, err := newServer(cfg)
@@ -83,6 +100,27 @@ func main() {
 	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.mux()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Self-registration: announce this worker to the coordinator, renew
+	// the membership lease until the signal context ends, then
+	// deregister so the coordinator stops scheduling onto us BEFORE the
+	// listener drains its in-flight streams.
+	registrarDone := make(chan struct{})
+	if cfg.register != "" {
+		rg, err := srv.registrar(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fairnessd:", err)
+			os.Exit(1)
+		}
+		go func() {
+			defer close(registrarDone)
+			rg.Run(ctx)
+		}()
+		fmt.Fprintf(os.Stderr, "fairnessd: registering %s with %s\n", rg.Self, rg.Coordinator)
+	} else {
+		close(registrarDone)
+	}
+
 	// Shutdown returns only once the in-flight handlers drained (or the
 	// grace period expired); main must wait for it, or exiting would cut
 	// live NDJSON streams mid-scenario.
@@ -90,6 +128,7 @@ func main() {
 	go func() {
 		defer close(shutdownDone)
 		<-ctx.Done()
+		<-registrarDone // deregister first: no new shards while draining
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		httpSrv.Shutdown(shutdownCtx)
@@ -104,6 +143,23 @@ func main() {
 	<-shutdownDone
 }
 
+// advertiseURL derives the worker's registered base URL from -advertise
+// or, failing that, from the listen address: ":7447" advertises
+// "http://127.0.0.1:7447" (single-host development), "host:7447"
+// advertises itself.
+func advertiseURL(advertise, addr string) (string, error) {
+	if advertise != "" {
+		return cluster.NormalizeWorkerURL(advertise), nil
+	}
+	if addr == "" {
+		return "", fmt.Errorf("-register needs -advertise or a concrete -addr")
+	}
+	if strings.HasPrefix(addr, ":") {
+		addr = "127.0.0.1" + addr
+	}
+	return cluster.NormalizeWorkerURL(addr), nil
+}
+
 // config assembles a server.
 type config struct {
 	addr          string
@@ -112,6 +168,9 @@ type config struct {
 	cacheCap      int
 	workers       int
 	backend       string
+	register      string
+	advertise     string
+	heartbeat     time.Duration
 }
 
 // server is the HTTP face of one shared Engine.
@@ -179,8 +238,28 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	s.shards.Register(mux)
+	s.shards.Register(mux) // /v1/shard, /v1/shard/ack, /v1/progress
 	return mux
+}
+
+// registrar assembles the worker-side registration client: heartbeats
+// carry the live scenarios/sec EWMA so the coordinator can size shards
+// before it has observed this worker itself.
+func (s *server) registrar(cfg config) (*cluster.Registrar, error) {
+	self, err := advertiseURL(cfg.advertise, cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	return &cluster.Registrar{
+		Coordinator: cfg.register,
+		Self:        self,
+		Backend:     s.backendName,
+		Rate:        s.shards.Rate,
+		Interval:    cfg.heartbeat,
+		OnError: func(err error) {
+			fmt.Fprintln(os.Stderr, "fairnessd: register:", err)
+		},
+	}, nil
 }
 
 // httpError writes a JSON error body with the given status.
@@ -290,32 +369,40 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		// Capabilities is the backend's declared scenario coverage, so a
 		// coordinator (or an operator's curl) can see up front whether
 		// this worker answers adversarial or fork-aware scenarios.
-		Capabilities   fairness.Capabilities `json:"capabilities"`
-		Cache          string                `json:"cache"`
-		CacheLen       *int                  `json:"cache_len,omitempty"`
-		CacheHits      *uint64               `json:"cache_hits,omitempty"`
-		CacheMisses    *uint64               `json:"cache_misses,omitempty"`
-		Evaluates      int64                 `json:"evaluates"`
-		Sweeps         int64                 `json:"sweeps"`
-		ShardsInFlight int64                 `json:"shards_in_flight"`
-		ShardsDone     int64                 `json:"shards_done"`
-		PendingAcks    int                   `json:"pending_acks"`
-		UptimeMS       int64                 `json:"uptime_ms"`
-		GoMaxProcs     int                   `json:"gomaxprocs"`
+		Capabilities     fairness.Capabilities `json:"capabilities"`
+		Cache            string                `json:"cache"`
+		CacheLen         *int                  `json:"cache_len,omitempty"`
+		CacheHits        *uint64               `json:"cache_hits,omitempty"`
+		CacheMisses      *uint64               `json:"cache_misses,omitempty"`
+		Evaluates        int64                 `json:"evaluates"`
+		Sweeps           int64                 `json:"sweeps"`
+		ShardsClaimed    int64                 `json:"shards_claimed"`
+		ShardsInFlight   int64                 `json:"shards_in_flight"`
+		ShardsDone       int64                 `json:"shards_done"`
+		ShardsAcked      int64                 `json:"shards_acked"`
+		OutcomesStreamed int64                 `json:"outcomes_streamed"`
+		ScenariosPerSec  float64               `json:"scenarios_per_sec"`
+		PendingAcks      int                   `json:"pending_acks"`
+		UptimeMS         int64                 `json:"uptime_ms"`
+		GoMaxProcs       int                   `json:"gomaxprocs"`
 	}
 	caps, _ := fairness.BackendCapabilities(s.backendName)
 	h := health{
-		Status:         "ok",
-		Backend:        s.backendName,
-		Capabilities:   caps,
-		Cache:          s.cacheDesc,
-		Evaluates:      s.evaluates.Load(),
-		Sweeps:         s.sweeps.Load(),
-		ShardsInFlight: s.shards.InFlight(),
-		ShardsDone:     s.shards.Done(),
-		PendingAcks:    s.shards.PendingAcks(),
-		UptimeMS:       time.Since(s.start).Milliseconds(),
-		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Status:           "ok",
+		Backend:          s.backendName,
+		Capabilities:     caps,
+		Cache:            s.cacheDesc,
+		Evaluates:        s.evaluates.Load(),
+		Sweeps:           s.sweeps.Load(),
+		ShardsClaimed:    s.shards.Claimed(),
+		ShardsInFlight:   s.shards.InFlight(),
+		ShardsDone:       s.shards.Done(),
+		ShardsAcked:      s.shards.Acked(),
+		OutcomesStreamed: s.shards.Streamed(),
+		ScenariosPerSec:  s.shards.Rate(),
+		PendingAcks:      s.shards.PendingAcks(),
+		UptimeMS:         time.Since(s.start).Milliseconds(),
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
 	}
 	if c, ok := s.cache.(interface{ Counters() (hits, misses uint64) }); ok {
 		hits, misses := c.Counters()

@@ -3,12 +3,15 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	fairness "repro"
+	"repro/internal/cluster"
 )
 
 // testServer boots the handler stack over httptest with a small default
@@ -388,5 +391,153 @@ func TestClusterCoordinatorAgainstTwoDaemons(t *testing.T) {
 	}
 	if got, want := canon(warm.Outcomes), canon(local.Outcomes); got != want {
 		t.Error("warm cluster report differs from local Engine.Sweep")
+	}
+}
+
+func TestAdvertiseURLDerivation(t *testing.T) {
+	cases := []struct {
+		advertise, addr, want string
+		wantErr               bool
+	}{
+		{"http://w1:7447", ":9999", "http://w1:7447", false},
+		{"w1:7447", ":9999", "http://w1:7447", false},
+		{"", ":7447", "http://127.0.0.1:7447", false},
+		{"", "10.0.0.5:7447", "http://10.0.0.5:7447", false},
+		{"", "", "", true},
+	}
+	for _, c := range cases {
+		got, err := advertiseURL(c.advertise, c.addr)
+		if (err != nil) != c.wantErr || got != c.want {
+			t.Errorf("advertiseURL(%q, %q) = %q, %v; want %q, err=%v",
+				c.advertise, c.addr, got, err, c.want, c.wantErr)
+		}
+	}
+}
+
+func TestProgressEndpointAndHealthzShardCounters(t *testing.T) {
+	_, ts := testServer(t, config{cacheCap: 16})
+	shard := `{"shard_id":"cafebabe","scenarios":[
+		{"protocol":"pow","stake":0.25,"blocks":100,"trials":10,"seed":6}]}`
+	resp, err := http.Post(ts.URL+"/v1/shard", "application/json", strings.NewReader(shard))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	pr, err := http.Get(ts.URL + "/v1/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Body.Close()
+	var p struct {
+		ShardsClaimed    int64   `json:"shards_claimed"`
+		ShardsDone       int64   `json:"shards_done"`
+		OutcomesStreamed int64   `json:"outcomes_streamed"`
+		ScenariosPerSec  float64 `json:"scenarios_per_sec"`
+		Shards           []struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		} `json:"shards"`
+	}
+	if err := json.NewDecoder(pr.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.ShardsClaimed != 1 || p.ShardsDone != 1 || p.OutcomesStreamed != 1 || p.ScenariosPerSec <= 0 {
+		t.Errorf("progress: %+v", p)
+	}
+	if len(p.Shards) != 1 || p.Shards[0].ID != "cafebabe" || p.Shards[0].State != "done" {
+		t.Errorf("per-shard progress: %+v", p.Shards)
+	}
+
+	// Healthz mirrors the same counters for coordinator placement.
+	hr, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var h struct {
+		ShardsClaimed    int64   `json:"shards_claimed"`
+		OutcomesStreamed int64   `json:"outcomes_streamed"`
+		ScenariosPerSec  float64 `json:"scenarios_per_sec"`
+	}
+	if err := json.NewDecoder(hr.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.ShardsClaimed != 1 || h.OutcomesStreamed != 1 || h.ScenariosPerSec <= 0 {
+		t.Errorf("healthz shard counters: %+v", h)
+	}
+}
+
+func TestSelfRegisteredWorkerJoinsCoordinatorRun(t *testing.T) {
+	// End-to-end self-organization in-process: a coordinator run starts
+	// against an EMPTY registry, a real fairnessd worker self-registers
+	// through its Registrar mid-run, and the merged report matches a
+	// local Engine.Sweep bit for bit.
+	srv, ts := testServer(t, config{cacheCap: 64})
+
+	reg := cluster.NewRegistry("montecarlo", time.Minute)
+	regSrv := cluster.NewRegistryServer(reg)
+	coordMux := http.NewServeMux()
+	regSrv.Register(coordMux)
+	coord := httptest.NewServer(coordMux)
+	t.Cleanup(coord.Close)
+
+	rgCtx, rgCancel := context.WithCancel(context.Background())
+	rgDone := make(chan struct{})
+	rg, err := srv.registrar(config{register: coord.URL, advertise: ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg.Interval = 20 * time.Millisecond
+	go func() {
+		defer close(rgDone)
+		rg.Run(rgCtx)
+	}()
+
+	specs, err := fairness.ExpandScenarios(fairness.ScenarioGrid{
+		Base:      fairness.Scenario{Blocks: 120, Trials: 12},
+		Protocols: []string{"pow", "mlpos"},
+		Stake:     []float64{0.2, 0.4},
+		Seed:      31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := fairness.NewEngine().Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := fairness.NewEngine(fairness.WithCluster(fairness.ClusterOptions{Registry: reg}))
+	dist, err := eng.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := func(outs []fairness.SweepOutcome) string {
+		c := make([]fairness.SweepOutcome, len(outs))
+		copy(c, outs)
+		for i := range c {
+			c[i].ElapsedMS = 0
+			c[i].CacheHit = false
+		}
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	if got, want := canon(dist.Outcomes), canon(local.Outcomes); got != want {
+		t.Errorf("self-registered cluster report differs from local Engine.Sweep:\n%s\n%s", got, want)
+	}
+
+	// Graceful shutdown deregisters the worker from the coordinator.
+	rgCancel()
+	select {
+	case <-rgDone:
+	case <-time.After(2 * time.Second):
+		t.Fatal("registrar did not stop")
+	}
+	if n := len(reg.Live()); n != 0 {
+		t.Errorf("worker still registered after graceful shutdown: %d members", n)
 	}
 }

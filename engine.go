@@ -29,12 +29,13 @@ import (
 // An Engine is safe for concurrent use when its cache and observer are
 // (both shipped CacheStore implementations are).
 type Engine struct {
-	workers      int
-	trialWorkers int
-	cache        CacheStore
-	backend      Evaluator
-	observer     func(SweepOutcome)
-	cluster      *cluster.Options
+	workers         int
+	trialWorkers    int
+	cache           CacheStore
+	backend         Evaluator
+	observer        func(SweepOutcome)
+	cluster         *cluster.Options
+	clusterProgress func(ClusterProgress)
 }
 
 // EngineOption configures an Engine.
@@ -91,11 +92,26 @@ func WithObserver(fn func(SweepOutcome)) EngineOption {
 //
 // Evaluate (ad-hoc protocols) never goes through the cluster — it
 // bypasses the scenario pipeline entirely.
+// The cluster may be self-organizing: set ClusterOptions.Registry (and
+// serve it with a RegistryServer) and workers that register themselves
+// — fairnessd -register — join the pool mid-run, shard sizes adapt to
+// each worker's measured throughput, and a run that finds no workers
+// waits for the first registration instead of failing.
 func WithCluster(opts ClusterOptions) EngineOption {
 	return func(e *Engine) {
 		c := opts
 		e.cluster = &c
 	}
+}
+
+// WithClusterProgress streams a ClusterProgress snapshot to fn after
+// every distributed-run scheduling transition: shard claims, streamed
+// outcomes, acks, requeues and worker-pool changes. Calls are
+// serialised. It only observes cluster-mode sweeps (WithCluster); local
+// runs have no shards to report. When ClusterOptions.OnProgress is also
+// set, both observers are invoked.
+func WithClusterProgress(fn func(ClusterProgress)) EngineOption {
+	return func(e *Engine) { e.clusterProgress = fn }
 }
 
 // NewEngine builds an evaluation engine from functional options.
@@ -175,6 +191,14 @@ func (e *Engine) runSweep(ctx context.Context, specs []Scenario, onOutcome func(
 	}
 	c.Backend = e.backendName()
 	c.OnOutcome = opts.OnOutcome
+	if e.clusterProgress != nil {
+		if prev := c.OnProgress; prev != nil {
+			fn := e.clusterProgress
+			c.OnProgress = func(p ClusterProgress) { prev(p); fn(p) }
+		} else {
+			c.OnProgress = e.clusterProgress
+		}
+	}
 	return cluster.Run(ctx, specs, c)
 }
 

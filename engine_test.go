@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -319,6 +320,51 @@ func TestEngineStreamThroughCluster(t *testing.T) {
 	}
 	if seen != len(specs) {
 		t.Errorf("stream yielded %d outcomes, want %d", seen, len(specs))
+	}
+}
+
+func TestEngineWithClusterProgressObserver(t *testing.T) {
+	// WithClusterProgress threads coordinator progress snapshots through
+	// the engine: claims and streamed outcomes are observed live, and
+	// the final snapshot reports the run done with every unique work
+	// item delivered.
+	w1, w2 := startClusterWorker(t), startClusterWorker(t)
+	specs := clusterTestSpecs(t)
+	var mu sync.Mutex
+	var snaps []ClusterProgress
+	eng := NewEngine(
+		WithCluster(ClusterOptions{Workers: []string{w1.URL, w2.URL}}),
+		WithClusterProgress(func(p ClusterProgress) {
+			mu.Lock()
+			snaps = append(snaps, p)
+			mu.Unlock()
+		}),
+	)
+	if _, err := eng.Sweep(context.Background(), specs); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots observed")
+	}
+	uniq := map[string]bool{}
+	for _, s := range specs {
+		uniq[s.MustHash()] = true
+	}
+	last := snaps[len(snaps)-1]
+	if !last.Done || last.Total != len(uniq) || last.Delivered != len(uniq) {
+		t.Errorf("final snapshot: %+v, want done with %d/%d", last, len(uniq), len(uniq))
+	}
+	sawShards := false
+	for _, p := range snaps {
+		if len(p.Shards) > 0 {
+			sawShards = true
+			break
+		}
+	}
+	if !sawShards || last.ShardsClaimed == 0 || last.OutcomesStreamed == 0 {
+		t.Errorf("progress never surfaced in-flight shards: last=%+v", last)
 	}
 }
 

@@ -33,6 +33,7 @@ package fairness
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/attack"
 	"repro/internal/cluster"
@@ -102,6 +103,28 @@ type (
 	ClusterOptions = cluster.Options
 	// ClusterHealth is one worker's probed /v1/healthz view.
 	ClusterHealth = cluster.Health
+	// ClusterRegistry is the coordinator-side worker membership table of
+	// a self-organizing cluster: workers register themselves (fairnessd
+	// -register), heartbeat to stay live, and deregister on shutdown;
+	// shard sizes adapt to the per-worker throughput it tracks. Serve it
+	// over HTTP with NewClusterRegistryServer and pass it to runs via
+	// ClusterOptions.Registry.
+	ClusterRegistry = cluster.Registry
+	// ClusterRegistryServer is the registry's HTTP face: /v1/register,
+	// /v1/deregister, /v1/progress and a coordinator /v1/healthz.
+	ClusterRegistryServer = cluster.RegistryServer
+	// ClusterMember is one registered worker's membership view.
+	ClusterMember = cluster.Member
+	// ClusterProgress is a coordinator-side snapshot of a distributed
+	// run: totals plus the per-shard claimed/streamed state of
+	// everything in flight. See Engine option WithClusterProgress.
+	ClusterProgress = cluster.Progress
+	// ClusterShardProgress is the live view of one in-flight shard.
+	ClusterShardProgress = cluster.ShardProgress
+	// ClusterRegistrar is the worker-side registration client: register,
+	// heartbeat, deregister on context end (what fairnessd -register
+	// runs).
+	ClusterRegistrar = cluster.Registrar
 	// Capabilities declares which scenario features — protocols,
 	// withholding, adversary and network blocks — an Evaluator backend
 	// covers; see Engine.Capabilities and BackendCapabilities.
@@ -128,9 +151,24 @@ var (
 )
 
 // ClusterStatus probes every worker's /v1/healthz concurrently — the
-// placement/diagnostics view fairctl status renders.
+// placement/diagnostics view fairctl status renders, including the
+// per-worker shard counters (claimed/streamed/acked) and measured
+// scenarios/sec behind adaptive shard sizing.
 func ClusterStatus(ctx context.Context, workers []string) []ClusterHealth {
 	return cluster.Status(ctx, workers, nil, 0)
+}
+
+// NewClusterRegistry builds a worker registry for a self-organizing
+// cluster expecting the named backend ("" = montecarlo); ttl is the
+// membership lease workers must heartbeat within (0 = 15s).
+func NewClusterRegistry(backend string, ttl time.Duration) *ClusterRegistry {
+	return cluster.NewRegistry(backend, ttl)
+}
+
+// NewClusterRegistryServer wraps a registry in its HTTP endpoints;
+// mount them with Register(mux).
+func NewClusterRegistryServer(reg *ClusterRegistry) *ClusterRegistryServer {
+	return cluster.NewRegistryServer(reg)
 }
 
 // NewPoW returns the Proof-of-Work incentive model with block reward w

@@ -24,21 +24,54 @@ import (
 // surface only when the run as a whole cannot make progress.
 var (
 	// ErrNoWorkers reports a run with no reachable worker (and work left
-	// to do after the cache pre-scan).
+	// to do after the cache pre-scan). Registry-backed runs never fail
+	// with this — they wait for a worker to register instead.
 	ErrNoWorkers = errors.New("cluster: no live workers")
 	// ErrBackendMismatch reports a worker whose configured backend differs
 	// from the coordinator's: silently merging outcomes computed under a
 	// different evaluator would poison the report and the shared cache.
 	ErrBackendMismatch = errors.New("cluster: worker backend mismatch")
-	// ErrShard reports a shard that exhausted its retry budget.
+	// ErrShard reports a work item that exhausted its retry budget.
 	ErrShard = errors.New("cluster: shard failed")
+	// errLeaseExpired marks a claim cancelled by the shard-lease
+	// watchdog: the worker stopped streaming long enough to be presumed
+	// stuck.
+	errLeaseExpired = errors.New("cluster: shard lease expired")
+)
+
+// Scheduling defaults.
+const (
+	// coldShardSize is the probing shard for a worker with no throughput
+	// history: small, so one slow worker cannot strand a big slice of
+	// the grid behind a single claim.
+	coldShardSize = 2
+	// defaultTargetShardTime is the adaptive-sizing target: each shard
+	// should keep its worker busy for about this long.
+	defaultTargetShardTime = 1500 * time.Millisecond
+	// defaultMaxShardSize caps adaptive shards; very fast (or cache-hot)
+	// workers batch up to this many scenarios per claim.
+	defaultMaxShardSize = 128
+	// defaultLeaseTTL bounds stream inactivity per claimed shard: a
+	// worker that streams nothing for this long loses the shard.
+	defaultLeaseTTL = 5 * time.Minute
+	// supervisorInterval paces the membership re-scan that spawns worker
+	// loops for newly-registered workers.
+	supervisorInterval = 100 * time.Millisecond
 )
 
 // Options configures a distributed sweep.
 type Options struct {
-	// Workers lists the fairnessd base URLs ("host:port" or full URL)
-	// the coordinator fans shards out to.
+	// Workers lists static fairnessd base URLs ("host:port" or full URL)
+	// seeded into the pool after a health probe. With a Registry this
+	// list is optional.
 	Workers []string
+	// Registry, when non-nil, makes the pool self-organizing: live
+	// registered workers (plus any static Workers seeds) are eligible,
+	// workers may register or drop out mid-run, and a run that finds no
+	// worker WAITS for one to register instead of failing with
+	// ErrNoWorkers. Serve it over HTTP with a RegistryServer to accept
+	// fairnessd -register workers.
+	Registry *Registry
 	// Backend is the evaluator the workers are expected to run
 	// ("" = montecarlo). Every worker's /v1/healthz must report the same
 	// backend, or the run fails with ErrBackendMismatch; the name also
@@ -50,42 +83,72 @@ type Options struct {
 	// content-addressed directory the workers share and the whole
 	// cluster warm-starts for free.
 	Cache sweep.CacheStore
-	// ShardSize is the number of unique work items per shard; 0 picks
-	// ceil(items / (4·workers)), capped to [1, 16], so every worker gets
-	// several steals even on modest grids.
+	// ShardSize pins the number of work items per shard. 0 (the
+	// default) sizes shards adaptively per worker: a worker with no
+	// history gets a small probing shard, and from then on each claim
+	// targets TargetShardTime of work at the worker's EWMA
+	// scenarios/sec — slow or cold-cache workers get small shards, fast
+	// workers get batched claims.
 	ShardSize int
-	// MaxAttempts caps how many times one shard is tried before the run
-	// fails (0 = 3). Attempts may land on different workers.
+	// TargetShardTime is the adaptive-sizing wall-time target per shard
+	// (0 = 1.5s).
+	TargetShardTime time.Duration
+	// MaxShardSize caps adaptive shards (0 = 128).
+	MaxShardSize int
+	// MaxAttempts caps how many times one work item is tried before the
+	// run fails (0 = 3). Attempts may land on different workers.
 	MaxAttempts int
-	// BackoffBase and BackoffMax shape the exponential retry delay
-	// (defaults 100ms and 2s).
+	// BackoffBase and BackoffMax shape a failing worker's exponential
+	// retry delay (defaults 100ms and 2s). Requeued work is immediately
+	// stealable by other workers — only the worker that failed backs
+	// off.
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
-	// ProbeTimeout bounds each /v1/healthz probe (0 = 2s).
+	// ProbeTimeout bounds each /v1/healthz liveness probe (0 = 5s). It
+	// is deliberately independent of AckTimeout: liveness probes answer
+	// "is this worker alive?", and a worker slow under load must not be
+	// declared dead just because fast-path requests are impatient.
 	ProbeTimeout time.Duration
+	// AckTimeout bounds shard-ack posts (0 = 2s).
+	AckTimeout time.Duration
+	// LeaseTTL is each claimed shard's stream-inactivity lease, renewed
+	// by every outcome line (0 = 5m). When it expires the claim is cut,
+	// the undelivered remainder re-enters the queue, and the stalled
+	// worker is quarantined. Size it above the longest single-scenario
+	// compute time.
+	LeaseTTL time.Duration
 	// HTTPClient overrides the transport (nil = a default client with no
 	// overall timeout, since shard streams are long-lived).
 	HTTPClient *http.Client
-	// OnOutcome, when non-nil, streams every per-position outcome as its
-	// shard is merged (calls are serialised; order is scheduling-
-	// dependent, exactly like a local sweep's observer).
+	// OnOutcome, when non-nil, streams every per-position outcome as it
+	// is merged (calls are serialised; order is scheduling-dependent,
+	// exactly like a local sweep's observer).
 	OnOutcome func(sweep.Outcome)
+	// OnProgress, when non-nil, observes a Progress snapshot after every
+	// scheduling transition (claims, streamed outcomes, acks, requeues).
+	// Calls are serialised. fairctl wires this to the coordinator's
+	// /v1/progress endpoint.
+	OnProgress func(Progress)
 }
 
 // Health is one worker's /v1/healthz view, as probed by the coordinator
 // (and surfaced by `fairctl status`).
 type Health struct {
-	URL            string  `json:"url"`
-	OK             bool    `json:"ok"`
-	Error          string  `json:"error,omitempty"`
-	Status         string  `json:"status"`
-	Backend        string  `json:"backend"`
-	Cache          string  `json:"cache"`
-	CacheHits      *uint64 `json:"cache_hits,omitempty"`
-	CacheMisses    *uint64 `json:"cache_misses,omitempty"`
-	ShardsInFlight int64   `json:"shards_in_flight"`
-	ShardsDone     int64   `json:"shards_done"`
-	UptimeMS       int64   `json:"uptime_ms"`
+	URL              string  `json:"url"`
+	OK               bool    `json:"ok"`
+	Error            string  `json:"error,omitempty"`
+	Status           string  `json:"status"`
+	Backend          string  `json:"backend"`
+	Cache            string  `json:"cache"`
+	CacheHits        *uint64 `json:"cache_hits,omitempty"`
+	CacheMisses      *uint64 `json:"cache_misses,omitempty"`
+	ShardsClaimed    int64   `json:"shards_claimed"`
+	ShardsInFlight   int64   `json:"shards_in_flight"`
+	ShardsDone       int64   `json:"shards_done"`
+	ShardsAcked      int64   `json:"shards_acked"`
+	OutcomesStreamed int64   `json:"outcomes_streamed"`
+	ScenariosPerSec  float64 `json:"scenarios_per_sec"`
+	UptimeMS         int64   `json:"uptime_ms"`
 }
 
 // NormalizeWorkerURL turns "host:port" or a full URL into a canonical
@@ -107,7 +170,7 @@ func Probe(ctx context.Context, client *http.Client, url string, timeout time.Du
 		client = http.DefaultClient
 	}
 	if timeout <= 0 {
-		timeout = 2 * time.Second
+		timeout = 5 * time.Second
 	}
 	url = NormalizeWorkerURL(url)
 	h := Health{URL: url}
@@ -167,22 +230,57 @@ func ShardID(hashes []string) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// task is one shard on the queue.
-type task struct {
-	id       string
-	hashes   []string
-	specs    []scenario.Spec
-	attempts int
+// workItem is one unique scenario awaiting distribution.
+type workItem struct {
+	hash string
+	spec scenario.Spec
 }
 
-// Run distributes the scenario list across the configured workers and
-// merges their streams into one report with local-sweep semantics:
+// task is one cut shard: a batch of work items under a content id.
+type task struct {
+	id     string
+	hashes []string
+	specs  []scenario.Spec
+}
+
+// newTask assembles a shard from a work-item batch.
+func newTask(items []workItem) *task {
+	hs := make([]string, len(items))
+	sp := make([]scenario.Spec, len(items))
+	for i, it := range items {
+		hs[i] = it.hash
+		sp[i] = it.spec
+	}
+	return &task{id: ShardID(hs), hashes: hs, specs: sp}
+}
+
+// adaptiveShardSize picks a shard size from a worker's throughput
+// estimate: cold workers get a small probing shard, known workers get
+// targetTime's worth of scenarios, capped at maxSize.
+func adaptiveShardSize(rate float64, targetTime time.Duration, maxSize int) int {
+	if rate <= 0 {
+		return coldShardSize
+	}
+	n := int(rate * targetTime.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	if n > maxSize {
+		n = maxSize
+	}
+	return n
+}
+
+// Run distributes the scenario list across the worker pool and merges
+// the workers' streams into one report with local-sweep semantics:
 // outcomes in input order, identical scenarios computed once and fanned
 // out to every position, evaluation errors failing the run, and
 // cancellation returning the partial report with ctx.Err(). Completed
 // outcomes are bit-identical to sweep.RunContext's for the same list —
 // only the timing/cache bookkeeping (ElapsedMS, CacheHit, Stats) can
-// differ, since those record where and how the work actually ran.
+// differ, since those record where and how the work actually ran. This
+// holds across every scheduling accident: a worker registering mid-run,
+// a lease expiring mid-shard, a shard reassigned after a crash.
 func Run(ctx context.Context, specs []scenario.Spec, opts Options) (*sweep.Report, error) {
 	start := time.Now()
 
@@ -215,17 +313,12 @@ func Run(ctx context.Context, specs []scenario.Spec, opts Options) (*sweep.Repor
 	if backend == "" {
 		backend = "montecarlo"
 	}
-	maxAttempts := opts.MaxAttempts
-	if maxAttempts <= 0 {
-		maxAttempts = 3
-	}
-	backoffBase := opts.BackoffBase
-	if backoffBase <= 0 {
-		backoffBase = 100 * time.Millisecond
-	}
-	backoffMax := opts.BackoffMax
-	if backoffMax <= 0 {
-		backoffMax = 2 * time.Second
+	reg := opts.Registry
+	registryMode := reg != nil
+	if reg == nil {
+		reg = NewRegistry(backend, 0)
+	} else if err := reg.requireBackend(backend); err != nil {
+		return nil, err
 	}
 	client := opts.HTTPClient
 	if client == nil {
@@ -239,20 +332,38 @@ func Run(ctx context.Context, specs []scenario.Spec, opts Options) (*sweep.Repor
 	rep := &sweep.Report{Outcomes: make([]sweep.Outcome, len(specs))}
 	rep.Stats.Scenarios = len(specs)
 
+	tracker := newTracker(len(uniq), opts.OnProgress, func() int { return len(reg.Live()) })
+
 	var (
 		mu        sync.Mutex // serialises merging and OnOutcome
 		computed  int
 		trialsRun int64
+		delivered = make(map[string]bool, len(uniq))
 	)
-	// deliver fans one unique scenario's outcome out to every position
-	// that requested it, with the local runner's position-level cache
-	// semantics: the first position carries the compute cost, the rest
-	// are in-sweep deduplication hits.
-	deliver := func(h string, base sweep.Outcome, hit bool) {
+	// deliver merges one unique scenario's outcome, fanning it out to
+	// every position that requested it with the local runner's
+	// position-level cache semantics: the first position carries the
+	// compute cost, the rest are in-sweep deduplication hits. Delivery
+	// is idempotent by content hash — the property that keeps the merged
+	// report bit-identical under requeues and lease reassignment.
+	deliver := func(h string, base sweep.Outcome, hit bool) bool {
 		mu.Lock()
 		defer mu.Unlock()
+		if delivered[h] {
+			return false
+		}
+		delivered[h] = true
 		if !hit {
 			computed++
+			if opts.Cache != nil {
+				// Fill the coordinator-side cache exactly as the local
+				// runner would: the canonical, name-free outcome. (With a
+				// shared cache dir the worker already wrote it; the atomic
+				// store makes the rewrite harmless.)
+				c := base
+				c.Name = ""
+				opts.Cache.Add(sweep.CacheKey(backend, h), c)
+			}
 		}
 		for j, idx := range groups[h] {
 			o := base
@@ -266,31 +377,46 @@ func Run(ctx context.Context, specs []scenario.Spec, opts Options) (*sweep.Repor
 				opts.OnOutcome(o)
 			}
 		}
+		return true
 	}
 
 	// Cache-aware scheduling: work items already in the shared store are
 	// served locally and never shipped to a worker.
-	items := make([]string, 0, len(uniq))
+	items := make([]workItem, 0, len(uniq))
+	localHits := 0
 	for _, h := range uniq {
 		if opts.Cache != nil {
 			if out, ok := opts.Cache.Get(sweep.CacheKey(backend, h)); ok {
 				deliver(h, out, true)
+				localHits++
 				continue
 			}
 		}
-		items = append(items, h)
+		items = append(items, workItem{hash: h, spec: norm[groups[h][0]]})
 	}
+	tracker.localHits(localHits)
 
 	if len(items) > 0 {
-		if err := runShards(ctx, items, norm, groups, rep, opts, clusterRun{
-			backend:     backend,
-			maxAttempts: maxAttempts,
-			backoffBase: backoffBase,
-			backoffMax:  backoffMax,
-			client:      client,
-			deliver:     deliver,
-			addTrials:   func(n int64) { mu.Lock(); trialsRun += n; mu.Unlock() },
-		}); err != nil {
+		run := clusterRun{
+			backend:      backend,
+			registryMode: registryMode,
+			maxAttempts:  valueOr(opts.MaxAttempts, 3),
+			backoffBase:  durationOr(opts.BackoffBase, 100*time.Millisecond),
+			backoffMax:   durationOr(opts.BackoffMax, 2*time.Second),
+			probeTimeout: durationOr(opts.ProbeTimeout, 5*time.Second),
+			ackTimeout:   durationOr(opts.AckTimeout, 2*time.Second),
+			lease:        durationOr(opts.LeaseTTL, defaultLeaseTTL),
+			client:       client,
+			deliver:      deliver,
+			isDelivered: func(h string) bool {
+				mu.Lock()
+				defer mu.Unlock()
+				return delivered[h]
+			},
+			addTrials: func(n int64) { mu.Lock(); trialsRun += n; mu.Unlock() },
+		}
+		if err := runScheduler(ctx, items, opts, run, reg, tracker); err != nil {
+			tracker.done()
 			if ctx.Err() != nil {
 				// Partial report, local-sweep cancellation semantics.
 				mu.Lock()
@@ -311,6 +437,7 @@ func Run(ctx context.Context, specs []scenario.Spec, opts Options) (*sweep.Repor
 			return nil, err
 		}
 	}
+	tracker.done()
 
 	mu.Lock()
 	rep.Stats.Computed = computed
@@ -321,194 +448,375 @@ func Run(ctx context.Context, specs []scenario.Spec, opts Options) (*sweep.Repor
 	return rep, nil
 }
 
-// clusterRun carries the resolved knobs and merge hooks into the pool.
-type clusterRun struct {
-	backend     string
-	maxAttempts int
-	backoffBase time.Duration
-	backoffMax  time.Duration
-	client      *http.Client
-	deliver     func(h string, base sweep.Outcome, hit bool)
-	addTrials   func(int64)
+// valueOr and durationOr resolve zero-means-default knobs.
+func valueOr(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
 }
 
-// runShards probes the workers, chunks the work items into shards and
-// drives the work-stealing pool to completion.
-func runShards(ctx context.Context, items []string, norm []scenario.Spec,
-	groups map[string][]int, rep *sweep.Report, opts Options, run clusterRun) error {
-	// Probe: drop unreachable workers, reject misconfigured ones loudly.
+func durationOr(v, def time.Duration) time.Duration {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+// clusterRun carries the resolved knobs and merge hooks into the
+// scheduler.
+type clusterRun struct {
+	backend      string
+	registryMode bool
+	maxAttempts  int
+	backoffBase  time.Duration
+	backoffMax   time.Duration
+	probeTimeout time.Duration
+	ackTimeout   time.Duration
+	lease        time.Duration
+	client       *http.Client
+	deliver      func(h string, base sweep.Outcome, hit bool) bool
+	isDelivered  func(h string) bool
+	addTrials    func(int64)
+}
+
+// sched is the shared scheduling state: one queue of undelivered work
+// items, one loop per live worker cutting adaptively-sized shards off
+// the head.
+type sched struct {
+	opts    Options
+	run     clusterRun
+	reg     *Registry
+	tracker *tracker
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	queue       []workItem
+	outstanding int            // items currently held by in-flight claims
+	attempts    map[string]int // per-item failure counts
+	loops       map[string]bool
+	liveLoops   int
+	finished    bool
+	failed      error
+
+	runCtx  context.Context
+	runDone chan struct{}
+	wg      sync.WaitGroup
+}
+
+// fail records the first terminal error and wakes everyone.
+func (s *sched) fail(err error) {
+	s.mu.Lock()
+	if s.failed == nil {
+		s.failed = err
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// runScheduler drives the dynamic worker pool to completion: seed the
+// static workers, spawn a loop per live member (and per member that
+// registers later), and wait until every work item is delivered or the
+// run fails.
+func runScheduler(ctx context.Context, items []workItem, opts Options,
+	run clusterRun, reg *Registry, tracker *tracker) error {
+	// Seed static workers: drop unreachable ones, reject misconfigured
+	// ones loudly.
 	urls := make([]string, 0, len(opts.Workers))
 	for _, w := range opts.Workers {
 		if u := NormalizeWorkerURL(w); u != "" {
 			urls = append(urls, u)
 		}
 	}
-	var live []string
-	for _, h := range Status(ctx, urls, run.client, opts.ProbeTimeout) {
-		if !h.OK {
-			continue
+	if len(urls) > 0 {
+		for _, h := range Status(ctx, urls, run.client, run.probeTimeout) {
+			if !h.OK {
+				continue
+			}
+			if h.Backend != "" && h.Backend != run.backend {
+				return fmt.Errorf("%w: %s runs %q, coordinator expects %q",
+					ErrBackendMismatch, h.URL, h.Backend, run.backend)
+			}
+			reg.addStatic(h.URL, run.backend)
 		}
-		if h.Backend != "" && h.Backend != run.backend {
-			return fmt.Errorf("%w: %s runs %q, coordinator expects %q",
-				ErrBackendMismatch, h.URL, h.Backend, run.backend)
-		}
-		live = append(live, h.URL)
 	}
-	if len(live) == 0 {
+	if !run.registryMode && len(reg.Live()) == 0 {
 		return fmt.Errorf("%w: none of %d configured workers answered /v1/healthz", ErrNoWorkers, len(urls))
 	}
 
-	shardSize := opts.ShardSize
-	if shardSize <= 0 {
-		shardSize = (len(items) + 4*len(live) - 1) / (4 * len(live))
-		if shardSize < 1 {
-			shardSize = 1
-		}
-		if shardSize > 16 {
-			shardSize = 16
-		}
+	runCtx, runCancel := context.WithCancel(ctx)
+	defer runCancel()
+	s := &sched{
+		opts:     opts,
+		run:      run,
+		reg:      reg,
+		tracker:  tracker,
+		queue:    items,
+		attempts: make(map[string]int, len(items)),
+		loops:    make(map[string]bool),
+		runCtx:   runCtx,
+		runDone:  make(chan struct{}),
 	}
-	var tasks []*task
-	for off := 0; off < len(items); off += shardSize {
-		end := min(off+shardSize, len(items))
-		hs := items[off:end]
-		sp := make([]scenario.Spec, len(hs))
-		for i, h := range hs {
-			sp[i] = norm[groups[h][0]]
-		}
-		tasks = append(tasks, &task{id: ShardID(hs), hashes: hs, specs: sp})
-	}
+	s.cond = sync.NewCond(&s.mu)
 
-	queue := make(chan *task, len(tasks))
-	for _, t := range tasks {
-		queue <- t
-	}
-	var (
-		remaining   atomic.Int64
-		liveWorkers atomic.Int64
-		errOnce     sync.Once
-		firstErr    error
-		wg          sync.WaitGroup
-	)
-	remaining.Store(int64(len(tasks)))
-	liveWorkers.Store(int64(len(live)))
-	finish := func(t *task, err error) {
-		if err != nil {
-			errOnce.Do(func() { firstErr = err })
+	// Cancellation watcher: a dead context is a terminal failure that
+	// wakes the waiter and every idle loop.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		select {
+		case <-ctx.Done():
+			s.fail(ctx.Err())
+		case <-s.runDone:
 		}
-		if remaining.Add(-1) == 0 {
-			close(queue)
-		}
-	}
+	}()
 
-	for _, url := range live {
-		wg.Add(1)
-		go func(url string) {
-			defer wg.Done()
-			for t := range queue {
-				if ctx.Err() != nil {
-					finish(t, ctx.Err())
-					continue // drain: every queued task must be finished
-				}
-				if t.attempts > 0 {
-					d := min(run.backoffBase<<(t.attempts-1), run.backoffMax)
-					select {
-					case <-time.After(d):
-					case <-ctx.Done():
-						finish(t, ctx.Err())
-						continue
-					}
-				}
-				outs, sum, err := claimShard(ctx, run.client, url, t)
-				if err == nil {
-					ackShard(run.client, url, t.id, opts.ProbeTimeout)
-					run.addTrials(sum.TrialsRun)
-					for _, h := range t.hashes {
-						o := outs[h]
-						// Fill the coordinator-side cache exactly as the local
-						// runner would: the canonical, name-free outcome.
-						// (With a shared cache dir the worker already wrote
-						// it; the atomic store makes the rewrite harmless.)
-						if opts.Cache != nil && !o.CacheHit {
-							c := o
-							c.Name = ""
-							opts.Cache.Add(sweep.CacheKey(run.backend, h), c)
-						}
-						run.deliver(h, o, o.CacheHit)
-					}
-					finish(t, nil)
-					continue
-				}
-				if ctx.Err() != nil {
-					finish(t, ctx.Err())
-					continue
-				}
-				t.attempts++
-				if t.attempts >= run.maxAttempts {
-					finish(t, fmt.Errorf("%w: shard %.12s after %d attempts (last worker %s): %v",
-						ErrShard, t.id, t.attempts, url, err))
-					continue
-				}
-				// Requeue for any worker to steal, then decide whether this
-				// worker is still worth keeping in the pool.
-				queue <- t
-				if !Probe(ctx, run.client, url, opts.ProbeTimeout).OK {
-					if liveWorkers.Add(-1) == 0 {
-						// Last live worker leaving: fail whatever is queued so
-						// the run terminates instead of deadlocking.
-						for {
-							select {
-							case t, ok := <-queue:
-								if !ok {
-									return
-								}
-								finish(t, fmt.Errorf("%w: all workers lost mid-run", ErrNoWorkers))
-							default:
-								return
-							}
-						}
-					}
-					return
-				}
+	// Supervisor: keep one loop running per live member. Registration
+	// signals and a coarse ticker both trigger a re-scan, so a worker
+	// registering mid-run joins within milliseconds.
+	s.spawnLoops()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		tick := time.NewTicker(supervisorInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-reg.Watch():
+			case <-tick.C:
+			case <-s.runDone:
+				return
 			}
-		}(url)
+			s.spawnLoops()
+		}
+	}()
+
+	// Wait for delivery of every item, or the first terminal failure.
+	// With a Registry and no live worker the wait simply continues —
+	// self-organizing pools fill up, they don't fail empty.
+	s.mu.Lock()
+	for s.failed == nil && !(len(s.queue) == 0 && s.outstanding == 0) {
+		s.cond.Wait()
 	}
-	wg.Wait()
-	if ctx.Err() != nil {
-		return ctx.Err()
-	}
-	return firstErr
+	s.finished = true
+	err := s.failed
+	s.mu.Unlock()
+	s.cond.Broadcast()
+	runCancel()
+	close(s.runDone)
+	s.wg.Wait()
+	return err
 }
 
-// claimShard runs one claim/stream exchange and parses the NDJSON
-// response. It succeeds only when the summary line confirms every
-// scenario streamed and every expected hash arrived; any shortfall —
-// transport error, HTTP error, torn stream, short shard — is a retryable
-// failure.
-func claimShard(ctx context.Context, client *http.Client, url string, t *task) (map[string]sweep.Outcome, shardSummary, error) {
+// spawnLoops starts a worker loop for every live member without one.
+func (s *sched) spawnLoops() {
+	for _, m := range s.reg.Live() {
+		s.mu.Lock()
+		if s.finished || s.failed != nil {
+			s.mu.Unlock()
+			return
+		}
+		if !s.loops[m.URL] {
+			s.loops[m.URL] = true
+			s.liveLoops++
+			s.wg.Add(1)
+			go s.workerLoop(m.URL)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// shardSizeFor picks the next shard size for a worker.
+func (s *sched) shardSizeFor(url string) int {
+	if s.opts.ShardSize > 0 {
+		return s.opts.ShardSize
+	}
+	return adaptiveShardSize(s.reg.Rate(url),
+		durationOr(s.opts.TargetShardTime, defaultTargetShardTime),
+		valueOr(s.opts.MaxShardSize, defaultMaxShardSize))
+}
+
+// workerLoop is one worker's claim cycle: cut a shard off the queue,
+// claim it, merge the stream, repeat. It exits when the run ends or the
+// worker proves dead or stuck — in which case its unfinished items are
+// already back on the queue for the others.
+func (s *sched) workerLoop(url string) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.loops, url)
+		s.liveLoops--
+		workLeft := len(s.queue) > 0 || s.outstanding > 0
+		if s.liveLoops == 0 && workLeft && !s.run.registryMode &&
+			s.failed == nil && !s.finished {
+			// Static pools cannot grow back: fail rather than deadlock.
+			s.failed = fmt.Errorf("%w: all workers lost mid-run", ErrNoWorkers)
+		}
+		s.mu.Unlock()
+		s.cond.Broadcast()
+	}()
+
+	consecFails := 0
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && s.outstanding > 0 && s.failed == nil && !s.finished {
+			s.cond.Wait()
+		}
+		if s.failed != nil || s.finished || len(s.queue) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		n := min(s.shardSizeFor(url), len(s.queue))
+		batch := make([]workItem, n)
+		copy(batch, s.queue[:n])
+		s.queue = s.queue[n:]
+		s.outstanding += n
+		s.mu.Unlock()
+
+		t := newTask(batch)
+		s.tracker.claim(t.id, url, len(batch))
+		start := time.Now()
+		sum, deliveredOut, err := s.claimShard(url, t)
+		if err == nil {
+			s.reg.ObserveRate(url, len(batch), time.Since(start))
+			s.run.addTrials(sum.TrialsRun)
+			ackShard(s.run.client, url, t.id, s.run.ackTimeout)
+			s.tracker.acked(t.id)
+			s.mu.Lock()
+			s.outstanding -= n
+			s.mu.Unlock()
+			s.cond.Broadcast()
+			consecFails = 0
+			continue
+		}
+
+		// Failure: whatever streamed before the cut stays merged (with a
+		// trials estimate, since the summary never arrived); only the
+		// undelivered remainder re-enters the queue.
+		for _, o := range deliveredOut {
+			s.run.addTrials(estimateTrials(o))
+		}
+		var remainder []workItem
+		for _, it := range batch {
+			if !s.run.isDelivered(it.hash) {
+				remainder = append(remainder, it)
+			}
+		}
+		leaseExpired := errors.Is(err, errLeaseExpired)
+		s.mu.Lock()
+		s.outstanding -= n
+		if s.failed == nil && !s.finished {
+			for _, it := range remainder {
+				s.attempts[it.hash]++
+				if s.attempts[it.hash] >= s.run.maxAttempts {
+					s.failed = fmt.Errorf("%w: item %.12s after %d attempts (last worker %s): %v",
+						ErrShard, it.hash, s.attempts[it.hash], url, err)
+					break
+				}
+			}
+			s.queue = append(s.queue, remainder...)
+		}
+		terminal := s.failed != nil
+		s.mu.Unlock()
+		s.cond.Broadcast()
+		s.tracker.requeued(t.id)
+		if terminal || s.runCtx.Err() != nil {
+			return
+		}
+		if leaseExpired {
+			// The worker is answering healthz but not finishing work —
+			// quarantine it so it cannot keep reclaiming the queue.
+			s.reg.Penalize(url)
+			return
+		}
+		if !Probe(s.runCtx, s.run.client, url, s.run.probeTimeout).OK {
+			s.reg.Penalize(url)
+			return
+		}
+		// Alive but failing: back off this worker only; the requeued
+		// items are already stealable by everyone else. The shift is
+		// capped — consecFails is unbounded on a multi-worker pool
+		// (other workers absorb the retry budget), and an overflowed
+		// shift would turn the backoff negative and busy-loop.
+		consecFails++
+		d := s.run.backoffMax
+		if shift := consecFails - 1; shift < 16 {
+			d = min(s.run.backoffBase<<shift, s.run.backoffMax)
+		}
+		select {
+		case <-time.After(d):
+		case <-s.runCtx.Done():
+			return
+		}
+	}
+}
+
+// estimateTrials approximates the Monte-Carlo trials behind one merged
+// outcome when the shard summary (the exact count) never arrived: the
+// spec's trial budget for sampling backends, nothing for cache hits or
+// the closed-form theory backend.
+func estimateTrials(o sweep.Outcome) int64 {
+	if o.CacheHit || o.Backend == "theory" {
+		return 0
+	}
+	return int64(o.Spec.Trials)
+}
+
+// claimShard runs one claim/stream exchange, merging outcomes into the
+// report AS THEY STREAM (so progress is live and a torn stream keeps
+// its completed prefix) under a per-shard inactivity lease. It succeeds
+// only when the summary line confirms the shard and every expected hash
+// arrived; any shortfall — transport error, HTTP error, torn stream,
+// expired lease, short shard — is a retryable failure whose undelivered
+// remainder the caller requeues.
+func (s *sched) claimShard(url string, t *task) (shardSummary, []sweep.Outcome, error) {
+	var deliveredOut []sweep.Outcome
 	body, err := json.Marshal(shardRequest{ShardID: t.id, Scenarios: t.specs})
 	if err != nil {
-		return nil, shardSummary{}, err
+		return shardSummary{}, nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url+"/v1/shard", bytes.NewReader(body))
+
+	// The lease watchdog: any stream inactivity longer than the lease
+	// cancels the claim. Every accepted line renews it.
+	claimCtx, cancel := context.WithCancel(s.runCtx)
+	defer cancel()
+	var expired atomic.Bool
+	watchdog := time.AfterFunc(s.run.lease, func() {
+		expired.Store(true)
+		cancel()
+	})
+	defer watchdog.Stop()
+	leaseErr := func(err error) error {
+		if expired.Load() {
+			return fmt.Errorf("%w after %v: %v", errLeaseExpired, s.run.lease, err)
+		}
+		return err
+	}
+
+	req, err := http.NewRequestWithContext(claimCtx, http.MethodPost, url+"/v1/shard", bytes.NewReader(body))
 	if err != nil {
-		return nil, shardSummary{}, err
+		return shardSummary{}, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
+	resp, err := s.run.client.Do(req)
 	if err != nil {
-		return nil, shardSummary{}, err
+		return shardSummary{}, nil, leaseErr(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<12))
-		return nil, shardSummary{}, fmt.Errorf("shard claim status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		return shardSummary{}, nil, fmt.Errorf("shard claim status %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
 	}
 
-	outs := make(map[string]sweep.Outcome, len(t.hashes))
+	want := make(map[string]bool, len(t.hashes))
+	for _, h := range t.hashes {
+		want[h] = true
+	}
+	deliveredHere := 0
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 64<<10), 4<<20)
 	for sc.Scan() {
+		watchdog.Reset(s.run.lease)
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
@@ -518,39 +826,46 @@ func claimShard(ctx context.Context, client *http.Client, url string, t *task) (
 			Error string `json:"error"`
 		}
 		if err := json.Unmarshal(line, &probe); err != nil {
-			return nil, shardSummary{}, fmt.Errorf("undecodable stream line: %v", err)
+			return shardSummary{}, deliveredOut, fmt.Errorf("undecodable stream line: %v", err)
 		}
 		if probe.Done != nil {
 			var sum shardSummary
 			if err := json.Unmarshal(line, &sum); err != nil {
-				return nil, shardSummary{}, err
+				return shardSummary{}, deliveredOut, err
 			}
 			if sum.Error != "" {
-				return nil, sum, fmt.Errorf("worker error: %s", sum.Error)
+				return sum, deliveredOut, fmt.Errorf("worker error: %s", sum.Error)
 			}
 			if sum.ShardID != t.id {
-				return nil, sum, fmt.Errorf("summary for shard %.12s, expected %.12s", sum.ShardID, t.id)
+				return sum, deliveredOut, fmt.Errorf("summary for shard %.12s, expected %.12s", sum.ShardID, t.id)
 			}
-			for _, h := range t.hashes {
-				if _, ok := outs[h]; !ok {
-					return nil, sum, fmt.Errorf("stream missing outcome %.12s", h)
-				}
+			if deliveredHere != len(t.hashes) {
+				return sum, deliveredOut, fmt.Errorf("stream delivered %d of %d outcomes", deliveredHere, len(t.hashes))
 			}
-			return outs, sum, nil
+			return sum, deliveredOut, nil
 		}
 		if probe.Error != "" {
-			return nil, shardSummary{}, fmt.Errorf("worker error: %s", probe.Error)
+			return shardSummary{}, deliveredOut, fmt.Errorf("worker error: %s", probe.Error)
 		}
 		var o sweep.Outcome
 		if err := json.Unmarshal(line, &o); err != nil {
-			return nil, shardSummary{}, fmt.Errorf("undecodable outcome line: %v", err)
+			return shardSummary{}, deliveredOut, fmt.Errorf("undecodable outcome line: %v", err)
 		}
-		outs[o.Hash] = o
+		if !want[o.Hash] {
+			continue // stray outcome from another run's namespace; ignore
+		}
+		if s.run.deliver(o.Hash, o, o.CacheHit) {
+			deliveredHere++
+			deliveredOut = append(deliveredOut, o)
+			s.tracker.streamed(t.id, true)
+		} else {
+			s.tracker.streamed(t.id, false)
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, shardSummary{}, err
+		return shardSummary{}, deliveredOut, leaseErr(err)
 	}
-	return nil, shardSummary{}, fmt.Errorf("stream ended without a summary line")
+	return shardSummary{}, deliveredOut, leaseErr(fmt.Errorf("stream ended without a summary line"))
 }
 
 // ackShard tells the worker its shard was merged; best-effort.

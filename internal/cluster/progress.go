@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// ShardProgress is the live view of one in-flight shard: how many of its
+// scenarios have streamed back so far, who holds it, and for how long.
+type ShardProgress struct {
+	// ID is the shard's content id (ShardID of the hashes it carries).
+	ID string `json:"id"`
+	// Worker is the base URL of the worker holding the claim.
+	Worker string `json:"worker,omitempty"`
+	// Scenarios is the number of work items in the shard, Streamed how
+	// many outcomes have arrived so far.
+	Scenarios int `json:"scenarios"`
+	Streamed  int `json:"streamed"`
+	// State is "claimed" until the first outcome arrives, then
+	// "streaming".
+	State string `json:"state"`
+	// AgeMS is how long ago the shard was claimed.
+	AgeMS int64 `json:"age_ms"`
+}
+
+// Progress is a coordinator-side snapshot of a distributed run: totals
+// over the whole sweep plus the per-shard view of everything currently
+// in flight. Snapshots flow through Options.OnProgress as the run
+// advances, are served by the coordinator's /v1/progress endpoint, and
+// render in `fairctl watch`.
+type Progress struct {
+	// Total is the number of unique work items the run must deliver;
+	// Delivered how many have been merged so far (locally cache-served
+	// or streamed back from a worker).
+	Total     int `json:"total"`
+	Delivered int `json:"delivered"`
+	// LocalCacheHits counts work items served from the coordinator's own
+	// cache without ever shipping to a worker.
+	LocalCacheHits int `json:"local_cache_hits"`
+	// Shard lifecycle counters: claims issued, shards acked after a full
+	// merge, and shards whose remainder was requeued after a failure or
+	// lease expiry.
+	ShardsClaimed  int `json:"shards_claimed"`
+	ShardsAcked    int `json:"shards_acked"`
+	ShardsRequeued int `json:"shards_requeued"`
+	// OutcomesStreamed counts outcome lines merged from worker streams.
+	OutcomesStreamed int `json:"outcomes_streamed"`
+	// Workers is the live worker count at snapshot time.
+	Workers int `json:"workers"`
+	// Done marks the run complete (successfully or not).
+	Done bool `json:"done"`
+	// Shards lists the shards currently in flight.
+	Shards []ShardProgress `json:"shards,omitempty"`
+}
+
+// trackedShard is the tracker's mutable record of one in-flight claim.
+type trackedShard struct {
+	worker    string
+	scenarios int
+	streamed  int
+	claimedAt time.Time
+}
+
+// tracker accumulates coordinator-side progress and emits a snapshot on
+// every transition. Emissions are serialised by the tracker's mutex, so
+// an OnProgress observer sees monotonically advancing snapshots.
+type tracker struct {
+	mu      sync.Mutex
+	p       Progress
+	active  map[string]*trackedShard
+	emit    func(Progress)
+	workers func() int
+}
+
+// newTracker builds a tracker over total unique work items. emit and
+// workers may be nil.
+func newTracker(total int, emit func(Progress), workers func() int) *tracker {
+	return &tracker{
+		p:       Progress{Total: total},
+		active:  make(map[string]*trackedShard),
+		emit:    emit,
+		workers: workers,
+	}
+}
+
+// snapshotLocked assembles a Progress copy; callers hold t.mu.
+func (t *tracker) snapshotLocked() Progress {
+	p := t.p
+	if t.workers != nil {
+		p.Workers = t.workers()
+	}
+	if len(t.active) > 0 {
+		now := time.Now()
+		p.Shards = make([]ShardProgress, 0, len(t.active))
+		for id, s := range t.active {
+			state := "claimed"
+			if s.streamed > 0 {
+				state = "streaming"
+			}
+			p.Shards = append(p.Shards, ShardProgress{
+				ID:        id,
+				Worker:    s.worker,
+				Scenarios: s.scenarios,
+				Streamed:  s.streamed,
+				State:     state,
+				AgeMS:     now.Sub(s.claimedAt).Milliseconds(),
+			})
+		}
+	}
+	return p
+}
+
+// emitLocked pushes a snapshot to the observer; callers hold t.mu.
+func (t *tracker) emitLocked() {
+	if t.emit != nil {
+		t.emit(t.snapshotLocked())
+	}
+}
+
+// Snapshot returns the current progress view.
+func (t *tracker) Snapshot() Progress {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.snapshotLocked()
+}
+
+// localHits records n work items served from the coordinator's cache.
+func (t *tracker) localHits(n int) {
+	if n == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.p.LocalCacheHits += n
+	t.p.Delivered += n
+	t.emitLocked()
+}
+
+// claim records a shard handed to a worker.
+func (t *tracker) claim(id, worker string, scenarios int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.p.ShardsClaimed++
+	t.active[id] = &trackedShard{worker: worker, scenarios: scenarios, claimedAt: time.Now()}
+	t.emitLocked()
+}
+
+// streamed records one outcome line merged from a shard stream;
+// delivered marks lines that filled a previously-missing work item.
+func (t *tracker) streamed(id string, delivered bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.p.OutcomesStreamed++
+	if delivered {
+		t.p.Delivered++
+	}
+	if s, ok := t.active[id]; ok {
+		s.streamed++
+	}
+	t.emitLocked()
+}
+
+// acked retires a fully-merged shard.
+func (t *tracker) acked(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.p.ShardsAcked++
+	delete(t.active, id)
+	t.emitLocked()
+}
+
+// requeued retires a failed claim whose remainder went back on the
+// queue.
+func (t *tracker) requeued(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.p.ShardsRequeued++
+	delete(t.active, id)
+	t.emitLocked()
+}
+
+// done marks the run finished and emits the final snapshot.
+func (t *tracker) done() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.p.Done = true
+	t.emitLocked()
+}

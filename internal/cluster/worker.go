@@ -5,8 +5,16 @@
 // report — bit-identical, modulo timing bookkeeping, to a local
 // sweep.RunContext of the same scenario list.
 //
-// The wire protocol is deliberately small:
+// The cluster is self-organizing: workers register themselves with the
+// coordinator and heartbeat to stay in the pool (Registry/Registrar), a
+// static -workers seed list remains supported, and shard sizes adapt to
+// each worker's measured throughput. The wire protocol stays small:
 //
+//	POST /v1/register   {"url":...,"backend":...,"scenarios_per_sec":...}
+//	                    — coordinator side: join the pool (and renew the
+//	                    membership lease; heartbeats are re-registrations).
+//	POST /v1/deregister {"url":...} — graceful leave (fairnessd sends
+//	                    this on SIGTERM).
 //	POST /v1/shard      {"shard_id":"...","scenarios":[...]} — claim:
 //	                    the worker registers the shard in flight and
 //	                    streams one NDJSON outcome per scenario, then a
@@ -14,24 +22,30 @@
 //	POST /v1/shard/ack  {"shard_id":"..."} — ack: the coordinator
 //	                    confirms it merged the shard; the worker drops
 //	                    it from its pending table.
-//	GET  /v1/healthz    liveness plus backend, cache counters and
-//	                    in-flight shard count, used for placement and
-//	                    failure detection.
+//	GET  /v1/progress   per-shard claimed/streamed/acked counts — the
+//	                    live view behind `fairctl watch` (served by both
+//	                    workers and the coordinator).
+//	GET  /v1/healthz    liveness plus backend, cache counters, shard
+//	                    counters and measured scenarios/sec, used for
+//	                    placement and failure detection.
 //
-// Work-stealing: shards live on one shared queue and every worker pulls
-// the next shard the moment it finishes the last, so fast (or
-// cache-warm) workers naturally take more of the grid. A failed shard
-// retries with exponential backoff and re-enters the queue for any live
-// worker; a worker whose health probe fails drops out of the pool.
-// Shards are deterministic and idempotent — their identity is the hash
-// of the scenario hashes they carry — so a reassigned shard recomputes
-// (or cache-serves) exactly the same outcomes on the new worker.
+// Scheduling: work items live on one shared queue and every live worker
+// cuts its next shard the moment it finishes the last, so fast (or
+// cache-warm) workers naturally take more of the grid; the shard size
+// each worker receives tracks an EWMA of its scenarios/sec, so cold or
+// slow workers get small probing shards and fast workers get batched
+// claims. Each claimed shard carries a lease renewed by every streamed
+// outcome: a worker that stops streaming mid-shard loses the lease, the
+// undelivered remainder re-enters the queue for any live worker, and
+// the stalled worker is quarantined. Outcomes are content-addressed and
+// merged idempotently, so reassignment never double-counts a scenario.
 package cluster
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -95,28 +109,73 @@ const maxShardBodyBytes = 32 << 20
 // that never acks cannot grow worker memory without bound.
 const maxPendingShards = 1024
 
+// maxShardHistory caps the finished-shard progress table served by
+// /v1/progress.
+const maxShardHistory = 256
+
+// workerShard is one shard's lifecycle as the worker sees it.
+type workerShard struct {
+	Scenarios int       `json:"scenarios"`
+	Streamed  int       `json:"streamed"`
+	State     string    `json:"state"` // claimed | done | failed | acked
+	at        time.Time // claim time (for eviction and age)
+}
+
+// WorkerShardProgress is one row of a worker's /v1/progress response.
+type WorkerShardProgress struct {
+	ID        string `json:"id"`
+	Scenarios int    `json:"scenarios"`
+	Streamed  int    `json:"streamed"`
+	State     string `json:"state"`
+	AgeMS     int64  `json:"age_ms"`
+}
+
+// WorkerProgress is a worker's /v1/progress snapshot: lifetime totals
+// plus the per-shard table (in-flight first, then recent history).
+type WorkerProgress struct {
+	ShardsClaimed    int64                 `json:"shards_claimed"`
+	ShardsInFlight   int64                 `json:"shards_in_flight"`
+	ShardsDone       int64                 `json:"shards_done"`
+	ShardsAcked      int64                 `json:"shards_acked"`
+	OutcomesStreamed int64                 `json:"outcomes_streamed"`
+	PendingAcks      int                   `json:"pending_acks"`
+	ScenariosPerSec  float64               `json:"scenarios_per_sec,omitempty"`
+	Shards           []WorkerShardProgress `json:"shards,omitempty"`
+}
+
 // WorkerServer is the worker-node side of the cluster protocol: it
-// mounts the /v1/shard claim/stream and /v1/shard/ack endpoints over any
-// sweep pipeline (a fairnessd Engine, or a bare LocalRunner) and tracks
-// the in-flight/completed shard counters health endpoints report.
+// mounts the /v1/shard claim/stream, /v1/shard/ack and /v1/progress
+// endpoints over any sweep pipeline (a fairnessd Engine, or a bare
+// LocalRunner) and tracks the shard counters and throughput EWMA that
+// health endpoints and registration heartbeats report.
 type WorkerServer struct {
 	run      RunFunc
+	claimed  atomic.Int64
 	inFlight atomic.Int64
 	done     atomic.Int64
+	acked    atomic.Int64
+	streamed atomic.Int64
+	rateBits atomic.Uint64 // float64 bits of the scenarios/sec EWMA
 
 	mu      sync.Mutex
-	pending map[string]time.Time // completed shards awaiting coordinator ack
+	pending map[string]time.Time    // completed shards awaiting coordinator ack
+	shards  map[string]*workerShard // per-shard progress (bounded history)
 }
 
 // NewWorkerServer builds a worker server over the given shard runner.
 func NewWorkerServer(run RunFunc) *WorkerServer {
-	return &WorkerServer{run: run, pending: make(map[string]time.Time)}
+	return &WorkerServer{
+		run:     run,
+		pending: make(map[string]time.Time),
+		shards:  make(map[string]*workerShard),
+	}
 }
 
 // Register mounts the shard endpoints on mux.
 func (s *WorkerServer) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/shard", s.handleShard)
 	mux.HandleFunc("POST /v1/shard/ack", s.handleAck)
+	mux.HandleFunc("GET /v1/progress", s.handleProgress)
 }
 
 // InFlight returns the number of shards currently being evaluated.
@@ -125,11 +184,94 @@ func (s *WorkerServer) InFlight() int64 { return s.inFlight.Load() }
 // Done returns the number of shards completed since startup.
 func (s *WorkerServer) Done() int64 { return s.done.Load() }
 
+// Claimed returns the number of shard claims accepted since startup.
+func (s *WorkerServer) Claimed() int64 { return s.claimed.Load() }
+
+// Acked returns the number of shards the coordinator confirmed merging.
+func (s *WorkerServer) Acked() int64 { return s.acked.Load() }
+
+// Streamed returns the number of outcome lines streamed since startup.
+func (s *WorkerServer) Streamed() int64 { return s.streamed.Load() }
+
+// Rate returns this worker's scenarios/sec EWMA across completed shards
+// (0 until the first shard completes) — the figure heartbeats report
+// and adaptive shard sizing consumes.
+func (s *WorkerServer) Rate() float64 {
+	return math.Float64frombits(s.rateBits.Load())
+}
+
+// observeRate folds one completed shard into the throughput EWMA.
+func (s *WorkerServer) observeRate(scenarios int, wall time.Duration) {
+	if scenarios <= 0 || wall <= 0 {
+		return
+	}
+	obs := float64(scenarios) / wall.Seconds()
+	for {
+		old := s.rateBits.Load()
+		cur := math.Float64frombits(old)
+		next := obs
+		if cur > 0 {
+			next = rateEWMAAlpha*obs + (1-rateEWMAAlpha)*cur
+		}
+		if s.rateBits.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
 // PendingAcks returns the number of completed shards not yet acked.
 func (s *WorkerServer) PendingAcks() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.pending)
+}
+
+// Progress returns the worker's live progress snapshot.
+func (s *WorkerServer) Progress() WorkerProgress {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := WorkerProgress{
+		ShardsClaimed:    s.claimed.Load(),
+		ShardsInFlight:   s.inFlight.Load(),
+		ShardsDone:       s.done.Load(),
+		ShardsAcked:      s.acked.Load(),
+		OutcomesStreamed: s.streamed.Load(),
+		PendingAcks:      len(s.pending),
+		ScenariosPerSec:  s.Rate(),
+	}
+	now := time.Now()
+	for id, sh := range s.shards {
+		p.Shards = append(p.Shards, WorkerShardProgress{
+			ID: id, Scenarios: sh.Scenarios, Streamed: sh.Streamed,
+			State: sh.State, AgeMS: now.Sub(sh.at).Milliseconds(),
+		})
+	}
+	return p
+}
+
+// trackShard records (or updates) one shard's progress row, evicting
+// the oldest finished row when the table is full; callers hold s.mu via
+// the helper methods below.
+func (s *WorkerServer) shardState(id string, mutate func(*workerShard)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sh, ok := s.shards[id]
+	if !ok {
+		if len(s.shards) >= maxShardHistory {
+			oldestID, oldest := "", time.Time{}
+			for k, v := range s.shards {
+				if v.State != "claimed" && (oldest.IsZero() || v.at.Before(oldest)) {
+					oldestID, oldest = k, v.at
+				}
+			}
+			if oldestID != "" {
+				delete(s.shards, oldestID)
+			}
+		}
+		sh = &workerShard{at: time.Now()}
+		s.shards[id] = sh
+	}
+	mutate(sh)
 }
 
 // recordPending marks a completed shard as awaiting ack, evicting the
@@ -153,8 +295,8 @@ func (s *WorkerServer) recordPending(id string) {
 // counts it in flight, streams one NDJSON outcome per scenario and
 // finishes with a summary line. The summary's Done:true is the worker's
 // promise that every scenario streamed; anything else (an Error line, a
-// torn connection, a short stream) tells the coordinator to retry the
-// shard elsewhere.
+// torn connection, a short stream) tells the coordinator to requeue the
+// shard's undelivered remainder elsewhere.
 func (s *WorkerServer) handleShard(w http.ResponseWriter, r *http.Request) {
 	var req shardRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxShardBodyBytes))
@@ -178,8 +320,15 @@ func (s *WorkerServer) handleShard(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	s.claimed.Add(1)
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
+	s.shardState(req.ShardID, func(sh *workerShard) {
+		sh.Scenarios = len(req.Scenarios)
+		sh.Streamed = 0
+		sh.State = "claimed"
+		sh.at = time.Now()
+	})
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
@@ -189,6 +338,8 @@ func (s *WorkerServer) handleShard(w http.ResponseWriter, r *http.Request) {
 	stats, err := s.run(r.Context(), req.Scenarios, func(out sweep.Outcome) {
 		if enc.Encode(out) == nil {
 			streamed++
+			s.streamed.Add(1)
+			s.shardState(req.ShardID, func(sh *workerShard) { sh.Streamed = streamed })
 		}
 		if flusher != nil {
 			flusher.Flush()
@@ -204,13 +355,17 @@ func (s *WorkerServer) handleShard(w http.ResponseWriter, r *http.Request) {
 	}
 	switch {
 	case r.Context().Err() != nil:
+		s.shardState(req.ShardID, func(sh *workerShard) { sh.State = "failed" })
 		return // coordinator went away; nothing left to tell it
 	case err != nil:
 		sum.Error = err.Error()
+		s.shardState(req.ShardID, func(sh *workerShard) { sh.State = "failed" })
 	default:
 		sum.Done = true
 		s.done.Add(1)
+		s.observeRate(len(req.Scenarios), time.Since(start))
 		s.recordPending(req.ShardID)
+		s.shardState(req.ShardID, func(sh *workerShard) { sh.State = "done" })
 	}
 	enc.Encode(sum)
 }
@@ -229,8 +384,18 @@ func (s *WorkerServer) handleAck(w http.ResponseWriter, r *http.Request) {
 	_, known := s.pending[req.ShardID]
 	delete(s.pending, req.ShardID)
 	s.mu.Unlock()
+	if known {
+		s.acked.Add(1)
+		s.shardState(req.ShardID, func(sh *workerShard) { sh.State = "acked" })
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]bool{"acked": known})
+}
+
+// handleProgress serves the worker's live shard table.
+func (s *WorkerServer) handleProgress(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Progress())
 }
 
 // shardError writes a JSON error with the given status — the pre-stream

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -93,6 +94,67 @@ func TestWorkerShardClaimStreamAck(t *testing.T) {
 	json.NewDecoder(again.Body).Decode(&acked)
 	if acked.Acked {
 		t.Error("second ack of the same shard reported acked=true")
+	}
+}
+
+func TestWorkerProgressEndpoint(t *testing.T) {
+	srv, ws := startWorker(t, sweep.Options{}, "montecarlo")
+	spec := scenario.Spec{Protocol: "pow", Stake: 0.3, Blocks: 100, Trials: 10, Seed: 7}.Normalized()
+	h := spec.MustHash()
+	id := ShardID([]string{h})
+	body, _ := json.Marshal(shardRequest{ShardID: id, Scenarios: []scenario.Spec{spec}})
+
+	claim := postJSON(t, srv.URL+"/v1/shard", string(body))
+	io.Copy(io.Discard, claim.Body)
+	claim.Body.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var p WorkerProgress
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.ShardsClaimed != 1 || p.ShardsDone != 1 || p.OutcomesStreamed != 1 || p.PendingAcks != 1 {
+		t.Errorf("progress after claim: %+v", p)
+	}
+	if len(p.Shards) != 1 || p.Shards[0].ID != id || p.Shards[0].State != "done" ||
+		p.Shards[0].Streamed != 1 || p.Shards[0].Scenarios != 1 {
+		t.Errorf("per-shard progress: %+v", p.Shards)
+	}
+	if p.ScenariosPerSec <= 0 {
+		t.Errorf("scenarios_per_sec = %v, want > 0 after a completed shard", p.ScenariosPerSec)
+	}
+	if ws.Rate() != p.ScenariosPerSec {
+		t.Errorf("Rate() = %v, progress reports %v", ws.Rate(), p.ScenariosPerSec)
+	}
+
+	// Acking flips the shard row to acked and bumps the acked counter.
+	ack := postJSON(t, srv.URL+"/v1/shard/ack", `{"shard_id":"`+id+`"}`)
+	ack.Body.Close()
+	resp2, err := http.Get(srv.URL + "/v1/progress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if err := json.NewDecoder(resp2.Body).Decode(&p); err != nil {
+		t.Fatal(err)
+	}
+	if p.ShardsAcked != 1 || p.PendingAcks != 0 || p.Shards[0].State != "acked" {
+		t.Errorf("progress after ack: %+v", p)
+	}
+}
+
+func TestWorkerShardHistoryBounded(t *testing.T) {
+	ws := NewWorkerServer(nil)
+	for i := 0; i < maxShardHistory+20; i++ {
+		id := ShardID([]string{string(rune('a' + i%26)), string(rune(i))})
+		ws.shardState(id, func(sh *workerShard) { sh.State = "done" })
+	}
+	if n := len(ws.Progress().Shards); n > maxShardHistory {
+		t.Errorf("shard history grew to %d, cap %d", n, maxShardHistory)
 	}
 }
 
