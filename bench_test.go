@@ -182,13 +182,36 @@ func sweepBenchSpecs(b *testing.B) []fairness.Scenario {
 	return specs
 }
 
+// reportSweepTelemetry derives efficiency metrics from a sweep's metrics
+// registry — the same series a /metrics scrape would expose — so the
+// bench baseline (BENCH_*.json via cmd/benchgate) records cache-hit
+// ratio and trials-per-scenario alongside raw throughput. Totals are
+// cumulative across b.N iterations, so the ratios are per-iteration
+// exact when every iteration behaves identically (as these benches
+// assert).
+func reportSweepTelemetry(b *testing.B, m *fairness.MetricsRegistry) {
+	b.Helper()
+	snap := m.Snapshot()
+	label := `{backend="montecarlo"}`
+	scen := snap["fairness_sweep_scenarios_total"+label]
+	if scen == 0 {
+		b.Fatal("telemetry registry recorded no scenarios")
+	}
+	b.ReportMetric(snap["fairness_sweep_cache_hits_total"+label]/scen, "hit_ratio")
+	b.ReportMetric(snap["fairness_sweep_trials_total"+label]/scen, "trials/scenario")
+}
+
 // BenchmarkSweepColdCache measures end-to-end sweep throughput with every
 // scenario computed from scratch — the perf baseline for the engine.
 func BenchmarkSweepColdCache(b *testing.B) {
 	specs := sweepBenchSpecs(b)
+	metrics := fairness.NewMetricsRegistry()
 	var perSec, hits float64
 	for i := 0; i < b.N; i++ {
-		rep, err := fairness.Sweep(specs, fairness.SweepOptions{Cache: fairness.NewSweepCache(len(specs))})
+		rep, err := fairness.Sweep(specs, fairness.SweepOptions{
+			Cache:   fairness.NewSweepCache(len(specs)),
+			Metrics: metrics,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -200,6 +223,7 @@ func BenchmarkSweepColdCache(b *testing.B) {
 	}
 	b.ReportMetric(perSec, "scenarios/s")
 	b.ReportMetric(hits, "cache_hits")
+	reportSweepTelemetry(b, metrics)
 }
 
 // BenchmarkSweepWarmCache measures the same sweep answered entirely from
@@ -211,9 +235,10 @@ func BenchmarkSweepWarmCache(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
+	metrics := fairness.NewMetricsRegistry()
 	var perSec, hits float64
 	for i := 0; i < b.N; i++ {
-		rep, err := fairness.Sweep(specs, fairness.SweepOptions{Cache: cache})
+		rep, err := fairness.Sweep(specs, fairness.SweepOptions{Cache: cache, Metrics: metrics})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -225,6 +250,7 @@ func BenchmarkSweepWarmCache(b *testing.B) {
 	}
 	b.ReportMetric(perSec, "scenarios/s")
 	b.ReportMetric(hits, "cache_hits")
+	reportSweepTelemetry(b, metrics)
 }
 
 // BenchmarkSweepFig3 times the sweep-engine reproduction of Figure 3,

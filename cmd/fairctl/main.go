@@ -21,6 +21,7 @@
 //	fairctl run -workers host1:7447,host2:7447 [flags] spec.json
 //	fairctl watch -coordinator http://host:7800 [-workers CSV]
 //	fairctl status -workers host1:7447,host2:7447
+//	fairctl top -url http://host:7447 [-interval D] [-once]
 //	fairctl expand [flags] [spec.json]
 //
 // Run flags:
@@ -42,6 +43,13 @@
 //	                     stalls longer loses the shard
 //	-retries N           attempts per work item before the run fails
 //	-progress            print live progress lines to stderr
+//	-trace FILE          write the run's NDJSON trace events — sweep and
+//	                     cluster spans (cluster_start, shard_claim,
+//	                     shard_ack, lease_expiry, worker_quarantine,
+//	                     cluster_done) — to FILE ("-" = stderr)
+//	-pprof               with -listen: mount net/http/pprof on the
+//	                     coordinator mux (the listener also serves
+//	                     GET /metrics with the run's registry)
 //	-seed S              sweep base seed for grid specs
 //	-json / -ndjson      report as JSON / stream outcomes as NDJSON
 //	-out FILE            also write the JSON report to FILE
@@ -74,6 +82,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sort"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -82,6 +92,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/scenario"
 	"repro/internal/table"
+	"repro/internal/telemetry"
 )
 
 // stdout/stderr are swapped by tests; stderr carries summaries in
@@ -110,6 +121,8 @@ func run(args []string) error {
 		return watchCmd(args[1:])
 	case "status":
 		return statusCmd(args[1:])
+	case "top":
+		return topCmd(args[1:])
 	case "expand":
 		return expandCmd(args[1:])
 	case "help", "-h", "--help":
@@ -176,6 +189,8 @@ func runCmd(args []string) error {
 	lease := fs.Duration("lease", 0, "per-shard stream-inactivity lease (0 = 5m)")
 	retries := fs.Int("retries", 0, "attempts per work item before the run fails (0 = default 3)")
 	progress := fs.Bool("progress", false, "print live progress lines to stderr")
+	traceFile := fs.String("trace", "", "write NDJSON trace events (cluster_start, shard_claim, lease_expiry, ...) to FILE (\"-\" = stderr)")
+	pprofFlag := fs.Bool("pprof", false, "with -listen: mount net/http/pprof on the coordinator mux")
 	seed := fs.Uint64("seed", 1, "sweep base seed for grid specs")
 	asJSON := fs.Bool("json", false, "print the report as JSON")
 	asNDJSON := fs.Bool("ndjson", false, "stream outcomes as NDJSON lines as they complete")
@@ -215,6 +230,20 @@ func runCmd(args []string) error {
 	var engOpts []fairness.EngineOption
 	var progressFns []func(fairness.ClusterProgress)
 
+	// One registry for the whole run: the engine's sweep/cluster counters
+	// land here and the coordinator's /metrics endpoint serves it.
+	metrics := fairness.NewMetricsRegistry()
+	var tracer *fairness.Tracer
+	if *traceFile != "" {
+		w, closeTrace, err := traceWriter(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer closeTrace()
+		tracer = fairness.NewTracer(w)
+	}
+	engOpts = append(engOpts, fairness.WithTelemetry(metrics, tracer))
+
 	// -listen: boot the registration listener so workers can join (and
 	// leave) on their own, and serve live run progress for `watch`.
 	if *listen != "" {
@@ -222,6 +251,10 @@ func runCmd(args []string) error {
 		regSrv := fairness.NewClusterRegistryServer(reg)
 		mux := http.NewServeMux()
 		regSrv.Register(mux)
+		mux.Handle("GET /metrics", fairness.MetricsHandler(metrics))
+		if *pprofFlag {
+			telemetry.RegisterPprof(mux)
+		}
 		ln, err := net.Listen("tcp", *listen)
 		if err != nil {
 			return fmt.Errorf("coordinator listener: %w", err)
@@ -305,6 +338,19 @@ func runCmd(args []string) error {
 		fmt.Fprintf(stdout, "wrote %s\n", *outFile)
 	}
 	return nil
+}
+
+// traceWriter resolves the -trace flag: "-" streams events to stderr,
+// anything else creates (or truncates) the named NDJSON file.
+func traceWriter(path string) (io.Writer, func(), error) {
+	if path == "-" {
+		return stderr, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
 }
 
 // progressPrinter renders one throttled progress line per snapshot
@@ -474,6 +520,96 @@ func statusCmd(args []string) error {
 	return nil
 }
 
+// topCmd polls a /metrics endpoint (a fairnessd worker or a `fairctl
+// run -listen` coordinator) and renders the fairness_* series as a live
+// table, with a per-second rate column for counters derived from
+// successive polls — a minimal `top` for sweep telemetry that needs no
+// Prometheus server.
+func topCmd(args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	url := fs.String("url", "", "base URL serving /metrics (fairnessd, or fairctl run -listen)")
+	prefix := fs.String("prefix", "fairness_", "only show series whose name starts with this prefix")
+	interval := fs.Duration("interval", 2*time.Second, "poll interval")
+	once := fs.Bool("once", false, "poll once and exit (scripting/CI)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := cluster.NormalizeWorkerURL(*url)
+	if base == "" {
+		return fmt.Errorf("no endpoint: pass -url http://host:port")
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	var (
+		prev   map[string]float64
+		prevAt time.Time
+	)
+	for {
+		series, err := fetchMetrics(ctx, base+"/metrics")
+		if err != nil {
+			if *once {
+				return err
+			}
+			fmt.Fprintf(stdout, "[%s] %s: %v\n", time.Now().Format("15:04:05"), base, err)
+		} else {
+			now := time.Now()
+			ids := make([]string, 0, len(series))
+			for id := range series {
+				if strings.HasPrefix(id, *prefix) {
+					ids = append(ids, id)
+				}
+			}
+			sort.Strings(ids)
+			tb := table.New("Series", "Value", "Rate/s").
+				AlignAll(table.Right).SetAlign(0, table.Left)
+			for _, id := range ids {
+				rate := ""
+				// Rates only make sense for cumulative counters, and only
+				// once two polls straddle a measurable window.
+				if strings.Contains(id, "_total") && prev != nil {
+					if dt := now.Sub(prevAt).Seconds(); dt > 0 {
+						if p, ok := prev[id]; ok {
+							rate = fmt.Sprintf("%.2f", (series[id]-p)/dt)
+						}
+					}
+				}
+				tb.AddRow(id, strconv.FormatFloat(series[id], 'g', -1, 64), rate)
+			}
+			fmt.Fprintf(stdout, "[%s] %s — %d series\n%s\n",
+				now.Format("15:04:05"), base, len(ids), tb.String())
+			prev, prevAt = series, now
+		}
+		if *once {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// fetchMetrics scrapes one Prometheus text exposition into a flat
+// series-id -> value map.
+func fetchMetrics(ctx context.Context, url string) (map[string]float64, error) {
+	reqCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return fairness.ParseMetricsText(io.LimitReader(resp.Body, 4<<20))
+}
+
 func expandCmd(args []string) error {
 	fs := flag.NewFlagSet("expand", flag.ContinueOnError)
 	spec := fs.String("spec", "", "JSON grid or scenario-array file")
@@ -519,11 +655,13 @@ commands:
                                          distribute the sweep, print the report
   watch -coordinator URL [-workers CSV]  live per-shard progress of a running sweep
   status -workers CSV [-json]            probe every worker's /v1/healthz
+  top -url URL [-interval D] [-once]     live fairness_* metrics of one /metrics
+                                         endpoint, with counter rates
   expand [-spec FILE|spec.json] [-seed]  expand the grid, print scenarios + hashes
 
 run flags:
   -listen ADDR  -workers CSV  -spec FILE  -backend NAME  -cache-dir DIR
   -cache-max-bytes N  -shard-size N  -shard-target D  -lease D  -retries N
-  -progress  -seed S  -json  -ndjson  -out FILE
+  -progress  -trace FILE  -pprof  -seed S  -json  -ndjson  -out FILE
 `, "\n"))
 }

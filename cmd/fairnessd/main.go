@@ -24,10 +24,17 @@
 //	                   counters, shard counters and the measured
 //	                   scenarios/sec — everything a coordinator or load
 //	                   balancer needs for placement.
+//	GET  /metrics      Prometheus text exposition of the process registry:
+//	                   fairness_sweep_*, fairness_cache_*,
+//	                   fairness_worker_*, fairness_eval_seconds and the
+//	                   simulation totals. Healthz counters read the same
+//	                   registry handles, so the two views cannot drift.
 //
 // Flags:
 //
 //	-addr ADDR          listen address (default :7447)
+//	-pprof              also mount net/http/pprof under /debug/pprof/
+//	                    (off by default: profiling endpoints are opt-in)
 //	-cache-dir DIR      disk result cache shared across restarts
 //	-cache-max-bytes N  size-cap the disk cache: LRU entries are evicted
 //	                    once stored outcomes exceed N bytes (0 = unbounded)
@@ -69,7 +76,6 @@ import (
 	"os/signal"
 	"runtime"
 	"strings"
-	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -77,6 +83,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -90,6 +97,7 @@ func main() {
 	flag.StringVar(&cfg.register, "register", "", "coordinator base URL to self-register with (heartbeats + graceful deregister)")
 	flag.StringVar(&cfg.advertise, "advertise", "", "own base URL as reachable from the coordinator (default: derived from -addr)")
 	flag.DurationVar(&cfg.heartbeat, "heartbeat", 0, "registration heartbeat interval (0 = coordinator's suggestion)")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	srv, err := newServer(cfg)
@@ -171,25 +179,49 @@ type config struct {
 	register      string
 	advertise     string
 	heartbeat     time.Duration
+	pprof         bool
+	// metrics overrides the process-global registry (tests inject a
+	// fresh one so counters stay hermetic per server).
+	metrics *fairness.MetricsRegistry
 }
 
-// server is the HTTP face of one shared Engine.
+// server is the HTTP face of one shared Engine. All counters — request
+// totals, cache hits, shard lifecycle — live on one telemetry registry;
+// /v1/healthz and /metrics read the same handles.
 type server struct {
 	eng         *fairness.Engine
 	cache       fairness.CacheStore
 	shards      *cluster.WorkerServer
+	metrics     *fairness.MetricsRegistry
 	backendName string
 	cacheDesc   string
 	start       time.Time
-	evaluates   atomic.Int64
-	sweeps      atomic.Int64
+	pprof       bool
+	evaluates   *fairness.MetricsCounter
+	sweeps      *fairness.MetricsCounter
 }
 
 // maxBodyBytes bounds request bodies; scenario documents are tiny.
 const maxBodyBytes = 4 << 20
 
 func newServer(cfg config) (*server, error) {
-	s := &server{start: time.Now(), backendName: cfg.backend, cacheDesc: "none"}
+	// The process-global registry aggregates everything this daemon does:
+	// engine sweep counters, cache hit/miss, worker shard lifecycle, and
+	// the montecarlo/chainsim simulation totals (which register there on
+	// their own).
+	m := cfg.metrics
+	if m == nil {
+		m = fairness.DefaultMetrics()
+	}
+	s := &server{
+		start:       time.Now(),
+		backendName: cfg.backend,
+		cacheDesc:   "none",
+		metrics:     m,
+		pprof:       cfg.pprof,
+		evaluates:   m.Counter("fairness_http_requests_total", "endpoint", "evaluate"),
+		sweeps:      m.Counter("fairness_http_requests_total", "endpoint", "sweep"),
+	}
 	if s.backendName == "" {
 		s.backendName = "montecarlo"
 	}
@@ -199,7 +231,7 @@ func newServer(cfg config) (*server, error) {
 	}
 	switch {
 	case cfg.cacheDir != "":
-		disk, err := fairness.NewDiskCache(cfg.cacheDir)
+		disk, err := fairness.NewDiskCacheWithMetrics(cfg.cacheDir, m)
 		if err != nil {
 			return nil, err
 		}
@@ -209,10 +241,13 @@ func newServer(cfg config) (*server, error) {
 		s.cache = disk
 		s.cacheDesc = "disk:" + disk.Dir()
 	case cfg.cacheCap > 0:
-		s.cache = fairness.NewSweepCache(cfg.cacheCap)
+		s.cache = fairness.NewSweepCacheWithMetrics(cfg.cacheCap, m)
 		s.cacheDesc = fmt.Sprintf("lru:%d", cfg.cacheCap)
 	}
-	opts := []fairness.EngineOption{fairness.WithWorkers(cfg.workers)}
+	opts := []fairness.EngineOption{
+		fairness.WithWorkers(cfg.workers),
+		fairness.WithTelemetry(m, nil),
+	}
 	if s.cache != nil {
 		opts = append(opts, fairness.WithCache(s.cache))
 	}
@@ -223,13 +258,13 @@ func newServer(cfg config) (*server, error) {
 	// The worker-node face of the cluster protocol: shards evaluate
 	// through the same shared Engine (and therefore the same cache) as
 	// every other request.
-	s.shards = cluster.NewWorkerServer(func(ctx context.Context, specs []scenario.Spec, on func(sweep.Outcome)) (sweep.Stats, error) {
+	s.shards = cluster.NewWorkerServerWithMetrics(func(ctx context.Context, specs []scenario.Spec, on func(sweep.Outcome)) (sweep.Stats, error) {
 		rep, err := s.eng.SweepObserved(ctx, specs, on)
 		if rep != nil {
 			return rep.Stats, err
 		}
 		return sweep.Stats{}, err
-	})
+	}, m)
 	return s, nil
 }
 
@@ -238,6 +273,10 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", fairness.MetricsHandler(s.metrics))
+	if s.pprof {
+		telemetry.RegisterPprof(mux)
+	}
 	s.shards.Register(mux) // /v1/shard, /v1/shard/ack, /v1/progress
 	return mux
 }
@@ -278,7 +317,7 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 // hits are served without computing, and the outcome records which
 // backend produced it.
 func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	s.evaluates.Add(1)
+	s.evaluates.Inc()
 	body, err := readBody(w, r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -316,7 +355,7 @@ type sweepSummary struct {
 // then a summary line. The request context cancels the sweep, so a
 // dropped connection stops computing within one scenario.
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	s.sweeps.Add(1)
+	s.sweeps.Inc()
 	body, err := readBody(w, r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
@@ -359,9 +398,10 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz reports liveness plus the shared cache and backend
 // state. It is probe-friendly: everything reported is O(1) — notably it
-// never walks the disk cache (cache hit/miss counters come from this
-// instance's atomics, and an entry count is only included for the
-// in-memory LRU, whose Len is constant-time).
+// never walks the disk cache (cache hit/miss and shard counters read
+// the same telemetry-registry handles /metrics scrapes, and an entry
+// count is only included for the in-memory LRU, whose Len is
+// constant-time).
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	type health struct {
 		Status  string `json:"status"`
@@ -392,8 +432,8 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Backend:          s.backendName,
 		Capabilities:     caps,
 		Cache:            s.cacheDesc,
-		Evaluates:        s.evaluates.Load(),
-		Sweeps:           s.sweeps.Load(),
+		Evaluates:        s.evaluates.Value(),
+		Sweeps:           s.sweeps.Value(),
 		ShardsClaimed:    s.shards.Claimed(),
 		ShardsInFlight:   s.shards.InFlight(),
 		ShardsDone:       s.shards.Done(),

@@ -18,6 +18,11 @@ import (
 // configuration.
 func testServer(t *testing.T, cfg config) (*server, *httptest.Server) {
 	t.Helper()
+	if cfg.metrics == nil {
+		// A fresh registry per server: the production default registry is
+		// process-global, which would leak counters between tests.
+		cfg.metrics = fairness.NewMetricsRegistry()
+	}
 	srv, err := newServer(cfg)
 	if err != nil {
 		t.Fatal(err)

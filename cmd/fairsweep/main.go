@@ -36,6 +36,8 @@
 //	               entries are evicted once it exceeds N bytes
 //	-backend NAME  evaluator backend: montecarlo (default), theory, chainsim
 //	-repeat N      run the sweep N times against the shared cache
+//	-trace FILE    write NDJSON trace events — sweep_start, one sweep_eval
+//	               per unique scenario, sweep_done — to FILE ("-" = stderr)
 //	-json          print the report as JSON instead of a table
 //	-ndjson        stream outcomes as NDJSON lines as they complete
 //	-out FILE      also write the JSON report to FILE
@@ -92,6 +94,19 @@ func main() {
 // interrupted sweep stops within one scenario and reports what finished.
 func signalContext() (context.Context, context.CancelFunc) {
 	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// traceWriter resolves the -trace flag: "-" streams events to stderr,
+// anything else creates (or truncates) the named NDJSON file.
+func traceWriter(path string) (io.Writer, func(), error) {
+	if path == "-" {
+		return stderr, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
 }
 
 // cacheFor resolves the -cache/-cache-dir/-cache-max-bytes flags into a
@@ -275,6 +290,7 @@ func runCmd(args []string) error {
 	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "size cap for -cache-dir: evict LRU entries beyond N bytes (0 = unbounded)")
 	backend := fs.String("backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim")
 	repeat := fs.Int("repeat", 1, "run the sweep N times against the shared cache")
+	traceFile := fs.String("trace", "", "write NDJSON trace events (sweep_start, sweep_eval, sweep_done) to FILE (\"-\" = stderr)")
 	asJSON := fs.Bool("json", false, "print the report as JSON")
 	asNDJSON := fs.Bool("ndjson", false, "stream outcomes as NDJSON lines as they complete")
 	outFile := fs.String("out", "", "also write the JSON report to FILE")
@@ -303,6 +319,14 @@ func runCmd(args []string) error {
 	defer stop()
 
 	engOpts := []fairness.EngineOption{fairness.WithWorkers(*workers)}
+	if *traceFile != "" {
+		w, closeTrace, err := traceWriter(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer closeTrace()
+		engOpts = append(engOpts, fairness.WithTelemetry(nil, fairness.NewTracer(w)))
+	}
 	if cache != nil {
 		engOpts = append(engOpts, fairness.WithCache(cache))
 	}
@@ -371,6 +395,7 @@ func benchCmd(args []string) error {
 	cacheDir := fs.String("cache-dir", "", "disk result-cache directory (overrides -cache)")
 	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "size cap for -cache-dir: evict LRU entries beyond N bytes (0 = unbounded)")
 	backend := fs.String("backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim")
+	traceFile := fs.String("trace", "", "write NDJSON trace events of both passes to FILE (\"-\" = stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -395,7 +420,23 @@ func benchCmd(args []string) error {
 	}
 	ctx, stop := signalContext()
 	defer stop()
-	engOpts := []fairness.EngineOption{fairness.WithWorkers(*workers), fairness.WithCache(cache)}
+	// A private registry meters both passes; the efficiency lines below
+	// read it back through the same snapshot path /metrics would serve.
+	metrics := fairness.NewMetricsRegistry()
+	var tracer *fairness.Tracer
+	if *traceFile != "" {
+		w, closeTrace, err := traceWriter(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer closeTrace()
+		tracer = fairness.NewTracer(w)
+	}
+	engOpts := []fairness.EngineOption{
+		fairness.WithWorkers(*workers),
+		fairness.WithCache(cache),
+		fairness.WithTelemetry(metrics, tracer),
+	}
 	if ev != nil {
 		engOpts = append(engOpts, fairness.WithBackend(ev))
 	}
@@ -412,6 +453,17 @@ func benchCmd(args []string) error {
 	fmt.Fprintf(stdout, "warm: %s\n", warm.Summary())
 	if warm.Stats.WallMS > 0 && cold.Stats.WallMS > 0 {
 		fmt.Fprintf(stdout, "warm/cold speedup: %.1fx\n", cold.Stats.WallMS/warm.Stats.WallMS)
+	}
+	// Registry-derived efficiency figures across both passes (the same
+	// series a /metrics scrape of this process would report).
+	snap := metrics.Snapshot()
+	label := fmt.Sprintf("{backend=%q}", *backend)
+	scen := snap["fairness_sweep_scenarios_total"+label]
+	hits := snap["fairness_sweep_cache_hits_total"+label]
+	trials := snap["fairness_sweep_trials_total"+label]
+	if scen > 0 {
+		fmt.Fprintf(stdout, "cache hit ratio: %.3f (%d/%d scenarios)\n", hits/scen, int64(hits), int64(scen))
+		fmt.Fprintf(stdout, "trials/scenario: %.1f\n", trials/scen)
 	}
 	return nil
 }
@@ -511,7 +563,7 @@ grid flags:
 
 run flags:
   -workers N  -cache N  -cache-dir DIR  -cache-max-bytes N  -backend NAME
-  -repeat N  -json  -ndjson  -out FILE
+  -repeat N  -trace FILE  -json  -ndjson  -out FILE
 
 conform flags:
   -json

@@ -10,6 +10,7 @@ import (
 	"repro/internal/game"
 	"repro/internal/montecarlo"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 // Engine is the context-aware entry point of the library: one configured
@@ -36,6 +37,8 @@ type Engine struct {
 	observer        func(SweepOutcome)
 	cluster         *cluster.Options
 	clusterProgress func(ClusterProgress)
+	metrics         *MetricsRegistry
+	tracer          *Tracer
 }
 
 // EngineOption configures an Engine.
@@ -114,14 +117,37 @@ func WithClusterProgress(fn func(ClusterProgress)) EngineOption {
 	return func(e *Engine) { e.clusterProgress = fn }
 }
 
+// WithTelemetry plugs an observability sink into the engine: every run
+// ticks its sweep counters and per-backend latency histograms on m and
+// (in cluster mode) its shard-lifecycle counters too; tr, when non-nil,
+// receives the structured NDJSON trace-event stream. Either argument may
+// be nil. Pass DefaultMetrics() to aggregate with the process-global
+// simulation totals (Monte-Carlo trials, chainsim blocks/forks) on one
+// registry — what fairnessd and the fairctl coordinator expose at
+// /metrics.
+//
+// Without this option every engine still meters itself on a private
+// registry, readable through Engine.Metrics().
+func WithTelemetry(m *MetricsRegistry, tr *Tracer) EngineOption {
+	return func(e *Engine) { e.metrics, e.tracer = m, tr }
+}
+
 // NewEngine builds an evaluation engine from functional options.
 func NewEngine(opts ...EngineOption) *Engine {
 	e := &Engine{}
 	for _, opt := range opts {
 		opt(e)
 	}
+	if e.metrics == nil {
+		e.metrics = telemetry.NewRegistry()
+	}
 	return e
 }
+
+// Metrics returns the engine's metrics registry — the one WithTelemetry
+// configured, or the engine's private registry otherwise. Snapshot() it
+// for programmatic readings, or serve it with MetricsHandler.
+func (e *Engine) Metrics() *MetricsRegistry { return e.metrics }
 
 // sweepOptions assembles the sweep.Options for one run, chaining an
 // optional per-run observer after the engine-level one.
@@ -131,6 +157,8 @@ func (e *Engine) sweepOptions(onOutcome func(SweepOutcome)) sweep.Options {
 		TrialWorkers: e.trialWorkers,
 		Cache:        e.cache,
 		Evaluator:    e.backend,
+		Metrics:      e.metrics,
+		Tracer:       e.tracer,
 	}
 	switch {
 	case e.observer != nil && onOutcome != nil:
@@ -188,6 +216,12 @@ func (e *Engine) runSweep(ctx context.Context, specs []Scenario, onOutcome func(
 	c := *e.cluster
 	if c.Cache == nil {
 		c.Cache = e.cache
+	}
+	if c.Metrics == nil {
+		c.Metrics = e.metrics
+	}
+	if c.Tracer == nil {
+		c.Tracer = e.tracer
 	}
 	c.Backend = e.backendName()
 	c.OnOutcome = opts.OnOutcome

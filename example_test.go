@@ -49,3 +49,34 @@ func ExampleEngine_Sweep() {
 	// mlpos  robust=false
 	// cpos   robust=true
 }
+
+// ExampleWithTelemetry meters a sweep: the registry's counters reconcile
+// exactly with the report's statistics, and the same registry can be
+// served over HTTP with fairness.MetricsHandler for Prometheus to
+// scrape. Passing a fairness.NewTracer as the second argument would
+// additionally stream NDJSON trace events for every evaluation.
+func ExampleWithTelemetry() {
+	specs, err := fairness.ExpandScenarios(fairness.ScenarioGrid{
+		Base:      fairness.Scenario{Stake: 0.2, Blocks: 5000},
+		Protocols: []string{"pow", "mlpos", "cpos"},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	metrics := fairness.NewMetricsRegistry()
+	eng := fairness.NewEngine(
+		fairness.WithBackend(fairness.TheoryBackend()),
+		fairness.WithTelemetry(metrics, nil),
+	)
+	if _, err := eng.Sweep(context.Background(), specs); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	snap := metrics.Snapshot()
+	fmt.Printf("scenarios=%v computed=%v\n",
+		snap[`fairness_sweep_scenarios_total{backend="theory"}`],
+		snap[`fairness_sweep_computed_total{backend="theory"}`])
+	// Output:
+	// scenarios=3 computed=3
+}

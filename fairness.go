@@ -33,6 +33,8 @@ package fairness
 import (
 	"context"
 	"fmt"
+	"io"
+	"net/http"
 	"time"
 
 	"repro/internal/attack"
@@ -44,6 +46,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/scenario"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 // Re-exported core types. See the internal packages for full method docs.
@@ -133,6 +136,22 @@ type (
 	// scenario feature outside its coverage. It unwraps to ErrBackend;
 	// errors.As exposes the exact backend/feature/protocol fields.
 	CapabilityError = sweep.CapabilityError
+	// MetricsRegistry is the dependency-free metrics registry of the
+	// telemetry layer: counters, gauges and histograms with exact
+	// snapshot semantics, exposable in Prometheus text format. Wire one
+	// into an Engine with WithTelemetry; every Engine without one meters
+	// itself on a private registry (Engine.Metrics).
+	MetricsRegistry = telemetry.Registry
+	// MetricsCounter, MetricsGauge and MetricsHistogram are the handle
+	// types a MetricsRegistry hands out.
+	MetricsCounter   = telemetry.Counter
+	MetricsGauge     = telemetry.Gauge
+	MetricsHistogram = telemetry.Histogram
+	// Tracer writes the engine's structured trace-event stream as
+	// NDJSON: sweep spans, per-scenario evaluations with cache state,
+	// and in cluster mode the full shard lifecycle (claims, streams,
+	// acks, requeues, lease expiries, quarantines).
+	Tracer = telemetry.Tracer
 )
 
 // DefaultParams is the paper's evaluation setting: ε = 0.1, δ = 0.1.
@@ -321,11 +340,51 @@ func ScenarioHash(s Scenario) (string, error) { return s.Hash() }
 // sweeps (capacity <= 0 picks a default).
 func NewSweepCache(capacity int) *SweepCache { return sweep.NewCache(capacity) }
 
+// NewSweepCacheWithMetrics is NewSweepCache with the cache's hit, miss
+// and eviction counters registered on m (labelled cache="memory"), so a
+// /metrics scrape and the cache's Counters() read the same atomics.
+func NewSweepCacheWithMetrics(capacity int, m *MetricsRegistry) *SweepCache {
+	return sweep.NewCacheWithMetrics(capacity, m)
+}
+
 // NewDiskCache opens (creating if needed) a content-addressed disk
 // result cache rooted at dir. Warm results survive restarts: a second
 // process pointed at the same directory answers cached scenarios without
 // recomputing them.
 func NewDiskCache(dir string) (*DiskCache, error) { return sweep.NewDiskCache(dir) }
+
+// NewDiskCacheWithMetrics is NewDiskCache with the store's hit, miss,
+// write and eviction counters registered on m (labelled cache="disk").
+func NewDiskCacheWithMetrics(dir string, m *MetricsRegistry) (*DiskCache, error) {
+	return sweep.NewDiskCacheWithMetrics(dir, m)
+}
+
+// Telemetry layer (internal/telemetry): registries, tracing and the
+// Prometheus-text endpoints every command exposes.
+
+// NewMetricsRegistry returns an empty metrics registry — pass it to
+// WithTelemetry and serve it with MetricsHandler.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// DefaultMetrics returns the process-global registry, where the
+// simulation substrates (internal/montecarlo, internal/chainsim) tick
+// their global trial/block/fork totals.
+func DefaultMetrics() *MetricsRegistry { return telemetry.Default() }
+
+// NewTracer returns a Tracer writing NDJSON trace events to w — what
+// `fairsweep run -trace` and `fairctl run -trace` wire up. The caller
+// owns w's lifetime.
+func NewTracer(w io.Writer) *Tracer { return telemetry.NewTracer(w) }
+
+// MetricsHandler serves the given registries concatenated in Prometheus
+// text exposition format — the /metrics endpoint of fairnessd and the
+// fairctl coordinator. Metric names must be disjoint across registries.
+func MetricsHandler(regs ...*MetricsRegistry) http.Handler { return telemetry.Handler(regs...) }
+
+// ParseMetricsText parses Prometheus text exposition into a flat
+// series-id -> value map — the scrape-side inverse of MetricsHandler,
+// used by `fairctl top` and the CI reconciliation checks.
+func ParseMetricsText(r io.Reader) (map[string]float64, error) { return telemetry.ParseText(r) }
 
 // MonteCarloBackend returns the reference Evaluator: deterministic
 // repeated mining games through the Monte-Carlo engine (the default

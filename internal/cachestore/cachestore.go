@@ -25,6 +25,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/telemetry"
 )
 
 // ErrKey reports a key that cannot be mapped onto the disk layout.
@@ -35,10 +37,17 @@ var ErrKey = errors.New("cachestore: invalid key")
 // by multiple goroutines and — thanks to atomic renames — by multiple
 // processes sharing the directory.
 type Dir struct {
-	root   string
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	writes atomic.Uint64
+	root string
+
+	// Counters are telemetry handles so the store's stats have one
+	// source of truth: detached (Open) or registered on a caller's
+	// registry (OpenWithMetrics), Counters() and a /metrics scrape read
+	// the very same atomics and can never disagree mid-run.
+	hits         *telemetry.Counter
+	misses       *telemetry.Counter
+	writes       *telemetry.Counter
+	evictions    *telemetry.Counter
+	evictedBytes *telemetry.Counter
 
 	// Size-capped GC state (see gc.go): the byte budget, an approximate
 	// running payload total (exact after each collection), whether the
@@ -49,15 +58,29 @@ type Dir struct {
 	gcMu        sync.Mutex
 }
 
-// Open roots a store at dir, creating the directory if needed.
-func Open(dir string) (*Dir, error) {
+// Open roots a store at dir, creating the directory if needed. Counters
+// stay detached; use OpenWithMetrics to expose them on a registry.
+func Open(dir string) (*Dir, error) { return OpenWithMetrics(dir, nil) }
+
+// OpenWithMetrics roots a store at dir and registers its counters —
+// fairness_cache_{hits,misses,writes,evictions,evicted_bytes}_total,
+// labelled cache="disk" — on m. A nil registry leaves them detached
+// (plain Open semantics).
+func OpenWithMetrics(dir string, m *telemetry.Registry) (*Dir, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("cachestore: empty directory")
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cachestore: %w", err)
 	}
-	return &Dir{root: dir}, nil
+	return &Dir{
+		root:         dir,
+		hits:         m.Counter("fairness_cache_hits_total", "cache", "disk"),
+		misses:       m.Counter("fairness_cache_misses_total", "cache", "disk"),
+		writes:       m.Counter("fairness_cache_writes_total", "cache", "disk"),
+		evictions:    m.Counter("fairness_cache_evictions_total", "cache", "disk"),
+		evictedBytes: m.Counter("fairness_cache_evicted_bytes_total", "cache", "disk"),
+	}, nil
 }
 
 // Root returns the store's root directory.
@@ -107,10 +130,10 @@ func (d *Dir) Get(key string) (data []byte, ok bool, err error) {
 	}
 	data, rerr := os.ReadFile(p)
 	if rerr != nil {
-		d.misses.Add(1)
+		d.misses.Inc()
 		return nil, false, nil
 	}
-	d.hits.Add(1)
+	d.hits.Inc()
 	d.touch(p)
 	return data, true, nil
 }
@@ -143,7 +166,7 @@ func (d *Dir) Put(key string, payload []byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("cachestore: %w", err)
 	}
-	d.writes.Add(1)
+	d.writes.Inc()
 	d.maybeGC(int64(len(payload)))
 	return nil
 }
@@ -202,5 +225,11 @@ func (d *Dir) Keys() []string {
 // Counters returns cumulative hit, miss and write counts for this store
 // instance (not persisted across processes).
 func (d *Dir) Counters() (hits, misses, writes uint64) {
-	return d.hits.Load(), d.misses.Load(), d.writes.Load()
+	return uint64(d.hits.Value()), uint64(d.misses.Value()), uint64(d.writes.Value())
+}
+
+// EvictionCounters returns cumulative GC eviction counts for this store
+// instance: entries removed and payload bytes freed.
+func (d *Dir) EvictionCounters() (evictions, bytes uint64) {
+	return uint64(d.evictions.Value()), uint64(d.evictedBytes.Value())
 }

@@ -106,6 +106,8 @@ func (d *Dir) gcLocked() (removed int, freed int64) {
 	}
 	d.sized.Store(true)
 	d.approxBytes.Store(total)
+	d.evictions.Add(int64(removed))
+	d.evictedBytes.Add(freed)
 	return removed, freed
 }
 

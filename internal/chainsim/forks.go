@@ -211,6 +211,12 @@ func powerWeightedPick(miners []powMiner, totalPower uint64, r *rng.Rand) int {
 // resolved by the next-block rule described in the package comment —
 // the winning candidate settles, the loser is orphaned.
 func (s *ForkSim) RunBlocks(count int) error {
+	h0, o0 := s.Height(), s.orphans
+	defer func() {
+		// Blocks mined = canonical heights advanced + orphaned rivals.
+		simBlocks.Add(int64(s.Height() - h0 + s.orphans - o0))
+		simForks.Add(int64(s.orphans - o0))
+	}()
 	parents := make([]*Block, len(s.miners))
 	for n := 0; n < count; n++ {
 		for i := range parents {

@@ -116,10 +116,13 @@ func (n *Network) NameOf(a Address) string { return n.names[a] }
 // RunBlocks mines and appends `count` blocks. Every block passes full
 // validation on append; any consensus bug surfaces as an error here.
 func (n *Network) RunBlocks(count int) error {
+	mined := 0
+	defer func() { simBlocks.Add(int64(mined)) }()
 	for i := 0; i < count; i++ {
 		if err := n.Chain.MineAndAppend(n.Miners, n.rng); err != nil {
 			return fmt.Errorf("chainsim: mining block %d: %w", i+1, err)
 		}
+		mined++
 	}
 	return nil
 }

@@ -119,6 +119,13 @@ func (s *SelfishSim) privateTip() *Block {
 // back — and the earliest success decides the state transition.
 func (s *SelfishSim) RunEvents(count int) error {
 	atk := s.cfg.Attacker
+	found, o0 := 0, s.orphans
+	defer func() {
+		// Each completed event discovers exactly one block (canonical or
+		// eventually orphaned).
+		simBlocks.Add(int64(found))
+		simForks.Add(int64(s.orphans - o0))
+	}()
 	parents := make([]*Block, len(s.miners))
 	for n := 0; n < count; n++ {
 		for i := range s.miners {
@@ -137,6 +144,7 @@ func (s *SelfishSim) RunEvents(count int) error {
 		if err != nil {
 			return err
 		}
+		found++
 		switch {
 		case s.racing:
 			// The new block resolves the 1-vs-1 race for whichever side

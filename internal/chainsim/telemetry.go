@@ -1,0 +1,14 @@
+package chainsim
+
+import "repro/internal/telemetry"
+
+// Process-global simulation totals, ticked on telemetry.Default():
+// chainsim has no per-run injection point (simulations are built deep
+// inside evaluators), so blocks and fork totals aggregate per process
+// and surface on any /metrics endpoint that also serves the default
+// registry. Counters are batched per Run* call — one atomic add per
+// chunk, invisible next to the SHA-256 grinding each block costs.
+var (
+	simBlocks = telemetry.Default().Counter("fairness_chainsim_blocks_total")
+	simForks  = telemetry.Default().Counter("fairness_chainsim_forks_total")
+)

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/scenario"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 // Cluster errors. Per-shard worker failures retry transparently; these
@@ -129,6 +130,17 @@ type Options struct {
 	// Calls are serialised. fairctl wires this to the coordinator's
 	// /v1/progress endpoint.
 	OnProgress func(Progress)
+	// Metrics, when non-nil, receives the coordinator-side
+	// fairness_cluster_* counters and gauges (shard lifecycle, streamed
+	// outcomes, lease expiries, quarantines, live workers, per-worker
+	// rate EWMAs). Counters are cumulative across runs sharing the
+	// registry; per-run totals stay on Progress. Engine-driven runs
+	// inherit the engine's registry automatically.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives the scheduling span as NDJSON trace
+	// events: cluster_start, shard_claim, shard_ack, shard_requeue,
+	// lease_expiry, worker_quarantine, cluster_done.
+	Tracer *telemetry.Tracer
 }
 
 // Health is one worker's /v1/healthz view, as probed by the coordinator
@@ -332,7 +344,11 @@ func Run(ctx context.Context, specs []scenario.Spec, opts Options) (*sweep.Repor
 	rep := &sweep.Report{Outcomes: make([]sweep.Outcome, len(specs))}
 	rep.Stats.Scenarios = len(specs)
 
-	tracker := newTracker(len(uniq), opts.OnProgress, func() int { return len(reg.Live()) })
+	tracker := newTracker(len(uniq), opts.OnProgress, func() int { return len(reg.Live()) },
+		opts.Metrics, opts.Tracer)
+	opts.Tracer.Emit("cluster_start",
+		"backend", backend, "scenarios", len(specs), "unique", len(uniq),
+		"registry_mode", registryMode, "static_workers", len(opts.Workers))
 
 	var (
 		mu        sync.Mutex // serialises merging and OnOutcome
@@ -432,6 +448,10 @@ func Run(ctx context.Context, specs []scenario.Spec, opts Options) (*sweep.Repor
 				rep.Stats.TrialsRun = trialsRun
 				mu.Unlock()
 				rep.Stats.WallMS = float64(time.Since(start).Microseconds()) / 1000
+				opts.Tracer.Emit("cluster_done",
+					"backend", backend, "partial", true,
+					"computed", rep.Stats.Computed, "cache_hits", rep.Stats.CacheHits,
+					"wall_ms", rep.Stats.WallMS)
 				return rep, ctx.Err()
 			}
 			return nil, err
@@ -445,6 +465,11 @@ func Run(ctx context.Context, specs []scenario.Spec, opts Options) (*sweep.Repor
 	mu.Unlock()
 	rep.Stats.CacheHits = len(specs) - rep.Stats.Computed
 	rep.Stats.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	opts.Tracer.Emit("cluster_done",
+		"backend", backend, "scenarios", rep.Stats.Scenarios,
+		"computed", rep.Stats.Computed, "cache_hits", rep.Stats.CacheHits,
+		"local_cache_hits", localHits, "trials_run", rep.Stats.TrialsRun,
+		"wall_ms", rep.Stats.WallMS)
 	return rep, nil
 }
 
@@ -679,6 +704,7 @@ func (s *sched) workerLoop(url string) {
 		sum, deliveredOut, err := s.claimShard(url, t)
 		if err == nil {
 			s.reg.ObserveRate(url, len(batch), time.Since(start))
+			s.opts.Metrics.Gauge("fairness_cluster_worker_rate", "worker", url).Set(s.reg.Rate(url))
 			s.run.addTrials(sum.TrialsRun)
 			ackShard(s.run.client, url, t.id, s.run.ackTimeout)
 			s.tracker.acked(t.id)
@@ -726,11 +752,13 @@ func (s *sched) workerLoop(url string) {
 		if leaseExpired {
 			// The worker is answering healthz but not finishing work —
 			// quarantine it so it cannot keep reclaiming the queue.
-			s.reg.Penalize(url)
+			s.opts.Metrics.Counter("fairness_cluster_lease_expiry_total").Inc()
+			s.opts.Tracer.Emit("lease_expiry", "worker", url, "shard", t.id)
+			s.quarantine(url, "lease expired")
 			return
 		}
 		if !Probe(s.runCtx, s.run.client, url, s.run.probeTimeout).OK {
-			s.reg.Penalize(url)
+			s.quarantine(url, "health probe failed")
 			return
 		}
 		// Alive but failing: back off this worker only; the requeued
@@ -749,6 +777,14 @@ func (s *sched) workerLoop(url string) {
 			return
 		}
 	}
+}
+
+// quarantine penalizes a misbehaving worker in the registry and records
+// the event on the run's metrics and trace stream.
+func (s *sched) quarantine(url, reason string) {
+	s.reg.Penalize(url)
+	s.opts.Metrics.Counter("fairness_cluster_worker_quarantine_total").Inc()
+	s.opts.Tracer.Emit("worker_quarantine", "worker", url, "reason", reason)
 }
 
 // estimateTrials approximates the Monte-Carlo trials behind one merged

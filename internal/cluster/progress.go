@@ -3,6 +3,8 @@ package cluster
 import (
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // ShardProgress is the live view of one in-flight shard: how many of its
@@ -63,23 +65,45 @@ type trackedShard struct {
 
 // tracker accumulates coordinator-side progress and emits a snapshot on
 // every transition. Emissions are serialised by the tracker's mutex, so
-// an OnProgress observer sees monotonically advancing snapshots.
+// an OnProgress observer sees monotonically advancing snapshots. Every
+// transition also ticks the run's fairness_cluster_* telemetry counters
+// — the registry handles are nil-safe, so an uninstrumented run pays
+// only a few uncontended atomic adds.
 type tracker struct {
 	mu      sync.Mutex
 	p       Progress
 	active  map[string]*trackedShard
 	emit    func(Progress)
 	workers func() int
+	tracer  *telemetry.Tracer
+
+	cClaimed   *telemetry.Counter
+	cAcked     *telemetry.Counter
+	cRequeued  *telemetry.Counter
+	cStreamed  *telemetry.Counter
+	cDelivered *telemetry.Counter
+	cLocalHits *telemetry.Counter
+	gWorkers   *telemetry.Gauge
 }
 
-// newTracker builds a tracker over total unique work items. emit and
-// workers may be nil.
-func newTracker(total int, emit func(Progress), workers func() int) *tracker {
+// newTracker builds a tracker over total unique work items. emit,
+// workers, metrics and tracer may all be nil.
+func newTracker(total int, emit func(Progress), workers func() int,
+	metrics *telemetry.Registry, tracer *telemetry.Tracer) *tracker {
 	return &tracker{
 		p:       Progress{Total: total},
 		active:  make(map[string]*trackedShard),
 		emit:    emit,
 		workers: workers,
+		tracer:  tracer,
+
+		cClaimed:   metrics.Counter("fairness_cluster_shards_claimed_total"),
+		cAcked:     metrics.Counter("fairness_cluster_shards_acked_total"),
+		cRequeued:  metrics.Counter("fairness_cluster_shards_requeued_total"),
+		cStreamed:  metrics.Counter("fairness_cluster_outcomes_streamed_total"),
+		cDelivered: metrics.Counter("fairness_cluster_delivered_total"),
+		cLocalHits: metrics.Counter("fairness_cluster_local_cache_hits_total"),
+		gWorkers:   metrics.Gauge("fairness_cluster_workers"),
 	}
 }
 
@@ -88,6 +112,7 @@ func (t *tracker) snapshotLocked() Progress {
 	p := t.p
 	if t.workers != nil {
 		p.Workers = t.workers()
+		t.gWorkers.Set(float64(p.Workers))
 	}
 	if len(t.active) > 0 {
 		now := time.Now()
@@ -110,8 +135,12 @@ func (t *tracker) snapshotLocked() Progress {
 	return p
 }
 
-// emitLocked pushes a snapshot to the observer; callers hold t.mu.
+// emitLocked pushes a snapshot to the observer and refreshes the live
+// worker gauge; callers hold t.mu.
 func (t *tracker) emitLocked() {
+	if t.workers != nil {
+		t.gWorkers.Set(float64(t.workers()))
+	}
 	if t.emit != nil {
 		t.emit(t.snapshotLocked())
 	}
@@ -133,6 +162,9 @@ func (t *tracker) localHits(n int) {
 	defer t.mu.Unlock()
 	t.p.LocalCacheHits += n
 	t.p.Delivered += n
+	t.cLocalHits.Add(int64(n))
+	t.cDelivered.Add(int64(n))
+	t.tracer.Emit("local_cache_hits", "count", n)
 	t.emitLocked()
 }
 
@@ -142,6 +174,8 @@ func (t *tracker) claim(id, worker string, scenarios int) {
 	defer t.mu.Unlock()
 	t.p.ShardsClaimed++
 	t.active[id] = &trackedShard{worker: worker, scenarios: scenarios, claimedAt: time.Now()}
+	t.cClaimed.Inc()
+	t.tracer.Emit("shard_claim", "shard", id, "worker", worker, "scenarios", scenarios)
 	t.emitLocked()
 }
 
@@ -151,8 +185,10 @@ func (t *tracker) streamed(id string, delivered bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.p.OutcomesStreamed++
+	t.cStreamed.Inc()
 	if delivered {
 		t.p.Delivered++
+		t.cDelivered.Inc()
 	}
 	if s, ok := t.active[id]; ok {
 		s.streamed++
@@ -166,6 +202,8 @@ func (t *tracker) acked(id string) {
 	defer t.mu.Unlock()
 	t.p.ShardsAcked++
 	delete(t.active, id)
+	t.cAcked.Inc()
+	t.tracer.Emit("shard_ack", "shard", id)
 	t.emitLocked()
 }
 
@@ -176,6 +214,8 @@ func (t *tracker) requeued(id string) {
 	defer t.mu.Unlock()
 	t.p.ShardsRequeued++
 	delete(t.active, id)
+	t.cRequeued.Inc()
+	t.tracer.Emit("shard_requeue", "shard", id)
 	t.emitLocked()
 }
 

@@ -53,6 +53,7 @@ import (
 
 	"repro/internal/scenario"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 // RunFunc evaluates one shard's scenario list on the worker, streaming
@@ -148,26 +149,47 @@ type WorkerProgress struct {
 // endpoints over any sweep pipeline (a fairnessd Engine, or a bare
 // LocalRunner) and tracks the shard counters and throughput EWMA that
 // health endpoints and registration heartbeats report.
+//
+// The shard counters live on telemetry handles — the same storage a
+// /metrics endpoint scrapes — so healthz, /v1/progress and Prometheus
+// exposition can never disagree. A nil registry yields detached (but
+// fully functional) handles.
 type WorkerServer struct {
 	run      RunFunc
-	claimed  atomic.Int64
-	inFlight atomic.Int64
-	done     atomic.Int64
-	acked    atomic.Int64
-	streamed atomic.Int64
-	rateBits atomic.Uint64 // float64 bits of the scenarios/sec EWMA
+	claimed  *telemetry.Counter // fairness_worker_shards_claimed_total
+	done     *telemetry.Counter // fairness_worker_shards_done_total
+	acked    *telemetry.Counter // fairness_worker_shards_acked_total
+	streamed *telemetry.Counter // fairness_worker_outcomes_streamed_total
+	inFlight *telemetry.Gauge   // fairness_worker_shards_in_flight
+	rate     *telemetry.Gauge   // fairness_worker_scenarios_per_sec
+	rateBits atomic.Uint64      // float64 bits of the scenarios/sec EWMA
 
 	mu      sync.Mutex
 	pending map[string]time.Time    // completed shards awaiting coordinator ack
 	shards  map[string]*workerShard // per-shard progress (bounded history)
 }
 
-// NewWorkerServer builds a worker server over the given shard runner.
+// NewWorkerServer builds a worker server over the given shard runner
+// with detached (unexported) counters. Use NewWorkerServerWithMetrics to
+// surface the counters on a /metrics registry.
 func NewWorkerServer(run RunFunc) *WorkerServer {
+	return NewWorkerServerWithMetrics(run, nil)
+}
+
+// NewWorkerServerWithMetrics builds a worker server whose shard
+// lifecycle counters register as fairness_worker_* series on m (nil m =
+// detached handles, same behaviour as NewWorkerServer).
+func NewWorkerServerWithMetrics(run RunFunc, m *telemetry.Registry) *WorkerServer {
 	return &WorkerServer{
-		run:     run,
-		pending: make(map[string]time.Time),
-		shards:  make(map[string]*workerShard),
+		run:      run,
+		claimed:  m.Counter("fairness_worker_shards_claimed_total"),
+		done:     m.Counter("fairness_worker_shards_done_total"),
+		acked:    m.Counter("fairness_worker_shards_acked_total"),
+		streamed: m.Counter("fairness_worker_outcomes_streamed_total"),
+		inFlight: m.Gauge("fairness_worker_shards_in_flight"),
+		rate:     m.Gauge("fairness_worker_scenarios_per_sec"),
+		pending:  make(map[string]time.Time),
+		shards:   make(map[string]*workerShard),
 	}
 }
 
@@ -179,19 +201,19 @@ func (s *WorkerServer) Register(mux *http.ServeMux) {
 }
 
 // InFlight returns the number of shards currently being evaluated.
-func (s *WorkerServer) InFlight() int64 { return s.inFlight.Load() }
+func (s *WorkerServer) InFlight() int64 { return int64(s.inFlight.Value()) }
 
 // Done returns the number of shards completed since startup.
-func (s *WorkerServer) Done() int64 { return s.done.Load() }
+func (s *WorkerServer) Done() int64 { return s.done.Value() }
 
 // Claimed returns the number of shard claims accepted since startup.
-func (s *WorkerServer) Claimed() int64 { return s.claimed.Load() }
+func (s *WorkerServer) Claimed() int64 { return s.claimed.Value() }
 
 // Acked returns the number of shards the coordinator confirmed merging.
-func (s *WorkerServer) Acked() int64 { return s.acked.Load() }
+func (s *WorkerServer) Acked() int64 { return s.acked.Value() }
 
 // Streamed returns the number of outcome lines streamed since startup.
-func (s *WorkerServer) Streamed() int64 { return s.streamed.Load() }
+func (s *WorkerServer) Streamed() int64 { return s.streamed.Value() }
 
 // Rate returns this worker's scenarios/sec EWMA across completed shards
 // (0 until the first shard completes) — the figure heartbeats report
@@ -214,6 +236,7 @@ func (s *WorkerServer) observeRate(scenarios int, wall time.Duration) {
 			next = rateEWMAAlpha*obs + (1-rateEWMAAlpha)*cur
 		}
 		if s.rateBits.CompareAndSwap(old, math.Float64bits(next)) {
+			s.rate.Set(next)
 			return
 		}
 	}
@@ -231,11 +254,11 @@ func (s *WorkerServer) Progress() WorkerProgress {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	p := WorkerProgress{
-		ShardsClaimed:    s.claimed.Load(),
-		ShardsInFlight:   s.inFlight.Load(),
-		ShardsDone:       s.done.Load(),
-		ShardsAcked:      s.acked.Load(),
-		OutcomesStreamed: s.streamed.Load(),
+		ShardsClaimed:    s.claimed.Value(),
+		ShardsInFlight:   int64(s.inFlight.Value()),
+		ShardsDone:       s.done.Value(),
+		ShardsAcked:      s.acked.Value(),
+		OutcomesStreamed: s.streamed.Value(),
 		PendingAcks:      len(s.pending),
 		ScenariosPerSec:  s.Rate(),
 	}
@@ -320,7 +343,7 @@ func (s *WorkerServer) handleShard(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	s.claimed.Add(1)
+	s.claimed.Inc()
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 	s.shardState(req.ShardID, func(sh *workerShard) {
@@ -338,7 +361,7 @@ func (s *WorkerServer) handleShard(w http.ResponseWriter, r *http.Request) {
 	stats, err := s.run(r.Context(), req.Scenarios, func(out sweep.Outcome) {
 		if enc.Encode(out) == nil {
 			streamed++
-			s.streamed.Add(1)
+			s.streamed.Inc()
 			s.shardState(req.ShardID, func(sh *workerShard) { sh.Streamed = streamed })
 		}
 		if flusher != nil {
@@ -362,7 +385,7 @@ func (s *WorkerServer) handleShard(w http.ResponseWriter, r *http.Request) {
 		s.shardState(req.ShardID, func(sh *workerShard) { sh.State = "failed" })
 	default:
 		sum.Done = true
-		s.done.Add(1)
+		s.done.Inc()
 		s.observeRate(len(req.Scenarios), time.Since(start))
 		s.recordPending(req.ShardID)
 		s.shardState(req.ShardID, func(sh *workerShard) { sh.State = "done" })
@@ -385,7 +408,7 @@ func (s *WorkerServer) handleAck(w http.ResponseWriter, r *http.Request) {
 	delete(s.pending, req.ShardID)
 	s.mu.Unlock()
 	if known {
-		s.acked.Add(1)
+		s.acked.Inc()
 		s.shardState(req.ShardID, func(sh *workerShard) { sh.State = "acked" })
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -21,6 +21,17 @@ import (
 	"repro/internal/protocol"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
+)
+
+// Process-global simulation totals on telemetry.Default(): montecarlo
+// has no per-run injection point, so trial and block totals aggregate
+// per process and surface on any /metrics endpoint that serves the
+// default registry. Ticked once per completed trial — negligible next
+// to the thousands of protocol steps each trial runs.
+var (
+	mcTrials = telemetry.Default().Counter("fairness_montecarlo_trials_total")
+	mcBlocks = telemetry.Default().Counter("fairness_montecarlo_blocks_total")
 )
 
 // Config describes one Monte-Carlo run.
@@ -194,6 +205,8 @@ func RunContext(ctx context.Context, p protocol.Protocol, initial []float64, cfg
 					errOnce.Do(func() { firstErr = err })
 					continue
 				}
+				mcTrials.Inc()
+				mcBlocks.Add(int64(cps[len(cps)-1]))
 				if cfg.OnTrialDone != nil {
 					hookMu.Lock()
 					cfg.OnTrialDone(trial, res.Lambda[len(cps)-1][trial])

@@ -3,6 +3,8 @@ package sweep
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // Cache is a thread-safe LRU result cache keyed by scenario content hash.
@@ -14,8 +16,12 @@ type Cache struct {
 	capacity int
 	ll       *list.List
 	items    map[string]*list.Element
-	hits     uint64
-	misses   uint64
+
+	// Telemetry handles (detached unless built with NewCacheWithMetrics)
+	// so Counters() and a /metrics scrape read the same atomics.
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
 }
 
 type cacheEntry struct {
@@ -27,15 +33,24 @@ type cacheEntry struct {
 const DefaultCacheCapacity = 4096
 
 // NewCache returns an LRU cache holding up to capacity outcomes
-// (DefaultCacheCapacity when capacity <= 0).
-func NewCache(capacity int) *Cache {
+// (DefaultCacheCapacity when capacity <= 0). Counters stay detached; use
+// NewCacheWithMetrics to expose them on a registry.
+func NewCache(capacity int) *Cache { return NewCacheWithMetrics(capacity, nil) }
+
+// NewCacheWithMetrics is NewCache with the cache's counters —
+// fairness_cache_{hits,misses,evictions}_total, labelled cache="memory"
+// — registered on m (nil leaves them detached).
+func NewCacheWithMetrics(capacity int, m *telemetry.Registry) *Cache {
 	if capacity <= 0 {
 		capacity = DefaultCacheCapacity
 	}
 	return &Cache{
-		capacity: capacity,
-		ll:       list.New(),
-		items:    make(map[string]*list.Element, capacity),
+		capacity:  capacity,
+		ll:        list.New(),
+		items:     make(map[string]*list.Element, capacity),
+		hits:      m.Counter("fairness_cache_hits_total", "cache", "memory"),
+		misses:    m.Counter("fairness_cache_misses_total", "cache", "memory"),
+		evictions: m.Counter("fairness_cache_evictions_total", "cache", "memory"),
 	}
 }
 
@@ -46,10 +61,10 @@ func (c *Cache) Get(key string) (Outcome, bool) {
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		c.misses++
+		c.misses.Inc()
 		return Outcome{}, false
 	}
-	c.hits++
+	c.hits.Inc()
 	c.ll.MoveToFront(el)
 	return el.Value.(*cacheEntry).out, true
 }
@@ -69,6 +84,7 @@ func (c *Cache) Add(key string, out Outcome) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
 	}
 }
 
@@ -81,7 +97,5 @@ func (c *Cache) Len() int {
 
 // Counters returns the cumulative hit and miss counts.
 func (c *Cache) Counters() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return uint64(c.hits.Value()), uint64(c.misses.Value())
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 
 	"repro/internal/cachestore"
+	"repro/internal/telemetry"
 )
 
 // DiskCache is a CacheStore backed by a content-addressed directory
@@ -21,9 +22,18 @@ type DiskCache struct {
 }
 
 // NewDiskCache opens (creating if needed) a disk result cache rooted at
-// dir.
+// dir. Counters stay detached; use NewDiskCacheWithMetrics to expose
+// them on a registry.
 func NewDiskCache(dir string) (*DiskCache, error) {
-	store, err := cachestore.Open(dir)
+	return NewDiskCacheWithMetrics(dir, nil)
+}
+
+// NewDiskCacheWithMetrics is NewDiskCache with the underlying store's
+// counters — fairness_cache_{hits,misses,writes,evictions,
+// evicted_bytes}_total, labelled cache="disk" — registered on m (nil
+// leaves them detached).
+func NewDiskCacheWithMetrics(dir string, m *telemetry.Registry) (*DiskCache, error) {
+	store, err := cachestore.OpenWithMetrics(dir, m)
 	if err != nil {
 		return nil, err
 	}

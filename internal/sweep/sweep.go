@@ -31,6 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/scenario"
 	"repro/internal/table"
+	"repro/internal/telemetry"
 )
 
 // CacheStore is a pluggable result cache keyed by "backend:contenthash".
@@ -67,6 +68,14 @@ type Options struct {
 	// OnOutcome, when non-nil, streams each outcome as it is produced
 	// (calls are serialised; completion order is scheduling-dependent).
 	OnOutcome func(Outcome)
+	// Metrics, when non-nil, receives the sweep's telemetry: scenario,
+	// cache-hit, computed and trial counters plus the per-backend
+	// fairness_eval_seconds latency histogram. Handles are resolved once
+	// per run, so the per-scenario cost is a few atomic adds.
+	Metrics *telemetry.Registry
+	// Tracer, when non-nil, receives the sweep's structured trace events
+	// (sweep_start, one sweep_eval per unique scenario, sweep_done).
+	Tracer *telemetry.Tracer
 }
 
 // Outcome is the evaluation of one scenario.
@@ -193,6 +202,16 @@ func RunContext(ctx context.Context, specs []scenario.Spec, opts Options) (*Repo
 
 	ev := withTrialWorkers(opts.Evaluator, trialWorkers)
 
+	backend := ev.Name()
+	var (
+		mScenarios = opts.Metrics.Counter("fairness_sweep_scenarios_total", "backend", backend)
+		mHits      = opts.Metrics.Counter("fairness_sweep_cache_hits_total", "backend", backend)
+		mComputed  = opts.Metrics.Counter("fairness_sweep_computed_total", "backend", backend)
+		mTrials    = opts.Metrics.Counter("fairness_sweep_trials_total", "backend", backend)
+		hEval      = opts.Metrics.Histogram("fairness_eval_seconds", telemetry.DefBuckets, "backend", backend)
+	)
+	opts.Tracer.Emit("sweep_start", "backend", backend, "scenarios", len(specs), "unique", len(uniq))
+
 	var (
 		wg        sync.WaitGroup
 		errOnce   sync.Once
@@ -214,6 +233,7 @@ func RunContext(ctx context.Context, specs []scenario.Spec, opts Options) (*Repo
 				spec := norm[idxs[0]]
 				out, hit, trials, err := evaluate(ctx, ev, spec, h, opts.Cache)
 				trialsRun.Add(trials)
+				mTrials.Add(trials)
 				if err != nil {
 					if ctx.Err() != nil {
 						continue // cancellation, not an evaluation failure
@@ -223,7 +243,12 @@ func RunContext(ctx context.Context, specs []scenario.Spec, opts Options) (*Repo
 				}
 				if !hit {
 					computed.Add(1)
+					mComputed.Inc()
+					hEval.Observe(out.ElapsedMS / 1000)
 				}
+				opts.Tracer.Emit("sweep_eval", "backend", backend, "hash", h,
+					"name", specs[idxs[0]].Name, "cache_hit", hit,
+					"elapsed_ms", out.ElapsedMS, "trials", trials, "positions", len(idxs))
 				for j, idx := range idxs {
 					o := out
 					o.Name = specs[idx].Name
@@ -231,6 +256,10 @@ func RunContext(ctx context.Context, specs []scenario.Spec, opts Options) (*Repo
 					o.CacheHit = hit || j > 0
 					if o.CacheHit {
 						o.ElapsedMS = 0
+					}
+					mScenarios.Inc()
+					if o.CacheHit {
+						mHits.Inc()
 					}
 					rep.Outcomes[idx] = o
 					if opts.OnOutcome != nil {
@@ -265,12 +294,18 @@ dispatch:
 			}
 		}
 		rep.Stats.CacheHits = filled - rep.Stats.Computed
+		opts.Tracer.Emit("sweep_done", "backend", backend, "scenarios", rep.Stats.Scenarios,
+			"computed", rep.Stats.Computed, "cache_hits", rep.Stats.CacheHits,
+			"trials", rep.Stats.TrialsRun, "wall_ms", rep.Stats.WallMS, "partial", true)
 		return rep, cerr
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	rep.Stats.CacheHits = len(specs) - rep.Stats.Computed
+	opts.Tracer.Emit("sweep_done", "backend", backend, "scenarios", rep.Stats.Scenarios,
+		"computed", rep.Stats.Computed, "cache_hits", rep.Stats.CacheHits,
+		"trials", rep.Stats.TrialsRun, "wall_ms", rep.Stats.WallMS, "partial", false)
 	return rep, nil
 }
 

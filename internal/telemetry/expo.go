@@ -1,0 +1,165 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered series in the Prometheus text
+// exposition format (version 0.0.4): `# TYPE` headers, one sorted
+// `id value` line per series, histograms expanded into cumulative
+// `_bucket{le=...}`, `_sum` and `_count` lines. Output is deterministic
+// (sorted by metric name, then series id) so golden tests can diff it.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	kinds := make(map[string]string, len(r.kinds))
+	for k, v := range r.kinds {
+		kinds[k] = v
+	}
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+
+	names := make([]string, 0, len(kinds))
+	for n := range kinds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	for _, name := range names {
+		kind := kinds[name]
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, kind)
+		for _, id := range sortedSeries(name, kind, counters, gauges, hists) {
+			switch kind {
+			case "counter":
+				fmt.Fprintf(bw, "%s %d\n", id, counters[id].Value())
+			case "gauge":
+				fmt.Fprintf(bw, "%s %s\n", id, formatFloat(gauges[id].Value()))
+			case "histogram":
+				writeHistogram(bw, name, id, hists[id].Snapshot())
+			}
+		}
+	}
+}
+
+// sortedSeries returns the series ids of one metric name, sorted.
+func sortedSeries(name, kind string, counters map[string]*Counter, gauges map[string]*Gauge, hists map[string]*Histogram) []string {
+	var ids []string
+	match := func(id string) bool {
+		return id == name || strings.HasPrefix(id, name+"{")
+	}
+	switch kind {
+	case "counter":
+		for id := range counters {
+			if match(id) {
+				ids = append(ids, id)
+			}
+		}
+	case "gauge":
+		for id := range gauges {
+			if match(id) {
+				ids = append(ids, id)
+			}
+		}
+	case "histogram":
+		for id := range hists {
+			if match(id) {
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// writeHistogram expands one histogram series into its exposition
+// lines. id is `name` or `name{labels}`; the le label is appended to the
+// existing labels of each bucket line.
+func writeHistogram(w io.Writer, name, id string, s HistSnapshot) {
+	labels := "" // inner label text without braces
+	if len(id) > len(name) {
+		labels = id[len(name)+1 : len(id)-1]
+	}
+	withLE := func(le string) string {
+		if labels == "" {
+			return fmt.Sprintf("%s_bucket{le=%q}", name, le)
+		}
+		return fmt.Sprintf("%s_bucket{%s,le=%q}", name, labels, le)
+	}
+	cum := uint64(0)
+	for i, upper := range s.Uppers {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s %d\n", withLE(formatFloat(upper)), cum)
+	}
+	cum += s.Counts[len(s.Uppers)]
+	fmt.Fprintf(w, "%s %d\n", withLE("+Inf"), cum)
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, suffix, formatFloat(s.Sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, suffix, s.Count)
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// ParseText parses Prometheus text exposition into a flat series-id ->
+// value map — the inverse of WritePrometheus for the subset this package
+// emits (it ignores comments, blank lines and trailing timestamps). It
+// is what `fairctl top`, the golden tests and the CI reconciliation
+// scrape with, so the writer and the reader can never drift apart.
+func ParseText(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The series id may contain spaces inside quoted label values;
+		// the value never does. A trailing `value timestamp` pair is
+		// legal exposition, so split from the id first.
+		idEnd := len(line)
+		if i := strings.LastIndexByte(line, '}'); i >= 0 {
+			idEnd = i + 1
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			idEnd = i
+		}
+		id := line[:idEnd]
+		rest := strings.Fields(line[idEnd:])
+		if len(rest) == 0 {
+			return nil, fmt.Errorf("telemetry: exposition line %q has no value", line)
+		}
+		v, err := strconv.ParseFloat(rest[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: exposition line %q: %w", line, err)
+		}
+		out[id] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

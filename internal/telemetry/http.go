@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the given registries concatenated in Prometheus text
+// exposition format. Passing several registries merges expositions —
+// fairnessd serves its own registry plus Default() (where montecarlo and
+// chainsim tick their global totals); metric names must be disjoint
+// across registries, which the fairness_* / simulation-global naming
+// scheme guarantees.
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if r.Method == http.MethodHead {
+			return
+		}
+		for _, reg := range regs {
+			reg.WritePrometheus(w)
+		}
+	})
+}
+
+// RegisterPprof mounts net/http/pprof's handlers under /debug/pprof/ on
+// mux — the opt-in profiling surface of fairnessd and the fairctl
+// coordinator (stdlib pprof registers only on http.DefaultServeMux,
+// which neither command uses).
+func RegisterPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}

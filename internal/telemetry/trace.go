@@ -1,0 +1,64 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Tracer writes a structured trace-event stream as NDJSON: one JSON
+// object per line with a `ts` (RFC 3339, nanoseconds, UTC), an `event`
+// name, and the event's attributes as further keys. The sweep engine and
+// the cluster emit the per-sweep span sequence through it:
+//
+//	sweep_start → sweep_eval* → sweep_done                        (local)
+//	cluster_start → shard_claim/shard_stream/shard_ack/
+//	  shard_requeue/lease_expiry/worker_quarantine* → cluster_done (distributed)
+//
+// Writes are serialised by a mutex, so events from concurrent workers
+// interleave whole lines, never bytes. A nil *Tracer is a no-op, which
+// keeps instrumented code free of "is tracing on" branches.
+type Tracer struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewTracer returns a tracer writing NDJSON events to w. The caller owns
+// w's lifetime (the tracer never closes it).
+func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w} }
+
+// Emit writes one event line. attrs are alternating key, value pairs;
+// values marshal as JSON (fmt.Sprint fallback for unmarshalable ones). A
+// trailing odd key is ignored. Emit on a nil tracer does nothing.
+func (t *Tracer) Emit(event string, attrs ...any) {
+	if t == nil {
+		return
+	}
+	obj := make(map[string]any, 2+len(attrs)/2)
+	obj["ts"] = time.Now().UTC().Format(time.RFC3339Nano)
+	obj["event"] = event
+	for i := 0; i+1 < len(attrs); i += 2 {
+		k, ok := attrs[i].(string)
+		if !ok {
+			k = fmt.Sprint(attrs[i])
+		}
+		obj[k] = jsonSafe(attrs[i+1])
+	}
+	line, err := json.Marshal(obj)
+	if err != nil { // unreachable: jsonSafe sanitised every value
+		return
+	}
+	line = append(line, '\n')
+	t.mu.Lock()
+	t.w.Write(line)
+	t.mu.Unlock()
+}
+
+func jsonSafe(v any) any {
+	if _, err := json.Marshal(v); err != nil {
+		return fmt.Sprint(v)
+	}
+	return v
+}

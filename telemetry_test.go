@@ -1,0 +1,179 @@
+package fairness_test
+
+// Golden reconciliation tests for the telemetry layer's public face:
+// an Engine wired with WithTelemetry must expose a /metrics endpoint
+// whose parsed series agree exactly with the sweep report it produced —
+// the counters are the report's statistics, not a parallel estimate.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	fairness "repro"
+)
+
+// telemetryTestSpecs is a small grid with a deliberate duplicate, so
+// cache-hit accounting is exercised even on the cold pass.
+func telemetryTestSpecs(t *testing.T) []fairness.Scenario {
+	t.Helper()
+	specs, err := fairness.ExpandScenarios(fairness.ScenarioGrid{
+		Base:      fairness.Scenario{Blocks: 200, Trials: 20, Seed: 11},
+		Protocols: []string{"pow", "mlpos"},
+		Stake:     []float64{0.1, 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Append a duplicate of the first scenario under another name: an
+	// in-sweep cache hit on the very first pass.
+	dup := specs[0]
+	dup.Name = "duplicate-of-first"
+	return append(specs, dup)
+}
+
+// TestMetricsExpositionReconcilesWithReport sweeps cold then warm and
+// asserts the scraped /metrics series equal the merged reports' stats.
+func TestMetricsExpositionReconcilesWithReport(t *testing.T) {
+	specs := telemetryTestSpecs(t)
+	metrics := fairness.NewMetricsRegistry()
+	var traceBuf bytes.Buffer
+	eng := fairness.NewEngine(
+		fairness.WithCache(fairness.NewSweepCache(len(specs))),
+		fairness.WithTelemetry(metrics, fairness.NewTracer(&traceBuf)),
+	)
+
+	cold, err := eng.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := eng.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Scrape the registry over real HTTP — the test goes through the
+	// same handler an operator's Prometheus would.
+	ts := httptest.NewServer(fairness.MetricsHandler(metrics))
+	defer ts.Close()
+	resp, err := http.Get(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("content type %q, want text/plain exposition", ct)
+	}
+	series, err := fairness.ParseMetricsText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	label := `{backend="montecarlo"}`
+	wantScenarios := float64(cold.Stats.Scenarios + warm.Stats.Scenarios)
+	wantHits := float64(cold.Stats.CacheHits + warm.Stats.CacheHits)
+	wantComputed := float64(cold.Stats.Computed + warm.Stats.Computed)
+	wantTrials := float64(cold.Stats.TrialsRun + warm.Stats.TrialsRun)
+	checks := map[string]float64{
+		"fairness_sweep_scenarios_total" + label:  wantScenarios,
+		"fairness_sweep_cache_hits_total" + label: wantHits,
+		"fairness_sweep_computed_total" + label:   wantComputed,
+		"fairness_sweep_trials_total" + label:     wantTrials,
+		// The eval-latency histogram observes exactly one duration per
+		// computed (non-cached) scenario.
+		`fairness_eval_seconds_count{backend="montecarlo"}`: wantComputed,
+	}
+	for id, want := range checks {
+		if got := series[id]; got != want {
+			t.Errorf("%s = %v, want %v (cold %+v, warm %+v)", id, got, want, cold.Stats, warm.Stats)
+		}
+	}
+
+	// Snapshot and scrape are the same exposition by construction.
+	snap := metrics.Snapshot()
+	if len(snap) != len(series) {
+		t.Errorf("Snapshot has %d series, scrape has %d", len(snap), len(series))
+	}
+	for id, v := range snap {
+		if series[id] != v {
+			t.Errorf("series %s: snapshot %v, scrape %v", id, v, series[id])
+		}
+	}
+}
+
+// TestTraceStreamCoversSweepSpan asserts the NDJSON trace stream brackets
+// each sweep with sweep_start/sweep_done and carries one sweep_eval per
+// unique scenario — on this cold cache that equals Stats.Computed —
+// every line being valid JSON with a timestamp.
+func TestTraceStreamCoversSweepSpan(t *testing.T) {
+	specs := telemetryTestSpecs(t)
+	var traceBuf bytes.Buffer
+	eng := fairness.NewEngine(
+		fairness.WithCache(fairness.NewSweepCache(len(specs))),
+		fairness.WithTelemetry(nil, fairness.NewTracer(&traceBuf)),
+	)
+	rep, err := eng.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	events := map[string]int{}
+	sc := bufio.NewScanner(&traceBuf)
+	for sc.Scan() {
+		var ev struct {
+			TS    string `json:"ts"`
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("trace line %q: %v", sc.Text(), err)
+		}
+		if ev.TS == "" || ev.Event == "" {
+			t.Fatalf("trace line %q missing ts/event", sc.Text())
+		}
+		events[ev.Event]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if events["sweep_start"] != 1 || events["sweep_done"] != 1 {
+		t.Errorf("events %v: want exactly one sweep_start and one sweep_done", events)
+	}
+	if got, want := events["sweep_eval"], rep.Stats.Computed; got != want {
+		t.Errorf("%d sweep_eval events, want %d (one per computed scenario)", got, want)
+	}
+}
+
+// TestEngineDefaultMetricsRegistry asserts every engine meters itself
+// even without WithTelemetry, readable through Engine.Metrics.
+func TestEngineDefaultMetricsRegistry(t *testing.T) {
+	specs := telemetryTestSpecs(t)
+	eng := fairness.NewEngine()
+	rep, err := eng.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := eng.Metrics().Snapshot()
+	id := `fairness_sweep_scenarios_total{backend="montecarlo"}`
+	if got, want := snap[id], float64(rep.Stats.Scenarios); got != want {
+		t.Errorf("%s = %v, want %v", id, got, want)
+	}
+}
+
+// TestMetricsHandlerMethods pins the endpoint's method discipline.
+func TestMetricsHandlerMethods(t *testing.T) {
+	ts := httptest.NewServer(fairness.MetricsHandler(fairness.NewMetricsRegistry()))
+	defer ts.Close()
+	resp, err := http.Post(ts.URL, "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics: status %d, want %d", resp.StatusCode, http.StatusMethodNotAllowed)
+	}
+}
