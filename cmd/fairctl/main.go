@@ -23,6 +23,18 @@
 //	fairctl status -workers host1:7447,host2:7447
 //	fairctl top -url http://host:7447 [-interval D] [-once]
 //	fairctl expand [flags] [spec.json]
+//	fairctl submit -server http://host:7447 [-tenant T] [-name N] [-wait] spec.json
+//	fairctl jobs -server http://host:7447 [-tenant T] [-state S]
+//	fairctl cancel -server http://host:7447 JOB_ID
+//	fairctl results -server http://host:7447 [-json|-ndjson] JOB_ID
+//
+// The job-service commands talk to a fairnessd started with -jobs: jobs
+// from many tenants share the daemon's engine (or, with -jobs-cluster,
+// its registered worker pool) under weighted fair-share scheduling with
+// per-tenant quotas and result retention. `results -ndjson` emits the
+// same outcome-per-line shape as `fairsweep run -ndjson`, so a job's
+// merged report diffs clean against a local sweep of the same spec
+// after dropping the timing/cache fields.
 //
 // Run flags:
 //
@@ -125,6 +137,14 @@ func run(args []string) error {
 		return topCmd(args[1:])
 	case "expand":
 		return expandCmd(args[1:])
+	case "submit":
+		return submitCmd(args[1:])
+	case "jobs":
+		return jobsCmd(args[1:])
+	case "cancel":
+		return cancelCmd(args[1:])
+	case "results":
+		return resultsCmd(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -646,6 +666,185 @@ func expandCmd(args []string) error {
 	return nil
 }
 
+// Job-service commands: clients of a fairnessd -jobs daemon's /v1/jobs
+// API (or any server mounted with fairness.WithJobServer).
+
+// submitCmd posts one named sweep job and prints its snapshot; with
+// -wait it polls until the job is terminal and prints the final state.
+//
+// Example — submit a grid for tenant "acme" and wait for it:
+//
+//	fairctl submit -server 127.0.0.1:7447 -tenant acme -name nightly \
+//	    -priority 1 -wait grid.json
+func submitCmd(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	server := fs.String("server", "", "job server base URL (fairnessd -jobs; default 127.0.0.1:7447)")
+	spec := fs.String("spec", "", "JSON grid or scenario-array file")
+	name := fs.String("name", "", "job name (for humans; need not be unique)")
+	tenant := fs.String("tenant", "", `submitting tenant ("" = default)`)
+	priority := fs.Int("priority", 0, "fair-share priority bias: each step doubles/halves the tenant weight (clamped to ±3)")
+	deadline := fs.Duration("deadline", 0, "soft deadline from now; urgency boosts the job's weight (never preempts)")
+	seed := fs.Uint64("seed", 1, "sweep base seed for grid specs")
+	wait := fs.Bool("wait", false, "poll until the job reaches a terminal state")
+	poll := fs.Duration("poll", 0, "-wait poll interval (0 = 200ms)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := specPath(*spec, fs)
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	client := fairness.NewJobClient(*server)
+	info, err := client.Submit(ctx, fairness.JobSubmitBody{
+		Name:       *name,
+		Tenant:     *tenant,
+		Priority:   *priority,
+		DeadlineMS: deadline.Milliseconds(),
+		Seed:       *seed,
+		Spec:       json.RawMessage(data),
+	})
+	if err != nil {
+		return err
+	}
+	if *wait {
+		fmt.Fprintf(stderr, "submitted %s (%d scenarios), waiting...\n", info.ID, info.Scenarios)
+		if info, err = client.Wait(ctx, info.ID, *poll); err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(info)
+}
+
+// jobsCmd lists jobs in submission order, optionally filtered.
+func jobsCmd(args []string) error {
+	fs := flag.NewFlagSet("jobs", flag.ContinueOnError)
+	server := fs.String("server", "", "job server base URL (default 127.0.0.1:7447)")
+	tenant := fs.String("tenant", "", "only this tenant's jobs")
+	state := fs.String("state", "", "only jobs in this state (queued, running, done, failed, cancelled)")
+	asJSON := fs.Bool("json", false, "print the job list as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	infos, err := fairness.NewJobClient(*server).List(ctx, *tenant, fairness.JobState(*state))
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(infos, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", data)
+		return nil
+	}
+	tb := table.New("ID", "Name", "Tenant", "State", "Scenarios", "Submitted", "Took(s)").
+		AlignAll(table.Right).SetAlign(0, table.Left).SetAlign(1, table.Left).
+		SetAlign(2, table.Left).SetAlign(3, table.Left)
+	for _, j := range infos {
+		state := string(j.State)
+		if j.Partial {
+			state += " (partial)"
+		}
+		took := ""
+		if j.FinishedMS > 0 && j.StartedMS > 0 {
+			took = fmt.Sprintf("%.1f", float64(j.FinishedMS-j.StartedMS)/1000)
+		}
+		tb.AddRow(j.ID, j.Name, j.Tenant, state, fmt.Sprintf("%d", j.Scenarios),
+			time.UnixMilli(j.SubmittedMS).Format("15:04:05"), took)
+	}
+	fmt.Fprintln(stdout, tb.String())
+	fmt.Fprintf(stdout, "%d jobs\n", len(infos))
+	return nil
+}
+
+// cancelCmd requests cancellation of one job; partial results computed
+// so far stay retrievable via `fairctl results`.
+func cancelCmd(args []string) error {
+	fs := flag.NewFlagSet("cancel", flag.ContinueOnError)
+	server := fs.String("server", "", "job server base URL (default 127.0.0.1:7447)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: fairctl cancel [-server URL] JOB_ID")
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	info, err := fairness.NewJobClient(*server).Cancel(ctx, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "cancel requested: %s was %s\n", info.ID, info.State)
+	return nil
+}
+
+// resultsCmd retrieves a finished job's merged outcomes, walking the
+// result pages. -ndjson streams one outcome JSON per line — the same
+// shape `fairsweep run -ndjson` emits, so the two are diffable after
+// normalizing the timing/cache fields.
+func resultsCmd(args []string) error {
+	fs := flag.NewFlagSet("results", flag.ContinueOnError)
+	server := fs.String("server", "", "job server base URL (default 127.0.0.1:7447)")
+	asJSON := fs.Bool("json", false, "print the merged report as JSON")
+	asNDJSON := fs.Bool("ndjson", false, "stream outcomes as NDJSON lines")
+	outFile := fs.String("out", "", "also write the JSON report to FILE")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: fairctl results [-server URL] [-json|-ndjson] JOB_ID")
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	info, outcomes, err := fairness.NewJobClient(*server).Results(ctx, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep := &fairness.SweepReport{Outcomes: outcomes, Stats: info.Stats, Partial: info.Partial}
+	summary := fmt.Sprintf("job %s (%s): %s", info.ID, info.State, rep.Summary())
+	switch {
+	case *asNDJSON:
+		enc := json.NewEncoder(stdout)
+		for _, o := range outcomes {
+			if err := enc.Encode(o); err != nil {
+				return err
+			}
+		}
+		fmt.Fprintln(stderr, summary)
+	case *asJSON:
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s\n", data)
+		fmt.Fprintln(stdout, summary)
+	default:
+		fmt.Fprintln(stdout, rep.Table())
+		fmt.Fprintln(stdout, summary)
+	}
+	if *outFile != "" {
+		data, err := rep.JSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*outFile, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s\n", *outFile)
+	}
+	return nil
+}
+
 func usage() {
 	fmt.Fprint(os.Stderr, strings.TrimLeft(`
 fairctl — coordinate fairness-scenario sweeps across fairnessd workers
@@ -658,6 +857,15 @@ commands:
   top -url URL [-interval D] [-once]     live fairness_* metrics of one /metrics
                                          endpoint, with counter rates
   expand [-spec FILE|spec.json] [-seed]  expand the grid, print scenarios + hashes
+
+job-service commands (against fairnessd -jobs):
+  submit [-server URL] [-name N] [-tenant T] [-priority P] [-deadline D]
+         [-wait] spec.json              submit a named sweep job
+  jobs [-server URL] [-tenant T] [-state S] [-json]
+                                         list jobs in submission order
+  cancel [-server URL] JOB_ID            cancel (partial results retained)
+  results [-server URL] [-json|-ndjson] [-out FILE] JOB_ID
+                                         paginated merged outcomes of a job
 
 run flags:
   -listen ADDR  -workers CSV  -spec FILE  -backend NAME  -cache-dir DIR

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net"
 	"net/http"
@@ -12,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	fairness "repro"
 	"repro/internal/cluster"
 	"repro/internal/sweep"
 )
@@ -256,5 +258,163 @@ func TestExpandPrintsHashes(t *testing.T) {
 func TestUnknownCommand(t *testing.T) {
 	if _, _, err := capture(t, []string{"frobnicate"}); err == nil {
 		t.Error("unknown command should fail")
+	}
+}
+
+// startJobServer boots an in-process multi-tenant job service — the
+// same /v1/jobs stack fairnessd -jobs mounts — over an optional custom
+// runner (nil = local sweeps).
+func startJobServer(t *testing.T, runner fairness.JobSweepRunner) *httptest.Server {
+	t.Helper()
+	if runner == nil {
+		runner = fairness.JobLocalRunner(sweep.Options{}, 0)
+	}
+	mgr, err := fairness.NewJobManager(fairness.JobConfig{Runner: runner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	mux := http.NewServeMux()
+	fairness.WithJobServer(mux, mgr)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// normalizeOutcomes strips the legitimately run-dependent fields
+// (timing, cache provenance) and re-marshals for bit-exact comparison.
+func normalizeOutcomes(t *testing.T, outs []sweep.Outcome) string {
+	t.Helper()
+	c := make([]sweep.Outcome, len(outs))
+	copy(c, outs)
+	for i := range c {
+		c[i].ElapsedMS = 0
+		c[i].CacheHit = false
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestSubmitWaitResultsMatchesLocalSweep(t *testing.T) {
+	srv := startJobServer(t, nil)
+	specFile := writeGrid(t)
+
+	out, _, err := capture(t, []string{"submit", "-server", srv.URL,
+		"-tenant", "acme", "-name", "cli-e2e", "-wait", "-poll", "20ms", specFile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info fairness.JobInfo
+	if err := json.Unmarshal([]byte(out), &info); err != nil {
+		t.Fatalf("submit output not a JobInfo: %v\n%s", err, out)
+	}
+	if info.State != fairness.JobStateDone || info.Tenant != "acme" || info.Scenarios != 4 {
+		t.Fatalf("job info: %+v", info)
+	}
+
+	// results -ndjson: one outcome per line, same shape as fairsweep.
+	out, errOut, err := capture(t, []string{"results", "-server", srv.URL, "-ndjson", info.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []sweep.Outcome
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		var o sweep.Outcome
+		if err := json.Unmarshal([]byte(line), &o); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		got = append(got, o)
+	}
+	if !strings.Contains(errOut, info.ID) {
+		t.Errorf("summary line missing job id: %q", errOut)
+	}
+	specs, err := loadSpecs(specFile, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := fairness.Sweep(specs, fairness.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := normalizeOutcomes(t, local.Outcomes); normalizeOutcomes(t, got) != want {
+		t.Errorf("job results differ from local sweep:\n%s\n%s", normalizeOutcomes(t, got), want)
+	}
+
+	// jobs list shows the finished job.
+	out, _, err = capture(t, []string{"jobs", "-server", srv.URL, "-tenant", "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, info.ID) || !strings.Contains(out, "done") {
+		t.Errorf("jobs listing:\n%s", out)
+	}
+}
+
+func TestCancelKeepsPartialResults(t *testing.T) {
+	// A runner that completes one outcome, then blocks until cancelled —
+	// deterministic mid-run state for the CLI to cancel.
+	started := make(chan struct{})
+	runner := func(ctx context.Context, specs []fairness.Scenario,
+		gate fairness.ClusterDispatchGate, cache fairness.CacheStore) (*fairness.SweepReport, error) {
+		rep, err := fairness.Sweep(specs[:1], fairness.SweepOptions{})
+		if err != nil {
+			return nil, err
+		}
+		rep.Partial = true
+		close(started)
+		<-ctx.Done()
+		return rep, ctx.Err()
+	}
+	srv := startJobServer(t, runner)
+	specFile := writeGrid(t)
+
+	out, _, err := capture(t, []string{"submit", "-server", srv.URL, specFile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info fairness.JobInfo
+	if err := json.Unmarshal([]byte(out), &info); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if out, _, err = capture(t, []string{"cancel", "-server", srv.URL, info.ID}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cancel requested") {
+		t.Errorf("cancel output: %q", out)
+	}
+	client := fairness.NewJobClient(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	fin, err := client.Wait(ctx, info.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != fairness.JobStateCancelled || !fin.Partial {
+		t.Fatalf("after cancel: %+v", fin)
+	}
+	out, _, err = capture(t, []string{"results", "-server", srv.URL, "-json", info.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, `"partial": true`) || !strings.Contains(out, `"hash"`) {
+		t.Errorf("partial results:\n%s", out)
+	}
+}
+
+func TestJobCommandErrors(t *testing.T) {
+	srv := startJobServer(t, nil)
+	if _, _, err := capture(t, []string{"results", "-server", srv.URL, "j-999999"}); err == nil ||
+		!strings.Contains(err.Error(), "404") {
+		t.Errorf("results for unknown job: %v", err)
+	}
+	if _, _, err := capture(t, []string{"cancel", "-server", srv.URL}); err == nil {
+		t.Error("cancel without an id should fail")
+	}
+	if _, _, err := capture(t, []string{"submit", "-server", srv.URL}); err == nil {
+		t.Error("submit without a spec should fail")
 	}
 }

@@ -1,0 +1,325 @@
+// Command fairload is the job-service load generator: it plays N
+// tenants submitting mixed-size sweep jobs against one fairnessd -jobs
+// server concurrently, then reports how fairly the service treated
+// them — per-tenant makespan, and Jain's fairness index over the
+// scheduler's dispatch allocations scraped from the server's /metrics
+// (the fairness_jobs_scenarios_dispatched_total{tenant=...} series).
+//
+// Jain's index over allocations x_1..x_n is (Σx)² / (n·Σx²): 1.0 means
+// perfectly even treatment, 1/n means one tenant monopolized the
+// scheduler. Allocations are measured at the last scrape taken while
+// every tenant still had work in flight — after that, counts converge
+// to the per-tenant totals no matter how unfairly they interleaved.
+//
+// Usage:
+//
+//	fairload -server http://host:7447 -tenants 4 -jobs 3
+//
+// Flags:
+//
+//	-server URL   job server base URL (fairnessd -jobs; default 127.0.0.1:7447)
+//	-tenants N    concurrent tenants (default 3)
+//	-jobs N       jobs per tenant (default 4); sizes cycle small/medium/large
+//	-blocks N     horizon per scenario (default 150)
+//	-trials N     Monte-Carlo trials per scenario (default 10)
+//	-seed S       base seed; tenant t job j sweeps seed S+1000t+j
+//	-poll D       metrics scrape and job poll interval (default 100ms)
+//	-timeout D    overall deadline (default 5m)
+//	-json         machine-readable report instead of the table
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	fairness "repro"
+	"repro/internal/table"
+)
+
+// stdout/stderr are swapped by tests.
+var (
+	stdout io.Writer = os.Stdout
+	stderr io.Writer = os.Stderr
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fairload:", err)
+		os.Exit(1)
+	}
+}
+
+// jobShapes are the mixed sizes submissions cycle through: 2, 4 and 6
+// scenarios per job, so big and small jobs genuinely contend.
+var jobShapes = []struct {
+	protocols []string
+	stakes    []float64
+}{
+	{[]string{"pow"}, []float64{0.2, 0.3}},
+	{[]string{"pow", "mlpos"}, []float64{0.2, 0.3}},
+	{[]string{"pow", "mlpos", "slpos"}, []float64{0.2, 0.3}},
+}
+
+// tenantReport is one tenant's slice of the final report.
+type tenantReport struct {
+	Tenant     string  `json:"tenant"`
+	Jobs       int     `json:"jobs"`
+	Scenarios  int     `json:"scenarios"`
+	MakespanMS int64   `json:"makespan_ms"`
+	Dispatched float64 `json:"dispatched_at_contention"`
+}
+
+// report is the -json document.
+type report struct {
+	Tenants    []tenantReport `json:"tenants"`
+	JainsIndex float64        `json:"jains_index"`
+	// ContentionMS is how long every tenant simultaneously had work in
+	// flight — the window the fairness index quantifies over.
+	ContentionMS int64 `json:"contention_ms"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fairload", flag.ContinueOnError)
+	server := fs.String("server", "", "job server base URL (default 127.0.0.1:7447)")
+	tenants := fs.Int("tenants", 3, "concurrent tenants")
+	jobs := fs.Int("jobs", 4, "jobs per tenant")
+	blocks := fs.Int("blocks", 150, "horizon per scenario")
+	trials := fs.Int("trials", 10, "Monte-Carlo trials per scenario")
+	seed := fs.Uint64("seed", 1, "base seed (tenant t job j sweeps seed+1000t+j)")
+	poll := fs.Duration("poll", 100*time.Millisecond, "metrics scrape and job poll interval")
+	timeout := fs.Duration("timeout", 5*time.Minute, "overall deadline")
+	asJSON := fs.Bool("json", false, "machine-readable report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tenants < 1 || *jobs < 1 {
+		return fmt.Errorf("need at least one tenant and one job per tenant")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	ctx, cancel := context.WithTimeout(ctx, *timeout)
+	defer cancel()
+
+	client := fairness.NewJobClient(*server)
+	base := strings.TrimRight(client.Base, "/")
+	if base == "" {
+		base = "127.0.0.1:7447"
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	baseline, err := scrapeDispatched(ctx, base)
+	if err != nil {
+		return fmt.Errorf("scrape %s/metrics: %w (is the server running with -jobs?)", base, err)
+	}
+
+	// The sampler: scrape dispatch counters every poll tick, keeping the
+	// last sample taken while every tenant was still unfinished. finished
+	// is flipped per tenant by the submit goroutines.
+	var (
+		mu           sync.Mutex
+		finished     = map[string]bool{}
+		contention   map[string]float64 // last all-in-flight sample
+		contentionAt time.Time
+	)
+	names := make([]string, *tenants)
+	for i := range names {
+		names[i] = fmt.Sprintf("t-%d", i)
+		finished[names[i]] = false
+	}
+	samplerDone := make(chan struct{})
+	samplerCtx, stopSampler := context.WithCancel(ctx)
+	defer stopSampler()
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(*poll)
+		defer tick.Stop()
+		for {
+			select {
+			case <-samplerCtx.Done():
+				return
+			case <-tick.C:
+			}
+			sample, err := scrapeDispatched(samplerCtx, base)
+			if err != nil {
+				continue
+			}
+			mu.Lock()
+			all := true
+			for _, name := range names {
+				if finished[name] {
+					all = false
+					break
+				}
+			}
+			if all {
+				contention, contentionAt = sample, time.Now()
+			}
+			mu.Unlock()
+		}
+	}()
+
+	// One goroutine per tenant: submit every job up front (that is what
+	// creates queue pressure), then wait for all of them.
+	start := time.Now()
+	reports := make([]tenantReport, *tenants)
+	errs := make([]error, *tenants)
+	var wg sync.WaitGroup
+	for i := 0; i < *tenants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tenant := names[i]
+			rep := tenantReport{Tenant: tenant, Jobs: *jobs}
+			ids := make([]string, 0, *jobs)
+			for j := 0; j < *jobs; j++ {
+				shape := jobShapes[(i+j)%len(jobShapes)]
+				spec := map[string]any{
+					"base":      map[string]any{"blocks": *blocks, "trials": *trials},
+					"protocols": shape.protocols,
+					"stake":     shape.stakes,
+				}
+				raw, err := json.Marshal(spec)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				info, err := client.Submit(ctx, fairness.JobSubmitBody{
+					Name:   fmt.Sprintf("load-%s-%d", tenant, j),
+					Tenant: tenant,
+					Seed:   *seed + uint64(1000*i+j),
+					Spec:   raw,
+				})
+				if err != nil {
+					errs[i] = fmt.Errorf("submit %s job %d: %w", tenant, j, err)
+					return
+				}
+				rep.Scenarios += info.Scenarios
+				ids = append(ids, info.ID)
+			}
+			for _, id := range ids {
+				info, err := client.Wait(ctx, id, *poll)
+				if err != nil {
+					errs[i] = fmt.Errorf("wait %s: %w", id, err)
+					return
+				}
+				if info.State != fairness.JobStateDone {
+					errs[i] = fmt.Errorf("job %s finished %s", id, info.State)
+					return
+				}
+			}
+			rep.MakespanMS = time.Since(start).Milliseconds()
+			mu.Lock()
+			finished[tenant] = true
+			mu.Unlock()
+			reports[i] = rep
+		}(i)
+	}
+	wg.Wait()
+	stopSampler()
+	<-samplerDone
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Allocation deltas over the contention window; the final counters
+	// are the fallback when the window closed before the first scrape
+	// (tiny runs).
+	mu.Lock()
+	sample := contention
+	sampledAt := contentionAt
+	mu.Unlock()
+	if sample == nil {
+		if sample, err = scrapeDispatched(ctx, base); err != nil {
+			return err
+		}
+		sampledAt = time.Now()
+	}
+	allocations := make([]float64, *tenants)
+	for i, name := range names {
+		allocations[i] = sample[name] - baseline[name]
+		reports[i].Dispatched = allocations[i]
+	}
+	jain := jainsIndex(allocations)
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(report{
+			Tenants:      reports,
+			JainsIndex:   jain,
+			ContentionMS: sampledAt.Sub(start).Milliseconds(),
+		})
+	}
+	tb := table.New("Tenant", "Jobs", "Scenarios", "Makespan(s)", "Dispatched").
+		AlignAll(table.Right).SetAlign(0, table.Left)
+	for _, r := range reports {
+		tb.AddRow(r.Tenant, fmt.Sprintf("%d", r.Jobs), fmt.Sprintf("%d", r.Scenarios),
+			fmt.Sprintf("%.2f", float64(r.MakespanMS)/1000), fmt.Sprintf("%.0f", r.Dispatched))
+	}
+	fmt.Fprintln(stdout, tb.String())
+	fmt.Fprintf(stdout, "Jain's fairness index over dispatch allocations: %.3f (n=%d, 1.0 = perfectly even)\n",
+		jain, *tenants)
+	return nil
+}
+
+// jainsIndex is (Σx)² / (n·Σx²), the classic fairness measure over
+// per-tenant allocations. Degenerate all-zero input reads as 1 (nothing
+// was allocated, nobody was treated unfairly).
+func jainsIndex(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// scrapeDispatched reads the per-tenant dispatched-scenario counters
+// from one /metrics exposition. Tenants with no series yet read as 0.
+func scrapeDispatched(ctx context.Context, base string) (map[string]float64, error) {
+	reqCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	series, err := fairness.ParseMetricsText(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	const prefix = `fairness_jobs_scenarios_dispatched_total{tenant="`
+	for id, v := range series {
+		if rest, ok := strings.CutPrefix(id, prefix); ok {
+			if tenant, ok := strings.CutSuffix(rest, `"}`); ok {
+				out[tenant] = v
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	fairness "repro"
+)
+
+// capture swaps stdout/stderr for one generator run.
+func capture(t *testing.T, args []string) (string, string, error) {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	oldOut, oldErr := stdout, stderr
+	stdout, stderr = &out, &errOut
+	defer func() { stdout, stderr = oldOut, oldErr }()
+	err := run(args)
+	return out.String(), errOut.String(), err
+}
+
+// startJobServer boots the same /v1/jobs + /metrics stack a fairnessd
+// -jobs daemon serves, on an in-process engine.
+func startJobServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	metrics := fairness.NewMetricsRegistry()
+	mgr, err := fairness.NewJobManager(fairness.JobConfig{
+		Runner:  fairness.JobLocalRunner(fairness.SweepOptions{Metrics: metrics}, 1),
+		Metrics: metrics,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+	mux := http.NewServeMux()
+	fairness.WithJobServer(mux, mgr)
+	mux.Handle("GET /metrics", fairness.MetricsHandler(metrics))
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestJainsIndex(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{[]float64{10, 10, 10, 10}, 1},
+		{[]float64{40, 0, 0, 0}, 0.25},
+		{[]float64{0, 0}, 1},
+		{[]float64{1, 3}, 0.8},
+	}
+	for _, c := range cases {
+		if got := jainsIndex(c.xs); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("jainsIndex(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestLoadGeneratorEndToEnd(t *testing.T) {
+	srv := startJobServer(t)
+	out, _, err := capture(t, []string{
+		"-server", srv.URL, "-tenants", "2", "-jobs", "2",
+		"-blocks", "120", "-trials", "8", "-poll", "5ms", "-json",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad -json report: %v\n%s", err, out)
+	}
+	if len(rep.Tenants) != 2 {
+		t.Fatalf("tenant count: %+v", rep)
+	}
+	for _, tr := range rep.Tenants {
+		if tr.Jobs != 2 || tr.Scenarios == 0 || tr.MakespanMS <= 0 {
+			t.Errorf("tenant report: %+v", tr)
+		}
+	}
+	if rep.JainsIndex <= 0 || rep.JainsIndex > 1 {
+		t.Errorf("Jain's index out of range: %v", rep.JainsIndex)
+	}
+}
+
+func TestLoadGeneratorTableOutput(t *testing.T) {
+	srv := startJobServer(t)
+	out, _, err := capture(t, []string{
+		"-server", srv.URL, "-tenants", "2", "-jobs", "1",
+		"-blocks", "120", "-trials", "8", "-poll", "5ms",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Tenant", "Makespan", "Jain's fairness index"} {
+		if !bytes.Contains([]byte(out), []byte(want)) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoadGeneratorRejectsBadFlags(t *testing.T) {
+	if _, _, err := capture(t, []string{"-tenants", "0"}); err == nil {
+		t.Error("zero tenants should fail")
+	}
+	if _, _, err := capture(t, []string{"-server", "127.0.0.1:1", "-timeout", "2s"}); err == nil {
+		t.Error("unreachable server should fail")
+	}
+}

@@ -26,9 +26,28 @@
 //	                   balancer needs for placement.
 //	GET  /metrics      Prometheus text exposition of the process registry:
 //	                   fairness_sweep_*, fairness_cache_*,
-//	                   fairness_worker_*, fairness_eval_seconds and the
-//	                   simulation totals. Healthz counters read the same
-//	                   registry handles, so the two views cannot drift.
+//	                   fairness_worker_*, fairness_jobs_*,
+//	                   fairness_eval_seconds and the simulation totals.
+//	                   Healthz counters read the same registry handles, so
+//	                   the two views cannot drift.
+//
+// With -jobs the daemon additionally runs the multi-tenant job service
+// (internal/jobs) and mounts its API:
+//
+//	POST /v1/jobs                submit a named sweep job (202 + snapshot)
+//	GET  /v1/jobs?tenant=&state= list jobs in submission order
+//	GET  /v1/jobs/{id}           one job's lifecycle snapshot
+//	POST /v1/jobs/{id}/cancel    cancel (partial results are preserved)
+//	GET  /v1/jobs/{id}/results   paginated outcomes of a finished job
+//
+// Jobs from all tenants share one execution substrate under a weighted
+// fair-share scheduler; per-tenant quotas, cache namespaces and result
+// retention apply (see README "Job service"). By default jobs run on
+// the daemon's own engine; with -jobs-cluster the daemon instead
+// becomes a job coordinator: it accepts worker self-registration (POST
+// /v1/register, i.e. other fairnessd instances started with -register
+// pointed here) and fans each job's shards out over the registered
+// pool.
 //
 // Flags:
 //
@@ -48,6 +67,20 @@
 //	                    (default: derived from -addr)
 //	-heartbeat D        heartbeat interval override (0 = coordinator's
 //	                    suggestion, TTL/3)
+//	-jobs               run the multi-tenant job service (/v1/jobs)
+//	-jobs-cluster       back jobs with self-registering workers instead
+//	                    of the local engine (the daemon coordinates)
+//	-jobs-max-queued N  per-tenant open-jobs quota (default 16)
+//	-jobs-max-inflight N per-tenant in-flight scenario quota (0 = unlimited)
+//	-jobs-max-concurrent N jobs running at once (default 64)
+//	-jobs-retain N      finished jobs kept per tenant (default 32)
+//	-jobs-shard-size N  pin cluster-mode job shards to N scenarios (0 = adaptive)
+//	-jobs-weights CSV   per-tenant fair-share weights, "alice=3,bob=1"
+//	                    (unlisted tenants weigh 1)
+//	-trace FILE         write NDJSON trace events — sweep spans, and with
+//	                    -jobs every queue/scheduler decision (job_submit,
+//	                    job_dispatch, job_cancel, ...) — to FILE ("-" =
+//	                    stderr)
 //
 // Run several fairnessd instances with -register pointed at a `fairctl
 // run -listen` coordinator (plus one shared -cache-dir) and they form a
@@ -75,6 +108,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -98,13 +132,36 @@ func main() {
 	flag.StringVar(&cfg.advertise, "advertise", "", "own base URL as reachable from the coordinator (default: derived from -addr)")
 	flag.DurationVar(&cfg.heartbeat, "heartbeat", 0, "registration heartbeat interval (0 = coordinator's suggestion)")
 	flag.BoolVar(&cfg.pprof, "pprof", false, "mount net/http/pprof under /debug/pprof/")
+	flag.BoolVar(&cfg.jobs, "jobs", false, "run the multi-tenant job service (/v1/jobs)")
+	flag.BoolVar(&cfg.jobsCluster, "jobs-cluster", false, "back jobs with self-registering workers (implies -jobs)")
+	flag.IntVar(&cfg.jobsMaxQueued, "jobs-max-queued", 0, "per-tenant open-jobs quota (0 = 16)")
+	flag.IntVar(&cfg.jobsMaxInflight, "jobs-max-inflight", 0, "per-tenant in-flight scenario quota (0 = unlimited)")
+	flag.IntVar(&cfg.jobsMaxConcurrent, "jobs-max-concurrent", 0, "jobs running at once (0 = 64)")
+	flag.IntVar(&cfg.jobsRetain, "jobs-retain", 0, "finished jobs kept per tenant (0 = 32)")
+	flag.IntVar(&cfg.jobsShardSize, "jobs-shard-size", 0, "pin cluster-mode job shards to N scenarios (0 = adaptive)")
+	flag.StringVar(&cfg.jobsWeights, "jobs-weights", "", `per-tenant fair-share weights, "alice=3,bob=1"`)
+	trace := flag.String("trace", "", `write NDJSON trace events to FILE ("-" = stderr)`)
 	flag.Parse()
 
+	if *trace != "" {
+		w := io.Writer(os.Stderr)
+		if *trace != "-" {
+			f, err := os.Create(*trace)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "fairnessd:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		cfg.tracer = fairness.NewTracer(w)
+	}
 	srv, err := newServer(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fairnessd:", err)
 		os.Exit(1)
 	}
+	defer srv.close()
 	httpSrv := &http.Server{Addr: cfg.addr, Handler: srv.mux()}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -170,19 +227,30 @@ func advertiseURL(advertise, addr string) (string, error) {
 
 // config assembles a server.
 type config struct {
-	addr          string
-	cacheDir      string
-	cacheMaxBytes int64
-	cacheCap      int
-	workers       int
-	backend       string
-	register      string
-	advertise     string
-	heartbeat     time.Duration
-	pprof         bool
+	addr              string
+	cacheDir          string
+	cacheMaxBytes     int64
+	cacheCap          int
+	workers           int
+	backend           string
+	register          string
+	advertise         string
+	heartbeat         time.Duration
+	pprof             bool
+	jobs              bool
+	jobsCluster       bool
+	jobsMaxQueued     int
+	jobsMaxInflight   int
+	jobsMaxConcurrent int
+	jobsRetain        int
+	jobsShardSize     int
+	jobsWeights       string
 	// metrics overrides the process-global registry (tests inject a
 	// fresh one so counters stay hermetic per server).
 	metrics *fairness.MetricsRegistry
+	// tracer, when non-nil, receives the daemon's NDJSON trace events
+	// (-trace; tests inject buffers).
+	tracer *fairness.Tracer
 }
 
 // server is the HTTP face of one shared Engine. All counters — request
@@ -199,6 +267,13 @@ type server struct {
 	pprof       bool
 	evaluates   *fairness.MetricsCounter
 	sweeps      *fairness.MetricsCounter
+	// The optional multi-tenant job service (-jobs): the manager owns
+	// lifecycle/fair-share/quotas/retention, jobsAPI is its HTTP face,
+	// and jobsReg (cluster mode only) is the worker membership table
+	// jobs dispatch onto.
+	jobsMgr *fairness.JobManager
+	jobsAPI *fairness.JobServer
+	jobsReg *fairness.ClusterRegistry
 }
 
 // maxBodyBytes bounds request bodies; scenario documents are tiny.
@@ -246,7 +321,7 @@ func newServer(cfg config) (*server, error) {
 	}
 	opts := []fairness.EngineOption{
 		fairness.WithWorkers(cfg.workers),
-		fairness.WithTelemetry(m, nil),
+		fairness.WithTelemetry(m, cfg.tracer),
 	}
 	if s.cache != nil {
 		opts = append(opts, fairness.WithCache(s.cache))
@@ -265,7 +340,94 @@ func newServer(cfg config) (*server, error) {
 		}
 		return sweep.Stats{}, err
 	}, m)
+	if cfg.jobs || cfg.jobsCluster {
+		if err := s.initJobs(cfg, m, ev); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
+}
+
+// initJobs assembles the multi-tenant job service. Local mode runs jobs
+// on this daemon's engine configuration, chunked through the fair-share
+// gate so concurrent tenants interleave; cluster mode makes the daemon a
+// coordinator dispatching each job's shards onto self-registered
+// workers.
+func (s *server) initJobs(cfg config, m *fairness.MetricsRegistry, ev fairness.Evaluator) error {
+	weights, err := parseWeights(cfg.jobsWeights)
+	if err != nil {
+		return err
+	}
+	jcfg := fairness.JobConfig{
+		MaxQueuedPerTenant:   cfg.jobsMaxQueued,
+		MaxInflightPerTenant: cfg.jobsMaxInflight,
+		MaxConcurrentJobs:    cfg.jobsMaxConcurrent,
+		RetainPerTenant:      cfg.jobsRetain,
+		Weights:              weights,
+		Cache:                s.cache,
+		Metrics:              m,
+		Tracer:               cfg.tracer,
+	}
+	if cfg.jobsCluster {
+		reg := fairness.NewClusterRegistry(s.backendName, 0)
+		s.jobsReg = reg
+		jcfg.Runner = fairness.JobClusterRunner(fairness.ClusterOptions{
+			Registry:  reg,
+			Backend:   s.backendName,
+			ShardSize: cfg.jobsShardSize,
+			Metrics:   m,
+			Tracer:    cfg.tracer,
+		})
+		// Twice the live pool keeps every worker busy while still forcing
+		// tenants to contest dispatch under saturation.
+		jcfg.Capacity = func() int { return 2 * len(reg.Live()) }
+	} else {
+		jcfg.Runner = fairness.JobLocalRunner(fairness.SweepOptions{
+			Workers:   cfg.workers,
+			Evaluator: ev,
+			Metrics:   m,
+			Tracer:    cfg.tracer,
+		}, 0)
+	}
+	mgr, err := fairness.NewJobManager(jcfg)
+	if err != nil {
+		return err
+	}
+	s.jobsMgr = mgr
+	s.jobsAPI = fairness.NewJobServer(mgr)
+	return nil
+}
+
+// parseWeights parses the -jobs-weights CSV ("alice=3,bob=1.5").
+func parseWeights(csv string) (map[string]float64, error) {
+	if csv == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, part := range strings.Split(csv, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		tenant, val, ok := strings.Cut(part, "=")
+		if !ok || tenant == "" {
+			return nil, fmt.Errorf("-jobs-weights: bad entry %q (want tenant=weight)", part)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-jobs-weights: bad weight %q for tenant %q", val, tenant)
+		}
+		out[tenant] = w
+	}
+	return out, nil
+}
+
+// close shuts the job service down: live jobs are cancelled (keeping
+// their partial reports) and their goroutines joined.
+func (s *server) close() {
+	if s.jobsMgr != nil {
+		s.jobsMgr.Close()
+	}
 }
 
 func (s *server) mux() *http.ServeMux {
@@ -278,6 +440,14 @@ func (s *server) mux() *http.ServeMux {
 		telemetry.RegisterPprof(mux)
 	}
 	s.shards.Register(mux) // /v1/shard, /v1/shard/ack, /v1/progress
+	if s.jobsAPI != nil {
+		s.jobsAPI.Register(mux) // /v1/jobs...
+	}
+	if s.jobsReg != nil {
+		// Cluster-mode job service: accept worker self-registration on
+		// the same listener (fairnessd -register http://this-daemon).
+		fairness.NewClusterRegistryServer(s.jobsReg).RegisterMembership(mux)
+	}
 	return mux
 }
 

@@ -12,6 +12,7 @@ import (
 
 	fairness "repro"
 	"repro/internal/cluster"
+	"repro/internal/scenario"
 )
 
 // testServer boots the handler stack over httptest with a small default
@@ -544,5 +545,155 @@ func TestSelfRegisteredWorkerJoinsCoordinatorRun(t *testing.T) {
 	}
 	if n := len(reg.Live()); n != 0 {
 		t.Errorf("worker still registered after graceful shutdown: %d members", n)
+	}
+}
+
+// jobGrid is a small submission spec shared by the job-service tests.
+const jobGrid = `{"base":{"blocks":150,"trials":10},"protocols":["pow","mlpos"],"stake":[0.2,0.3]}`
+
+// normalizeJobOutcomes strips timing/cache bookkeeping for bit-exact
+// report comparison.
+func normalizeJobOutcomes(t *testing.T, outs []fairness.SweepOutcome) string {
+	t.Helper()
+	c := make([]fairness.SweepOutcome, len(outs))
+	copy(c, outs)
+	for i := range c {
+		c[i].ElapsedMS = 0
+		c[i].CacheHit = false
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestJobServiceLocalModeEndToEnd(t *testing.T) {
+	srv, ts := testServer(t, config{jobs: true, cacheCap: 64})
+	defer srv.close()
+	client := fairness.NewJobClient(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	info, err := client.Submit(ctx, fairness.JobSubmitBody{
+		Name: "daemon-e2e", Tenant: "acme", Seed: 5,
+		Spec: json.RawMessage(jobGrid),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != fairness.JobStateQueued || info.Scenarios != 4 {
+		t.Fatalf("submitted job: %+v", info)
+	}
+	if info, err = client.Wait(ctx, info.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if info.State != fairness.JobStateDone || info.Partial {
+		t.Fatalf("finished job: %+v", info)
+	}
+	_, outs, err := client.Results(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := scenario.DecodeSpecsOrGrid([]byte(jobGrid), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := fairness.Sweep(specs, fairness.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := normalizeJobOutcomes(t, outs), normalizeJobOutcomes(t, local.Outcomes); got != want {
+		t.Errorf("job report differs from local sweep:\n%s\n%s", got, want)
+	}
+
+	// The job counters surface on the daemon's /metrics exposition.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	series, err := fairness.ParseMetricsText(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series[`fairness_jobs_submitted_total{tenant="acme"}`] != 1 {
+		t.Errorf("submitted counter missing: %v", series)
+	}
+	if series[`fairness_jobs_finished_total{state="done"}`] != 1 {
+		t.Errorf("finished counter missing")
+	}
+}
+
+func TestJobServiceClusterModeDispatchesOverRegisteredWorkers(t *testing.T) {
+	// Coordinator daemon: job service over self-registering workers.
+	coord, coordTS := testServer(t, config{jobsCluster: true})
+	defer coord.close()
+	if coord.jobsMgr == nil || coord.jobsReg == nil {
+		t.Fatal("-jobs-cluster did not assemble the cluster-backed job service")
+	}
+
+	client := fairness.NewJobClient(coordTS.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Submit before any worker exists: the job must wait, not fail —
+	// and the waiting state must be visible on the cluster gauge.
+	info, err := client.Submit(ctx, fairness.JobSubmitBody{
+		Name: "cluster-job", Tenant: "acme", Seed: 9,
+		Spec: json.RawMessage(jobGrid),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two worker daemons join through the coordinator's /v1/register —
+	// the exact flow `fairnessd -register http://coordinator` runs.
+	for i := 0; i < 2; i++ {
+		_, workerTS := testServer(t, config{})
+		reg := &cluster.Registrar{Coordinator: coordTS.URL, Self: workerTS.URL, Backend: "montecarlo"}
+		regCtx, stopReg := context.WithCancel(ctx)
+		defer stopReg()
+		go reg.Run(regCtx)
+	}
+
+	if info, err = client.Wait(ctx, info.ID, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if info.State != fairness.JobStateDone || info.Partial {
+		t.Fatalf("cluster job: %+v", info)
+	}
+	_, outs, err := client.Results(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := scenario.DecodeSpecsOrGrid([]byte(jobGrid), 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := fairness.Sweep(specs, fairness.SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := normalizeJobOutcomes(t, outs), normalizeJobOutcomes(t, local.Outcomes); got != want {
+		t.Errorf("cluster job report differs from local sweep:\n%s\n%s", got, want)
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	w, err := parseWeights("alice=3,bob=1.5, carol=2 ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w["alice"] != 3 || w["bob"] != 1.5 || w["carol"] != 2 || len(w) != 3 {
+		t.Errorf("parsed weights: %v", w)
+	}
+	for _, bad := range []string{"alice", "alice=0", "alice=-1", "=2", "alice=x"} {
+		if _, err := parseWeights(bad); err == nil {
+			t.Errorf("parseWeights(%q) should fail", bad)
+		}
+	}
+	if w, err := parseWeights(""); err != nil || w != nil {
+		t.Errorf("empty weights: %v %v", w, err)
 	}
 }

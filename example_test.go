@@ -2,7 +2,11 @@ package fairness_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
 
 	fairness "repro"
 )
@@ -79,4 +83,51 @@ func ExampleWithTelemetry() {
 		snap[`fairness_sweep_computed_total{backend="theory"}`])
 	// Output:
 	// scenarios=3 computed=3
+}
+
+// ExampleWithJobServer runs the multi-tenant job service end to end in
+// one process: a JobManager backed by the local sweep engine, its
+// /v1/jobs API mounted on a mux, and a JobClient submitting a named
+// grid job, waiting for it, and paging back the merged report. The
+// same wiring serves real deployments via fairnessd -jobs, with
+// fairctl submit/jobs/cancel/results as the command-line client.
+func ExampleWithJobServer() {
+	mgr, err := fairness.NewJobManager(fairness.JobConfig{
+		Runner: fairness.JobLocalRunner(fairness.SweepOptions{}, 0),
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer mgr.Close()
+	mux := http.NewServeMux()
+	fairness.WithJobServer(mux, mgr)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	client := fairness.NewJobClient(srv.URL)
+	ctx := context.Background()
+	info, err := client.Submit(ctx, fairness.JobSubmitBody{
+		Name:   "nightly",
+		Tenant: "acme",
+		Seed:   7,
+		Spec: json.RawMessage(
+			`{"base":{"blocks":200,"trials":20},"protocols":["pow","slpos"],"stake":[0.2,0.3]}`),
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if info, err = client.Wait(ctx, info.ID, 5*time.Millisecond); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	_, outcomes, err := client.Results(ctx, info.ID)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(info.State, len(outcomes))
+	// Output:
+	// done 4
 }

@@ -41,6 +41,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/game"
+	"repro/internal/jobs"
 	"repro/internal/montecarlo"
 	"repro/internal/protocol"
 	"repro/internal/rng"
@@ -128,6 +129,100 @@ type (
 	// heartbeat, deregister on context end (what fairnessd -register
 	// runs).
 	ClusterRegistrar = cluster.Registrar
+	// ClusterDispatchGate arbitrates shard dispatch across concurrent
+	// cluster runs — ClusterOptions.Gate. The job service's fair-share
+	// scheduler hands one to every job it runs.
+	ClusterDispatchGate = cluster.DispatchGate
+	// JobManager is the multi-tenant job service (internal/jobs): named
+	// sweep jobs from many tenants multiplexed onto one execution
+	// substrate under weighted fair-share scheduling, with per-tenant
+	// quotas, cache namespaces and retention of finished results.
+	JobManager = jobs.Manager
+	// JobConfig tunes a JobManager (runner, capacity, quotas, weights,
+	// retention, cache, telemetry).
+	JobConfig = jobs.Config
+	// JobSweepRunner executes one job's scenario list under a dispatch
+	// gate; see JobClusterRunner and JobLocalRunner.
+	JobSweepRunner = jobs.SweepRunner
+	// JobScheduler is the manager's stride-based fair-share arbiter.
+	JobScheduler = jobs.Scheduler
+	// JobSubmitRequest is one named in-process sweep submission.
+	JobSubmitRequest = jobs.SubmitRequest
+	// JobSubmitBody is the POST /v1/jobs wire format (spec as a grid or
+	// scenario array, like fairsweep -spec files).
+	JobSubmitBody = jobs.SubmitBody
+	// JobInfo is one job's externally visible lifecycle snapshot.
+	JobInfo = jobs.JobInfo
+	// JobState is a job's lifecycle position; see JobStateQueued et al.
+	JobState = jobs.JobState
+	// JobResultsPage is one page of a finished job's merged outcomes
+	// with an opaque continuation token.
+	JobResultsPage = jobs.ResultsPage
+	// JobServer is the /v1/jobs HTTP face of a JobManager; mount it with
+	// WithJobServer or Register.
+	JobServer = jobs.Server
+	// JobClient is the /v1/jobs HTTP client — what fairctl submit/jobs/
+	// cancel/results and cmd/fairload drive.
+	JobClient = jobs.Client
+)
+
+// Job lifecycle states: queued → running → done/failed/cancelled.
+const (
+	JobStateQueued    = jobs.StateQueued
+	JobStateRunning   = jobs.StateRunning
+	JobStateDone      = jobs.StateDone
+	JobStateFailed    = jobs.StateFailed
+	JobStateCancelled = jobs.StateCancelled
+)
+
+// Job service errors, mapped onto HTTP statuses by the JobServer.
+var (
+	ErrJobQuota       = jobs.ErrQuota
+	ErrJobUnknown     = jobs.ErrUnknownJob
+	ErrJobNotFinished = jobs.ErrNotFinished
+	ErrJobPageToken   = jobs.ErrPageToken
+	ErrJobsClosed     = jobs.ErrClosed
+)
+
+// NewJobManager builds the multi-tenant job service over cfg.Runner.
+// Close it to cancel live jobs and join their goroutines.
+func NewJobManager(cfg JobConfig) (*JobManager, error) { return jobs.NewManager(cfg) }
+
+// NewJobServer wraps a JobManager in its /v1/jobs HTTP endpoints;
+// mount them with Register(mux).
+func NewJobServer(m *JobManager) *JobServer { return jobs.NewServer(m) }
+
+// WithJobServer mounts a manager's /v1/jobs API on mux and returns the
+// server — the one-liner fairnessd -jobs and embedding applications use.
+func WithJobServer(mux *http.ServeMux, m *JobManager) *JobServer {
+	s := jobs.NewServer(m)
+	s.Register(mux)
+	return s
+}
+
+// NewJobClient returns a client for one job server's /v1/jobs API
+// (base "host:port" or a full URL).
+func NewJobClient(base string) *JobClient { return jobs.NewClient(base) }
+
+// JobClusterRunner executes each job as one distributed cluster run
+// over the shared worker pool described by base (its Gate and Cache are
+// overridden per job).
+func JobClusterRunner(base ClusterOptions) JobSweepRunner { return jobs.ClusterRunner(base) }
+
+// JobLocalRunner executes jobs in-process with sweep options opts,
+// pacing through the fair-share gate in chunks of at most chunk
+// scenarios (0 = 4) so concurrent tenants interleave without a cluster.
+func JobLocalRunner(opts SweepOptions, chunk int) JobSweepRunner {
+	return jobs.LocalRunner(opts, chunk)
+}
+
+// JobTenantCache namespaces a base result cache for one tenant — the
+// isolation the JobManager applies around JobConfig.Cache.
+func JobTenantCache(tenant string, base CacheStore) CacheStore {
+	return jobs.TenantCache(tenant, base)
+}
+
+type (
 	// Capabilities declares which scenario features — protocols,
 	// withholding, adversary and network blocks — an Evaluator backend
 	// covers; see Engine.Capabilities and BackendCapabilities.

@@ -139,8 +139,26 @@ type Options struct {
 	Metrics *telemetry.Registry
 	// Tracer, when non-nil, receives the scheduling span as NDJSON trace
 	// events: cluster_start, shard_claim, shard_ack, shard_requeue,
-	// lease_expiry, worker_quarantine, cluster_done.
+	// lease_expiry, worker_quarantine, cluster_waiting, cluster_done.
 	Tracer *telemetry.Tracer
+	// Gate, when non-nil, is consulted before every shard is cut: the
+	// worker loop asks for `want` work items and receives permission for
+	// `granted` (possibly fewer), holding the grant until the shard
+	// completes or its remainder is requeued. A gate shared across
+	// concurrent Runs decides whose shard dispatches next — this is how
+	// the multi-tenant job scheduler interleaves jobs at true
+	// shard-dispatch granularity without touching merge semantics.
+	Gate DispatchGate
+}
+
+// DispatchGate arbitrates shard dispatch across concurrent runs.
+// Acquire blocks until the caller may dispatch up to granted work items
+// (1 <= granted <= want), the gate is closed for this run (granted 0),
+// or ctx is cancelled. The returned release must be called exactly once
+// when the granted items are no longer in flight — after the shard is
+// merged and acked, or after its remainder is requeued.
+type DispatchGate interface {
+	Acquire(ctx context.Context, want int) (granted int, release func(), err error)
 }
 
 // Health is one worker's /v1/healthz view, as probed by the coordinator
@@ -598,8 +616,35 @@ func runScheduler(ctx context.Context, items []workItem, opts Options,
 
 	// Supervisor: keep one loop running per live member. Registration
 	// signals and a coarse ticker both trigger a re-scan, so a worker
-	// registering mid-run joins within milliseconds.
+	// registering mid-run joins within milliseconds. Registry-backed
+	// runs that find themselves with work but no live worker WAIT for
+	// one to register — loudly: the transition into the empty-pool wait
+	// raises the fairness_cluster_waiting gauge and emits a
+	// cluster_waiting trace event, instead of stalling silently.
+	waiting := false
+	checkWaiting := func() {
+		if !run.registryMode {
+			return
+		}
+		s.mu.Lock()
+		queued := len(s.queue)
+		workLeft := queued > 0 || s.outstanding > 0
+		stalled := workLeft && s.failed == nil && !s.finished && len(reg.Live()) == 0
+		s.mu.Unlock()
+		if stalled == waiting {
+			return
+		}
+		waiting = stalled
+		if stalled {
+			opts.Metrics.Gauge("fairness_cluster_waiting").Set(1)
+			opts.Tracer.Emit("cluster_waiting",
+				"reason", "no live workers", "queued", queued)
+		} else {
+			opts.Metrics.Gauge("fairness_cluster_waiting").Set(0)
+		}
+	}
 	s.spawnLoops()
+	checkWaiting()
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
@@ -610,9 +655,14 @@ func runScheduler(ctx context.Context, items []workItem, opts Options,
 			case <-reg.Watch():
 			case <-tick.C:
 			case <-s.runDone:
+				if waiting {
+					waiting = false
+					opts.Metrics.Gauge("fairness_cluster_waiting").Set(0)
+				}
 				return
 			}
 			s.spawnLoops()
+			checkWaiting()
 		}
 	}()
 
@@ -691,7 +741,39 @@ func (s *sched) workerLoop(url string) {
 			s.mu.Unlock()
 			return
 		}
-		n := min(s.shardSizeFor(url), len(s.queue))
+		want := min(s.shardSizeFor(url), len(s.queue))
+		s.mu.Unlock()
+
+		// Ask the dispatch gate (if any) before cutting the shard. The
+		// grant is held until the items are merged or requeued; the queue
+		// is re-checked under lock afterwards because other loops may
+		// have drained it while this one waited at the gate.
+		release := func() {}
+		granted := want
+		if s.opts.Gate != nil {
+			var err error
+			granted, release, err = s.opts.Gate.Acquire(s.runCtx, want)
+			if err != nil {
+				return
+			}
+			if granted <= 0 {
+				release()
+				return
+			}
+		}
+
+		s.mu.Lock()
+		if s.failed != nil || s.finished {
+			s.mu.Unlock()
+			release()
+			return
+		}
+		if len(s.queue) == 0 {
+			s.mu.Unlock()
+			release()
+			continue
+		}
+		n := min(granted, len(s.queue))
 		batch := make([]workItem, n)
 		copy(batch, s.queue[:n])
 		s.queue = s.queue[n:]
@@ -711,6 +793,7 @@ func (s *sched) workerLoop(url string) {
 			s.mu.Lock()
 			s.outstanding -= n
 			s.mu.Unlock()
+			release()
 			s.cond.Broadcast()
 			consecFails = 0
 			continue
@@ -744,6 +827,7 @@ func (s *sched) workerLoop(url string) {
 		}
 		terminal := s.failed != nil
 		s.mu.Unlock()
+		release()
 		s.cond.Broadcast()
 		s.tracker.requeued(t.id)
 		if terminal || s.runCtx.Err() != nil {

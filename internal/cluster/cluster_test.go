@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/scenario"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 )
 
 // testGrid expands a small but non-trivial scenario list: three
@@ -256,6 +257,106 @@ func TestClusterInvalidScenarioRejectedLocally(t *testing.T) {
 	_, err := Run(context.Background(), []scenario.Spec{{Protocol: "nope"}}, Options{})
 	if !errors.Is(err, scenario.ErrSpec) {
 		t.Errorf("err = %v, want ErrSpec", err)
+	}
+}
+
+// countingGate is a DispatchGate that serialises dispatch (one shard in
+// flight at a time, at most capPerGrant items each) and counts its
+// acquire/release traffic.
+type countingGate struct {
+	sem         chan struct{}
+	capPerGrant int
+	acquires    atomic.Int64
+	releases    atomic.Int64
+}
+
+func (g *countingGate) Acquire(ctx context.Context, want int) (int, func(), error) {
+	select {
+	case g.sem <- struct{}{}:
+	case <-ctx.Done():
+		return 0, func() {}, ctx.Err()
+	}
+	g.acquires.Add(1)
+	if want > g.capPerGrant {
+		want = g.capPerGrant
+	}
+	return want, func() { g.releases.Add(1); <-g.sem }, nil
+}
+
+func TestClusterDispatchGatePacesShardsWithoutChangingReport(t *testing.T) {
+	specs := testGrid(t)
+	local, err := sweep.Run(specs, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1, _ := startWorker(t, sweep.Options{}, "montecarlo")
+	w2, _ := startWorker(t, sweep.Options{}, "montecarlo")
+	gate := &countingGate{sem: make(chan struct{}, 1), capPerGrant: 2}
+	rep, err := Run(context.Background(), specs, Options{
+		Workers: []string{w1.URL, w2.URL},
+		Gate:    gate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonicalOutcomes(t, rep), canonicalOutcomes(t, local); got != want {
+		t.Errorf("gated outcomes differ from local sweep:\n%s\n%s", got, want)
+	}
+	if gate.acquires.Load() == 0 {
+		t.Fatal("gate was never consulted")
+	}
+	if gate.acquires.Load() != gate.releases.Load() {
+		t.Errorf("gate grants leaked: %d acquires, %d releases",
+			gate.acquires.Load(), gate.releases.Load())
+	}
+	// capPerGrant 2 across 7 unique scenarios forces at least 4 shards.
+	if gate.acquires.Load() < 4 {
+		t.Errorf("gate cap ignored: only %d acquires", gate.acquires.Load())
+	}
+}
+
+func TestClusterWaitingGaugeOnEmptyPool(t *testing.T) {
+	// A registry-backed run with no live worker WAITS — and must say so:
+	// the fairness_cluster_waiting gauge rises while the pool is empty
+	// and falls once a worker registers and the run completes.
+	specs := testGrid(t)
+	reg := NewRegistry("montecarlo", 0)
+	metrics := telemetry.NewRegistry()
+
+	type result struct {
+		rep *sweep.Report
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		rep, err := Run(context.Background(), specs, Options{
+			Registry: reg,
+			Metrics:  metrics,
+		})
+		done <- result{rep, err}
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for metrics.Gauge("fairness_cluster_waiting").Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("fairness_cluster_waiting never rose while the pool was empty")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	w, _ := startWorker(t, sweep.Options{}, "montecarlo")
+	if err := reg.Register(w.URL, "montecarlo", 0); err != nil {
+		t.Fatal(err)
+	}
+	res := <-done
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	if res.rep.Stats.Computed == 0 {
+		t.Error("late-registered worker computed nothing")
+	}
+	if v := metrics.Gauge("fairness_cluster_waiting").Value(); v != 0 {
+		t.Errorf("fairness_cluster_waiting = %v after completion, want 0", v)
 	}
 }
 

@@ -85,7 +85,7 @@ func NewRegistry(backend string, ttl time.Duration) *Registry {
 		backend: backend,
 		ttl:     ttl,
 		members: make(map[string]*member),
-		watch:   make(chan struct{}, 1),
+		watch:   make(chan struct{}),
 	}
 }
 
@@ -107,18 +107,26 @@ func (r *Registry) requireBackend(backend string) error {
 	return nil
 }
 
-// notifyLocked signals watchers that membership may have grown.
+// notifyLocked signals watchers that membership may have grown. The
+// generation channel is closed and replaced so EVERY watcher wakes —
+// several cluster runs can share one registry (the job service runs one
+// per job), and a single-slot signal would wake only one of them,
+// leaving the rest blind until their next supervisor tick.
 func (r *Registry) notifyLocked() {
-	select {
-	case r.watch <- struct{}{}:
-	default:
-	}
+	close(r.watch)
+	r.watch = make(chan struct{})
 }
 
-// Watch returns a channel that receives a signal whenever a worker
-// registers (or re-registers after a penalty). The channel is shared
-// and coalescing — treat a receive as "re-scan Live()".
-func (r *Registry) Watch() <-chan struct{} { return r.watch }
+// Watch returns a channel closed on the next membership-growth signal
+// (a worker registering, or re-registering after a penalty). It is a
+// broadcast: every holder wakes, and each wake-up means "re-scan
+// Live()". Call Watch again after each receive — the returned channel
+// is only good for one signal.
+func (r *Registry) Watch() <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.watch
+}
 
 // Register adds a worker (or renews its lease — heartbeats are just
 // re-registrations) reporting the given backend and self-measured
@@ -293,10 +301,18 @@ func NewRegistryServer(reg *Registry) *RegistryServer {
 
 // Register mounts the coordinator endpoints on mux.
 func (s *RegistryServer) Register(mux *http.ServeMux) {
-	mux.HandleFunc("POST /v1/register", s.handleRegister)
-	mux.HandleFunc("POST /v1/deregister", s.handleDeregister)
+	s.RegisterMembership(mux)
 	mux.HandleFunc("GET /v1/progress", s.handleProgress)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+}
+
+// RegisterMembership mounts only the membership endpoints (register and
+// deregister) — for hosts whose mux already serves their own progress
+// and healthz routes, like a fairnessd running the job service in
+// cluster mode.
+func (s *RegistryServer) RegisterMembership(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/register", s.handleRegister)
+	mux.HandleFunc("POST /v1/deregister", s.handleDeregister)
 }
 
 // UpdateProgress publishes the latest run snapshot to /v1/progress —

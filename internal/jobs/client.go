@@ -1,0 +1,193 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// Client talks to a job server's /v1/jobs API — the engine behind
+// fairctl submit/jobs/cancel/results and the fairload generator.
+type Client struct {
+	// Base is the server's base URL ("host:port" or full URL).
+	Base string
+	// HTTP overrides the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+}
+
+// NewClient builds a client for one job server.
+func NewClient(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) base() string {
+	b := c.Base
+	if b == "" {
+		b = "127.0.0.1:7447"
+	}
+	if !bytes.Contains([]byte(b), []byte("://")) {
+		b = "http://" + b
+	}
+	for len(b) > 0 && b[len(b)-1] == '/' {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// do runs one JSON round trip, decoding the error envelope on non-2xx.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base()+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("jobs: %s %s: status %d: %s", method, path, resp.StatusCode, e.Error)
+		}
+		return fmt.Errorf("jobs: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit posts one job and returns its assigned snapshot.
+func (c *Client) Submit(ctx context.Context, body SubmitBody) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", body, &info)
+	return info, err
+}
+
+// Get fetches one job's snapshot.
+func (c *Client) Get(ctx context.Context, id string) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+url.PathEscape(id), nil, &info)
+	return info, err
+}
+
+// List fetches job snapshots, optionally filtered by tenant and state.
+func (c *Client) List(ctx context.Context, tenant string, state JobState) ([]JobInfo, error) {
+	q := url.Values{}
+	if tenant != "" {
+		q.Set("tenant", tenant)
+	}
+	if state != "" {
+		q.Set("state", string(state))
+	}
+	path := "/v1/jobs"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var out struct {
+		Jobs []JobInfo `json:"jobs"`
+	}
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out.Jobs, err
+}
+
+// Cancel requests cancellation of a job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobInfo, error) {
+	var info JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/jobs/"+url.PathEscape(id)+"/cancel", nil, &info)
+	return info, err
+}
+
+// ResultsPage fetches one page of a finished job's outcomes.
+func (c *Client) ResultsPage(ctx context.Context, id, pageToken string, pageSize int) (ResultsPage, error) {
+	q := url.Values{}
+	if pageToken != "" {
+		q.Set("page_token", pageToken)
+	}
+	if pageSize > 0 {
+		q.Set("page_size", strconv.Itoa(pageSize))
+	}
+	path := "/v1/jobs/" + url.PathEscape(id) + "/results"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var page ResultsPage
+	err := c.do(ctx, http.MethodGet, path, nil, &page)
+	return page, err
+}
+
+// Results walks every page and returns the job snapshot with the full
+// merged outcome list.
+func (c *Client) Results(ctx context.Context, id string) (JobInfo, []sweep.Outcome, error) {
+	var (
+		outcomes []sweep.Outcome
+		info     JobInfo
+		token    string
+	)
+	for {
+		page, err := c.ResultsPage(ctx, id, token, 0)
+		if err != nil {
+			return info, outcomes, err
+		}
+		info = page.Job
+		outcomes = append(outcomes, page.Outcomes...)
+		if page.NextPageToken == "" {
+			return info, outcomes, nil
+		}
+		token = page.NextPageToken
+	}
+}
+
+// Wait polls until the job reaches a terminal state (or ctx ends).
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobInfo, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for {
+		info, err := c.Get(ctx, id)
+		if err != nil {
+			return info, err
+		}
+		if info.State.Terminal() {
+			return info, nil
+		}
+		select {
+		case <-tick.C:
+		case <-ctx.Done():
+			return info, ctx.Err()
+		}
+	}
+}

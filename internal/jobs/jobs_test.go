@@ -1,0 +1,414 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/scenario"
+	"repro/internal/sweep"
+	"repro/internal/telemetry"
+)
+
+// jobSpecs expands a small grid with a given seed so different jobs can
+// carry disjoint work (distinct hashes, no cross-job cache collisions).
+func jobSpecs(t *testing.T, seed uint64, protocols ...string) []scenario.Spec {
+	t.Helper()
+	if len(protocols) == 0 {
+		protocols = []string{"pow", "mlpos"}
+	}
+	g := scenario.Grid{
+		Base:      scenario.Spec{Blocks: 120, Trials: 10, Seed: seed},
+		Protocols: protocols,
+		Stake:     []float64{0.2, 0.3, 0.4},
+	}
+	specs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
+// canonical strips where/when fields, leaving what must be
+// bit-identical between any two executions of the same specs.
+func canonical(t *testing.T, outs []sweep.Outcome) string {
+	t.Helper()
+	c := make([]sweep.Outcome, len(outs))
+	copy(c, outs)
+	for i := range c {
+		c[i].ElapsedMS = 0
+		c[i].CacheHit = false
+	}
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func waitState(t *testing.T, m *Manager, id string, want JobState) JobInfo {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		info, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State == want {
+			return info
+		}
+		if info.State.Terminal() {
+			t.Fatalf("job %s reached %s (error %q), want %s", id, info.State, info.Error, want)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s, want %s", id, info.State, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestManagerLocalJobMatchesLocalSweep(t *testing.T) {
+	specs := jobSpecs(t, 1)
+	local, err := sweep.Run(specs, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(Config{Runner: LocalRunner(sweep.Options{}, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	info, err := m.Submit(SubmitRequest{Name: "demo", Tenant: "acme", Specs: specs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != StateQueued || info.ID == "" || info.Scenarios != len(specs) {
+		t.Fatalf("submit snapshot: %+v", info)
+	}
+	done := waitState(t, m, info.ID, StateDone)
+	if done.Stats.Scenarios != len(specs) {
+		t.Errorf("stats: %+v", done.Stats)
+	}
+
+	// Paginated retrieval must walk the full outcome list in order.
+	var outs []sweep.Outcome
+	token := ""
+	pages := 0
+	for {
+		page, err := m.Results(info.ID, token, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, page.Outcomes...)
+		pages++
+		if page.NextPageToken == "" {
+			break
+		}
+		token = page.NextPageToken
+	}
+	if pages < 2 {
+		t.Errorf("page size 4 over %d outcomes produced %d pages", len(specs), pages)
+	}
+	if got, want := canonical(t, outs), canonical(t, local.Outcomes); got != want {
+		t.Errorf("job outcomes differ from local sweep:\n%s\n%s", got, want)
+	}
+}
+
+func TestManagerResultsBeforeFinishAndBadToken(t *testing.T) {
+	block := make(chan struct{})
+	m, err := NewManager(Config{Runner: func(ctx context.Context, specs []scenario.Spec,
+		gate cluster.DispatchGate, cache sweep.CacheStore) (*sweep.Report, error) {
+		select {
+		case <-block:
+			return &sweep.Report{}, nil
+		case <-ctx.Done():
+			return &sweep.Report{Partial: true}, ctx.Err()
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	info, err := m.Submit(SubmitRequest{Specs: jobSpecs(t, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Results(info.ID, "", 0); !errors.Is(err, ErrNotFinished) {
+		t.Errorf("results on live job: err = %v, want ErrNotFinished", err)
+	}
+	close(block)
+	waitState(t, m, info.ID, StateDone)
+	if _, err := m.Results(info.ID, "not-a-token", 0); !errors.Is(err, ErrPageToken) {
+		t.Errorf("bad token: err = %v, want ErrPageToken", err)
+	}
+	if _, err := m.Results("j-999999", "", 0); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("unknown job: err = %v, want ErrUnknownJob", err)
+	}
+}
+
+func TestManagerCancelPreservesPartialReport(t *testing.T) {
+	started := make(chan struct{})
+	m, err := NewManager(Config{Runner: func(ctx context.Context, specs []scenario.Spec,
+		gate cluster.DispatchGate, cache sweep.CacheStore) (*sweep.Report, error) {
+		close(started)
+		<-ctx.Done()
+		// Mid-run cancellation: hand back what completed, like
+		// cluster.Run and sweep.RunContext do.
+		return &sweep.Report{
+			Outcomes: []sweep.Outcome{{Name: specs[0].Name, Hash: "deadbeef"}},
+			Partial:  true,
+		}, ctx.Err()
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	info, err := m.Submit(SubmitRequest{Tenant: "acme", Specs: jobSpecs(t, 3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := m.Cancel(info.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin := waitState(t, m, info.ID, StateCancelled)
+	if !fin.Partial {
+		t.Error("cancelled job not marked partial")
+	}
+	page, err := m.Results(info.ID, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Outcomes) != 1 || page.Outcomes[0].Hash != "deadbeef" {
+		t.Errorf("partial outcomes lost: %+v", page.Outcomes)
+	}
+}
+
+func TestManagerCancelQueuedJobNeverRuns(t *testing.T) {
+	ran := make(chan string, 8)
+	release := make(chan struct{})
+	m, err := NewManager(Config{
+		MaxConcurrentJobs: 1,
+		Runner: func(ctx context.Context, specs []scenario.Spec,
+			gate cluster.DispatchGate, cache sweep.CacheStore) (*sweep.Report, error) {
+			ran <- specs[0].Name
+			select {
+			case <-release:
+				return &sweep.Report{}, nil
+			case <-ctx.Done():
+				return &sweep.Report{Partial: true}, ctx.Err()
+			}
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	first, err := m.Submit(SubmitRequest{Specs: jobSpecs(t, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ran
+	queued, err := m.Submit(SubmitRequest{Specs: jobSpecs(t, 5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	fin := waitState(t, m, queued.ID, StateCancelled)
+	if fin.StartedMS != 0 {
+		t.Errorf("cancelled-while-queued job reports a start time: %+v", fin)
+	}
+	close(release)
+	waitState(t, m, first.ID, StateDone)
+	select {
+	case name := <-ran:
+		t.Errorf("cancelled queued job still ran (%s)", name)
+	default:
+	}
+}
+
+func TestManagerQueueQuotaRejects(t *testing.T) {
+	metrics := telemetry.NewRegistry()
+	block := make(chan struct{})
+	defer close(block)
+	m, err := NewManager(Config{
+		MaxQueuedPerTenant: 2,
+		Metrics:            metrics,
+		Runner: func(ctx context.Context, specs []scenario.Spec,
+			gate cluster.DispatchGate, cache sweep.CacheStore) (*sweep.Report, error) {
+			select {
+			case <-block:
+			case <-ctx.Done():
+			}
+			return &sweep.Report{}, nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for range 2 {
+		if _, err := m.Submit(SubmitRequest{Tenant: "greedy", Specs: jobSpecs(t, 6)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Submit(SubmitRequest{Tenant: "greedy", Specs: jobSpecs(t, 7)}); !errors.Is(err, ErrQuota) {
+		t.Fatalf("third submit: err = %v, want ErrQuota", err)
+	}
+	// Another tenant is not affected by greedy's quota.
+	if _, err := m.Submit(SubmitRequest{Tenant: "modest", Specs: jobSpecs(t, 8)}); err != nil {
+		t.Fatal(err)
+	}
+	snap := metrics.Snapshot()
+	if snap[`fairness_jobs_quota_rejected_total{tenant="greedy"}`] != 1 {
+		t.Errorf("quota rejection not counted: %v", snap)
+	}
+}
+
+func TestManagerRetentionEvictsOldestFinished(t *testing.T) {
+	m, err := NewManager(Config{
+		RetainPerTenant: 2,
+		Runner: func(ctx context.Context, specs []scenario.Spec,
+			gate cluster.DispatchGate, cache sweep.CacheStore) (*sweep.Report, error) {
+			return &sweep.Report{}, nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ids := make([]string, 0, 5)
+	for i := range 5 {
+		info, err := m.Submit(SubmitRequest{Tenant: "acme", Name: fmt.Sprintf("n%d", i),
+			Specs: jobSpecs(t, uint64(20+i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitState(t, m, info.ID, StateDone)
+		ids = append(ids, info.ID)
+	}
+	infos, err := m.List("acme", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("retained %d jobs, want 2: %+v", len(infos), infos)
+	}
+	if infos[0].ID != ids[3] || infos[1].ID != ids[4] {
+		t.Errorf("retained wrong jobs: %+v", infos)
+	}
+	if _, err := m.Get(ids[0]); !errors.Is(err, ErrUnknownJob) {
+		t.Errorf("evicted job still resolvable: %v", err)
+	}
+}
+
+func TestTenantCacheNamespacesAreDisjoint(t *testing.T) {
+	base := sweep.NewCache(256)
+	m, err := NewManager(Config{Cache: base, Runner: LocalRunner(sweep.Options{}, 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	specs := jobSpecs(t, 9)
+
+	run := func(tenant string) JobInfo {
+		info, err := m.Submit(SubmitRequest{Tenant: tenant, Specs: specs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return waitState(t, m, info.ID, StateDone)
+	}
+	first := run("alpha")
+	if first.Stats.Computed != len(specs) {
+		t.Fatalf("cold run computed %d of %d", first.Stats.Computed, len(specs))
+	}
+	// Same tenant again: warm, everything from its namespace.
+	again := run("alpha")
+	if again.Stats.CacheHits != len(specs) {
+		t.Errorf("warm same-tenant run: %+v", again.Stats)
+	}
+	// A different tenant must NOT see alpha's entries.
+	other := run("beta")
+	if other.Stats.Computed != len(specs) {
+		t.Errorf("tenant beta warm-started from alpha's cache: %+v", other.Stats)
+	}
+}
+
+func TestJobServerHTTPEndToEnd(t *testing.T) {
+	m, err := NewManager(Config{Runner: LocalRunner(sweep.Options{}, 4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	mux := http.NewServeMux()
+	NewServer(m).Register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	ctx := context.Background()
+
+	grid := `{"name":"http-e2e","tenant":"acme","seed":11,` +
+		`"spec":{"base":{"blocks":120,"trials":10},"protocols":["pow","slpos"],"stake":[0.2,0.3]}}`
+	var body SubmitBody
+	if err := json.Unmarshal([]byte(grid), &body); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Submit(ctx, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Tenant != "acme" || info.Scenarios != 4 {
+		t.Fatalf("submitted: %+v", info)
+	}
+	fin, err := c.Wait(ctx, info.ID, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("job finished %s (%s)", fin.State, fin.Error)
+	}
+
+	// Paginated retrieval through the HTTP client.
+	page, err := c.ResultsPage(ctx, info.ID, "", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page.Outcomes) != 3 || page.NextPageToken == "" {
+		t.Fatalf("first page: %d outcomes, token %q", len(page.Outcomes), page.NextPageToken)
+	}
+	_, outs, err := c.Results(ctx, info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 4 {
+		t.Fatalf("aggregated %d outcomes, want 4", len(outs))
+	}
+
+	// Same sweep locally: the job's merged report must be bit-identical.
+	specs, err := scenario.DecodeSpecsOrGrid(body.Spec, body.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := sweep.Run(specs, sweep.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonical(t, outs), canonical(t, local.Outcomes); got != want {
+		t.Errorf("HTTP job outcomes differ from local sweep:\n%s\n%s", got, want)
+	}
+
+	// Error surface: unknown id is 404-shaped, listing filters work.
+	if _, err := c.Get(ctx, "j-424242"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("unknown job: err = %v, want 404", err)
+	}
+	jobsList, err := c.List(ctx, "acme", StateDone)
+	if err != nil || len(jobsList) != 1 {
+		t.Errorf("list: %v, %v", jobsList, err)
+	}
+}
