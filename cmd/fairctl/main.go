@@ -22,6 +22,7 @@
 //	fairctl watch -coordinator http://host:7800 [-workers CSV]
 //	fairctl status -workers host1:7447,host2:7447
 //	fairctl top -url http://host:7447 [-interval D] [-once]
+//	fairctl trace -server http://host:7447 [-sources CSV] JOB_ID|TRACE_ID
 //	fairctl expand [flags] [spec.json]
 //	fairctl submit -server http://host:7447 [-tenant T] [-name N] [-wait] spec.json
 //	fairctl jobs -server http://host:7447 [-tenant T] [-state S]
@@ -135,6 +136,8 @@ func run(args []string) error {
 		return statusCmd(args[1:])
 	case "top":
 		return topCmd(args[1:])
+	case "trace":
+		return traceCmd(args[1:])
 	case "expand":
 		return expandCmd(args[1:])
 	case "submit":
@@ -260,9 +263,13 @@ func runCmd(args []string) error {
 			return err
 		}
 		defer closeTrace()
-		tracer = fairness.NewTracer(w)
+		tracer = fairness.NewTracerWithMetrics(w, metrics)
 	}
-	engOpts = append(engOpts, fairness.WithTelemetry(metrics, tracer))
+	// The run's flight recorder: coordinator-side spans (sweep, gate_wait,
+	// dispatch, merge), served at GET /v1/traces on the -listen mux so
+	// `fairctl trace` can assemble the full tree against the workers'.
+	recorder := fairness.NewFlightRecorder(0)
+	engOpts = append(engOpts, fairness.WithTelemetry(metrics, tracer, recorder))
 
 	// -listen: boot the registration listener so workers can join (and
 	// leave) on their own, and serve live run progress for `watch`.
@@ -272,6 +279,7 @@ func runCmd(args []string) error {
 		mux := http.NewServeMux()
 		regSrv.Register(mux)
 		mux.Handle("GET /metrics", fairness.MetricsHandler(metrics))
+		mux.Handle("GET /v1/traces", fairness.TracesHandler(recorder))
 		if *pprofFlag {
 			telemetry.RegisterPprof(mux)
 		}
@@ -585,11 +593,18 @@ func topCmd(args []string) error {
 			for _, id := range ids {
 				rate := ""
 				// Rates only make sense for cumulative counters, and only
-				// once two polls straddle a measurable window.
+				// once two polls straddle a measurable window. A negative
+				// delta means the counter restarted from zero (worker
+				// restart) — mark the reset instead of printing a
+				// nonsense negative rate; the next poll re-baselines.
 				if strings.Contains(id, "_total") && prev != nil {
 					if dt := now.Sub(prevAt).Seconds(); dt > 0 {
 						if p, ok := prev[id]; ok {
-							rate = fmt.Sprintf("%.2f", (series[id]-p)/dt)
+							if d := series[id] - p; d < 0 {
+								rate = "reset"
+							} else {
+								rate = fmt.Sprintf("%.2f", d/dt)
+							}
 						}
 					}
 				}
@@ -608,6 +623,146 @@ func topCmd(args []string) error {
 		case <-time.After(*interval):
 		}
 	}
+}
+
+// traceCmd fetches one distributed trace from any number of flight
+// recorders (the job server, the coordinator's -listen mux, worker
+// /v1/traces endpoints), assembles the span tree, and prints it with a
+// per-stage breakdown and the critical path. The argument is a job id
+// (j-...; resolved to its trace via GET /v1/jobs/{id}) or a raw
+// trace id.
+func traceCmd(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	server := fs.String("server", "", "fairnessd base URL — resolves job ids and serves as a trace source")
+	sources := fs.String("sources", "", "extra /v1/traces sources (CSV: coordinator and worker base URLs)")
+	asJSON := fs.Bool("json", false, "print the merged span records as JSON instead of the rendered tree")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: fairctl trace [-server URL] [-sources CSV] JOB_ID|TRACE_ID")
+	}
+	id := fs.Arg(0)
+	base := cluster.NormalizeWorkerURL(*server)
+	srcs := splitWorkers(*sources)
+	if base != "" {
+		srcs = append([]string{base}, srcs...)
+	}
+	if len(srcs) == 0 {
+		return fmt.Errorf("no trace sources: pass -server URL and/or -sources CSV")
+	}
+	ctx, stop := signalContext()
+	defer stop()
+
+	traceID := id
+	if strings.HasPrefix(id, "j-") {
+		if base == "" {
+			return fmt.Errorf("resolving job id %s needs -server", id)
+		}
+		info, err := fairness.NewJobClient(base).Get(ctx, id)
+		if err != nil {
+			return err
+		}
+		if info.TraceID == "" {
+			return fmt.Errorf("job %s carries no trace id", id)
+		}
+		traceID = info.TraceID
+	}
+
+	// Overlapping sources are fine: BuildSpanTree deduplicates by
+	// span_id, so fetching the same recorder through two URLs is
+	// harmless.
+	var spans []fairness.SpanRecord
+	fetched := 0
+	for _, src := range srcs {
+		var resp struct {
+			Spans []fairness.SpanRecord `json:"spans"`
+		}
+		if err := getJSON(ctx, src+"/v1/traces?trace_id="+traceID, &resp); err != nil {
+			fmt.Fprintf(stderr, "trace: %s: %v (skipped)\n", src, err)
+			continue
+		}
+		fetched++
+		spans = append(spans, resp.Spans...)
+	}
+	if fetched == 0 {
+		return fmt.Errorf("no reachable trace source")
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("no spans for trace %s (flight recorders hold only recent history)", traceID)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(spans)
+	}
+
+	tree := fairness.BuildSpanTree(spans)
+	fmt.Fprintf(stdout, "trace %s — %d spans, %d root(s)\n\n", traceID, tree.Spans, len(tree.Roots))
+	for _, root := range tree.Roots {
+		printSpanNode(root, 0)
+	}
+
+	// Per-stage self-time breakdown: each stage's total is wall time not
+	// covered by a child span, so the stages partition the root's
+	// duration and the percentages reconcile against the makespan.
+	var totalMS float64
+	stages := map[string]float64{}
+	for _, root := range tree.Roots {
+		totalMS += root.DurationMS
+		for name, ms := range root.StageBreakdown() {
+			stages[name] += ms
+		}
+	}
+	names := make([]string, 0, len(stages))
+	for name := range stages {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(a, b int) bool { return stages[names[a]] > stages[names[b]] })
+	fmt.Fprintf(stdout, "\nstage breakdown (self time, %% of %.1fms makespan):\n", totalMS)
+	tb := table.New("Stage", "Self ms", "%").AlignAll(table.Right).SetAlign(0, table.Left)
+	for _, name := range names {
+		pct := 0.0
+		if totalMS > 0 {
+			pct = 100 * stages[name] / totalMS
+		}
+		tb.AddRow(name, fmt.Sprintf("%.1f", stages[name]), fmt.Sprintf("%.1f", pct))
+	}
+	fmt.Fprintln(stdout, tb.String())
+
+	fmt.Fprintln(stdout, "critical path (the chain that determined when the run ended):")
+	for i, n := range tree.Roots[0].CriticalPath() {
+		fmt.Fprintf(stdout, "  %s%s [%s] %.1fms%s\n",
+			strings.Repeat("  ", i), n.Name, n.Service, n.DurationMS, spanAttrSuffix(n.Attrs))
+	}
+	return nil
+}
+
+// printSpanNode renders one span-tree node (and its subtree) as an
+// indented line: name, service, duration, attributes.
+func printSpanNode(n *fairness.SpanNode, depth int) {
+	fmt.Fprintf(stdout, "%s%s [%s] %.1fms%s\n",
+		strings.Repeat("  ", depth), n.Name, n.Service, n.DurationMS, spanAttrSuffix(n.Attrs))
+	for _, c := range n.Children {
+		printSpanNode(c, depth+1)
+	}
+}
+
+// spanAttrSuffix renders a span's attributes as sorted " k=v" pairs.
+func spanAttrSuffix(attrs map[string]string) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%s", k, attrs[k])
+	}
+	return b.String()
 }
 
 // fetchMetrics scrapes one Prometheus text exposition into a flat
@@ -856,6 +1011,10 @@ commands:
   status -workers CSV [-json]            probe every worker's /v1/healthz
   top -url URL [-interval D] [-once]     live fairness_* metrics of one /metrics
                                          endpoint, with counter rates
+  trace [-server URL] [-sources CSV] [-json] JOB_ID|TRACE_ID
+                                         assemble one distributed trace from
+                                         /v1/traces flight recorders: span tree,
+                                         per-stage breakdown, critical path
   expand [-spec FILE|spec.json] [-seed]  expand the grid, print scenarios + hashes
 
 job-service commands (against fairnessd -jobs):

@@ -24,6 +24,10 @@
 //	                   counters, shard counters and the measured
 //	                   scenarios/sec — everything a coordinator or load
 //	                   balancer needs for placement.
+//	GET  /v1/traces    flight recorder: recently completed spans (eval/
+//	                   stream per shard, plus job/sweep spans when this
+//	                   daemon runs the job service), filterable with
+//	                   ?trace_id= — what `fairctl trace` reads.
 //	GET  /metrics      Prometheus text exposition of the process registry:
 //	                   fairness_sweep_*, fairness_cache_*,
 //	                   fairness_worker_*, fairness_jobs_*,
@@ -154,7 +158,7 @@ func main() {
 			defer f.Close()
 			w = f
 		}
-		cfg.tracer = fairness.NewTracer(w)
+		cfg.tracer = fairness.NewTracerWithMetrics(w, fairness.DefaultMetrics())
 	}
 	srv, err := newServer(cfg)
 	if err != nil {
@@ -261,6 +265,7 @@ type server struct {
 	cache       fairness.CacheStore
 	shards      *cluster.WorkerServer
 	metrics     *fairness.MetricsRegistry
+	recorder    *fairness.FlightRecorder
 	backendName string
 	cacheDesc   string
 	start       time.Time
@@ -293,6 +298,7 @@ func newServer(cfg config) (*server, error) {
 		backendName: cfg.backend,
 		cacheDesc:   "none",
 		metrics:     m,
+		recorder:    fairness.NewFlightRecorder(0),
 		pprof:       cfg.pprof,
 		evaluates:   m.Counter("fairness_http_requests_total", "endpoint", "evaluate"),
 		sweeps:      m.Counter("fairness_http_requests_total", "endpoint", "sweep"),
@@ -321,7 +327,7 @@ func newServer(cfg config) (*server, error) {
 	}
 	opts := []fairness.EngineOption{
 		fairness.WithWorkers(cfg.workers),
-		fairness.WithTelemetry(m, cfg.tracer),
+		fairness.WithTelemetry(m, cfg.tracer, s.recorder),
 	}
 	if s.cache != nil {
 		opts = append(opts, fairness.WithCache(s.cache))
@@ -340,6 +346,10 @@ func newServer(cfg config) (*server, error) {
 		}
 		return sweep.Stats{}, err
 	}, m)
+	// Worker-side spans: each claimed shard evaluates under an eval span
+	// parented (via X-Fairness-Trace) on the coordinator's dispatch span,
+	// retained here for GET /v1/traces.
+	s.shards.SetTelemetry(s.backendName, cfg.tracer, s.recorder)
 	if cfg.jobs || cfg.jobsCluster {
 		if err := s.initJobs(cfg, m, ev); err != nil {
 			return nil, err
@@ -367,6 +377,7 @@ func (s *server) initJobs(cfg config, m *fairness.MetricsRegistry, ev fairness.E
 		Cache:                s.cache,
 		Metrics:              m,
 		Tracer:               cfg.tracer,
+		Recorder:             s.recorder,
 	}
 	if cfg.jobsCluster {
 		reg := fairness.NewClusterRegistry(s.backendName, 0)
@@ -377,6 +388,7 @@ func (s *server) initJobs(cfg config, m *fairness.MetricsRegistry, ev fairness.E
 			ShardSize: cfg.jobsShardSize,
 			Metrics:   m,
 			Tracer:    cfg.tracer,
+			Recorder:  s.recorder,
 		})
 		// Twice the live pool keeps every worker busy while still forcing
 		// tenants to contest dispatch under saturation.
@@ -435,6 +447,7 @@ func (s *server) mux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.Handle("GET /v1/traces", fairness.TracesHandler(s.recorder))
 	mux.Handle("GET /metrics", fairness.MetricsHandler(s.metrics))
 	if s.pprof {
 		telemetry.RegisterPprof(mux)

@@ -39,6 +39,7 @@ type Engine struct {
 	clusterProgress func(ClusterProgress)
 	metrics         *MetricsRegistry
 	tracer          *Tracer
+	recorder        *FlightRecorder
 }
 
 // EngineOption configures an Engine.
@@ -126,10 +127,20 @@ func WithClusterProgress(fn func(ClusterProgress)) EngineOption {
 // registry — what fairnessd and the fairctl coordinator expose at
 // /metrics.
 //
+// An optional third argument — a *FlightRecorder — retains the engine's
+// completed spans (cluster-mode sweep/gate_wait/dispatch/merge) for
+// GET /v1/traces; serve it with TracesHandler. Omitted or nil, spans
+// still propagate (workers parent correctly) but are not retained here.
+//
 // Without this option every engine still meters itself on a private
 // registry, readable through Engine.Metrics().
-func WithTelemetry(m *MetricsRegistry, tr *Tracer) EngineOption {
-	return func(e *Engine) { e.metrics, e.tracer = m, tr }
+func WithTelemetry(m *MetricsRegistry, tr *Tracer, rec ...*FlightRecorder) EngineOption {
+	return func(e *Engine) {
+		e.metrics, e.tracer = m, tr
+		if len(rec) > 0 {
+			e.recorder = rec[0]
+		}
+	}
 }
 
 // NewEngine builds an evaluation engine from functional options.
@@ -222,6 +233,9 @@ func (e *Engine) runSweep(ctx context.Context, specs []Scenario, onOutcome func(
 	}
 	if c.Tracer == nil {
 		c.Tracer = e.tracer
+	}
+	if c.Recorder == nil {
+		c.Recorder = e.recorder
 	}
 	c.Backend = e.backendName()
 	c.OnOutcome = opts.OnOutcome

@@ -247,7 +247,27 @@ type (
 	// and in cluster mode the full shard lifecycle (claims, streams,
 	// acks, requeues, lease expiries, quarantines).
 	Tracer = telemetry.Tracer
+	// SpanContext identifies one span in one distributed trace — the
+	// value the X-Fairness-Trace header carries across process hops.
+	SpanContext = telemetry.SpanContext
+	// Span is one timed operation in a trace; see StartSpan.
+	Span = telemetry.Span
+	// SpanRecord is one completed span as the flight recorder retains it
+	// and GET /v1/traces serves it.
+	SpanRecord = telemetry.SpanRecord
+	// FlightRecorder is the bounded in-memory ring of recently completed
+	// spans behind GET /v1/traces; wire one into an Engine with
+	// WithTelemetry and serve it with TracesHandler.
+	FlightRecorder = telemetry.FlightRecorder
+	// SpanNode and SpanTree are the assembled causal view of one trace;
+	// see BuildSpanTree.
+	SpanNode = telemetry.SpanNode
+	SpanTree = telemetry.SpanTree
 )
+
+// TraceHeader is the HTTP header propagating a span context across
+// cluster hops ("<trace_id>-<span_id>").
+const TraceHeader = telemetry.TraceHeader
 
 // DefaultParams is the paper's evaluation setting: ε = 0.1, δ = 0.1.
 var DefaultParams = core.DefaultParams
@@ -470,6 +490,44 @@ func DefaultMetrics() *MetricsRegistry { return telemetry.Default() }
 // `fairsweep run -trace` and `fairctl run -trace` wire up. The caller
 // owns w's lifetime.
 func NewTracer(w io.Writer) *Tracer { return telemetry.NewTracer(w) }
+
+// NewTracerWithMetrics is NewTracer with the tracer's drop counter
+// (events lost to marshal/write failures) registered as
+// fairness_trace_dropped_total on m.
+func NewTracerWithMetrics(w io.Writer, m *MetricsRegistry) *Tracer {
+	return telemetry.NewTracerWithMetrics(w, m)
+}
+
+// NewFlightRecorder returns a flight recorder retaining the most recent
+// capacity completed spans (<= 0 picks the default, 4096).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	return telemetry.NewFlightRecorder(capacity)
+}
+
+// StartSpan opens a span named name under parent (a zero parent mints a
+// fresh trace). tr and rec may each be nil; the span still carries a
+// propagatable Context.
+func StartSpan(tr *Tracer, rec *FlightRecorder, parent SpanContext, service, name string, attrs ...any) *Span {
+	return telemetry.StartSpan(tr, rec, parent, service, name, attrs...)
+}
+
+// ContextWithSpan returns a context carrying sc as the active span —
+// how a caller parents an Engine run's spans under its own trace.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return telemetry.ContextWithSpan(ctx, sc)
+}
+
+// ParseTraceHeader decodes an X-Fairness-Trace header value.
+func ParseTraceHeader(v string) (SpanContext, bool) { return telemetry.ParseTraceHeader(v) }
+
+// TracesHandler serves a flight recorder at GET /v1/traces (all spans,
+// or one trace with ?trace_id=).
+func TracesHandler(rec *FlightRecorder) http.Handler { return telemetry.TracesHandler(rec) }
+
+// BuildSpanTree assembles span records fetched from any number of
+// flight recorders into per-trace causal trees, deduplicating by
+// span_id.
+func BuildSpanTree(spans []SpanRecord) *SpanTree { return telemetry.BuildSpanTree(spans) }
 
 // MetricsHandler serves the given registries concatenated in Prometheus
 // text exposition format — the /metrics endpoint of fairnessd and the

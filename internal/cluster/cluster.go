@@ -139,8 +139,18 @@ type Options struct {
 	Metrics *telemetry.Registry
 	// Tracer, when non-nil, receives the scheduling span as NDJSON trace
 	// events: cluster_start, shard_claim, shard_ack, shard_requeue,
-	// lease_expiry, worker_quarantine, cluster_waiting, cluster_done.
+	// lease_expiry, worker_quarantine, cluster_waiting, cluster_done —
+	// plus the paired span_start/span_end events of the run's distributed
+	// trace (sweep, gate_wait, dispatch, merge spans; worker-side eval
+	// spans are parented under dispatch via the X-Fairness-Trace header).
 	Tracer *telemetry.Tracer
+	// Recorder, when non-nil, retains the run's completed coordinator
+	// spans in a bounded in-memory ring — what GET /v1/traces serves and
+	// `fairctl trace` assembles into a span tree. The run's trace roots
+	// under the span context carried by ctx (telemetry.ContextWithSpan),
+	// so an engine- or job-driven run joins its caller's trace; without
+	// one it mints a fresh trace_id.
+	Recorder *telemetry.FlightRecorder
 	// Gate, when non-nil, is consulted before every shard is cut: the
 	// worker loop asks for `want` work items and receives permission for
 	// `granted` (possibly fewer), holding the grant until the shard
@@ -368,6 +378,20 @@ func Run(ctx context.Context, specs []scenario.Spec, opts Options) (*sweep.Repor
 		"backend", backend, "scenarios", len(specs), "unique", len(uniq),
 		"registry_mode", registryMode, "static_workers", len(opts.Workers))
 
+	// The run's trace: one sweep span covering the whole distributed run,
+	// rooted under the caller's span (a job's root span, via ctx) or a
+	// fresh trace. Every shard dispatch and gate wait below is a child.
+	bag := telemetry.BaggageFrom(ctx)
+	spanAttrs := []any{"backend", backend, "scenarios", len(specs), "unique", len(uniq)}
+	if v, ok := bag["tenant"]; ok {
+		spanAttrs = append(spanAttrs, "tenant", v)
+	}
+	if v, ok := bag["job"]; ok {
+		spanAttrs = append(spanAttrs, "job", v)
+	}
+	runSpan := telemetry.StartSpan(opts.Tracer, opts.Recorder,
+		telemetry.SpanContextFrom(ctx), "coordinator", "sweep", spanAttrs...)
+
 	var (
 		mu        sync.Mutex // serialises merging and OnOutcome
 		computed  int
@@ -433,6 +457,8 @@ func Run(ctx context.Context, specs []scenario.Spec, opts Options) (*sweep.Repor
 	if len(items) > 0 {
 		run := clusterRun{
 			backend:      backend,
+			span:         runSpan.Context(),
+			labels:       shardLabels(bag),
 			registryMode: registryMode,
 			maxAttempts:  valueOr(opts.MaxAttempts, 3),
 			backoffBase:  durationOr(opts.BackoffBase, 100*time.Millisecond),
@@ -470,25 +496,52 @@ func Run(ctx context.Context, specs []scenario.Spec, opts Options) (*sweep.Repor
 					"backend", backend, "partial", true,
 					"computed", rep.Stats.Computed, "cache_hits", rep.Stats.CacheHits,
 					"wall_ms", rep.Stats.WallMS)
+				runSpan.End("partial", true, "computed", rep.Stats.Computed)
 				return rep, ctx.Err()
 			}
+			runSpan.End("error", err.Error())
 			return nil, err
 		}
 	}
 	tracker.done()
 
+	// The merge stage: final aggregation of the streamed outcomes into
+	// the report's statistics. Per-outcome merging happened inline as the
+	// streams arrived (inside each dispatch span); this span covers the
+	// epilogue that seals the report.
+	mergeSpan := telemetry.StartSpan(opts.Tracer, opts.Recorder,
+		runSpan.Context(), "coordinator", "merge", "unique", len(uniq))
 	mu.Lock()
 	rep.Stats.Computed = computed
 	rep.Stats.TrialsRun = trialsRun
 	mu.Unlock()
 	rep.Stats.CacheHits = len(specs) - rep.Stats.Computed
 	rep.Stats.WallMS = float64(time.Since(start).Microseconds()) / 1000
+	mergeSpan.End("computed", rep.Stats.Computed, "cache_hits", rep.Stats.CacheHits)
 	opts.Tracer.Emit("cluster_done",
 		"backend", backend, "scenarios", rep.Stats.Scenarios,
 		"computed", rep.Stats.Computed, "cache_hits", rep.Stats.CacheHits,
 		"local_cache_hits", localHits, "trials_run", rep.Stats.TrialsRun,
 		"wall_ms", rep.Stats.WallMS)
+	runSpan.End("computed", rep.Stats.Computed, "cache_hits", rep.Stats.CacheHits,
+		"wall_ms", rep.Stats.WallMS)
 	return rep, nil
+}
+
+// shardLabels extracts the shippable trace baggage (tenant, job) that
+// rides each shard request so worker-side spans and pprof profiles can
+// slice by tenant.
+func shardLabels(bag map[string]string) map[string]string {
+	var out map[string]string
+	for _, k := range [...]string{"tenant", "job"} {
+		if v, ok := bag[k]; ok && v != "" {
+			if out == nil {
+				out = make(map[string]string, 2)
+			}
+			out[k] = v
+		}
+	}
+	return out
 }
 
 // valueOr and durationOr resolve zero-means-default knobs.
@@ -509,7 +562,13 @@ func durationOr(v, def time.Duration) time.Duration {
 // clusterRun carries the resolved knobs and merge hooks into the
 // scheduler.
 type clusterRun struct {
-	backend      string
+	backend string
+	// span is the run's sweep-span context: the parent of every
+	// gate_wait/dispatch span, and (via the X-Fairness-Trace header) of
+	// the workers' eval spans. labels is the shippable baggage (tenant,
+	// job) stamped on shard requests.
+	span         telemetry.SpanContext
+	labels       map[string]string
 	registryMode bool
 	maxAttempts  int
 	backoffBase  time.Duration
@@ -747,12 +806,17 @@ func (s *sched) workerLoop(url string) {
 		// Ask the dispatch gate (if any) before cutting the shard. The
 		// grant is held until the items are merged or requeued; the queue
 		// is re-checked under lock afterwards because other loops may
-		// have drained it while this one waited at the gate.
+		// have drained it while this one waited at the gate. The wait is
+		// a gate_wait span under the run — the fair-share queueing stage
+		// of the trace's per-stage breakdown.
 		release := func() {}
 		granted := want
 		if s.opts.Gate != nil {
+			gw := telemetry.StartSpan(s.opts.Tracer, s.opts.Recorder,
+				s.run.span, "coordinator", "gate_wait", "worker", url, "want", want)
 			var err error
 			granted, release, err = s.opts.Gate.Acquire(s.runCtx, want)
+			gw.End("granted", granted)
 			if err != nil {
 				return
 			}
@@ -782,14 +846,21 @@ func (s *sched) workerLoop(url string) {
 
 		t := newTask(batch)
 		s.tracker.claim(t.id, url, len(batch))
+		// Each claim attempt is its own dispatch span under the run span.
+		// A requeued shard's next attempt mints a fresh dispatch span on
+		// the same trace — retries keep the trace_id, never reuse spans.
+		dsp := telemetry.StartSpan(s.opts.Tracer, s.opts.Recorder,
+			s.run.span, "coordinator", "dispatch",
+			"shard", t.id, "worker", url, "scenarios", len(batch))
 		start := time.Now()
-		sum, deliveredOut, err := s.claimShard(url, t)
+		sum, deliveredOut, err := s.claimShard(url, t, dsp.Context())
 		if err == nil {
 			s.reg.ObserveRate(url, len(batch), time.Since(start))
 			s.opts.Metrics.Gauge("fairness_cluster_worker_rate", "worker", url).Set(s.reg.Rate(url))
 			s.run.addTrials(sum.TrialsRun)
 			ackShard(s.run.client, url, t.id, s.run.ackTimeout)
 			s.tracker.acked(t.id)
+			dsp.End("status", "acked", "trials", sum.TrialsRun)
 			s.mu.Lock()
 			s.outstanding -= n
 			s.mu.Unlock()
@@ -812,6 +883,8 @@ func (s *sched) workerLoop(url string) {
 			}
 		}
 		leaseExpired := errors.Is(err, errLeaseExpired)
+		dsp.End("status", "requeued", "error", err.Error(),
+			"delivered", len(deliveredOut), "remainder", len(remainder))
 		s.mu.Lock()
 		s.outstanding -= n
 		if s.failed == nil && !s.finished {
@@ -888,10 +961,11 @@ func estimateTrials(o sweep.Outcome) int64 {
 // only when the summary line confirms the shard and every expected hash
 // arrived; any shortfall — transport error, HTTP error, torn stream,
 // expired lease, short shard — is a retryable failure whose undelivered
-// remainder the caller requeues.
-func (s *sched) claimShard(url string, t *task) (shardSummary, []sweep.Outcome, error) {
+// remainder the caller requeues. spanCtx is the dispatch span's context,
+// shipped on the TraceHeader so the worker's eval span joins the trace.
+func (s *sched) claimShard(url string, t *task, spanCtx telemetry.SpanContext) (shardSummary, []sweep.Outcome, error) {
 	var deliveredOut []sweep.Outcome
-	body, err := json.Marshal(shardRequest{ShardID: t.id, Scenarios: t.specs})
+	body, err := json.Marshal(shardRequest{ShardID: t.id, Scenarios: t.specs, Labels: s.run.labels})
 	if err != nil {
 		return shardSummary{}, nil, err
 	}
@@ -918,6 +992,9 @@ func (s *sched) claimShard(url string, t *task) (shardSummary, []sweep.Outcome, 
 		return shardSummary{}, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if spanCtx.Valid() {
+		req.Header.Set(telemetry.TraceHeader, spanCtx.HeaderValue())
+	}
 	resp, err := s.run.client.Do(req)
 	if err != nil {
 		return shardSummary{}, nil, leaseErr(err)

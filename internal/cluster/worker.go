@@ -47,6 +47,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,10 +84,13 @@ func LocalRunner(opts sweep.Options) RunFunc {
 	}
 }
 
-// shardRequest is the claim body of POST /v1/shard.
+// shardRequest is the claim body of POST /v1/shard. Labels is trace
+// baggage (tenant, job) the coordinator forwards so worker-side spans
+// and pprof profiles attribute shard work to its submitter.
 type shardRequest struct {
-	ShardID   string          `json:"shard_id"`
-	Scenarios []scenario.Spec `json:"scenarios"`
+	ShardID   string            `json:"shard_id"`
+	Scenarios []scenario.Spec   `json:"scenarios"`
+	Labels    map[string]string `json:"labels,omitempty"`
 }
 
 // shardSummary is the trailing NDJSON line of a shard stream: the
@@ -164,6 +168,13 @@ type WorkerServer struct {
 	rate     *telemetry.Gauge   // fairness_worker_scenarios_per_sec
 	rateBits atomic.Uint64      // float64 bits of the scenarios/sec EWMA
 
+	// Tracing (all optional; set via SetTelemetry): eval/stream spans on
+	// every shard, parented under the coordinator's dispatch span via the
+	// TraceHeader, recorded to the flight recorder behind GET /v1/traces.
+	backend  string
+	tracer   *telemetry.Tracer
+	recorder *telemetry.FlightRecorder
+
 	mu      sync.Mutex
 	pending map[string]time.Time    // completed shards awaiting coordinator ack
 	shards  map[string]*workerShard // per-shard progress (bounded history)
@@ -191,6 +202,17 @@ func NewWorkerServerWithMetrics(run RunFunc, m *telemetry.Registry) *WorkerServe
 		pending:  make(map[string]time.Time),
 		shards:   make(map[string]*workerShard),
 	}
+}
+
+// SetTelemetry wires the worker's span instrumentation: backend labels
+// the eval spans, tr receives span_start/span_end events, and rec keeps
+// completed spans for GET /v1/traces (mounted by the caller via
+// telemetry.TracesHandler). Any argument may be zero/nil; call before
+// serving.
+func (s *WorkerServer) SetTelemetry(backend string, tr *telemetry.Tracer, rec *telemetry.FlightRecorder) {
+	s.backend = backend
+	s.tracer = tr
+	s.recorder = rec
 }
 
 // Register mounts the shard endpoints on mux.
@@ -353,21 +375,61 @@ func (s *WorkerServer) handleShard(w http.ResponseWriter, r *http.Request) {
 		sh.at = time.Now()
 	})
 
+	// The eval span covers the whole shard evaluation, parented under the
+	// coordinator's dispatch span when the claim carried a TraceHeader
+	// (absent/malformed headers root a fresh trace, so a pre-tracing
+	// coordinator still gets worker-side spans).
+	parent, _ := telemetry.ParseTraceHeader(r.Header.Get(telemetry.TraceHeader))
+	evalAttrs := []any{"shard", req.ShardID, "scenarios", len(req.Scenarios)}
+	profLabels := []string{"shard", req.ShardID}
+	if s.backend != "" {
+		evalAttrs = append(evalAttrs, "backend", s.backend)
+		profLabels = append(profLabels, "backend", s.backend)
+	}
+	for _, k := range []string{"tenant", "job"} {
+		if v := req.Labels[k]; v != "" {
+			evalAttrs = append(evalAttrs, k, v)
+			profLabels = append(profLabels, k, v)
+		}
+	}
+	eval := telemetry.StartSpan(s.tracer, s.recorder, parent, "worker", "eval", evalAttrs...)
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	streamed := 0
 	start := time.Now()
-	stats, err := s.run(r.Context(), req.Scenarios, func(out sweep.Outcome) {
-		if enc.Encode(out) == nil {
-			streamed++
-			s.streamed.Inc()
-			s.shardState(req.ShardID, func(sh *workerShard) { sh.Streamed = streamed })
-		}
-		if flusher != nil {
-			flusher.Flush()
-		}
+	// The stream span (child of eval) opens lazily at the first outcome —
+	// its window is "first result out until the run returns", separating
+	// streaming/merge time from pure evaluation in the stage breakdown.
+	// onOutcome calls are serialised per the RunFunc contract, so the
+	// lazy open is race-free.
+	var stream *telemetry.Span
+	ctx := telemetry.ContextWithSpan(r.Context(), eval.Context())
+	if len(req.Labels) > 0 {
+		ctx = telemetry.ContextWithBaggage(ctx, req.Labels)
+	}
+	var stats sweep.Stats
+	var err error
+	// pprof labels (tenant/job/shard/backend) tag every eval goroutine so
+	// CPU profiles attribute cluster work to its submitter.
+	pprof.Do(ctx, pprof.Labels(profLabels...), func(ctx context.Context) {
+		stats, err = s.run(ctx, req.Scenarios, func(out sweep.Outcome) {
+			if stream == nil {
+				stream = telemetry.StartSpan(s.tracer, s.recorder, eval.Context(),
+					"worker", "stream", "shard", req.ShardID)
+			}
+			if enc.Encode(out) == nil {
+				streamed++
+				s.streamed.Inc()
+				s.shardState(req.ShardID, func(sh *workerShard) { sh.Streamed = streamed })
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		})
 	})
+	stream.End("streamed", streamed)
 	sum := shardSummary{
 		ShardID:   req.ShardID,
 		Scenarios: len(req.Scenarios),
@@ -379,16 +441,19 @@ func (s *WorkerServer) handleShard(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case r.Context().Err() != nil:
 		s.shardState(req.ShardID, func(sh *workerShard) { sh.State = "failed" })
+		eval.End("status", "torn", "streamed", streamed)
 		return // coordinator went away; nothing left to tell it
 	case err != nil:
 		sum.Error = err.Error()
 		s.shardState(req.ShardID, func(sh *workerShard) { sh.State = "failed" })
+		eval.End("status", "error", "error", err.Error(), "streamed", streamed)
 	default:
 		sum.Done = true
 		s.done.Inc()
 		s.observeRate(len(req.Scenarios), time.Since(start))
 		s.recordPending(req.ShardID)
 		s.shardState(req.ShardID, func(sh *workerShard) { sh.State = "done" })
+		eval.End("status", "done", "streamed", streamed, "trials", stats.TrialsRun)
 	}
 	enc.Encode(sum)
 }

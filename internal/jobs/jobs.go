@@ -103,6 +103,11 @@ type JobInfo struct {
 	Error       string      `json:"error,omitempty"`
 	Partial     bool        `json:"partial,omitempty"`
 	Stats       sweep.Stats `json:"stats,omitzero"`
+	// TraceID names the job's distributed trace: the root span minted at
+	// submission, under which every scheduler, coordinator and worker
+	// span of the job's lifetime hangs. Look it up with GET /v1/traces or
+	// `fairctl trace <job>`.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // job is the manager's internal record.
@@ -111,6 +116,11 @@ type job struct {
 	specs  []scenario.Spec
 	report *sweep.Report
 	cancel context.CancelFunc
+	// span is the job's root span (ended at the terminal state); queued
+	// is its first child, covering submission → start. Both End
+	// idempotently, so the cancel-while-queued path cannot double-close.
+	span   *telemetry.Span
+	queued *telemetry.Span
 }
 
 // Config tunes a Manager. The zero value is usable with a Runner set.
@@ -144,6 +154,10 @@ type Config struct {
 	// events. Both may be nil.
 	Metrics *telemetry.Registry
 	Tracer  *telemetry.Tracer
+	// Recorder, when non-nil, retains the job service's completed spans
+	// (job root, queued) for GET /v1/traces. Share one recorder with the
+	// cluster coordinator so a job's whole trace is served from one ring.
+	Recorder *telemetry.FlightRecorder
 }
 
 // Manager is the job service. Construct with NewManager.
@@ -255,6 +269,14 @@ func (m *Manager) Submit(req SubmitRequest) (JobInfo, error) {
 		deadline = now.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
 		j.info.DeadlineMS = deadline.UnixMilli()
 	}
+	// Root the job's trace: one trace_id for the job's whole lifetime,
+	// with a queued child span covering submission → start.
+	j.span = telemetry.StartSpan(m.cfg.Tracer, m.cfg.Recorder, telemetry.SpanContext{},
+		"jobs", "job", "job", j.info.ID, "tenant", tenant,
+		"name", req.Name, "scenarios", len(req.Specs), "priority", req.Priority)
+	j.queued = telemetry.StartSpan(m.cfg.Tracer, m.cfg.Recorder, j.span.Context(),
+		"jobs", "queued", "job", j.info.ID)
+	j.info.TraceID = j.span.Context().TraceID
 	m.jobs[j.info.ID] = j
 	m.order = append(m.order, j.info.ID)
 	m.queuedGauge.Add(1)
@@ -265,7 +287,8 @@ func (m *Manager) Submit(req SubmitRequest) (JobInfo, error) {
 	m.cfg.Metrics.Counter("fairness_jobs_submitted_total", "tenant", tenant).Inc()
 	m.cfg.Tracer.Emit("job_submit",
 		"job", info.ID, "tenant", tenant, "name", req.Name,
-		"scenarios", len(req.Specs), "priority", req.Priority)
+		"scenarios", len(req.Specs), "priority", req.Priority,
+		"trace_id", info.TraceID)
 
 	go m.runJob(ctx, j, deadline)
 	return info, nil
@@ -296,13 +319,22 @@ func (m *Manager) runJob(ctx context.Context, j *job, deadline time.Time) {
 	m.queuedGauge.Add(-1)
 	m.runningGauge.Add(1)
 	m.mu.Unlock()
-	m.cfg.Tracer.Emit("job_start", "job", info.ID, "tenant", info.Tenant)
+	j.queued.End("state", "running")
+	m.cfg.Tracer.Emit("job_start", "job", info.ID, "tenant", info.Tenant,
+		"trace_id", info.TraceID)
 
 	gate := m.sched.Gate(info.Tenant, info.ID, info.Priority, deadline)
 	var cache sweep.CacheStore
 	if m.cfg.Cache != nil {
 		cache = TenantCache(info.Tenant, m.cfg.Cache)
 	}
+	// The runner's spans (sweep, gate_wait, dispatch — and, across the
+	// wire, the workers' eval/stream) parent under the job's root span;
+	// the baggage carries the tenant/job labels to every hop.
+	ctx = telemetry.ContextWithSpan(ctx, j.span.Context())
+	ctx = telemetry.ContextWithBaggage(ctx, map[string]string{
+		"tenant": info.Tenant, "job": info.ID,
+	})
 	rep, err := m.cfg.Runner(ctx, j.specs, gate, cache)
 	m.finishJob(j, rep, err)
 }
@@ -339,10 +371,15 @@ func (m *Manager) finishJob(j *job, rep *sweep.Report, err error) {
 	m.pruneLocked(j.info.Tenant)
 	m.mu.Unlock()
 
+	// Close the trace: the queued child first (a no-op unless the job was
+	// cancelled while still queued — End is idempotent), then the root.
+	j.queued.End("state", string(info.State))
+	j.span.End("state", string(info.State), "partial", info.Partial)
+
 	m.cfg.Metrics.Counter("fairness_jobs_finished_total", "state", string(info.State)).Inc()
 	m.cfg.Tracer.Emit("job_finish",
 		"job", info.ID, "tenant", info.Tenant, "state", string(info.State),
-		"partial", info.Partial, "error", info.Error)
+		"partial", info.Partial, "error", info.Error, "trace_id", info.TraceID)
 }
 
 // pruneLocked evicts the tenant's oldest finished jobs beyond the

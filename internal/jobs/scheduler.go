@@ -62,12 +62,13 @@ type schedTenant struct {
 
 // gateReq is one blocked Acquire.
 type gateReq struct {
-	tenant *schedTenant
-	job    string
-	want   int
-	eff    float64 // effective weight at enqueue time
-	seq    uint64
-	ch     chan grant // buffered(1); receives exactly once if granted
+	tenant  *schedTenant
+	job     string
+	traceID string // the acquiring context's trace, stamped on job_dispatch
+	want    int
+	eff     float64 // effective weight at enqueue time
+	seq     uint64
+	ch      chan grant // buffered(1); receives exactly once if granted
 }
 
 type grant struct {
@@ -181,12 +182,13 @@ func (g *schedGate) Acquire(ctx context.Context, want int) (int, func(), error) 
 	}
 	t.active++
 	req := &gateReq{
-		tenant: t,
-		job:    g.job,
-		want:   want,
-		eff:    g.effWeight(t.weight),
-		seq:    s.seq,
-		ch:     make(chan grant, 1),
+		tenant:  t,
+		job:     g.job,
+		traceID: telemetry.SpanContextFrom(ctx).TraceID,
+		want:    want,
+		eff:     g.effWeight(t.weight),
+		seq:     s.seq,
+		ch:      make(chan grant, 1),
 	}
 	s.seq++
 	s.pending = append(s.pending, req)
@@ -286,7 +288,8 @@ func (s *Scheduler) grantLocked() {
 		s.metrics.Counter("fairness_jobs_scenarios_dispatched_total", "tenant", t.name).Add(int64(n))
 		s.metrics.Gauge("fairness_jobs_inflight_scenarios", "tenant", t.name).Set(float64(t.inflight))
 		s.tracer.Emit("job_dispatch",
-			"tenant", t.name, "job", best.job, "granted", n, "pass", t.pass)
+			"tenant", t.name, "job", best.job, "granted", n, "pass", t.pass,
+			"trace_id", best.traceID)
 
 		granted := n
 		var once sync.Once

@@ -210,7 +210,15 @@ func RunContext(ctx context.Context, specs []scenario.Spec, opts Options) (*Repo
 		mTrials    = opts.Metrics.Counter("fairness_sweep_trials_total", "backend", backend)
 		hEval      = opts.Metrics.Histogram("fairness_eval_seconds", telemetry.DefBuckets, "backend", backend)
 	)
-	opts.Tracer.Emit("sweep_start", "backend", backend, "scenarios", len(specs), "unique", len(uniq))
+	// When the caller's context carries a span (a traced job or cluster
+	// run), every flat sweep event is stamped with its trace_id so the
+	// NDJSON stream joins against the span tree.
+	var traceAttrs []any
+	if tid := telemetry.SpanContextFrom(ctx).TraceID; tid != "" {
+		traceAttrs = []any{"trace_id", tid}
+	}
+	opts.Tracer.Emit("sweep_start", append([]any{
+		"backend", backend, "scenarios", len(specs), "unique", len(uniq)}, traceAttrs...)...)
 
 	var (
 		wg        sync.WaitGroup
@@ -246,9 +254,10 @@ func RunContext(ctx context.Context, specs []scenario.Spec, opts Options) (*Repo
 					mComputed.Inc()
 					hEval.Observe(out.ElapsedMS / 1000)
 				}
-				opts.Tracer.Emit("sweep_eval", "backend", backend, "hash", h,
+				opts.Tracer.Emit("sweep_eval", append([]any{"backend", backend, "hash", h,
 					"name", specs[idxs[0]].Name, "cache_hit", hit,
-					"elapsed_ms", out.ElapsedMS, "trials", trials, "positions", len(idxs))
+					"elapsed_ms", out.ElapsedMS, "trials", trials, "positions", len(idxs)},
+					traceAttrs...)...)
 				for j, idx := range idxs {
 					o := out
 					o.Name = specs[idx].Name
@@ -294,18 +303,20 @@ dispatch:
 			}
 		}
 		rep.Stats.CacheHits = filled - rep.Stats.Computed
-		opts.Tracer.Emit("sweep_done", "backend", backend, "scenarios", rep.Stats.Scenarios,
+		opts.Tracer.Emit("sweep_done", append([]any{"backend", backend, "scenarios", rep.Stats.Scenarios,
 			"computed", rep.Stats.Computed, "cache_hits", rep.Stats.CacheHits,
-			"trials", rep.Stats.TrialsRun, "wall_ms", rep.Stats.WallMS, "partial", true)
+			"trials", rep.Stats.TrialsRun, "wall_ms", rep.Stats.WallMS, "partial", true},
+			traceAttrs...)...)
 		return rep, cerr
 	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	rep.Stats.CacheHits = len(specs) - rep.Stats.Computed
-	opts.Tracer.Emit("sweep_done", "backend", backend, "scenarios", rep.Stats.Scenarios,
+	opts.Tracer.Emit("sweep_done", append([]any{"backend", backend, "scenarios", rep.Stats.Scenarios,
 		"computed", rep.Stats.Computed, "cache_hits", rep.Stats.CacheHits,
-		"trials", rep.Stats.TrialsRun, "wall_ms", rep.Stats.WallMS, "partial", false)
+		"trials", rep.Stats.TrialsRun, "wall_ms", rep.Stats.WallMS, "partial", false},
+		traceAttrs...)...)
 	return rep, nil
 }
 

@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader is the HTTP header that carries a span context across
+// process hops ("<trace_id>-<span_id>"): the coordinator stamps it on
+// every POST /v1/shard claim, and the worker parents its eval span under
+// it — one trace_id stitches a job's whole lifetime together.
+const TraceHeader = "X-Fairness-Trace"
+
+// SpanContext identifies one span within one trace. The zero value is
+// "no context": StartSpan treats it as "mint a fresh trace".
+type SpanContext struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+}
+
+// Valid reports whether the context names a real span.
+func (sc SpanContext) Valid() bool { return sc.TraceID != "" && sc.SpanID != "" }
+
+// HeaderValue encodes the context for the TraceHeader wire format.
+func (sc SpanContext) HeaderValue() string { return sc.TraceID + "-" + sc.SpanID }
+
+// ParseTraceHeader decodes a TraceHeader value. Absent or malformed
+// headers return ok=false — the receiver then roots a fresh trace, so a
+// pre-tracing coordinator still works against a tracing worker.
+func ParseTraceHeader(v string) (SpanContext, bool) {
+	v = strings.TrimSpace(v)
+	traceID, spanID, ok := strings.Cut(v, "-")
+	if !ok || traceID == "" || spanID == "" {
+		return SpanContext{}, false
+	}
+	sc := SpanContext{TraceID: traceID, SpanID: spanID}
+	return sc, true
+}
+
+// newID returns a 16-hex-char random identifier (8 random bytes).
+func newID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; fall back
+		// to a monotonic-ish stamp rather than panicking in telemetry.
+		return fmt.Sprintf("%016x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Span is one timed operation in a trace. Start one with StartSpan and
+// finish it with End; the pair emits span_start/span_end NDJSON events
+// on the tracer and records the completed span in the flight recorder.
+// Durations are monotonic (time.Since on the captured start), immune to
+// wall-clock steps. A nil *Span is a no-op whose Context is zero.
+type Span struct {
+	tracer   *Tracer
+	recorder *FlightRecorder
+	sc       SpanContext
+	parent   string
+	service  string
+	name     string
+	start    time.Time // carries the monotonic clock reading
+	attrs    map[string]string
+	ended    atomic.Bool
+}
+
+// StartSpan opens a span named name under parent (a zero parent mints a
+// fresh trace and roots the span). service labels the process role
+// ("jobs", "coordinator", "worker"). attrs are alternating key, value
+// pairs recorded on the span and emitted with the span_start event. tr
+// and rec may each be nil: the span still carries a usable Context, so
+// propagation works even when nothing records it.
+func StartSpan(tr *Tracer, rec *FlightRecorder, parent SpanContext, service, name string, attrs ...any) *Span {
+	s := &Span{
+		tracer:   tr,
+		recorder: rec,
+		sc:       SpanContext{TraceID: parent.TraceID, SpanID: newID()},
+		service:  service,
+		name:     name,
+		start:    time.Now(),
+	}
+	if parent.Valid() {
+		s.parent = parent.SpanID
+	} else {
+		s.sc.TraceID = newID()
+	}
+	if len(attrs) > 1 {
+		s.attrs = make(map[string]string, len(attrs)/2)
+		for i := 0; i+1 < len(attrs); i += 2 {
+			s.attrs[fmt.Sprint(attrs[i])] = fmt.Sprint(attrs[i+1])
+		}
+	}
+	ev := make([]any, 0, 8+len(attrs))
+	ev = append(ev, "trace_id", s.sc.TraceID, "span_id", s.sc.SpanID,
+		"span", name, "service", service)
+	if s.parent != "" {
+		ev = append(ev, "parent_span_id", s.parent)
+	}
+	ev = append(ev, attrs...)
+	tr.Emit("span_start", ev...)
+	return s
+}
+
+// Context returns the span's context — what callers propagate to
+// children (in-process via ContextWithSpan, cross-process via
+// TraceHeader). A nil span returns the zero context.
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return s.sc
+}
+
+// End closes the span: it emits the span_end event with the monotonic
+// duration and records the completed span in the flight recorder. End is
+// idempotent — only the first call counts, so requeue/retry paths that
+// converge on the same span can never double-close it. attrs are
+// appended to the span's recorded attributes.
+func (s *Span) End(attrs ...any) {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	dur := float64(time.Since(s.start).Microseconds()) / 1000
+	if len(attrs) > 1 {
+		if s.attrs == nil {
+			s.attrs = make(map[string]string, len(attrs)/2)
+		}
+		for i := 0; i+1 < len(attrs); i += 2 {
+			s.attrs[fmt.Sprint(attrs[i])] = fmt.Sprint(attrs[i+1])
+		}
+	}
+	ev := make([]any, 0, 10+len(attrs))
+	ev = append(ev, "trace_id", s.sc.TraceID, "span_id", s.sc.SpanID,
+		"span", s.name, "service", s.service, "duration_ms", dur)
+	if s.parent != "" {
+		ev = append(ev, "parent_span_id", s.parent)
+	}
+	ev = append(ev, attrs...)
+	s.tracer.Emit("span_end", ev...)
+	s.recorder.Record(SpanRecord{
+		TraceID:     s.sc.TraceID,
+		SpanID:      s.sc.SpanID,
+		ParentID:    s.parent,
+		Name:        s.name,
+		Service:     s.service,
+		StartUnixNS: s.start.UnixNano(),
+		DurationMS:  dur,
+		Attrs:       s.attrs,
+	})
+}
+
+// Context plumbing: the active span context and the trace baggage
+// (tenant/job labels) ride the context.Context through the in-process
+// layers — job manager → runner → cluster coordinator — and cross the
+// process boundary as the TraceHeader and the shard request's labels.
+
+type spanCtxKey struct{}
+type baggageKey struct{}
+
+// ContextWithSpan returns a context carrying sc as the active span.
+func ContextWithSpan(ctx context.Context, sc SpanContext) context.Context {
+	return context.WithValue(ctx, spanCtxKey{}, sc)
+}
+
+// SpanContextFrom returns the active span context, or the zero context.
+func SpanContextFrom(ctx context.Context) SpanContext {
+	sc, _ := ctx.Value(spanCtxKey{}).(SpanContext)
+	return sc
+}
+
+// ContextWithBaggage returns a context carrying trace baggage — small
+// string labels (tenant, job) that downstream spans and pprof profiles
+// attach. The map must not be mutated after the call.
+func ContextWithBaggage(ctx context.Context, bag map[string]string) context.Context {
+	if len(bag) == 0 {
+		return ctx
+	}
+	return context.WithValue(ctx, baggageKey{}, bag)
+}
+
+// BaggageFrom returns the context's trace baggage (nil when unset).
+func BaggageFrom(ctx context.Context) map[string]string {
+	bag, _ := ctx.Value(baggageKey{}).(map[string]string)
+	return bag
+}

@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// decodeEvents parses a tracer buffer's NDJSON lines.
+func decodeEvents(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var events []map[string]any
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		events = append(events, obj)
+	}
+	return events
+}
+
+func TestStartSpanMintsTraceAndParentsChildren(t *testing.T) {
+	root := StartSpan(nil, nil, SpanContext{}, "jobs", "job")
+	rc := root.Context()
+	if !rc.Valid() {
+		t.Fatalf("root context invalid: %+v", rc)
+	}
+	child := StartSpan(nil, nil, rc, "coordinator", "sweep")
+	cc := child.Context()
+	if cc.TraceID != rc.TraceID {
+		t.Errorf("child trace %q, want parent's %q", cc.TraceID, rc.TraceID)
+	}
+	if cc.SpanID == rc.SpanID {
+		t.Error("child reused the parent's span id")
+	}
+	if (&Span{}).Context().Valid() {
+		t.Error("zero span context should be invalid")
+	}
+	var nilSpan *Span
+	nilSpan.End() // must not panic
+	if nilSpan.Context().Valid() {
+		t.Error("nil span context should be zero")
+	}
+}
+
+func TestSpanEmitsPairedEventsAndRecords(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTracer(&buf)
+	rec := NewFlightRecorder(8)
+	s := StartSpan(tr, rec, SpanContext{}, "worker", "eval", "shard", "s-1")
+	s.End("status", "done")
+
+	events := decodeEvents(t, &buf)
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want span_start + span_end", len(events))
+	}
+	start, end := events[0], events[1]
+	if start["event"] != "span_start" || end["event"] != "span_end" {
+		t.Fatalf("events: %v / %v", start["event"], end["event"])
+	}
+	if start["trace_id"] != end["trace_id"] || start["span_id"] != end["span_id"] {
+		t.Error("span_start/span_end ids disagree")
+	}
+	if _, ok := end["duration_ms"].(float64); !ok {
+		t.Error("span_end missing duration_ms")
+	}
+	spans := rec.Spans("")
+	if len(spans) != 1 {
+		t.Fatalf("recorder holds %d spans, want 1", len(spans))
+	}
+	got := spans[0]
+	if got.Name != "eval" || got.Service != "worker" ||
+		got.Attrs["shard"] != "s-1" || got.Attrs["status"] != "done" {
+		t.Errorf("recorded span: %+v", got)
+	}
+}
+
+func TestSpanEndIsIdempotent(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewFlightRecorder(8)
+	s := StartSpan(NewTracer(&buf), rec, SpanContext{}, "worker", "eval")
+	s.End()
+	s.End("second", "call")
+	s.End()
+	events := decodeEvents(t, &buf)
+	ends := 0
+	for _, e := range events {
+		if e["event"] == "span_end" {
+			ends++
+		}
+	}
+	if ends != 1 {
+		t.Errorf("span_end emitted %d times, want 1", ends)
+	}
+	if got := rec.Len(); got != 1 {
+		t.Errorf("recorder holds %d spans, want 1", got)
+	}
+}
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	sc := SpanContext{TraceID: "aaaa0000bbbb1111", SpanID: "cccc2222dddd3333"}
+	got, ok := ParseTraceHeader(sc.HeaderValue())
+	if !ok || got != sc {
+		t.Errorf("round trip: got %+v ok=%v", got, ok)
+	}
+	for _, bad := range []string{"", "-abc", "abc-", "justone", "-"} {
+		if _, ok := ParseTraceHeader(bad); ok {
+			t.Errorf("ParseTraceHeader(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFlightRecorderRingEvictsOldest(t *testing.T) {
+	rec := NewFlightRecorder(4)
+	for i := 0; i < 6; i++ {
+		rec.Record(SpanRecord{TraceID: "t", SpanID: string(rune('a' + i)), StartUnixNS: int64(i)})
+	}
+	if rec.Len() != 4 {
+		t.Errorf("Len %d, want 4", rec.Len())
+	}
+	if rec.Dropped() != 2 {
+		t.Errorf("Dropped %d, want 2", rec.Dropped())
+	}
+	spans := rec.Spans("")
+	if len(spans) != 4 || spans[0].SpanID != "c" || spans[3].SpanID != "f" {
+		t.Errorf("spans not oldest-first after wrap: %+v", spans)
+	}
+	rec.Record(SpanRecord{TraceID: "other", SpanID: "x"})
+	if got := rec.Spans("other"); len(got) != 1 || got[0].SpanID != "x" {
+		t.Errorf("trace filter: %+v", got)
+	}
+	var nilRec *FlightRecorder
+	nilRec.Record(SpanRecord{}) // no-op, must not panic
+	if nilRec.Len() != 0 || nilRec.Spans("") != nil {
+		t.Error("nil recorder should be empty")
+	}
+}
+
+func TestTracesHandlerServesAndFilters(t *testing.T) {
+	rec := NewFlightRecorder(8)
+	rec.Record(SpanRecord{TraceID: "t1", SpanID: "a", Name: "eval"})
+	rec.Record(SpanRecord{TraceID: "t2", SpanID: "b", Name: "eval"})
+	h := TracesHandler(rec)
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/traces", nil))
+	var resp TracesResponse
+	if err := json.NewDecoder(rr.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 2 || len(resp.Spans) != 2 || resp.Capacity != 8 {
+		t.Errorf("unfiltered response: %+v", resp)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/v1/traces?trace_id=t2", nil))
+	resp = TracesResponse{}
+	if err := json.NewDecoder(rr.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 1 || resp.Spans[0].SpanID != "b" {
+		t.Errorf("filtered response: %+v", resp)
+	}
+
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/traces", nil))
+	if rr.Code != 405 {
+		t.Errorf("POST status %d, want 405", rr.Code)
+	}
+
+	rr = httptest.NewRecorder()
+	TracesHandler(nil).ServeHTTP(rr, httptest.NewRequest("GET", "/v1/traces", nil))
+	resp = TracesResponse{}
+	if err := json.NewDecoder(rr.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != 0 {
+		t.Errorf("nil-recorder response: %+v", resp)
+	}
+}
+
+// failWriter fails (or short-writes) every write.
+type failWriter struct{ short bool }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.short {
+		return len(p) - 1, nil
+	}
+	return 0, errors.New("sink gone")
+}
+
+func TestTracerCountsDroppedEvents(t *testing.T) {
+	m := NewRegistry()
+	tr := NewTracerWithMetrics(&failWriter{}, m)
+	tr.Emit("sweep_start")
+	tr.Emit("sweep_done")
+	if got := tr.Dropped(); got != 2 {
+		t.Errorf("Dropped %d, want 2", got)
+	}
+	var expo bytes.Buffer
+	m.WritePrometheus(&expo)
+	if !strings.Contains(expo.String(), "fairness_trace_dropped_total 2") {
+		t.Errorf("exposition missing drop counter:\n%s", expo.String())
+	}
+
+	short := NewTracer(&failWriter{short: true})
+	short.Emit("x")
+	if got := short.Dropped(); got != 1 {
+		t.Errorf("short write Dropped %d, want 1", got)
+	}
+
+	var ok bytes.Buffer
+	good := NewTracer(&ok)
+	good.Emit("x")
+	if got := good.Dropped(); got != 0 {
+		t.Errorf("healthy tracer Dropped %d, want 0", got)
+	}
+	var nilTr *Tracer
+	if nilTr.Dropped() != 0 {
+		t.Error("nil tracer Dropped should be 0")
+	}
+}
+
+func TestBuildSpanTreeSelfTimeAndCriticalPath(t *testing.T) {
+	ms := func(v float64) int64 { return int64(v * 1e6) }
+	spans := []SpanRecord{
+		{TraceID: "t", SpanID: "root", Name: "job", StartUnixNS: 0, DurationMS: 100},
+		// Two overlapping children: [10,40] and [30,80] — union covers 70ms.
+		{TraceID: "t", SpanID: "c1", ParentID: "root", Name: "dispatch", StartUnixNS: ms(10), DurationMS: 30},
+		{TraceID: "t", SpanID: "c2", ParentID: "root", Name: "dispatch", StartUnixNS: ms(30), DurationMS: 50},
+		// Grandchild inside c2: [35, 75].
+		{TraceID: "t", SpanID: "g1", ParentID: "c2", Name: "eval", StartUnixNS: ms(35), DurationMS: 40},
+		// Duplicate of c1 (fetched from a second recorder): must collapse.
+		{TraceID: "t", SpanID: "c1", ParentID: "root", Name: "dispatch", StartUnixNS: ms(10), DurationMS: 30},
+	}
+	tree := BuildSpanTree(spans)
+	if tree.Spans != 4 || len(tree.Roots) != 1 {
+		t.Fatalf("tree: %d spans, %d roots", tree.Spans, len(tree.Roots))
+	}
+	root := tree.Roots[0]
+	if got := root.SelfMS(); got != 30 { // 100 - union(10..40, 30..80)=70
+		t.Errorf("root self time %v, want 30", got)
+	}
+
+	// The breakdown must partition the root's duration exactly, even
+	// though the two dispatch siblings overlap on [30,40].
+	breakdown := root.StageBreakdown()
+	var sum float64
+	for _, v := range breakdown {
+		sum += v
+	}
+	if sum != root.DurationMS {
+		t.Errorf("stages sum to %v, want %v (breakdown %v)", sum, root.DurationMS, breakdown)
+	}
+	// job self [0,10]+[80,100]=30, dispatch [10,35]+[75,80]... attribution:
+	// [10,30] c1, [30,35] c2 (later-started sibling wins), [35,75] g1,
+	// [75,80] c2 → dispatch 30, eval 40.
+	if breakdown["eval"] != 40 || breakdown["dispatch"] != 30 || breakdown["job"] != 30 {
+		t.Errorf("breakdown %v, want job:30 dispatch:30 eval:40", breakdown)
+	}
+
+	// Critical path descends into the latest-ending child at each level.
+	path := root.CriticalPath()
+	var names []string
+	for _, n := range path {
+		names = append(names, n.SpanID)
+	}
+	if strings.Join(names, ">") != "root>c2>g1" {
+		t.Errorf("critical path %v", names)
+	}
+
+	// A span whose parent was evicted surfaces as an extra root.
+	orphan := BuildSpanTree([]SpanRecord{
+		{TraceID: "t", SpanID: "k", ParentID: "gone", Name: "eval", DurationMS: 5},
+	})
+	if len(orphan.Roots) != 1 {
+		t.Errorf("orphan roots: %d", len(orphan.Roots))
+	}
+}

@@ -20,14 +20,37 @@ import (
 // Writes are serialised by a mutex, so events from concurrent workers
 // interleave whole lines, never bytes. A nil *Tracer is a no-op, which
 // keeps instrumented code free of "is tracing on" branches.
+//
+// Events the sink cannot take — a marshal failure or a failed/short
+// write — are dropped, never blocking the instrumented path; each drop
+// ticks the fairness_trace_dropped_total counter (detached unless the
+// tracer was built with NewTracerWithMetrics), so silent trace loss is
+// visible on /metrics instead of being discovered during an incident.
 type Tracer struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu      sync.Mutex
+	w       io.Writer
+	dropped *Counter // fairness_trace_dropped_total
 }
 
 // NewTracer returns a tracer writing NDJSON events to w. The caller owns
-// w's lifetime (the tracer never closes it).
-func NewTracer(w io.Writer) *Tracer { return &Tracer{w: w} }
+// w's lifetime (the tracer never closes it). Dropped events are counted
+// on a detached handle; use NewTracerWithMetrics to expose the count.
+func NewTracer(w io.Writer) *Tracer { return NewTracerWithMetrics(w, nil) }
+
+// NewTracerWithMetrics is NewTracer with the tracer's drop counter
+// registered as fairness_trace_dropped_total on m (nil m = detached
+// handle, same behaviour as NewTracer).
+func NewTracerWithMetrics(w io.Writer, m *Registry) *Tracer {
+	return &Tracer{w: w, dropped: m.Counter("fairness_trace_dropped_total")}
+}
+
+// Dropped returns the number of events lost to marshal/write failures.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Value()
+}
 
 // Emit writes one event line. attrs are alternating key, value pairs;
 // values marshal as JSON (fmt.Sprint fallback for unmarshalable ones). A
@@ -47,13 +70,17 @@ func (t *Tracer) Emit(event string, attrs ...any) {
 		obj[k] = jsonSafe(attrs[i+1])
 	}
 	line, err := json.Marshal(obj)
-	if err != nil { // unreachable: jsonSafe sanitised every value
+	if err != nil { // near-unreachable: jsonSafe sanitised every value
+		t.dropped.Inc()
 		return
 	}
 	line = append(line, '\n')
 	t.mu.Lock()
-	t.w.Write(line)
+	n, err := t.w.Write(line)
 	t.mu.Unlock()
+	if err != nil || n < len(line) {
+		t.dropped.Inc()
+	}
 }
 
 func jsonSafe(v any) any {
