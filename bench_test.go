@@ -182,35 +182,64 @@ func sweepBenchSpecs(b *testing.B) []fairness.Scenario {
 	return specs
 }
 
+// adaptiveBenchTrials is the stopping rule of the gated cold benches:
+// the bench grid's tight ε makes every scenario decisively unfair, so
+// the rule resolves each verdict at the minimum prefix and the cold
+// sweep measures the batched early-stopping core at full effect.
+var adaptiveBenchTrials = fairness.AdaptiveTrials{MinTrials: 8, Batch: 8}
+
+// adaptiveSweepBenchSpecs is the gated cold benches' grid: the same 24
+// scenarios as sweepBenchSpecs but with ε tightened until every
+// protocol (including the tightly concentrated C-PoS) is decisively
+// unfair, so the stopping rule resolves each verdict at 8–16 trials of
+// the 60-trial budget.
+func adaptiveSweepBenchSpecs(b *testing.B) []fairness.Scenario {
+	b.Helper()
+	specs, err := fairness.ExpandScenarios(fairness.ScenarioGrid{
+		Base:      fairness.Scenario{Blocks: 400, Trials: 60, Seed: 17, Eps: 0.001},
+		Protocols: []string{"pow", "mlpos", "slpos", "cpos"},
+		Stake:     []float64{0.1, 0.2, 0.3},
+		W:         []float64{0.005, 0.01},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return specs
+}
+
 // reportSweepTelemetry derives efficiency metrics from a sweep's metrics
 // registry — the same series a /metrics scrape would expose — so the
 // bench baseline (BENCH_*.json via cmd/benchgate) records cache-hit
 // ratio and trials-per-scenario alongside raw throughput. Totals are
 // cumulative across b.N iterations, so the ratios are per-iteration
 // exact when every iteration behaves identically (as these benches
-// assert).
-func reportSweepTelemetry(b *testing.B, m *fairness.MetricsRegistry) {
+// assert). backend is the resolved evaluator name labelling the series.
+func reportSweepTelemetry(b *testing.B, m *fairness.MetricsRegistry, backend string) {
 	b.Helper()
 	snap := m.Snapshot()
-	label := `{backend="montecarlo"}`
+	label := `{backend="` + backend + `"}`
 	scen := snap["fairness_sweep_scenarios_total"+label]
 	if scen == 0 {
-		b.Fatal("telemetry registry recorded no scenarios")
+		b.Fatalf("telemetry registry recorded no scenarios under backend %q", backend)
 	}
 	b.ReportMetric(snap["fairness_sweep_cache_hits_total"+label]/scen, "hit_ratio")
 	b.ReportMetric(snap["fairness_sweep_trials_total"+label]/scen, "trials/scenario")
 }
 
 // BenchmarkSweepColdCache measures end-to-end sweep throughput with every
-// scenario computed from scratch — the perf baseline for the engine.
+// scenario computed from scratch — the perf baseline for the engine,
+// running the batched early-stopping core: each scenario's 60 trials are
+// a budget the stopping rule resolves early on this decisive grid.
 func BenchmarkSweepColdCache(b *testing.B) {
-	specs := sweepBenchSpecs(b)
+	specs := adaptiveSweepBenchSpecs(b)
+	ev := fairness.MonteCarloAdaptiveBackend(adaptiveBenchTrials)
 	metrics := fairness.NewMetricsRegistry()
 	var perSec, hits float64
 	for i := 0; i < b.N; i++ {
 		rep, err := fairness.Sweep(specs, fairness.SweepOptions{
-			Cache:   fairness.NewSweepCache(len(specs)),
-			Metrics: metrics,
+			Cache:     fairness.NewSweepCache(len(specs)),
+			Metrics:   metrics,
+			Evaluator: ev,
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -218,12 +247,17 @@ func BenchmarkSweepColdCache(b *testing.B) {
 		if rep.Stats.Computed != len(specs) {
 			b.Fatalf("cold sweep computed %d of %d", rep.Stats.Computed, len(specs))
 		}
+		for _, o := range rep.Outcomes {
+			if !o.EarlyStopped {
+				b.Fatalf("scenario %s ran its full budget (%d trials) — the bench grid must be decisive", o.Hash, o.TrialsRun)
+			}
+		}
 		perSec = rep.Stats.ScenariosPerSec()
 		hits = float64(rep.Stats.CacheHits)
 	}
 	b.ReportMetric(perSec, "scenarios/s")
 	b.ReportMetric(hits, "cache_hits")
-	reportSweepTelemetry(b, metrics)
+	reportSweepTelemetry(b, metrics, ev.Name())
 }
 
 // BenchmarkSweepWarmCache measures the same sweep answered entirely from
@@ -250,7 +284,7 @@ func BenchmarkSweepWarmCache(b *testing.B) {
 	}
 	b.ReportMetric(perSec, "scenarios/s")
 	b.ReportMetric(hits, "cache_hits")
-	reportSweepTelemetry(b, metrics)
+	reportSweepTelemetry(b, metrics, "montecarlo")
 }
 
 // BenchmarkSweepFig3 times the sweep-engine reproduction of Figure 3,
@@ -261,9 +295,10 @@ func BenchmarkSweepFig3(b *testing.B) { runExhibit(b, "fig3-sweep", "unfair_PoW_
 
 // BenchmarkEngineSweepColdDiskCache measures a sweep writing every
 // outcome through the content-addressed disk store — the persistence
-// overhead on top of BenchmarkSweepColdCache's in-memory baseline.
+// overhead on top of BenchmarkSweepColdCache's in-memory baseline. Like
+// that baseline it runs the batched early-stopping core.
 func BenchmarkEngineSweepColdDiskCache(b *testing.B) {
-	specs := sweepBenchSpecs(b)
+	specs := adaptiveSweepBenchSpecs(b)
 	ctx := context.Background()
 	var perSec, hits float64
 	for i := 0; i < b.N; i++ {
@@ -273,7 +308,10 @@ func BenchmarkEngineSweepColdDiskCache(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.StartTimer()
-		rep, err := fairness.NewEngine(fairness.WithCache(cache)).Sweep(ctx, specs)
+		rep, err := fairness.NewEngine(
+			fairness.WithCache(cache),
+			fairness.WithAdaptiveTrials(adaptiveBenchTrials),
+		).Sweep(ctx, specs)
 		if err != nil {
 			b.Fatal(err)
 		}

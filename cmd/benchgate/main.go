@@ -44,6 +44,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -65,6 +66,12 @@ type Gate struct {
 	// Benchmarks lists the gated benchmark names (GOMAXPROCS suffix
 	// stripped).
 	Benchmarks []string `json:"benchmarks"`
+	// MetricCeilings caps custom b.ReportMetric units per benchmark:
+	// the gate fails when the named benchmark reports the metric above
+	// its ceiling (or stops reporting it). This is how the adaptive cold
+	// sweep's trials-per-scenario budget is enforced alongside raw
+	// ns/op.
+	MetricCeilings map[string]map[string]float64 `json:"metric_ceilings,omitempty"`
 }
 
 // Document is the benchgate JSON shape: results, plus the gate block in
@@ -183,6 +190,17 @@ func parseLine(line string) (string, Result, bool) {
 	return stripProcs(fields[0]), res, true
 }
 
+// sortedKeys returns a map's keys in deterministic order, so gate
+// output and failure lists are stable run to run.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // stripProcs removes the trailing "-<GOMAXPROCS>" so names compare
 // across machines.
 func stripProcs(name string) string {
@@ -229,6 +247,28 @@ func Check(doc, base Document, regress float64, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "benchgate: %-40s %12.0f ns/op  baseline %12.0f  %s\n",
 			name, got.NsPerOp, want.NsPerOp, verdict)
+	}
+	for _, name := range sortedKeys(base.Gate.MetricCeilings) {
+		got, ok := doc.Benchmarks[name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from this run (metric ceiling)", name))
+			continue
+		}
+		ceilings := base.Gate.MetricCeilings[name]
+		for _, metric := range sortedKeys(ceilings) {
+			limit := ceilings[metric]
+			v, reported := got.Metrics[metric]
+			verdict := "ok"
+			switch {
+			case !reported:
+				verdict = "MISSING"
+				failures = append(failures, fmt.Sprintf("%s: metric %q not reported (ceiling %g)", name, metric, limit))
+			case v > limit:
+				verdict = "EXCEEDED"
+				failures = append(failures, fmt.Sprintf("%s: %s = %g, ceiling %g", name, metric, v, limit))
+			}
+			fmt.Fprintf(w, "benchgate: %-40s %12g %-16s ceiling %12g  %s\n", name, v, metric, limit, verdict)
+		}
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("performance gate failed:\n  %s", strings.Join(failures, "\n  "))

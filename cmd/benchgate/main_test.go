@@ -146,3 +146,32 @@ func TestRunRejectsEmptyInput(t *testing.T) {
 		t.Error("empty benchmark input should fail")
 	}
 }
+
+func TestCheckEnforcesMetricCeilings(t *testing.T) {
+	doc, _ := Parse(strings.NewReader(sampleOutput))
+	base := gateBaseline(70_000_000)
+	base.Gate.MetricCeilings = map[string]map[string]float64{
+		"BenchmarkSweepColdCache": {"scenarios/s": 400},
+	}
+	var out bytes.Buffer
+	if err := Check(doc, base, 0, &out); err != nil {
+		t.Errorf("metric within ceiling failed the gate: %v\n%s", err, out.String())
+	}
+	// Over the ceiling: the run's 372.1 scenarios/s against a 300 cap.
+	base.Gate.MetricCeilings["BenchmarkSweepColdCache"]["scenarios/s"] = 300
+	err := Check(doc, base, 0, &out)
+	if err == nil || !strings.Contains(err.Error(), "ceiling") {
+		t.Errorf("exceeded ceiling passed the gate: %v", err)
+	}
+	// A ceiling on a metric the run stopped reporting must fail too —
+	// deleting the instrumentation is not a way to pass.
+	base.Gate.MetricCeilings["BenchmarkSweepColdCache"] = map[string]float64{"trials/scenario": 10}
+	if err := Check(doc, base, 0, &out); err == nil {
+		t.Error("missing ceiling metric passed the gate")
+	}
+	// A ceiling on a benchmark missing from the run fails.
+	base.Gate.MetricCeilings = map[string]map[string]float64{"BenchmarkGone": {"x": 1}}
+	if err := Check(doc, base, 0, &out); err == nil {
+		t.Error("ceiling on missing benchmark passed the gate")
+	}
+}

@@ -64,6 +64,10 @@
 //	-cache N            in-memory LRU capacity when -cache-dir is unset
 //	-workers N          scenario-level parallelism per sweep (0 = all cores)
 //	-backend NAME       montecarlo (default), theory or chainsim
+//	-adaptive           early stopping: each scenario's trials is a budget,
+//	                    runs halt once the verdict is resolved (montecarlo
+//	                    only); tune with -stop-confidence, -stop-min-trials
+//	                    and -stop-batch
 //	-register URL       coordinator to register with: the worker joins the
 //	                    cluster by itself, heartbeats to keep its lease,
 //	                    and deregisters gracefully on SIGTERM
@@ -132,6 +136,10 @@ func main() {
 	flag.IntVar(&cfg.cacheCap, "cache", 4096, "in-memory LRU capacity when -cache-dir is unset (0 = no cache)")
 	flag.IntVar(&cfg.workers, "workers", 0, "scenario-level parallelism per sweep (0 = all cores)")
 	flag.StringVar(&cfg.backend, "backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim")
+	flag.BoolVar(&cfg.adaptive, "adaptive", false, "adaptive early stopping: treat each scenario's trials as a budget, stop once the verdict is resolved (montecarlo backend only)")
+	flag.Float64Var(&cfg.stopConfidence, "stop-confidence", 0, "adaptive stopping error budget across all looks (0 = default)")
+	flag.IntVar(&cfg.stopMinTrials, "stop-min-trials", 0, "smallest trial prefix the stopping rule evaluates (0 = default)")
+	flag.IntVar(&cfg.stopBatch, "stop-batch", 0, "trial batch size / stopping granularity (0 = default)")
 	flag.StringVar(&cfg.register, "register", "", "coordinator base URL to self-register with (heartbeats + graceful deregister)")
 	flag.StringVar(&cfg.advertise, "advertise", "", "own base URL as reachable from the coordinator (default: derived from -addr)")
 	flag.DurationVar(&cfg.heartbeat, "heartbeat", 0, "registration heartbeat interval (0 = coordinator's suggestion)")
@@ -237,6 +245,10 @@ type config struct {
 	cacheCap          int
 	workers           int
 	backend           string
+	adaptive          bool
+	stopConfidence    float64
+	stopMinTrials     int
+	stopBatch         int
 	register          string
 	advertise         string
 	heartbeat         time.Duration
@@ -309,6 +321,19 @@ func newServer(cfg config) (*server, error) {
 	ev, err := fairness.BackendByName(s.backendName)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.adaptive {
+		if ev != nil {
+			return nil, fmt.Errorf("fairnessd: -adaptive requires the montecarlo backend, got %q", s.backendName)
+		}
+		ev = fairness.MonteCarloAdaptiveBackend(fairness.AdaptiveTrials{
+			Confidence: cfg.stopConfidence,
+			MinTrials:  cfg.stopMinTrials,
+			Batch:      cfg.stopBatch,
+		})
+		// The variant name namespaces caches, cluster shards and metric
+		// labels so adaptive results never mix with exhaustive ones.
+		s.backendName = ev.Name()
 	}
 	switch {
 	case cfg.cacheDir != "":
@@ -609,7 +634,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		UptimeMS         int64                 `json:"uptime_ms"`
 		GoMaxProcs       int                   `json:"gomaxprocs"`
 	}
-	caps, _ := fairness.BackendCapabilities(s.backendName)
+	caps := s.eng.Capabilities()
 	h := health{
 		Status:           "ok",
 		Backend:          s.backendName,

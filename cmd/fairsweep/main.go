@@ -35,6 +35,9 @@
 //	-cache-max-bytes N  size-cap the disk cache: least-recently-used
 //	               entries are evicted once it exceeds N bytes
 //	-backend NAME  evaluator backend: montecarlo (default), theory, chainsim
+//	-adaptive      early stopping: -trials becomes a budget, runs halt once
+//	               the verdict is resolved (montecarlo only); tuned with
+//	               -stop-confidence, -stop-min-trials, -stop-batch
 //	-repeat N      run the sweep N times against the shared cache
 //	-trace FILE    write NDJSON trace events — sweep_start, one sweep_eval
 //	               per unique scenario, sweep_done — to FILE ("-" = stderr)
@@ -54,6 +57,7 @@
 //	fairsweep run -backend theory -protocols pow,mlpos,cpos
 //	fairsweep run -protocols pow -stake 0.35,0.4,0.45 -selfish 0 -gamma 0,0.5
 //	fairsweep run -protocols pow -stake 0.4 -fork-rate 0,0.4,0.8
+//	fairsweep run -adaptive -trials 2000 -blocks 1500 -protocols pow
 //	fairsweep bench -protocols pow,mlpos -trials 100 -blocks 500
 //	fairsweep conform
 package main
@@ -281,6 +285,42 @@ func expandCmd(args []string) error {
 	return nil
 }
 
+// adaptiveFlags are the early-stopping knobs shared by run and bench:
+// -adaptive turns each scenario's trial count into a budget with early
+// stopping on the montecarlo backend; the stop-* flags tune the rule.
+type adaptiveFlags struct {
+	adaptive   *bool
+	confidence *float64
+	minTrials  *int
+	batch      *int
+}
+
+func addAdaptiveFlags(fs *flag.FlagSet) *adaptiveFlags {
+	return &adaptiveFlags{
+		adaptive:   fs.Bool("adaptive", false, "adaptive early stopping: treat -trials as a budget, stop once the verdict is resolved (montecarlo backend only)"),
+		confidence: fs.Float64("stop-confidence", 0, "adaptive stopping error budget across all looks (0 = default)"),
+		minTrials:  fs.Int("stop-min-trials", 0, "smallest trial prefix the stopping rule evaluates (0 = default)"),
+		batch:      fs.Int("stop-batch", 0, "trial batch size / stopping granularity (0 = default)"),
+	}
+}
+
+// apply resolves the flags against the backend selection: a nil ev is
+// the default montecarlo backend, which -adaptive upgrades to the
+// early-stopping variant; any other backend rejects the flag.
+func (af *adaptiveFlags) apply(ev fairness.Evaluator, backend string) (fairness.Evaluator, error) {
+	if !*af.adaptive {
+		return ev, nil
+	}
+	if ev != nil {
+		return nil, fmt.Errorf("-adaptive requires the montecarlo backend, got %q", backend)
+	}
+	return fairness.MonteCarloAdaptiveBackend(fairness.AdaptiveTrials{
+		Confidence: *af.confidence,
+		MinTrials:  *af.minTrials,
+		Batch:      *af.batch,
+	}), nil
+}
+
 func runCmd(args []string) error {
 	fs := flag.NewFlagSet("run", flag.ContinueOnError)
 	gf := addGridFlags(fs)
@@ -289,6 +329,7 @@ func runCmd(args []string) error {
 	cacheDir := fs.String("cache-dir", "", "disk result-cache directory (overrides -cache)")
 	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "size cap for -cache-dir: evict LRU entries beyond N bytes (0 = unbounded)")
 	backend := fs.String("backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim")
+	af := addAdaptiveFlags(fs)
 	repeat := fs.Int("repeat", 1, "run the sweep N times against the shared cache")
 	traceFile := fs.String("trace", "", "write NDJSON trace events (sweep_start, sweep_eval, sweep_done) to FILE (\"-\" = stderr)")
 	asJSON := fs.Bool("json", false, "print the report as JSON")
@@ -309,6 +350,9 @@ func runCmd(args []string) error {
 	}
 	ev, err := fairness.BackendByName(*backend)
 	if err != nil {
+		return err
+	}
+	if ev, err = af.apply(ev, *backend); err != nil {
 		return err
 	}
 	cache, err := cacheFor(*cacheCap, *cacheDir, *cacheMaxBytes)
@@ -395,6 +439,7 @@ func benchCmd(args []string) error {
 	cacheDir := fs.String("cache-dir", "", "disk result-cache directory (overrides -cache)")
 	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "size cap for -cache-dir: evict LRU entries beyond N bytes (0 = unbounded)")
 	backend := fs.String("backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim")
+	af := addAdaptiveFlags(fs)
 	traceFile := fs.String("trace", "", "write NDJSON trace events of both passes to FILE (\"-\" = stderr)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -412,6 +457,9 @@ func benchCmd(args []string) error {
 	}
 	ev, err := fairness.BackendByName(*backend)
 	if err != nil {
+		return err
+	}
+	if ev, err = af.apply(ev, *backend); err != nil {
 		return err
 	}
 	cache, err := cacheFor(capacity, *cacheDir, *cacheMaxBytes)
@@ -457,7 +505,9 @@ func benchCmd(args []string) error {
 	// Registry-derived efficiency figures across both passes (the same
 	// series a /metrics scrape of this process would report).
 	snap := metrics.Snapshot()
-	label := fmt.Sprintf("{backend=%q}", *backend)
+	// The metric label is the resolved evaluator name, which differs
+	// from the -backend flag when -adaptive upgrades it.
+	label := fmt.Sprintf("{backend=%q}", eng.BackendName())
 	scen := snap["fairness_sweep_scenarios_total"+label]
 	hits := snap["fairness_sweep_cache_hits_total"+label]
 	trials := snap["fairness_sweep_trials_total"+label]

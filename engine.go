@@ -34,6 +34,7 @@ type Engine struct {
 	trialWorkers    int
 	cache           CacheStore
 	backend         Evaluator
+	adaptive        *AdaptiveTrials
 	observer        func(SweepOutcome)
 	cluster         *cluster.Options
 	clusterProgress func(ClusterProgress)
@@ -70,6 +71,18 @@ func WithCache(c CacheStore) EngineOption {
 // or any custom Evaluator implementation.
 func WithBackend(ev Evaluator) EngineOption {
 	return func(e *Engine) { e.backend = ev }
+}
+
+// WithAdaptiveTrials opts the engine's Monte-Carlo backend into adaptive
+// early stopping: each scenario's Trials becomes a budget, runs halt as
+// soon as the unfair-probability verdict is resolved at the scenario's
+// ε/δ with total error probability a.Confidence, and reports carry the
+// executed trial count plus the achieved eps/delta certificate. Zero
+// fields resolve to the montecarlo package defaults. The option applies
+// to the default backend or an explicit MonteCarloBackend; closed-form
+// and chain-sim backends ignore it.
+func WithAdaptiveTrials(a AdaptiveTrials) EngineOption {
+	return func(e *Engine) { e.adaptive = &a }
 }
 
 // WithObserver streams every outcome to fn as it is produced, across all
@@ -149,6 +162,16 @@ func NewEngine(opts ...EngineOption) *Engine {
 	for _, opt := range opts {
 		opt(e)
 	}
+	if e.adaptive != nil {
+		switch b := e.backend.(type) {
+		case nil:
+			e.backend = &sweep.MonteCarloEvaluator{Adaptive: e.adaptive}
+		case *sweep.MonteCarloEvaluator:
+			clone := *b
+			clone.Adaptive = e.adaptive
+			e.backend = &clone
+		}
+	}
 	if e.metrics == nil {
 		e.metrics = telemetry.NewRegistry()
 	}
@@ -192,6 +215,12 @@ func (e *Engine) backendName() string {
 	}
 	return e.backend.Name()
 }
+
+// BackendName reports the name of the evaluator the engine runs under —
+// "montecarlo" by default, a variant like "montecarlo+es(...)" when
+// adaptive trials are configured. This is the cache-key namespace and
+// the backend label on every metric the engine emits.
+func (e *Engine) BackendName() string { return e.backendName() }
 
 // Capabilities returns the configured backend's declared scenario
 // coverage: which protocols it answers and whether it covers the
@@ -401,14 +430,25 @@ func (e *Engine) Evaluate(ctx context.Context, p Protocol, initial []float64, op
 	if s.withhold > 0 {
 		gameOpts = append(gameOpts, game.WithWithholding(s.withhold))
 	}
-	res, err := montecarlo.RunContext(ctx, p, initial, montecarlo.Config{
+	cfg := montecarlo.Config{
 		Trials:      s.trials,
 		Blocks:      s.blocks,
 		Seed:        s.seed,
 		Checkpoints: []int{s.blocks},
 		Workers:     e.trialWorkers,
 		GameOptions: gameOpts,
-	})
+	}
+	if e.adaptive != nil {
+		cfg.Batch = e.adaptive.Batch
+		cfg.Stop = &montecarlo.StopRule{
+			Share:      initial[0] / total,
+			Eps:        s.params.Eps,
+			Delta:      s.params.Delta,
+			Confidence: e.adaptive.Confidence,
+			MinTrials:  e.adaptive.MinTrials,
+		}
+	}
+	res, err := montecarlo.RunContext(ctx, p, initial, cfg)
 	if err != nil {
 		return Verdict{}, err
 	}

@@ -101,6 +101,9 @@ type (
 	Evaluator = sweep.Evaluator
 	// Evaluation is the backend-independent result an Evaluator returns.
 	Evaluation = sweep.Evaluation
+	// AdaptiveTrials configures early-stopping Monte-Carlo evaluation;
+	// see WithAdaptiveTrials and MonteCarloAdaptiveBackend.
+	AdaptiveTrials = sweep.AdaptiveTrials
 	// ClusterOptions configures distributed sweeps over fairnessd worker
 	// nodes; pass it to WithCluster. See internal/cluster for the shard
 	// protocol and failure semantics.
@@ -543,6 +546,19 @@ func ParseMetricsText(r io.Reader) (map[string]float64, error) { return telemetr
 // repeated mining games through the Monte-Carlo engine (the default
 // backend of every Engine).
 func MonteCarloBackend() Evaluator { return &sweep.MonteCarloEvaluator{} }
+
+// MonteCarloAdaptiveBackend returns a Monte-Carlo Evaluator with
+// adaptive early stopping: each scenario's Trials is a budget, the run
+// halts once the unfair-probability verdict is resolved at the
+// scenario's ε/δ with total error probability a.Confidence, and the
+// executed trial count — together with the achieved eps/delta
+// certificate — is reported in every outcome. Zero fields of a resolve
+// to the montecarlo package defaults. The evaluator's Name encodes the
+// normalised rule ("montecarlo+es(...)"), so adaptive results never
+// share a cache or cluster namespace with exhaustive runs.
+func MonteCarloAdaptiveBackend(a AdaptiveTrials) Evaluator {
+	return &sweep.MonteCarloEvaluator{Adaptive: &a}
+}
 
 // TheoryBackend returns the closed-form Evaluator built on the paper's
 // theorems (4.2 exact binomial for PoW, 4.3/4.10 Azuma bounds for

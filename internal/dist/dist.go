@@ -177,7 +177,9 @@ func (d Binomial) IntervalProb(lo, hi float64) float64 {
 // variables deviates from its mean by more than γ, clamped to [0, 1].
 // This is the engine of Theorem 4.2.
 func HoeffdingTail(gamma, n float64) float64 {
-	if n <= 0 || gamma <= 0 {
+	// NaN fails every comparison, so check it explicitly: a bound that
+	// cannot be computed is vacuous, not NaN.
+	if !(n > 0) || !(gamma > 0) {
 		return 1
 	}
 	b := 2 * math.Exp(-2*gamma*gamma/n)
@@ -192,7 +194,7 @@ func HoeffdingTail(gamma, n float64) float64 {
 // squares denom/4 (the paper folds the 4 into denom), clamped to [0, 1].
 // This is the engine of Theorems 4.3 and 4.10.
 func AzumaTail(gamma, denom float64) float64 {
-	if denom <= 0 || gamma <= 0 {
+	if !(denom > 0) || !(gamma > 0) {
 		return 1
 	}
 	b := 2 * math.Exp(-2*gamma*gamma/denom)
@@ -204,11 +206,19 @@ func AzumaTail(gamma, denom float64) float64 {
 
 // KSStatistic returns the Kolmogorov–Smirnov statistic
 // D = sup_x |F_n(x) − F(x)| between the empirical CDF of the samples and
-// the hypothesised CDF. It does not modify samples.
+// the hypothesised CDF. It does not modify samples. A NaN sample has no
+// place on either CDF, so it poisons the statistic to NaN (rather than
+// being silently dropped by NaN-insensitive comparisons), and KSPValue
+// propagates the NaN.
 func KSStatistic(samples []float64, cdf func(float64) float64) float64 {
 	n := len(samples)
 	if n == 0 {
 		return math.NaN()
+	}
+	for _, x := range samples {
+		if math.IsNaN(x) {
+			return math.NaN()
+		}
 	}
 	sorted := append([]float64(nil), samples...)
 	sort.Float64s(sorted)

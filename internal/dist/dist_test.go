@@ -237,3 +237,56 @@ func TestKSPValueCalibration(t *testing.T) {
 		t.Error("n=0 should be NaN")
 	}
 }
+
+func TestTailBoundsExtremes(t *testing.T) {
+	// Huge gamma drives the exponent so far down the result underflows
+	// through subnormals to zero; the bound must stay a probability.
+	for _, gamma := range []float64{1e3, 1e6, 1e9, math.MaxFloat64} {
+		h := HoeffdingTail(gamma, 10)
+		if !(h >= 0 && h <= 1) {
+			t.Errorf("HoeffdingTail(%g, 10) = %v, want in [0,1]", gamma, h)
+		}
+		a := AzumaTail(gamma, 10)
+		if !(a >= 0 && a <= 1) {
+			t.Errorf("AzumaTail(%g, 10) = %v, want in [0,1]", gamma, a)
+		}
+	}
+	// A gamma chosen to land the exponent in the subnormal range must
+	// produce a positive subnormal, not NaN or a negative value.
+	// exp(-745) ≈ 5e-324 is the smallest positive subnormal.
+	g := math.Sqrt(745.0 / 2.0 * 10.0)
+	h := HoeffdingTail(g, 10)
+	if !(h >= 0 && h <= 1) || math.IsNaN(h) {
+		t.Errorf("HoeffdingTail near subnormal range = %v, want a probability", h)
+	}
+	// Degenerate inputs are vacuous bounds, never NaN.
+	for _, tc := range []struct{ gamma, n float64 }{
+		{0, 10}, {-1, 10}, {1, 0}, {1, -5}, {math.NaN(), 10},
+	} {
+		if got := HoeffdingTail(tc.gamma, tc.n); got != 1 {
+			t.Errorf("HoeffdingTail(%v, %v) = %v, want 1", tc.gamma, tc.n, got)
+		}
+		if got := AzumaTail(tc.gamma, tc.n); got != 1 {
+			t.Errorf("AzumaTail(%v, %v) = %v, want 1", tc.gamma, tc.n, got)
+		}
+	}
+}
+
+func TestKSNaNPropagation(t *testing.T) {
+	uniform := func(x float64) float64 { return x }
+	// A NaN sample poisons the statistic instead of being silently
+	// dropped by NaN-insensitive comparisons.
+	samples := []float64{0.1, math.NaN(), 0.7}
+	d := KSStatistic(samples, uniform)
+	if !math.IsNaN(d) {
+		t.Fatalf("KSStatistic with NaN sample = %v, want NaN", d)
+	}
+	// ... and the NaN flows through to the p-value.
+	if p := KSPValue(d, len(samples)); !math.IsNaN(p) {
+		t.Errorf("KSPValue(NaN, 3) = %v, want NaN", p)
+	}
+	// Clean samples keep their finite statistic.
+	if d := KSStatistic([]float64{0.1, 0.7}, uniform); math.IsNaN(d) {
+		t.Error("KSStatistic without NaN must stay finite")
+	}
+}

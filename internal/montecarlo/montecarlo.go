@@ -16,10 +16,10 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/game"
 	"repro/internal/protocol"
-	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -59,9 +59,22 @@ type Config struct {
 	CheckInvariants bool
 	// OnTrialDone, when non-nil, is called once per completed trial with
 	// the trial index and the trial's final-checkpoint λ. Calls are
-	// serialised by the run, so the callback needs no locking of its
-	// own; it is how the sweep engine streams per-scenario progress.
+	// serialised by the run and arrive in strict trial order; it is how
+	// the sweep engine streams per-scenario progress. Under a StopRule
+	// only trials up to the deterministic stop point are reported.
 	OnTrialDone func(trial int, finalLambda float64)
+	// Batch is the number of trials the batched inner loop advances
+	// together (structure-of-arrays states, one RNG substream per
+	// trial); 0 picks DefaultBatchSize. Batching never changes results:
+	// trial i is bit-identical for any batch size and worker count. It
+	// is also the granularity of early-stopping looks.
+	Batch int
+	// Stop, when non-nil, enables adaptive early stopping: the run halts
+	// further trials as soon as the unfair-probability verdict is
+	// resolved at the rule's confidence (see StopRule), making
+	// Result.TrialsRun an output rather than an input. Trials is then
+	// the budget, not the commitment.
+	Stop *StopRule
 }
 
 // Result holds the λ samples of a run: Lambda[c][t] is miner A's reward
@@ -70,6 +83,17 @@ type Result struct {
 	Protocol    string
 	Checkpoints []int
 	Lambda      [][]float64
+	// TrialsBudget is the configured trial count; TrialsRun is how many
+	// trials the run actually kept, which is below the budget only when
+	// a StopRule resolved the verdict early (EarlyStopped). Lambda
+	// columns always match TrialsRun.
+	TrialsBudget int
+	TrialsRun    int
+	EarlyStopped bool
+	// StopConfidence is the realised Hoeffding tail of the stopping
+	// decision — the error-probability certificate of the early stop
+	// (0 for full-budget runs).
+	StopConfidence float64
 }
 
 // ErrConfig reports an invalid Monte-Carlo configuration.
@@ -96,8 +120,9 @@ func LinearCheckpoints(n, k int) []int {
 	return cps
 }
 
-// LogCheckpoints returns up to k logarithmically spaced checkpoints from 1
-// to n, suitable for the paper's log-x axes (Figure 4).
+// LogCheckpoints returns at most k logarithmically spaced checkpoints
+// from 1 to n, strictly increasing and always ending at n, suitable for
+// the paper's log-x axes (Figure 4).
 func LogCheckpoints(n, k int) []int {
 	if n <= 0 {
 		return nil
@@ -113,16 +138,19 @@ func LogCheckpoints(n, k int) []int {
 		if c <= last {
 			c = last + 1
 		}
-		if c > n {
+		if c >= n {
 			break
 		}
 		cps = append(cps, c)
 		last = c
 	}
-	if len(cps) == 0 || cps[len(cps)-1] != n {
-		cps = append(cps, n)
+	// Everything collected is < n; terminate with n itself, dropping the
+	// highest interior point when float rounding already filled all k
+	// slots below n.
+	if len(cps) == k {
+		cps = cps[:k-1]
 	}
-	return cps
+	return append(cps, n)
 }
 
 // Run executes the Monte-Carlo experiment for one protocol. It is
@@ -138,10 +166,21 @@ func Run(p protocol.Protocol, initial []float64, cfg Config) (*Result, error) {
 const ctxCheckInterval = 4096
 
 // RunContext executes the Monte-Carlo experiment for one protocol,
-// honouring ctx: cancellation stops dispatching new trials, interrupts
-// running trials at the next block-batch boundary, and returns ctx.Err().
-// A cancelled run never returns a partial Result — samples are either
-// complete and deterministic or absent.
+// honouring ctx: cancellation stops claiming new trial batches,
+// interrupts running batches at the next block boundary, and returns
+// ctx.Err(). A cancelled run never returns a partial Result — samples
+// are either complete and deterministic or absent.
+//
+// The first trial error cancels the whole run: no further batches start
+// and the error is returned once the in-flight batches drain.
+//
+// Trials advance in flat batches over a structure-of-arrays arena (one
+// recycled game.Batch plus one reseeded RNG per slot per worker), so the
+// steady path allocates nothing per trial. Under cfg.Stop the run halts
+// at the first batch-ordered prefix that resolves the unfair-probability
+// verdict; workers may have speculatively computed batches beyond that
+// prefix, but those samples are discarded, keeping the Result a pure
+// function of (seed, rule).
 func RunContext(ctx context.Context, p protocol.Protocol, initial []float64, cfg Config) (*Result, error) {
 	if cfg.Trials <= 0 {
 		return nil, fmt.Errorf("%w: Trials = %d", ErrConfig, cfg.Trials)
@@ -151,6 +190,9 @@ func RunContext(ctx context.Context, p protocol.Protocol, initial []float64, cfg
 	}
 	if cfg.Miner < 0 || cfg.Miner >= len(initial) {
 		return nil, fmt.Errorf("%w: Miner = %d with %d miners", ErrConfig, cfg.Miner, len(initial))
+	}
+	if cfg.Batch < 0 {
+		return nil, fmt.Errorf("%w: Batch = %d", ErrConfig, cfg.Batch)
 	}
 	cps := cfg.Checkpoints
 	if len(cps) == 0 {
@@ -163,67 +205,94 @@ func RunContext(ctx context.Context, p protocol.Protocol, initial []float64, cfg
 		}
 		prev = c
 	}
+	var stop *StopRule
+	if cfg.Stop != nil {
+		s := cfg.Stop.withDefaults()
+		if err := s.validate(); err != nil {
+			return nil, err
+		}
+		stop = &s
+	}
 	// Validate the initial allocation once up front so that worker
-	// goroutines cannot fail.
+	// goroutines cannot fail on it.
 	if _, err := game.New(initial, cfg.GameOptions...); err != nil {
 		return nil, err
 	}
 
 	res := &Result{
-		Protocol:    p.Name(),
-		Checkpoints: append([]int(nil), cps...),
+		Protocol:     p.Name(),
+		Checkpoints:  append([]int(nil), cps...),
+		TrialsBudget: cfg.Trials,
 	}
 	res.Lambda = make([][]float64, len(cps))
 	for i := range res.Lambda {
 		res.Lambda[i] = make([]float64, cfg.Trials)
 	}
 
+	batch := cfg.Batch
+	if batch == 0 {
+		batch = DefaultBatchSize
+	}
+	numBatches := (cfg.Trials + batch - 1) / batch
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > cfg.Trials {
-		workers = cfg.Trials
+	if workers > numBatches {
+		workers = numBatches
 	}
 
+	// runCtx is cancelled on the first trial error (fail fast) and when
+	// an early stop is decided; the caller's ctx distinguishes user
+	// cancellation from both.
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+	fr := newFrontier(&cfg, stop, batch, numBatches, res.Lambda[len(cps)-1])
 	var (
-		wg       sync.WaitGroup
-		errOnce  sync.Once
-		firstErr error
-		hookMu   sync.Mutex
+		wg        sync.WaitGroup
+		errOnce   sync.Once
+		firstErr  error
+		nextBatch atomic.Int64
 	)
-	trialCh := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for trial := range trialCh {
-				if ctx.Err() != nil {
-					continue
+			ar, err := newArena(batch, initial, cfg.GameOptions)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err })
+				cancelRun()
+				return
+			}
+			for {
+				if runCtx.Err() != nil || fr.stopped.Load() {
+					return
 				}
-				if err := runTrial(ctx, p, initial, cfg, cps, res, trial); err != nil {
-					errOnce.Do(func() { firstErr = err })
-					continue
+				b := int(nextBatch.Add(1)) - 1
+				if b >= numBatches {
+					return
 				}
-				mcTrials.Inc()
-				mcBlocks.Add(int64(cps[len(cps)-1]))
-				if cfg.OnTrialDone != nil {
-					hookMu.Lock()
-					cfg.OnTrialDone(trial, res.Lambda[len(cps)-1][trial])
-					hookMu.Unlock()
+				start := b * batch
+				end := start + batch
+				if end > cfg.Trials {
+					end = cfg.Trials
 				}
+				steps, err := runBatch(runCtx, p, &cfg, cps, res, start, end, ar)
+				// Block telemetry counts protocol steps actually executed,
+				// including the work of failed or interrupted batches.
+				mcBlocks.Add(steps)
+				if err != nil {
+					if ctx.Err() == nil && runCtx.Err() == nil {
+						errOnce.Do(func() { firstErr = err })
+					}
+					cancelRun()
+					return
+				}
+				mcTrials.Add(int64(end - start))
+				fr.complete(b)
 			}
 		}()
 	}
-dispatch:
-	for trial := 0; trial < cfg.Trials; trial++ {
-		select {
-		case trialCh <- trial:
-		case <-ctx.Done():
-			break dispatch
-		}
-	}
-	close(trialCh)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -231,32 +300,16 @@ dispatch:
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	res.TrialsRun = cfg.Trials
+	if fr.stopped.Load() {
+		res.TrialsRun = fr.stopTrials
+		res.EarlyStopped = true
+		res.StopConfidence = fr.stopConf
+		for i := range res.Lambda {
+			res.Lambda[i] = res.Lambda[i][:fr.stopTrials]
+		}
+	}
 	return res, nil
-}
-
-func runTrial(ctx context.Context, p protocol.Protocol, initial []float64, cfg Config, cps []int, res *Result, trial int) error {
-	st, err := game.New(initial, cfg.GameOptions...)
-	if err != nil {
-		return err
-	}
-	r := rng.Stream(cfg.Seed, trial)
-	next := 0
-	for b := 1; b <= cfg.Blocks && next < len(cps); b++ {
-		if b%ctxCheckInterval == 0 && ctx.Err() != nil {
-			return ctx.Err()
-		}
-		p.Step(st, r)
-		if b == cps[next] {
-			if cfg.CheckInvariants {
-				if err := st.CheckInvariants(); err != nil {
-					return fmt.Errorf("montecarlo: trial %d block %d: %w", trial, b, err)
-				}
-			}
-			res.Lambda[next][trial] = st.Lambda(cfg.Miner)
-			next++
-		}
-	}
-	return nil
 }
 
 // MeanSeries returns the per-checkpoint sample mean of λ.

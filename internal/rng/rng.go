@@ -75,9 +75,19 @@ func (r *Rand) Split() *Rand {
 // are identical. This is how per-trial generators are made in Monte-Carlo
 // runs: Stream(seed, trialIndex).
 func Stream(seed uint64, i int) *Rand {
+	r := &Rand{}
+	r.SeedStream(seed, i)
+	return r
+}
+
+// SeedStream resets the generator in place to sub-stream i of the given
+// base seed — Stream without the allocation, for callers that recycle
+// one Rand per slot across batches. SeedStream(s, i) leaves the
+// generator bit-identical to Stream(s, i).
+func (r *Rand) SeedStream(seed uint64, i int) {
 	// Mix the stream index through a distinct odd constant so that
 	// Stream(s, 0) differs from New(s).
-	return New(seed ^ (uint64(i)+1)*0xd1342543de82ef95)
+	r.Seed(seed ^ (uint64(i)+1)*0xd1342543de82ef95)
 }
 
 // Float64 returns a uniform float64 in [0, 1).

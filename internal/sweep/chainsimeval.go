@@ -175,7 +175,7 @@ func (e *ChainSimEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) (E
 		}
 	}
 	res := &montecarlo.Result{Protocol: p.Name(), Checkpoints: cps, Lambda: lambda}
-	return assessSamples(n, p.Name(), res, int64(n.Trials)), nil
+	return assessSamples(n, p.Name(), res, int64(n.Trials), int64(n.Trials), false, montecarlo.DefaultStopConfidence), nil
 }
 
 // chainsimMiners discretises a stake vector into integer-unit miner
@@ -279,5 +279,5 @@ func (e *ChainSimEvaluator) evaluateAdversarialPoW(ctx context.Context, n scenar
 		}
 	}
 	res := &montecarlo.Result{Protocol: protocolName, Checkpoints: cps, Lambda: lambda}
-	return assessSamples(n, protocolName, res, int64(n.Trials)), nil
+	return assessSamples(n, protocolName, res, int64(n.Trials), int64(n.Trials), false, montecarlo.DefaultStopConfidence), nil
 }

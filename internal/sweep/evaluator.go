@@ -3,6 +3,8 @@ package sweep
 import (
 	"context"
 	"errors"
+	"fmt"
+	"math"
 	"sync/atomic"
 
 	"repro/internal/attack"
@@ -55,12 +57,62 @@ type Evaluation struct {
 	// probability stays at or below δ, or -1.
 	ConvergenceBlock int
 	// TrialsRun counts the trials the evaluation actually executed
-	// (zero for closed-form backends).
-	TrialsRun int64
+	// (zero for closed-form backends); TrialsBudget is the configured
+	// trial count. They differ only when an adaptive stopping rule
+	// resolved the verdict early (EarlyStopped) — the executed count is
+	// an output of the run, not an input.
+	TrialsRun    int64
+	TrialsBudget int64
+	EarlyStopped bool
+	// AchievedEps is the Hoeffding half-width on the unfair-probability
+	// estimate at the evaluation's confidence given TrialsRun samples:
+	// the run certifies P(unfair) within ±AchievedEps of the observed
+	// fraction. AchievedDelta is the resulting one-sided certificate —
+	// the certified upper bound on the unfair probability, clamped to 1.
+	// Both are zero for closed-form backends.
+	AchievedEps   float64
+	AchievedDelta float64
 }
 
 // ErrBackend reports a scenario outside an evaluator's coverage.
 var ErrBackend = errors.New("sweep: scenario not supported by backend")
+
+// AdaptiveTrials opts a Monte-Carlo evaluator into adaptive early
+// stopping: each scenario's Trials becomes a budget, and the run halts
+// as soon as the unfair-probability verdict is resolved at the
+// scenario's ε/δ with total error probability Confidence (see
+// montecarlo.StopRule). Zero values resolve to the montecarlo package
+// defaults. The stop point is deterministic for a fixed (seed, rule),
+// so adaptive results remain cacheable and cluster-mergeable — but they
+// are NOT sample-identical to exhaustive runs, which is why an adaptive
+// evaluator reports a distinct Name.
+type AdaptiveTrials struct {
+	// Confidence is the total error-probability budget across all
+	// stopping looks (0 = montecarlo.DefaultStopConfidence).
+	Confidence float64
+	// MinTrials is the smallest completed-trial prefix the rule
+	// evaluates (0 = montecarlo.DefaultMinTrials).
+	MinTrials int
+	// Batch is the trial batch size of the inner loop and the stopping
+	// granularity (0 = montecarlo.DefaultBatchSize).
+	Batch int
+}
+
+// normalized resolves zero-value knobs to the montecarlo defaults, so
+// two configurations with the same semantics share a Name (and a cache
+// namespace).
+func (a AdaptiveTrials) normalized() AdaptiveTrials {
+	if a.Confidence == 0 {
+		a.Confidence = montecarlo.DefaultStopConfidence
+	}
+	if a.MinTrials == 0 {
+		a.MinTrials = montecarlo.DefaultMinTrials
+	}
+	if a.Batch == 0 {
+		a.Batch = montecarlo.DefaultBatchSize
+	}
+	return a
+}
 
 // MonteCarloEvaluator is the reference backend: it runs the scenario's
 // deterministic Monte-Carlo experiment through internal/montecarlo and
@@ -73,16 +125,31 @@ type MonteCarloEvaluator struct {
 	// scenario-level workers already fill the machine, GOMAXPROCS when
 	// scenarios run one at a time).
 	TrialWorkers int
+	// Adaptive, when non-nil, turns each scenario's Trials into a budget
+	// with early stopping (see AdaptiveTrials). Honest scenarios stop as
+	// soon as the verdict is resolved; adversarial scenarios run their
+	// full budget (the selfish-mining simulator is not batched) but
+	// still report achieved eps/delta at the adaptive confidence.
+	Adaptive *AdaptiveTrials
 }
 
-// Name implements Evaluator.
-func (e *MonteCarloEvaluator) Name() string { return "montecarlo" }
+// Name implements Evaluator. The exhaustive evaluator is "montecarlo";
+// an adaptive evaluator appends its normalised stopping rule so that
+// runs with different semantics never share a cache or cluster
+// namespace.
+func (e *MonteCarloEvaluator) Name() string {
+	if e.Adaptive == nil {
+		return "montecarlo"
+	}
+	a := e.Adaptive.normalized()
+	return fmt.Sprintf("montecarlo+es(c=%g,min=%d,b=%d)", a.Confidence, a.MinTrials, a.Batch)
+}
 
 // Capabilities implements Capable: the reference backend covers the full
 // scenario vocabulary.
 func (e *MonteCarloEvaluator) Capabilities() Capabilities {
 	return Capabilities{
-		Backend:     "montecarlo",
+		Backend:     e.Name(),
 		Protocols:   scenario.ProtocolNames(),
 		Withholding: true,
 		Adversary:   true,
@@ -115,7 +182,7 @@ func (e *MonteCarloEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) 
 		gameOpts = append(gameOpts, game.WithWithholding(n.WithholdEvery))
 	}
 	var trials atomic.Int64
-	res, err := montecarlo.RunContext(ctx, p, stakes, montecarlo.Config{
+	cfg := montecarlo.Config{
 		Trials:      n.Trials,
 		Blocks:      n.Blocks,
 		Checkpoints: n.Checkpoints,
@@ -124,11 +191,33 @@ func (e *MonteCarloEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) 
 		Workers:     e.TrialWorkers,
 		GameOptions: gameOpts,
 		OnTrialDone: func(int, float64) { trials.Add(1) },
-	})
+	}
+	if e.Adaptive != nil {
+		a := e.Adaptive.normalized()
+		cfg.Batch = a.Batch
+		cfg.Stop = &montecarlo.StopRule{
+			Share:      n.TrackedShare(),
+			Eps:        n.Eps,
+			Delta:      n.Delta,
+			Confidence: a.Confidence,
+			MinTrials:  a.MinTrials,
+		}
+	}
+	res, err := montecarlo.RunContext(ctx, p, stakes, cfg)
 	if err != nil {
 		return Evaluation{TrialsRun: trials.Load()}, err
 	}
-	return assessSamples(n, p.Name(), res, trials.Load()), nil
+	return assessSamples(n, p.Name(), res, int64(res.TrialsRun), int64(res.TrialsBudget), res.EarlyStopped, e.confidence()), nil
+}
+
+// confidence is the error budget the evaluator's achieved eps/delta
+// certificate is stated at: the adaptive rule's when one is configured,
+// the package default otherwise.
+func (e *MonteCarloEvaluator) confidence() float64 {
+	if e.Adaptive != nil {
+		return e.Adaptive.normalized().Confidence
+	}
+	return montecarlo.DefaultStopConfidence
 }
 
 // rationalAdversary resolves a normalised spec's adversary block under
@@ -209,35 +298,49 @@ func (e *MonteCarloEvaluator) evaluateSelfish(ctx context.Context, n scenario.Sp
 		}
 	}
 	res := &montecarlo.Result{Protocol: protocolName, Checkpoints: cps, Lambda: lambda}
-	return assessSamples(n, protocolName, res, int64(n.Trials)), nil
+	return assessSamples(n, protocolName, res, int64(n.Trials), int64(n.Trials), false, e.confidence()), nil
 }
 
 // withTrialWorkers returns the evaluator the runner should use given the
 // resolved per-scenario trial parallelism: custom evaluators pass
 // through untouched; a Monte-Carlo evaluator with no explicit
-// TrialWorkers adopts the resolved value.
+// TrialWorkers adopts the resolved value (all other knobs preserved).
 func withTrialWorkers(ev Evaluator, trialWorkers int) Evaluator {
 	if ev == nil {
 		return &MonteCarloEvaluator{TrialWorkers: trialWorkers}
 	}
 	if mc, ok := ev.(*MonteCarloEvaluator); ok && mc.TrialWorkers == 0 {
-		return &MonteCarloEvaluator{TrialWorkers: trialWorkers}
+		clone := *mc
+		clone.TrialWorkers = trialWorkers
+		return &clone
 	}
 	return ev
 }
 
 // assessSamples turns a per-checkpoint λ sample matrix into an
-// Evaluation — the shared tail of every sampling backend.
-func assessSamples(spec scenario.Spec, protocolName string, res *montecarlo.Result, trialsRun int64) Evaluation {
+// Evaluation — the shared tail of every sampling backend. confidence is
+// the error budget the achieved eps/delta certificate is stated at: for
+// trialsRun samples, a Hoeffding bound puts the true unfair probability
+// within ±achievedEps of the observed fraction except with probability
+// confidence, so observed + achievedEps is a certified δ upper bound.
+func assessSamples(spec scenario.Spec, protocolName string, res *montecarlo.Result, trialsRun, trialsBudget int64, earlyStopped bool, confidence float64) Evaluation {
 	a := spec.TrackedShare()
 	params := core.Params{Eps: spec.Eps, Delta: spec.Delta}
 	final := res.FinalSamples()
-	return Evaluation{
-		Verdict:          params.Assess(protocolName, final, a),
+	verdict := params.Assess(protocolName, final, a)
+	ev := Evaluation{
+		Verdict:          verdict,
 		Equitability:     core.Equitability(final, a),
 		ConvergenceBlock: res.ConvergenceBlock(a, spec.Eps, spec.Delta),
 		TrialsRun:        trialsRun,
+		TrialsBudget:     trialsBudget,
+		EarlyStopped:     earlyStopped,
 	}
+	if trialsRun > 0 && confidence > 0 && confidence < 1 {
+		ev.AchievedEps = math.Sqrt(math.Log(2/confidence) / (2 * float64(trialsRun)))
+		ev.AchievedDelta = math.Min(1, verdict.UnfairProbability+ev.AchievedEps)
+	}
+	return ev
 }
 
 // unsupported builds the canonical protocol-coverage CapabilityError.

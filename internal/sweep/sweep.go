@@ -95,6 +95,19 @@ type Outcome struct {
 	ConvergenceBlock int `json:"convergence_block"`
 	// Backend names the Evaluator that produced the outcome.
 	Backend string `json:"backend,omitempty"`
+	// TrialsRun is the number of trials the evaluation actually executed
+	// and TrialsBudget the configured count; they differ only when an
+	// adaptive stopping rule resolved the verdict early (EarlyStopped).
+	// Zero for closed-form backends.
+	TrialsRun    int64 `json:"trials_run,omitempty"`
+	TrialsBudget int64 `json:"trials_budget,omitempty"`
+	EarlyStopped bool  `json:"early_stopped,omitempty"`
+	// AchievedEps is the Hoeffding half-width on the unfair probability
+	// at the run's confidence given TrialsRun samples; AchievedDelta the
+	// resulting certified upper bound on the unfair probability. Zero
+	// for closed-form backends.
+	AchievedEps   float64 `json:"achieved_eps,omitempty"`
+	AchievedDelta float64 `json:"achieved_delta,omitempty"`
 	// ElapsedMS is the wall time spent computing this scenario; 0 for
 	// cache hits.
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -347,6 +360,11 @@ func evaluate(ctx context.Context, ev Evaluator, n scenario.Spec, hash string, c
 		Verdict:          evl.Verdict,
 		Equitability:     evl.Equitability,
 		ConvergenceBlock: evl.ConvergenceBlock,
+		TrialsRun:        evl.TrialsRun,
+		TrialsBudget:     evl.TrialsBudget,
+		EarlyStopped:     evl.EarlyStopped,
+		AchievedEps:      evl.AchievedEps,
+		AchievedDelta:    evl.AchievedDelta,
 		ElapsedMS:        float64(time.Since(begin).Microseconds()) / 1000,
 	}
 	if cache != nil {

@@ -48,6 +48,10 @@ func TestMetricsExpositionReconcilesWithReport(t *testing.T) {
 		fairness.WithTelemetry(metrics, fairness.NewTracer(&traceBuf)),
 	)
 
+	// The simulation-core counters live on the process-global registry;
+	// reconcile their deltas across the two sweeps against the reports.
+	before := fairness.DefaultMetrics().Snapshot()
+
 	cold, err := eng.Sweep(context.Background(), specs)
 	if err != nil {
 		t.Fatal(err)
@@ -55,6 +59,18 @@ func TestMetricsExpositionReconcilesWithReport(t *testing.T) {
 	warm, err := eng.Sweep(context.Background(), specs)
 	if err != nil {
 		t.Fatal(err)
+	}
+
+	after := fairness.DefaultMetrics().Snapshot()
+	wantCoreTrials := float64(cold.Stats.TrialsRun + warm.Stats.TrialsRun)
+	if got := after["fairness_montecarlo_trials_total"] - before["fairness_montecarlo_trials_total"]; got != wantCoreTrials {
+		t.Errorf("montecarlo trials counter moved by %v, want %v (the reports' TrialsRun)", got, wantCoreTrials)
+	}
+	// Every trial of this grid steps exactly Blocks=200 protocol blocks,
+	// and the blocks counter must meter real steps — not one synthetic
+	// checkpoint entry per trial on top.
+	if got, want := after["fairness_montecarlo_blocks_total"]-before["fairness_montecarlo_blocks_total"], wantCoreTrials*200; got != want {
+		t.Errorf("montecarlo blocks counter moved by %v, want %v (TrialsRun × 200 blocks)", got, want)
 	}
 
 	// Scrape the registry over real HTTP — the test goes through the
