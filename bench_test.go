@@ -380,6 +380,32 @@ func BenchmarkEngineTheoryBackend(b *testing.B) {
 	b.ReportMetric(perSec, "scenarios/s")
 }
 
+// BenchmarkArena times one best-response equilibrium solve on the PoW
+// cell where deviation pays, and reports the round count the dynamics
+// needed to fix play. The baseline gates a ceiling on that metric: the
+// arena must keep converging in a handful of best-response rounds, not
+// drift toward its MaxRounds bound.
+func BenchmarkArena(b *testing.B) {
+	spec := fairness.Scenario{Protocol: "pow", Stake: 0.4, Miners: 5, Blocks: 400, Trials: 30, Seed: 17}
+	eng := fairness.NewEngine()
+	var rounds float64
+	for i := 0; i < b.N; i++ {
+		out, err := eng.Arena(context.Background(), spec, fairness.ArenaConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Arena == nil || !out.Arena.Converged {
+			b.Fatal("arena did not converge")
+		}
+		if len(out.Arena.Deviators) != 1 {
+			b.Fatalf("deviators = %v, want exactly the 40%% miner", out.Arena.Deviators)
+		}
+		rounds = float64(out.Arena.Rounds)
+	}
+	b.ReportMetric(rounds, "rounds")
+	b.ReportMetric(float64(len(fairness.StrategyNames())), "strategies")
+}
+
 // --- Theory calculators ------------------------------------------------
 
 func BenchmarkTheoryBounds(b *testing.B) {

@@ -204,7 +204,7 @@ func runCmd(args []string) error {
 	listen := fs.String("listen", "", "registration listener address (workers self-register via /v1/register)")
 	workers := fs.String("workers", "", "static fairnessd worker base URLs (CSV; optional with -listen)")
 	spec := fs.String("spec", "", "JSON grid or scenario-array file")
-	backend := fs.String("backend", "montecarlo", "backend every worker must run: montecarlo, theory, chainsim")
+	backend := fs.String("backend", "montecarlo", "backend every worker must run: montecarlo, theory, chainsim, arena")
 	cacheDir := fs.String("cache-dir", "", "coordinator-side disk result cache (share the workers' dir for free warm starts)")
 	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "size cap for -cache-dir: evict LRU entries beyond N bytes (0 = unbounded)")
 	shardSize := fs.Int("shard-size", 0, "pin work items per shard (0 = adaptive per-worker sizing)")

@@ -63,7 +63,7 @@
 //	                    once stored outcomes exceed N bytes (0 = unbounded)
 //	-cache N            in-memory LRU capacity when -cache-dir is unset
 //	-workers N          scenario-level parallelism per sweep (0 = all cores)
-//	-backend NAME       montecarlo (default), theory or chainsim
+//	-backend NAME       montecarlo (default), theory, chainsim or arena
 //	-adaptive           early stopping: each scenario's trials is a budget,
 //	                    runs halt once the verdict is resolved (montecarlo
 //	                    only); tune with -stop-confidence, -stop-min-trials
@@ -135,7 +135,7 @@ func main() {
 	flag.Int64Var(&cfg.cacheMaxBytes, "cache-max-bytes", 0, "size cap for -cache-dir: evict LRU entries beyond N bytes (0 = unbounded)")
 	flag.IntVar(&cfg.cacheCap, "cache", 4096, "in-memory LRU capacity when -cache-dir is unset (0 = no cache)")
 	flag.IntVar(&cfg.workers, "workers", 0, "scenario-level parallelism per sweep (0 = all cores)")
-	flag.StringVar(&cfg.backend, "backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim")
+	flag.StringVar(&cfg.backend, "backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim, arena")
 	flag.BoolVar(&cfg.adaptive, "adaptive", false, "adaptive early stopping: treat each scenario's trials as a budget, stop once the verdict is resolved (montecarlo backend only)")
 	flag.Float64Var(&cfg.stopConfidence, "stop-confidence", 0, "adaptive stopping error budget across all looks (0 = default)")
 	flag.IntVar(&cfg.stopMinTrials, "stop-min-trials", 0, "smallest trial prefix the stopping rule evaluates (0 = default)")

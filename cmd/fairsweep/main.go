@@ -5,10 +5,11 @@
 //
 //	fairsweep expand [flags]   expand the grid, print the scenario list as JSON
 //	fairsweep run [flags]      run the sweep, print the fairness report
+//	fairsweep arena [flags]    best-response equilibrium sweep over the grid
 //	fairsweep bench [flags]    run cold + warm cache passes, print throughput
 //	fairsweep conform [flags]  run the cross-backend conformance corpus
 //
-// Grid flags (shared by expand/run/bench):
+// Grid flags (shared by expand/run/arena/bench):
 //
 //	-spec FILE      JSON grid {"base":{...},"protocols":[...],"stake":[...]}
 //	                or scenario array [{...}, ...]; overrides the axis flags
@@ -17,8 +18,14 @@
 //	-stake CSV      tracked-miner share axis (default 0.1,0.2,0.3,0.4)
 //	-miners CSV     miner-count axis (default 2)
 //	-withhold CSV   reward-withholding period axis (default none)
-//	-selfish N      make miner N a rational selfish miner (pow only)
-//	-gamma CSV      selfish network-advantage axis (needs -selfish)
+//	-strategy LIST  adversary strategy axis: semicolon-separated
+//	                name:key=val,... entries over the registered strategies
+//	                (honest, selfish, selfish-delay, withhold); one grid
+//	                expansion per entry
+//	-selfish N      deviating miner index for -strategy; alone it is the
+//	                deprecated synonym for "-strategy selfish" on miner N
+//	-gamma CSV      deprecated synonym: network-advantage axis over the
+//	                -strategy/-selfish adversary
 //	-fork-rate CSV  network fork-rate axis (pow only; 0 = honest cell)
 //	-blocks N       horizon in blocks/epochs (default 5000)
 //	-trials N       Monte-Carlo trials per scenario (default 1000)
@@ -34,7 +41,8 @@
 //	-cache-dir DIR disk result cache (survives restarts; overrides -cache)
 //	-cache-max-bytes N  size-cap the disk cache: least-recently-used
 //	               entries are evicted once it exceeds N bytes
-//	-backend NAME  evaluator backend: montecarlo (default), theory, chainsim
+//	-backend NAME  evaluator backend: montecarlo (default), theory,
+//	               chainsim, arena
 //	-adaptive      early stopping: -trials becomes a budget, runs halt once
 //	               the verdict is resolved (montecarlo only); tuned with
 //	               -stop-confidence, -stop-min-trials, -stop-batch
@@ -44,6 +52,16 @@
 //	-json          print the report as JSON instead of a table
 //	-ndjson        stream outcomes as NDJSON lines as they complete
 //	-out FILE      also write the JSON report to FILE
+//
+// Arena flags (plus the grid and cache/worker flags; the adversary flags
+// -strategy/-selfish/-gamma/-fork-rate/-withhold do not apply — the
+// arena assigns strategies itself):
+//
+//	-candidates LIST  strategy menu, semicolon-separated name:key=val,...
+//	                  entries (default: the protocol's registered set)
+//	-max-rounds N     best-response round-robin bound (0 = default)
+//	-json             print the stable JSON report (golden-diff friendly)
+//	-out FILE         also write the JSON report to FILE
 //
 // Sweeps run through the public fairness.Engine and honour Ctrl-C: an
 // interrupted sweep prints the partial report it finished and exits
@@ -55,9 +73,11 @@
 //	fairsweep run -trials 300 -blocks 1500 -cache 64 -repeat 2
 //	fairsweep run -cache-dir ~/.cache/fairsweep -trials 300 -blocks 1500
 //	fairsweep run -backend theory -protocols pow,mlpos,cpos
+//	fairsweep run -protocols pow -stake 0.4 -strategy 'selfish;selfish-delay:d=3'
 //	fairsweep run -protocols pow -stake 0.35,0.4,0.45 -selfish 0 -gamma 0,0.5
 //	fairsweep run -protocols pow -stake 0.4 -fork-rate 0,0.4,0.8
 //	fairsweep run -adaptive -trials 2000 -blocks 1500 -protocols pow
+//	fairsweep arena -protocols pow -stake 0.2,0.4 -trials 50 -blocks 1500
 //	fairsweep bench -protocols pow,mlpos -trials 100 -blocks 500
 //	fairsweep conform
 package main
@@ -78,6 +98,7 @@ import (
 	"repro/internal/conformance"
 	"repro/internal/montecarlo"
 	"repro/internal/scenario"
+	"repro/internal/table"
 )
 
 // stdout is swapped by tests to capture output; stderr carries summary
@@ -142,6 +163,8 @@ func run(args []string) error {
 		return expandCmd(args[1:])
 	case "run":
 		return runCmd(args[1:])
+	case "arena":
+		return arenaCmd(args[1:])
 	case "bench":
 		return benchCmd(args[1:])
 	case "conform":
@@ -163,6 +186,7 @@ type gridFlags struct {
 	stake       *string
 	miners      *string
 	withhold    *string
+	strategy    *string
 	selfish     *int
 	gamma       *string
 	forkRate    *string
@@ -180,8 +204,9 @@ func addGridFlags(fs *flag.FlagSet) *gridFlags {
 		stake:       fs.String("stake", "0.1,0.2,0.3,0.4", "tracked-miner share axis (CSV)"),
 		miners:      fs.String("miners", "2", "miner-count axis (CSV)"),
 		withhold:    fs.String("withhold", "", "withholding-period axis (CSV)"),
-		selfish:     fs.Int("selfish", -1, "make miner N a rational selfish miner (pow only; -1 = off)"),
-		gamma:       fs.String("gamma", "", "selfish network-advantage axis (CSV, needs -selfish)"),
+		strategy:    fs.String("strategy", "", "adversary strategy axis: semicolon-separated name:key=val,... entries (e.g. 'honest;selfish:g=0.5;withhold:e=100')"),
+		selfish:     fs.Int("selfish", -1, "deviating miner index (with -strategy); alone: deprecated synonym for -strategy selfish on miner N (-1 = off)"),
+		gamma:       fs.String("gamma", "", "deprecated synonym: network-advantage axis over the -strategy/-selfish adversary (CSV)"),
 		forkRate:    fs.String("fork-rate", "", "network fork-rate axis (CSV, pow only; 0 = honest cell)"),
 		blocks:      fs.Int("blocks", 5000, "horizon in blocks/epochs"),
 		trials:      fs.Int("trials", 1000, "Monte-Carlo trials per scenario"),
@@ -190,7 +215,43 @@ func addGridFlags(fs *flag.FlagSet) *gridFlags {
 	}
 }
 
-// specs resolves the flag set into a concrete scenario list.
+// adversaries resolves the -strategy/-selfish/-gamma flags into the
+// adversary blocks to sweep: one grid expansion per entry. -strategy is
+// the canonical spelling; -selfish N doubles as the deviating-miner
+// index and, alone, as the deprecated synonym for "-strategy selfish";
+// -gamma stays the grid's network-advantage axis over whichever
+// adversary is selected.
+func (g *gridFlags) adversaries() ([]*scenario.Adversary, error) {
+	miner := 0
+	if *g.selfish >= 0 {
+		miner = *g.selfish
+	}
+	if *g.strategy != "" {
+		cands, err := fairness.ParseStrategies(*g.strategy)
+		if err != nil {
+			return nil, fmt.Errorf("-strategy: %w", err)
+		}
+		advs := make([]*scenario.Adversary, len(cands))
+		for i, c := range cands {
+			advs[i] = &scenario.Adversary{
+				Strategy: c.Strategy, Miner: miner,
+				Gamma: c.Gamma, Delay: c.Delay, Every: c.Every,
+			}
+		}
+		return advs, nil
+	}
+	if *g.selfish >= 0 {
+		return []*scenario.Adversary{{Strategy: scenario.StrategySelfish, Miner: miner}}, nil
+	}
+	if *g.gamma != "" {
+		return nil, fmt.Errorf("-gamma needs -strategy or -selfish")
+	}
+	return []*scenario.Adversary{nil}, nil
+}
+
+// specs resolves the flag set into a concrete scenario list: the
+// concatenation, over the -strategy entries, of one grid expansion per
+// adversary block (a plain honest grid when no adversary is asked for).
 func (g *gridFlags) specs() ([]scenario.Spec, error) {
 	if *g.spec != "" {
 		data, err := os.ReadFile(*g.spec)
@@ -231,27 +292,36 @@ func (g *gridFlags) specs() ([]scenario.Spec, error) {
 	if err != nil {
 		return nil, fmt.Errorf("-fork-rate: %w", err)
 	}
+	advs, err := g.adversaries()
+	if err != nil {
+		return nil, err
+	}
 	base := scenario.Spec{Blocks: *g.blocks, Trials: *g.trials}
 	if *g.checkpoints > 0 {
 		base.Checkpoints = montecarlo.LinearCheckpoints(*g.blocks, *g.checkpoints)
 	}
-	if *g.selfish >= 0 {
-		base.Adversary = &scenario.Adversary{Strategy: scenario.StrategySelfish, Miner: *g.selfish}
-	} else if len(gammas) > 0 {
-		return nil, fmt.Errorf("-gamma needs -selfish")
+	var specs []scenario.Spec
+	for _, adv := range advs {
+		b := base
+		b.Adversary = adv
+		grid := scenario.Grid{
+			Base:      b,
+			Protocols: protocols,
+			W:         ws,
+			Stake:     stakes,
+			Miners:    miners,
+			Withhold:  withhold,
+			Gamma:     gammas,
+			ForkRate:  forkRates,
+			Seed:      *g.seed,
+		}
+		expanded, err := grid.Expand()
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, expanded...)
 	}
-	grid := scenario.Grid{
-		Base:      base,
-		Protocols: protocols,
-		W:         ws,
-		Stake:     stakes,
-		Miners:    miners,
-		Withhold:  withhold,
-		Gamma:     gammas,
-		ForkRate:  forkRates,
-		Seed:      *g.seed,
-	}
-	return grid.Expand()
+	return specs, nil
 }
 
 func expandCmd(args []string) error {
@@ -328,7 +398,7 @@ func runCmd(args []string) error {
 	cacheCap := fs.Int("cache", 0, "LRU result-cache capacity (0 = no cache)")
 	cacheDir := fs.String("cache-dir", "", "disk result-cache directory (overrides -cache)")
 	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "size cap for -cache-dir: evict LRU entries beyond N bytes (0 = unbounded)")
-	backend := fs.String("backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim")
+	backend := fs.String("backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim, arena")
 	af := addAdaptiveFlags(fs)
 	repeat := fs.Int("repeat", 1, "run the sweep N times against the shared cache")
 	traceFile := fs.String("trace", "", "write NDJSON trace events (sweep_start, sweep_eval, sweep_done) to FILE (\"-\" = stderr)")
@@ -438,7 +508,7 @@ func benchCmd(args []string) error {
 	cacheCap := fs.Int("cache", 0, "cache capacity for the warm pass (0 = fit the grid)")
 	cacheDir := fs.String("cache-dir", "", "disk result-cache directory (overrides -cache)")
 	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "size cap for -cache-dir: evict LRU entries beyond N bytes (0 = unbounded)")
-	backend := fs.String("backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim")
+	backend := fs.String("backend", "montecarlo", "evaluator backend: montecarlo, theory, chainsim, arena")
 	af := addAdaptiveFlags(fs)
 	traceFile := fs.String("trace", "", "write NDJSON trace events of both passes to FILE (\"-\" = stderr)")
 	if err := fs.Parse(args); err != nil {
@@ -516,6 +586,149 @@ func benchCmd(args []string) error {
 		fmt.Fprintf(stdout, "trials/scenario: %.1f\n", trials/scen)
 	}
 	return nil
+}
+
+// arenaRow is the stable per-scenario record arena prints: everything
+// deterministic (no timing, no cache bookkeeping), so -json output can
+// be diffed against a committed golden file in CI.
+type arenaRow struct {
+	Name         string                     `json:"name"`
+	Hash         string                     `json:"hash"`
+	Backend      string                     `json:"backend"`
+	Share        float64                    `json:"share"`
+	Verdict      fairness.Verdict           `json:"verdict"`
+	Equitability float64                    `json:"equitability"`
+	Equilibrium  *fairness.ArenaEquilibrium `json:"equilibrium"`
+}
+
+// arenaCmd runs best-response equilibrium sweeps: each scenario of the
+// grid is an honest baseline game, the arena backend lets every miner
+// adopt best responses from the strategy menu until play fixes, and the
+// report shows equilibrium fairness next to the honest-baseline deltas.
+func arenaCmd(args []string) error {
+	fs := flag.NewFlagSet("arena", flag.ContinueOnError)
+	gf := addGridFlags(fs)
+	candidates := fs.String("candidates", "", "strategy menu: semicolon-separated name:key=val,... entries (default: the protocol's registered strategies)")
+	maxRounds := fs.Int("max-rounds", 0, "best-response round-robin bound (0 = default)")
+	workers := fs.Int("workers", 0, "scenario-level parallelism (0 = all cores)")
+	cacheCap := fs.Int("cache", 0, "LRU result-cache capacity (0 = no cache)")
+	cacheDir := fs.String("cache-dir", "", "disk result-cache directory (overrides -cache)")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "size cap for -cache-dir: evict LRU entries beyond N bytes (0 = unbounded)")
+	asJSON := fs.Bool("json", false, "print the equilibrium report as JSON (stable: no timing fields)")
+	outFile := fs.String("out", "", "also write the JSON report to FILE")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// The arena assigns strategies itself; the adversary/treatment axes
+	// would contradict that.
+	for _, conflict := range []struct {
+		flag string
+		set  bool
+	}{
+		{"-strategy", *gf.strategy != ""},
+		{"-selfish", *gf.selfish >= 0},
+		{"-gamma", *gf.gamma != ""},
+		{"-fork-rate", *gf.forkRate != ""},
+		{"-withhold", *gf.withhold != ""},
+	} {
+		if conflict.set {
+			return fmt.Errorf("%s does not apply to arena: the arena assigns strategies itself (use -candidates to shape the menu)", conflict.flag)
+		}
+	}
+	specs, err := gf.specs()
+	if err != nil {
+		return err
+	}
+	cfg := fairness.ArenaConfig{MaxRounds: *maxRounds}
+	if *candidates != "" {
+		if cfg.Candidates, err = fairness.ParseStrategies(*candidates); err != nil {
+			return fmt.Errorf("-candidates: %w", err)
+		}
+	}
+	cache, err := cacheFor(*cacheCap, *cacheDir, *cacheMaxBytes)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	engOpts := []fairness.EngineOption{
+		fairness.WithWorkers(*workers),
+		fairness.WithBackend(fairness.ArenaBackend(cfg)),
+	}
+	if cache != nil {
+		engOpts = append(engOpts, fairness.WithCache(cache))
+	}
+	eng := fairness.NewEngine(engOpts...)
+	rep, err := eng.Sweep(ctx, specs)
+	if err != nil {
+		if rep != nil && rep.Partial {
+			fmt.Fprintf(stderr, "arena sweep interrupted: %s\n", rep.Summary())
+		}
+		return err
+	}
+	rows := make([]arenaRow, len(rep.Outcomes))
+	for i, o := range rep.Outcomes {
+		rows[i] = arenaRow{
+			Name: o.Name, Hash: o.Hash, Backend: o.Backend, Share: o.Share,
+			Verdict: o.Verdict, Equitability: o.Equitability, Equilibrium: o.Arena,
+		}
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		fmt.Fprintf(stdout, "%s\n", data)
+	} else {
+		fmt.Fprintln(stdout, arenaTable(rows))
+		fmt.Fprintln(stdout, rep.Summary())
+	}
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		if !*asJSON {
+			fmt.Fprintf(stdout, "wrote %s\n", *outFile)
+		}
+	}
+	return nil
+}
+
+// arenaTable renders the equilibrium report, one scenario per row.
+func arenaTable(rows []arenaRow) string {
+	tb := table.New("Scenario", "a", "Equilibrium", "Rnds", "Conv", "E[lambda]", "Delta", "Expect.", "Robust").
+		AlignAll(table.Right).SetAlign(0, table.Left).SetAlign(2, table.Left)
+	for _, r := range rows {
+		profile, delta, rounds, conv := "?", 0.0, 0, "?"
+		if eq := r.Equilibrium; eq != nil {
+			profile = profileSummary(eq)
+			rounds = eq.Rounds
+			conv = "yes"
+			if !eq.Converged {
+				conv = "NO"
+			}
+			// The tracked miner is always miner 0 of the expanded grids.
+			delta = eq.Delta(0)
+		}
+		tb.AddRow(r.Name, fmt.Sprintf("%.3f", r.Share), profile,
+			fmt.Sprintf("%d", rounds), conv,
+			fmt.Sprintf("%.4f", r.Verdict.MeanLambda), fmt.Sprintf("%+.4f", delta),
+			r.Verdict.ExpectationalFair, r.Verdict.RobustFair)
+	}
+	return tb.String()
+}
+
+// profileSummary compresses an equilibrium profile into its deviations
+// ("all-honest" when nobody deviates).
+func profileSummary(eq *fairness.ArenaEquilibrium) string {
+	if len(eq.Deviators) == 0 {
+		return "all-honest"
+	}
+	parts := make([]string, len(eq.Deviators))
+	for i, m := range eq.Deviators {
+		parts[i] = fmt.Sprintf("%s@%d", eq.Profile[m], m)
+	}
+	return strings.Join(parts, " ")
 }
 
 // conformCmd runs the cross-backend conformance suite: the canonical
@@ -602,18 +815,25 @@ fairsweep — declarative fairness-scenario sweeps over the protocols of
 commands:
   expand [flags]   expand the grid, print the scenario list as JSON
   run [flags]      run the sweep, print the fairness report
+  arena [flags]    best-response equilibrium sweep: every miner picks its
+                   best strategy until play fixes, report equilibrium
+                   fairness next to the honest baseline
   bench [flags]    run cold + warm cache passes, print throughput
   conform [flags]  run the cross-backend conformance corpus (montecarlo
                    vs chainsim parity, capability-error contract)
 
 grid flags:
   -spec FILE  -protocols CSV  -w CSV  -stake CSV  -miners CSV  -withhold CSV
-  -selfish N  -gamma CSV  -fork-rate CSV
-  -blocks N  -trials N  -checkpoints N  -seed S
+  -strategy LIST  -selfish N (deprecated alone)  -gamma CSV (deprecated)
+  -fork-rate CSV  -blocks N  -trials N  -checkpoints N  -seed S
 
 run flags:
   -workers N  -cache N  -cache-dir DIR  -cache-max-bytes N  -backend NAME
   -repeat N  -trace FILE  -json  -ndjson  -out FILE
+
+arena flags:
+  -candidates LIST  -max-rounds N  -workers N  -cache N  -cache-dir DIR
+  -cache-max-bytes N  -json  -out FILE
 
 conform flags:
   -json

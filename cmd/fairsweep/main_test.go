@@ -3,11 +3,26 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 )
+
+// updateGolden regenerates testdata/arena_golden.json in place.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the arena golden file")
+
+// arenaSmokeGrid is the CI attack-smoke arena grid: the same invocation
+// .github/workflows/ci.yml diffs against the committed golden, so keep
+// the two in sync.
+var arenaSmokeGrid = []string{
+	"-protocols", "pow,mlpos",
+	"-stake", "0.2,0.4",
+	"-miners", "5", "-w", "0.01",
+	"-trials", "25", "-blocks", "600", "-seed", "5",
+	"-json",
+}
 
 // capture redirects the CLI's stdout writer for one test.
 func capture(t *testing.T) *bytes.Buffer {
@@ -287,6 +302,148 @@ func TestRunUnknownBackend(t *testing.T) {
 	capture(t)
 	if err := run([]string{"run", "-backend", "quantum"}); err == nil {
 		t.Error("unknown backend should error")
+	}
+}
+
+func TestStrategyFlagExpandsPerCandidate(t *testing.T) {
+	// -strategy sweeps the adversary axis: one grid expansion per entry,
+	// concatenated.
+	buf := capture(t)
+	args := []string{"expand", "-protocols", "pow", "-stake", "0.3,0.4", "-w", "0.01",
+		"-miners", "4", "-trials", "10", "-blocks", "100",
+		"-strategy", "selfish;selfish-delay:g=0.5,d=3"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "expanded 4 scenarios") {
+		t.Errorf("want 2 stakes x 2 strategies = 4 scenarios:\n%s", out)
+	}
+	for _, want := range []string{`"strategy": "selfish"`, `"strategy": "selfish-delay"`, `"delay": 3`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("expansion missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSelfishFlagIsStrategySynonym(t *testing.T) {
+	// Bare -selfish N must expand to exactly what -strategy selfish does:
+	// same cells, same hashes.
+	common := []string{"-protocols", "pow", "-stake", "0.4", "-miners", "4",
+		"-trials", "10", "-blocks", "100", "-seed", "7"}
+	buf := capture(t)
+	if err := run(append([]string{"expand", "-selfish", "0"}, common...)); err != nil {
+		t.Fatal(err)
+	}
+	old := buf.String()
+	buf2 := capture(t)
+	if err := run(append([]string{"expand", "-strategy", "selfish"}, common...)); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != old {
+		t.Errorf("-selfish 0 and -strategy selfish diverge:\n--- selfish\n%s\n--- strategy\n%s", old, buf2.String())
+	}
+}
+
+func TestStrategyFlagErrors(t *testing.T) {
+	capture(t)
+	if err := run([]string{"expand", "-strategy", "petty-compliant"}); err == nil {
+		t.Error("unknown strategy should error")
+	} else if !strings.Contains(err.Error(), "selfish") {
+		t.Errorf("unknown-strategy error should list registered strategies, got: %v", err)
+	}
+	if err := run([]string{"expand", "-gamma", "0.5"}); err == nil {
+		t.Error("-gamma without -strategy/-selfish should error")
+	}
+}
+
+func TestArenaCommandGolden(t *testing.T) {
+	// The arena smoke grid CI diffs against the committed golden: the
+	// equilibrium report must be bit-identical run to run. Regenerate with
+	//   go test ./cmd/fairsweep -run TestArenaCommandGolden -update-golden
+	buf := capture(t)
+	if err := run(append([]string{"arena"}, arenaSmokeGrid...)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	start := strings.Index(out, "[")
+	if start < 0 {
+		t.Fatalf("no JSON payload in output:\n%s", out)
+	}
+	got := out[start:]
+	golden := filepath.Join("testdata", "arena_golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("arena report drifted from testdata/arena_golden.json (rerun with -update-golden if intended)\n--- got\n%s\n--- want\n%s", got, want)
+	}
+	// Sanity on the content, not just the bytes: the 40% PoW miner
+	// deviates, the 20% one and the PoS cells stay honest.
+	var rows []struct {
+		Name        string `json:"name"`
+		Equilibrium struct {
+			Deviators []int `json:"deviators"`
+			Converged bool  `json:"converged"`
+		} `json:"equilibrium"`
+	}
+	if err := json.Unmarshal([]byte(got), &rows); err != nil {
+		t.Fatalf("bad arena JSON: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Equilibrium.Converged {
+			t.Errorf("%s: dynamics did not converge", r.Name)
+		}
+		wantDeviators := 0
+		if strings.HasPrefix(r.Name, "pow") && strings.Contains(r.Name, "a=0.4") {
+			wantDeviators = 1
+		}
+		if len(r.Equilibrium.Deviators) != wantDeviators {
+			t.Errorf("%s: deviators = %v, want %d", r.Name, r.Equilibrium.Deviators, wantDeviators)
+		}
+	}
+}
+
+func TestArenaRejectsAdversaryFlags(t *testing.T) {
+	capture(t)
+	for _, args := range [][]string{
+		{"arena", "-strategy", "selfish"},
+		{"arena", "-selfish", "0"},
+		{"arena", "-gamma", "0.5"},
+		{"arena", "-fork-rate", "0.1"},
+		{"arena", "-withhold", "100"},
+	} {
+		err := run(args)
+		if err == nil || !strings.Contains(err.Error(), "does not apply to arena") {
+			t.Errorf("run(%v) = %v, want arena-conflict error", args, err)
+		}
+	}
+}
+
+func TestArenaTableOutput(t *testing.T) {
+	buf := capture(t)
+	args := []string{"arena", "-protocols", "pow", "-stake", "0.4", "-miners", "5",
+		"-trials", "20", "-blocks", "400", "-seed", "5"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	// The 40% miner adopts one of the race strategies; selfish and
+	// selfish-delay at zero parameters are the same classic attack, so
+	// either may win the sampled comparison.
+	out := buf.String()
+	for _, want := range []string{"Equilibrium", "@0", "scenarios"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("arena table missing %q:\n%s", want, out)
+		}
 	}
 }
 

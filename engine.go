@@ -347,6 +347,29 @@ func (e *Engine) EvaluateScenario(ctx context.Context, s Scenario) (SweepOutcome
 	return rep.Outcomes[0], nil
 }
 
+// Arena answers one honest-baseline scenario with best-response
+// equilibrium dynamics: every miner iteratively adopts the best
+// response from cfg's strategy menu (the zero ArenaConfig selects the
+// protocol's default menu) until play fixes, and the outcome reports
+// the fairness of the fixed point with the equilibrium itself on
+// Outcome.Arena — profile, per-miner payoffs and honest-baseline
+// deltas. The scenario must not carry adversary, network or
+// withholding blocks; the arena assigns strategies itself.
+//
+// The run shares the engine's cache, workers and observer but
+// evaluates through ArenaBackend(cfg) regardless of the configured
+// backend — cache keys are namespaced by the arena's config-encoding
+// name, so arena results never collide with the engine's usual
+// backend. In cluster mode the workers must run the same arena backend
+// (fairnessd -backend 'arena(...)'); results merge bit-identically
+// with a local run.
+func (e *Engine) Arena(ctx context.Context, s Scenario, cfg ArenaConfig) (SweepOutcome, error) {
+	sub := *e
+	sub.backend = ArenaBackend(cfg)
+	sub.adaptive = nil
+	return sub.EvaluateScenario(ctx, s)
+}
+
 // ErrInvalidAllocation reports an initial allocation Evaluate cannot
 // assess (empty, or no positive total).
 var ErrInvalidAllocation = errors.New("fairness: invalid initial allocation")

@@ -54,6 +54,30 @@ func ExampleEngine_Sweep() {
 	// cpos   robust=true
 }
 
+// ExampleEngine_Arena runs best-response strategy dynamics on one
+// scenario: every miner may switch between the registered strategies
+// (honest, selfish, selfish-delay, withhold — see StrategyNames) until
+// no unilateral deviation pays. With 40% of the PoW hash power, the
+// large miner is past the selfish-mining threshold: the equilibrium is
+// not all-honest, and fairness is judged on the equilibrium revenue
+// distribution rather than the honest baseline.
+func ExampleEngine_Arena() {
+	eng := fairness.NewEngine()
+	out, err := eng.Arena(context.Background(),
+		fairness.Scenario{Protocol: "pow", Stake: 0.4, Miners: 5,
+			Blocks: 400, Trials: 30, Seed: 17},
+		fairness.ArenaConfig{})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	eq := out.Arena
+	fmt.Printf("converged=%t deviators=%v attacker_gains=%t expectational=%t\n",
+		eq.Converged, eq.Deviators, eq.Delta(0) > 0, out.Verdict.ExpectationalFair)
+	// Output:
+	// converged=true deviators=[0] attacker_gains=true expectational=false
+}
+
 // ExampleWithTelemetry meters a sweep: the registry's counters reconcile
 // exactly with the report's statistics, and the same registry can be
 // served over HTTP with fairness.MetricsHandler for Prometheus to

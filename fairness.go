@@ -35,8 +35,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/attack"
 	"repro/internal/cluster"
 	"repro/internal/core"
@@ -74,7 +76,8 @@ type (
 	// into a concrete scenario list.
 	ScenarioGrid = scenario.Grid
 	// Adversary is a Scenario's strategic-deviation block: one miner
-	// running rational Eyal–Sirer selfish mining (PoW only).
+	// running a registered attack strategy (see StrategyNames; "selfish",
+	// "selfish-delay" on PoW, "withhold" on the compounding PoS models).
 	Adversary = scenario.Adversary
 	// Network is a Scenario's propagation block: a per-height fork rate
 	// bending rewards toward large miners à la Sakurai & Shudo (PoW
@@ -572,11 +575,24 @@ func TheoryBackend() Evaluator { return &sweep.TheoryEvaluator{} }
 // slpos, fslpos and cpos.
 func ChainSimBackend() Evaluator { return &sweep.ChainSimEvaluator{} }
 
+// ArenaBackend returns the best-response equilibrium Evaluator
+// (internal/arena): each scenario is read as an honest baseline game,
+// every miner iteratively adopts the best response from the config's
+// strategy menu until play fixes, and the outcome reports the fairness
+// of the fixed point together with the equilibrium profile, per-miner
+// payoffs and honest-baseline deltas (Outcome.Arena). The zero
+// ArenaConfig selects each protocol's default menu. Results are a pure
+// function of (spec, config): local and cluster runs merge
+// bit-identically.
+func ArenaBackend(cfg ArenaConfig) Evaluator { return &sweep.ArenaEvaluator{Config: cfg} }
+
 // BackendByName maps a CLI/service backend name onto an Evaluator: ""
 // and "montecarlo" select the engine's default (a nil Evaluator),
-// "theory" and "chainsim" their respective backends. Every binary's
-// -backend flag resolves through this one function, so the accepted
-// names can never drift apart.
+// "theory", "chainsim" and "arena" their respective backends; an
+// "arena(...)" name — the Name() encoding of a configured arena —
+// parses back into that configuration. Every binary's -backend flag
+// resolves through this one function, so the accepted names can never
+// drift apart.
 func BackendByName(name string) (Evaluator, error) {
 	switch name {
 	case "", "montecarlo":
@@ -585,8 +601,17 @@ func BackendByName(name string) (Evaluator, error) {
 		return TheoryBackend(), nil
 	case "chainsim":
 		return ChainSimBackend(), nil
+	case "arena":
+		return ArenaBackend(ArenaConfig{}), nil
 	default:
-		return nil, fmt.Errorf("unknown backend %q (known: montecarlo, theory, chainsim)", name)
+		if strings.HasPrefix(name, "arena(") {
+			ev, err := sweep.ParseArenaName(name)
+			if err != nil {
+				return nil, err
+			}
+			return ev, nil
+		}
+		return nil, fmt.Errorf("unknown backend %q (known: montecarlo, theory, chainsim, arena)", name)
 	}
 }
 
@@ -601,19 +626,70 @@ func BackendCapabilities(name string) (Capabilities, error) {
 	return sweep.CapabilityOf(ev), nil
 }
 
-// Selfish-mining and fork-skew closed forms (internal/attack), the
-// theory twins of the adversary/network scenario blocks.
+// The attack-strategy surface: strategy-registry introspection, the
+// closed-form calculators, and the best-response arena types, grouped
+// under the Strategy*/Attack names.
 
-// SelfishMiningRevenue returns the closed-form Eyal–Sirer relative
-// revenue of a selfish pool with hash share alpha and network advantage
-// gamma — the stationary λ of a Scenario with an Adversary block.
-func SelfishMiningRevenue(alpha, gamma float64) (float64, error) {
+// Canonical strategy names of the built-in registry — the values a
+// Scenario's Adversary.Strategy and an ArenaCandidate.Strategy accept
+// (resolution is case- and separator-insensitive).
+const (
+	StrategyHonest       = scenario.StrategyHonest
+	StrategySelfish      = scenario.StrategySelfish
+	StrategySelfishDelay = scenario.StrategySelfishDelay
+	StrategyWithhold     = scenario.StrategyWithhold
+)
+
+// StrategyNames returns the sorted canonical names of every registered
+// attack strategy — the open enum behind Adversary.Strategy, grid
+// strategy axes and arena candidate menus.
+func StrategyNames() []string { return scenario.StrategyNames() }
+
+// Arena types (internal/arena): best-response equilibrium dynamics over
+// the strategy registry. See ArenaBackend and Engine.Arena.
+type (
+	// ArenaConfig is the arena's strategy menu and round bound; the zero
+	// value selects each protocol's default menu.
+	ArenaConfig = arena.Config
+	// ArenaCandidate is one menu entry: a strategy name plus the
+	// parameters it consumes. Its canonical text form "name:key=val,..."
+	// is what ParseStrategy reads and the -strategy CLI flags accept.
+	ArenaCandidate = arena.Candidate
+	// ArenaEquilibrium is the fixed point an arena evaluation reports on
+	// SweepOutcome.Arena: profile, payoffs and honest-baseline payoffs.
+	ArenaEquilibrium = arena.Equilibrium
+	// ArenaMove is one adopted best response of the dynamics.
+	ArenaMove = arena.Move
+)
+
+// ParseStrategy parses one "name:key=val,..." strategy spelling (keys
+// g/gamma, d/delay, e/every) into an ArenaCandidate; ParseStrategies
+// parses a semicolon-separated list. This is the single parser behind
+// every -strategy flag.
+func ParseStrategy(s string) (ArenaCandidate, error) { return arena.ParseCandidate(s) }
+
+// ParseStrategies parses a semicolon-separated strategy list
+// ("honest;selfish:g=0.5;withhold:e=100").
+func ParseStrategies(s string) ([]ArenaCandidate, error) { return arena.ParseCandidates(s) }
+
+// Attack groups the closed-form attack calculators — the theory twins
+// of the adversary/network scenario blocks.
+var Attack AttackCalculators
+
+// AttackCalculators is the method namespace behind the package-level
+// Attack variable.
+type AttackCalculators struct{}
+
+// SelfishRevenue returns the closed-form Eyal–Sirer relative revenue of
+// a selfish pool with hash share alpha and network advantage gamma —
+// the stationary λ of a Scenario with a selfish Adversary block.
+func (AttackCalculators) SelfishRevenue(alpha, gamma float64) (float64, error) {
 	return attack.SelfishMining{Alpha: alpha, Gamma: gamma}.Revenue()
 }
 
-// SelfishMiningThreshold returns the minimum hash share above which
-// selfish mining beats honest mining for a given gamma: (1−γ)/(3−2γ).
-func SelfishMiningThreshold(gamma float64) (float64, error) {
+// SelfishThreshold returns the minimum hash share above which selfish
+// mining beats honest mining for a given gamma: (1−γ)/(3−2γ).
+func (AttackCalculators) SelfishThreshold(gamma float64) (float64, error) {
 	return attack.ProfitThreshold(gamma)
 }
 
@@ -621,8 +697,32 @@ func SelfishMiningThreshold(gamma float64) (float64, error) {
 // probability under the Sakurai–Shudo fork-race model at the given fork
 // rate — the effective-power correction a Network block applies to a
 // PoW scenario's win probabilities.
-func ForkEffectivePowers(shares []float64, forkRate float64) ([]float64, error) {
+func (AttackCalculators) ForkEffectivePowers(shares []float64, forkRate float64) ([]float64, error) {
 	return attack.ForkEffectivePowers(shares, forkRate)
+}
+
+// SelfishMiningRevenue returns the closed-form Eyal–Sirer relative
+// revenue of a selfish pool.
+//
+// Deprecated: use Attack.SelfishRevenue.
+func SelfishMiningRevenue(alpha, gamma float64) (float64, error) {
+	return Attack.SelfishRevenue(alpha, gamma)
+}
+
+// SelfishMiningThreshold returns the selfish-mining profitability
+// threshold (1−γ)/(3−2γ).
+//
+// Deprecated: use Attack.SelfishThreshold.
+func SelfishMiningThreshold(gamma float64) (float64, error) {
+	return Attack.SelfishThreshold(gamma)
+}
+
+// ForkEffectivePowers returns the Sakurai–Shudo effective-power
+// correction at the given fork rate.
+//
+// Deprecated: use Attack.ForkEffectivePowers.
+func ForkEffectivePowers(shares []float64, forkRate float64) ([]float64, error) {
+	return Attack.ForkEffectivePowers(shares, forkRate)
 }
 
 // Sweep evaluates every scenario through the Monte-Carlo engine and

@@ -1,0 +1,502 @@
+// Package arena runs best-response strategy dynamics over the repo's
+// mining games: starting from all-honest play, each miner in turn tries
+// every candidate strategy from a fixed menu, adopts the one that
+// strictly improves her expected reward fraction λ, and the round-robin
+// repeats until no miner wants to move (a pure-strategy equilibrium of
+// the one-shot strategy game) or a round bound is hit.
+//
+// The paper's fairness notions assume honest execution; the arena asks
+// the follow-up question — what does fairness look like when every
+// miner plays a best response? — and reports the equilibrium profile,
+// each miner's equilibrium payoff, and the honest-baseline payoffs the
+// deltas are measured against.
+//
+// Everything is deterministic: candidate menus are ordered, ties keep
+// the incumbent strategy (honest first), per-profile seeds derive from
+// the spec seed and the profile's canonical key, and trial i of any
+// payoff run uses rng.Stream(profileSeed, i). The result is a pure
+// function of (spec, config) — independent of worker counts and of
+// whether the run happened locally or on a cluster.
+package arena
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/montecarlo"
+	"repro/internal/rng"
+	"repro/internal/scenario"
+)
+
+// ErrConfig reports an invalid arena configuration or base spec.
+var ErrConfig = errors.New("arena: invalid config")
+
+// DefaultMaxRounds bounds the best-response round-robin when the config
+// does not say otherwise. Empirically the dynamics fix in one or two
+// rounds; the bound exists because best-response dynamics can cycle in
+// general games.
+const DefaultMaxRounds = 8
+
+// Config parameterises one arena run.
+type Config struct {
+	// Candidates is the ordered strategy menu every miner picks from.
+	// Empty means the protocol's default menu: honest plus every
+	// registered strategy applicable to the protocol at its classic
+	// parameterisation (selfish γ=0, selfish-delay uncapped γ=0,
+	// withhold never-restake). Honest is always a candidate and always
+	// first — the menu is prepended with it when missing.
+	Candidates []Candidate `json:"candidates,omitempty"`
+	// MaxRounds bounds the round-robin (0 = DefaultMaxRounds).
+	MaxRounds int `json:"max_rounds,omitempty"`
+}
+
+// normalized resolves defaults and canonicalises the candidate menu for
+// the given protocol: honest first, canonical candidate forms, ordered,
+// duplicates dropped. The result — like everything downstream of it —
+// is a pure function of (config, protocol).
+func (c Config) normalized(protocol string) (Config, error) {
+	out := Config{MaxRounds: c.MaxRounds}
+	if out.MaxRounds <= 0 {
+		out.MaxRounds = DefaultMaxRounds
+	}
+	menu := c.Candidates
+	if len(menu) == 0 {
+		menu = DefaultCandidates(protocol)
+	}
+	seen := map[string]bool{}
+	out.Candidates = append(out.Candidates, Candidate{Strategy: attack.StrategyHonest})
+	seen[attack.StrategyHonest] = true
+	for _, cand := range menu {
+		strat, ok := attack.Lookup(cand.Strategy)
+		if !ok {
+			return Config{}, &scenario.UnknownStrategyError{
+				Strategy: attack.CanonicalStrategy(cand.Strategy),
+				Known:    attack.Names(),
+			}
+		}
+		if ps := strat.Protocols(); ps != nil && !contains(ps, protocol) {
+			return Config{}, fmt.Errorf("%w: candidate %q does not apply to protocol %q (applies to: %s)",
+				ErrConfig, strat.Name(), protocol, strings.Join(ps, ", "))
+		}
+		n := cand.normalized()
+		if seen[n.String()] {
+			continue
+		}
+		seen[n.String()] = true
+		out.Candidates = append(out.Candidates, n)
+	}
+	return out, nil
+}
+
+// DefaultCandidates returns the default strategy menu for a protocol:
+// honest plus each registered strategy that applies, at zero-value
+// parameters — the classic form of each attack (selfish with no network
+// advantage, selfish-delay uncapped, withhold never restaking).
+func DefaultCandidates(protocol string) []Candidate {
+	menu := []Candidate{{Strategy: attack.StrategyHonest}}
+	for _, name := range attack.Names() {
+		if name == attack.StrategyHonest {
+			continue
+		}
+		strat, _ := attack.Lookup(name)
+		if ps := strat.Protocols(); ps != nil && !contains(ps, protocol) {
+			continue
+		}
+		menu = append(menu, Candidate{Strategy: name})
+	}
+	return menu
+}
+
+// Move records one adopted best response.
+type Move struct {
+	// Round and Miner locate the move in the round-robin.
+	Round int `json:"round"`
+	Miner int `json:"miner"`
+	// From and To are the incumbent and adopted candidates.
+	From Candidate `json:"from"`
+	To   Candidate `json:"to"`
+	// Gain is the payoff improvement that motivated the move.
+	Gain float64 `json:"gain"`
+}
+
+// Equilibrium is the reportable result of the best-response dynamics —
+// the struct sweep outcomes and CLI reports embed verbatim.
+type Equilibrium struct {
+	// Protocol names the game the equilibrium belongs to.
+	Protocol string `json:"protocol"`
+	// Profile is each miner's strategy at the fixed point (canonical
+	// candidate forms; honest for non-deviators).
+	Profile []Candidate `json:"profile"`
+	// Deviators lists the miners whose fixed-point strategy deviates
+	// from honest play.
+	Deviators []int `json:"deviators,omitempty"`
+	// Rounds is the number of round-robin passes executed; Converged
+	// reports whether the last pass adopted no move (a true fixed point,
+	// as opposed to the MaxRounds bound stopping a cycle).
+	Rounds    int  `json:"rounds"`
+	Converged bool `json:"converged"`
+	// Moves is the adoption history, in order.
+	Moves []Move `json:"moves,omitempty"`
+	// Payoffs is each miner's expected λ under the fixed-point profile;
+	// HonestPayoffs the all-honest baseline the deltas are measured
+	// against.
+	Payoffs       []float64 `json:"payoffs"`
+	HonestPayoffs []float64 `json:"honest_payoffs"`
+}
+
+// Delta returns miner i's equilibrium payoff minus its honest-baseline
+// payoff — positive when strategic play pays.
+func (e *Equilibrium) Delta(i int) float64 { return e.Payoffs[i] - e.HonestPayoffs[i] }
+
+// Result is one arena run: the equilibrium, plus the tracked miner's
+// per-checkpoint λ samples under the equilibrium profile so callers can
+// assess the spec's fairness notions at the fixed point.
+type Result struct {
+	Equilibrium Equilibrium
+	// Checkpoints and Lambda mirror montecarlo.Result: Lambda[c][t] is
+	// the tracked miner's reward fraction at checkpoint c in trial t,
+	// played under the equilibrium profile.
+	Checkpoints []int
+	Lambda      [][]float64
+	// TrialsRun counts simulation trials across every payoff evaluation
+	// (cache-deduplicated profiles counted once).
+	TrialsRun int64
+}
+
+// Engine runs best-response dynamics for one scenario.
+type Engine struct {
+	// Config is the strategy menu and round bound.
+	Config Config
+	// TrialWorkers caps per-payoff trial parallelism for the game-path
+	// evaluations (0 = GOMAXPROCS). Results are worker-independent.
+	TrialWorkers int
+}
+
+// Run executes the dynamics on the spec's game. The spec must be an
+// honest baseline: the arena chooses each miner's strategy itself, so
+// adversary, network and withhold_every blocks are refused.
+func (e *Engine) Run(ctx context.Context, spec scenario.Spec) (*Result, error) {
+	n := spec.Normalized()
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	switch {
+	case n.Adversary != nil:
+		return nil, fmt.Errorf("%w: the arena assigns strategies itself; drop the adversary block", ErrConfig)
+	case n.Network != nil:
+		return nil, fmt.Errorf("%w: network blocks are not part of the strategy game; drop the network block", ErrConfig)
+	case n.WithholdEvery > 0:
+		return nil, fmt.Errorf("%w: the global withholding treatment conflicts with per-miner strategy choice; drop withhold_every", ErrConfig)
+	}
+	cfg, err := e.Config.normalized(n.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	run := &arenaRun{
+		spec:    n,
+		cfg:     cfg,
+		workers: e.TrialWorkers,
+		shares:  resourceShares(n.Stakes),
+		race:    map[string]float64{},
+		game:    map[string]float64{},
+	}
+	return run.solve(ctx)
+}
+
+// arenaRun holds one run's state: the normalised spec, the menu, and
+// the per-profile payoff caches (race profiles cache the attacker's
+// mean revenue share; game profiles cache per-miner mean λ).
+type arenaRun struct {
+	spec    scenario.Spec
+	cfg     Config
+	workers int
+	shares  []float64
+	race    map[string]float64
+	game    map[string]float64
+	trials  int64
+}
+
+func resourceShares(stakes []float64) []float64 {
+	total := 0.0
+	for _, v := range stakes {
+		total += v
+	}
+	out := make([]float64, len(stakes))
+	for i, v := range stakes {
+		out[i] = v / total
+	}
+	return out
+}
+
+// effective returns the candidate miner i actually plays: the canonical
+// candidate when it deviates at i's share, honest otherwise (rational
+// strategies below their profitability threshold collapse, exactly as
+// scenario normalisation collapses honest adversary blocks).
+func (r *arenaRun) effective(cand Candidate, miner int) Candidate {
+	strat, ok := attack.Lookup(cand.Strategy)
+	if !ok || !strat.Deviates(cand.params(r.shares[miner])) {
+		return Candidate{Strategy: attack.StrategyHonest}
+	}
+	return cand.normalized()
+}
+
+// playable reports whether miner i can adopt cand inside profile: the
+// candidate must validate at i's share, and the resulting profile must
+// stay representable (the PoW race model supports at most one racer
+// against an honest pool).
+func (r *arenaRun) playable(profile []Candidate, miner int, cand Candidate) bool {
+	eff := r.effective(cand, miner)
+	strat, _ := attack.Lookup(eff.Strategy)
+	if strat.Kind() != attack.KindHonest {
+		if orig, _ := attack.Lookup(cand.Strategy); orig.Validate(cand.params(r.shares[miner])) != nil {
+			return false
+		}
+	}
+	if strat.Kind() != attack.KindPoWRace {
+		return true
+	}
+	for j, c := range profile {
+		if j == miner {
+			continue
+		}
+		if s, _ := attack.Lookup(c.Strategy); s != nil && s.Kind() == attack.KindPoWRace {
+			return false
+		}
+	}
+	return true
+}
+
+// profileKey is the canonical cache/seed key of an effective profile.
+func profileKey(profile []Candidate) string {
+	parts := make([]string, len(profile))
+	for i, c := range profile {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+// profileSeed derives the deterministic base seed of one profile's
+// payoff runs from the spec seed and the profile's canonical key.
+func profileSeed(seed uint64, key string) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], seed)
+	h.Write(b[:])
+	io.WriteString(h, key)
+	s := h.Sum64()
+	if s == 0 {
+		s = 1
+	}
+	return s
+}
+
+// racer returns the index of the profile's single race strategist, or
+// -1 when the profile runs as an ordinary mining game.
+func racer(profile []Candidate) int {
+	for i, c := range profile {
+		if s, _ := attack.Lookup(c.Strategy); s != nil && s.Kind() == attack.KindPoWRace {
+			return i
+		}
+	}
+	return -1
+}
+
+// solve runs the round-robin to a fixed point or the round bound, then
+// assembles the equilibrium report and the fixed-point λ samples.
+func (r *arenaRun) solve(ctx context.Context) (*Result, error) {
+	n := r.spec
+	profile := make([]Candidate, len(n.Stakes))
+	for i := range profile {
+		profile[i] = Candidate{Strategy: attack.StrategyHonest}
+	}
+	eq := Equilibrium{Protocol: n.Protocol, Rounds: 0}
+	for eq.Rounds < r.cfg.MaxRounds && !eq.Converged {
+		eq.Rounds++
+		changed := false
+		for i := range profile {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			curPay, err := r.payoff(ctx, profile, i)
+			if err != nil {
+				return nil, err
+			}
+			best, bestPay := profile[i], curPay
+			for _, cand := range r.cfg.Candidates {
+				eff := r.effective(cand, i)
+				if eff == profile[i] || !r.playable(profile, i, cand) {
+					continue
+				}
+				trial := append([]Candidate(nil), profile...)
+				trial[i] = eff
+				pay, err := r.payoff(ctx, trial, i)
+				if err != nil {
+					return nil, err
+				}
+				// Strict improvement only, first-best wins ties: the
+				// incumbent (and honest, always enumerated first) can
+				// never be displaced by an equal-payoff candidate.
+				if pay > bestPay {
+					best, bestPay = eff, pay
+				}
+			}
+			if best != profile[i] {
+				eq.Moves = append(eq.Moves, Move{Round: eq.Rounds, Miner: i, From: profile[i], To: best, Gain: bestPay - curPay})
+				profile[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			eq.Converged = true
+		}
+	}
+	eq.Profile = profile
+	honest := make([]Candidate, len(profile))
+	for i := range honest {
+		honest[i] = Candidate{Strategy: attack.StrategyHonest}
+	}
+	eq.Payoffs = make([]float64, len(profile))
+	eq.HonestPayoffs = make([]float64, len(profile))
+	for i := range profile {
+		var err error
+		if eq.Payoffs[i], err = r.payoff(ctx, profile, i); err != nil {
+			return nil, err
+		}
+		if eq.HonestPayoffs[i], err = r.payoff(ctx, honest, i); err != nil {
+			return nil, err
+		}
+		if profile[i].Strategy != attack.StrategyHonest {
+			eq.Deviators = append(eq.Deviators, i)
+		}
+	}
+	cps, lambda, err := r.samples(ctx, profile)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Equilibrium: eq, Checkpoints: cps, Lambda: lambda, TrialsRun: r.trials}, nil
+}
+
+// payoff returns miner i's expected final λ under an effective profile,
+// from the cache when the profile (or, for race profiles, its shared
+// race run) was already evaluated.
+func (r *arenaRun) payoff(ctx context.Context, profile []Candidate, miner int) (float64, error) {
+	key := profileKey(profile)
+	if j := racer(profile); j >= 0 {
+		mu, ok := r.race[key]
+		if !ok {
+			shares, err := r.raceShares(ctx, profile, j, []int{r.spec.Blocks})
+			if err != nil {
+				return 0, err
+			}
+			mu = mean(shares[0])
+			r.race[key] = mu
+		}
+		if miner == j {
+			return mu, nil
+		}
+		// The honest pool splits the residual revenue in proportion to
+		// power, exactly as the Monte-Carlo race backend models it.
+		return (1 - mu) * r.shares[miner] / (1 - r.shares[j]), nil
+	}
+	gkey := fmt.Sprintf("%s#%d", key, miner)
+	if pay, ok := r.game[gkey]; ok {
+		return pay, nil
+	}
+	res, err := r.gameRun(ctx, profile, miner, []int{r.spec.Blocks})
+	if err != nil {
+		return 0, err
+	}
+	pay := mean(res.FinalSamples())
+	r.game[gkey] = pay
+	return pay, nil
+}
+
+// samples returns the tracked miner's per-checkpoint λ matrix under the
+// fixed-point profile, at the spec's own checkpoints.
+func (r *arenaRun) samples(ctx context.Context, profile []Candidate) ([]int, [][]float64, error) {
+	n := r.spec
+	if j := racer(profile); j >= 0 {
+		shares, err := r.raceShares(ctx, profile, j, n.Checkpoints)
+		if err != nil {
+			return nil, nil, err
+		}
+		if n.Miner != j {
+			slice := r.shares[n.Miner] / (1 - r.shares[j])
+			for c := range shares {
+				for t := range shares[c] {
+					shares[c][t] = (1 - shares[c][t]) * slice
+				}
+			}
+		}
+		return n.Checkpoints, shares, nil
+	}
+	res, err := r.gameRun(ctx, profile, n.Miner, n.Checkpoints)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Checkpoints, res.Lambda, nil
+}
+
+// raceShares runs the race profile's trials and returns the attacker's
+// revenue share per checkpoint per trial.
+func (r *arenaRun) raceShares(ctx context.Context, profile []Candidate, j int, cps []int) ([][]float64, error) {
+	n := r.spec
+	strat, _ := attack.Lookup(profile[j].Strategy)
+	p := profile[j].params(r.shares[j])
+	seed := profileSeed(n.Seed, profileKey(profile))
+	out := make([][]float64, len(cps))
+	for c := range out {
+		out[c] = make([]float64, n.Trials)
+	}
+	for trial := 0; trial < n.Trials; trial++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sim, err := strat.NewRaceSim(p)
+		if err != nil {
+			return nil, err
+		}
+		rnd := rng.Stream(seed, trial)
+		next := 0
+		for ev := 1; ev <= n.Blocks && next < len(cps); ev++ {
+			sim.Step(rnd)
+			if ev == cps[next] {
+				out[next][trial] = sim.Snapshot().RevenueShare()
+				next++
+			}
+		}
+		r.trials++
+	}
+	return out, nil
+}
+
+// gameRun evaluates a race-free profile as an ordinary mining game with
+// each withholder's per-miner option applied, tracking one miner.
+func (r *arenaRun) gameRun(ctx context.Context, profile []Candidate, miner int, cps []int) (*montecarlo.Result, error) {
+	n := r.spec
+	p, err := n.Build()
+	if err != nil {
+		return nil, err
+	}
+	seed := profileSeed(n.Seed, profileKey(profile))
+	res, err := montecarlo.RunContext(ctx, p, n.Stakes, montecarlo.Config{
+		Trials:      n.Trials,
+		Blocks:      n.Blocks,
+		Checkpoints: cps,
+		Miner:       miner,
+		Seed:        seed,
+		Workers:     r.workers,
+		GameOptions: withholdOptions(profile),
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.trials += int64(res.TrialsRun)
+	return res, nil
+}

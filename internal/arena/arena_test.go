@@ -1,0 +1,210 @@
+package arena
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/attack"
+	"repro/internal/scenario"
+)
+
+// powSpec is an honest PoW baseline with one 40% miner — above the
+// Eyal–Sirer γ=0 profitability threshold of 1/3.
+func powSpec() scenario.Spec {
+	return scenario.Spec{Protocol: "pow", Stake: 0.4, Miners: 4, Blocks: 2000, Trials: 40, Seed: 7}
+}
+
+func TestArenaPoWBigMinerTurnsSelfish(t *testing.T) {
+	eng := Engine{Config: Config{Candidates: []Candidate{
+		{Strategy: attack.StrategyHonest},
+		{Strategy: attack.StrategySelfish},
+	}}}
+	res, err := eng.Run(context.Background(), powSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := res.Equilibrium
+	if !eq.Converged {
+		t.Fatalf("dynamics did not converge in %d rounds", eq.Rounds)
+	}
+	if !reflect.DeepEqual(eq.Deviators, []int{0}) {
+		t.Fatalf("deviators = %v, want [0]", eq.Deviators)
+	}
+	if eq.Profile[0].Strategy != attack.StrategySelfish {
+		t.Fatalf("miner 0 plays %q, want selfish", eq.Profile[0].Strategy)
+	}
+	for i := 1; i < len(eq.Profile); i++ {
+		if eq.Profile[i].Strategy != attack.StrategyHonest {
+			t.Errorf("miner %d plays %q, want honest", i, eq.Profile[i].Strategy)
+		}
+	}
+	if d := eq.Delta(0); d <= 0 {
+		t.Errorf("attacker equilibrium delta %v, want > 0", d)
+	}
+	if math.Abs(eq.HonestPayoffs[0]-0.4) > 0.02 {
+		t.Errorf("honest baseline payoff %v, want ≈ 0.4", eq.HonestPayoffs[0])
+	}
+	rev, _ := attack.SelfishMining{Alpha: 0.4, Gamma: 0}.Revenue()
+	if math.Abs(eq.Payoffs[0]-rev) > 0.02 {
+		t.Errorf("equilibrium payoff %v, closed form %v", eq.Payoffs[0], rev)
+	}
+	// Victims lose exactly what the attacker gains, power-proportionally.
+	for i := 1; i < len(eq.Profile); i++ {
+		if eq.Delta(i) >= 0 {
+			t.Errorf("honest miner %d delta %v, want < 0", i, eq.Delta(i))
+		}
+	}
+	if len(res.Lambda) != 1 || len(res.Lambda[0]) != 40 {
+		t.Fatalf("lambda matrix %dx%d, want 1x40", len(res.Lambda), len(res.Lambda[0]))
+	}
+	if res.TrialsRun == 0 {
+		t.Error("TrialsRun not accounted")
+	}
+}
+
+func TestArenaPoWSmallMinersStayHonest(t *testing.T) {
+	// Every miner holds 20% — below the γ=0 threshold, so rational
+	// selfish collapses to honest and committed selfish-delay earns less
+	// than honest play. The default menu must fix at all-honest in one
+	// round of no-moves.
+	spec := scenario.Spec{Protocol: "pow", Stake: 0.2, Miners: 5, Blocks: 1500, Trials: 30, Seed: 11}
+	res, err := (&Engine{}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := res.Equilibrium
+	if !eq.Converged || len(eq.Deviators) != 0 || len(eq.Moves) != 0 {
+		t.Fatalf("want all-honest fixed point, got deviators=%v moves=%v converged=%v",
+			eq.Deviators, eq.Moves, eq.Converged)
+	}
+	if eq.Rounds != 1 {
+		t.Errorf("rounds = %d, want 1", eq.Rounds)
+	}
+	for i, pay := range eq.Payoffs {
+		if math.Abs(pay-0.2) > 0.03 {
+			t.Errorf("miner %d equilibrium payoff %v, want ≈ 0.2", i, pay)
+		}
+	}
+}
+
+func TestArenaPoSWithholdingNeverPays(t *testing.T) {
+	// Deferring the staking effect of one's own rewards only slows one's
+	// own compounding: withhold is strictly dominated, so compounding PoS
+	// fixes at all-honest and equilibrium fairness equals honest fairness.
+	spec := scenario.Spec{Protocol: "mlpos", W: 0.01, Stake: 0.3, Miners: 3, Blocks: 1000, Trials: 30, Seed: 3}
+	res, err := (&Engine{}).Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq := res.Equilibrium
+	if !eq.Converged || len(eq.Deviators) != 0 {
+		t.Fatalf("want all-honest fixed point, got deviators=%v converged=%v", eq.Deviators, eq.Converged)
+	}
+	for i := range eq.Payoffs {
+		if eq.Payoffs[i] != eq.HonestPayoffs[i] {
+			t.Errorf("miner %d equilibrium payoff %v != honest payoff %v", i, eq.Payoffs[i], eq.HonestPayoffs[i])
+		}
+	}
+}
+
+func TestArenaDeterministic(t *testing.T) {
+	run := func() *Result {
+		t.Helper()
+		res, err := (&Engine{TrialWorkers: 3}).Run(context.Background(), powSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two identical arena runs disagree")
+	}
+}
+
+func TestArenaRefusesTreatmentBlocks(t *testing.T) {
+	eng := &Engine{}
+	for name, mutate := range map[string]func(*scenario.Spec){
+		"adversary":      func(s *scenario.Spec) { s.Adversary = &scenario.Adversary{Strategy: "selfish"} },
+		"network":        func(s *scenario.Spec) { s.Network = &scenario.Network{ForkRate: 0.1} },
+		"withhold_every": func(s *scenario.Spec) { s.WithholdEvery = 10 },
+	} {
+		spec := powSpec()
+		mutate(&spec)
+		if _, err := eng.Run(context.Background(), spec); !errors.Is(err, ErrConfig) {
+			t.Errorf("%s block: err = %v, want ErrConfig", name, err)
+		}
+	}
+}
+
+func TestArenaUnknownCandidate(t *testing.T) {
+	eng := &Engine{Config: Config{Candidates: []Candidate{{Strategy: "petty-compliant"}}}}
+	_, err := eng.Run(context.Background(), powSpec())
+	var unknown *scenario.UnknownStrategyError
+	if !errors.As(err, &unknown) {
+		t.Fatalf("err = %v, want UnknownStrategyError", err)
+	}
+	if len(unknown.Known) == 0 {
+		t.Error("error does not list registered strategies")
+	}
+}
+
+func TestArenaInapplicableCandidate(t *testing.T) {
+	eng := &Engine{Config: Config{Candidates: []Candidate{{Strategy: attack.StrategyWithhold}}}}
+	_, err := eng.Run(context.Background(), powSpec())
+	if !errors.Is(err, ErrConfig) || !strings.Contains(errString(err), "withhold") {
+		t.Fatalf("err = %v, want ErrConfig naming withhold", err)
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func TestDefaultCandidates(t *testing.T) {
+	pow := DefaultCandidates("pow")
+	want := []Candidate{{Strategy: "honest"}, {Strategy: "selfish"}, {Strategy: "selfish-delay"}}
+	if !reflect.DeepEqual(pow, want) {
+		t.Errorf("pow menu = %v, want %v", pow, want)
+	}
+	pos := DefaultCandidates("mlpos")
+	want = []Candidate{{Strategy: "honest"}, {Strategy: "withhold"}}
+	if !reflect.DeepEqual(pos, want) {
+		t.Errorf("mlpos menu = %v, want %v", pos, want)
+	}
+}
+
+func TestParseCandidate(t *testing.T) {
+	cases := map[string]string{
+		"honest":                          "honest",
+		"selfish:g=0.5":                   "selfish:g=0.5",
+		"Selfish_Delay:gamma=0.5,delay=3": "selfish-delay:g=0.5,d=3",
+		"withhold : every=100":            "withhold:e=100",
+	}
+	for in, want := range cases {
+		c, err := ParseCandidate(in)
+		if err != nil {
+			t.Errorf("ParseCandidate(%q): %v", in, err)
+			continue
+		}
+		if got := c.normalized().String(); got != want {
+			t.Errorf("ParseCandidate(%q).String() = %q, want %q", in, got, want)
+		}
+	}
+	for _, bad := range []string{"", "selfish:gamma", "selfish:x=1", "selfish:g=abc"} {
+		if _, err := ParseCandidate(bad); !errors.Is(err, ErrConfig) {
+			t.Errorf("ParseCandidate(%q) = %v, want ErrConfig", bad, err)
+		}
+	}
+	cands, err := ParseCandidates("honest; selfish:g=0.5 ;withhold")
+	if err != nil || len(cands) != 3 {
+		t.Fatalf("ParseCandidates: %v, %v", cands, err)
+	}
+}

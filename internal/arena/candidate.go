@@ -1,0 +1,167 @@
+package arena
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/game"
+)
+
+// Candidate is one entry of the arena's strategy menu: a registered
+// strategy name plus the parameters it consumes. Its canonical text
+// form — "name" or "name:g=0.5,d=3,e=100" with only consumed, non-zero
+// parameters shown — is the wire format of the fairsweep/fairsim
+// -strategy flag and of the arena backend's config-encoding name.
+type Candidate struct {
+	// Strategy is the registry name ("honest", "selfish", ...).
+	Strategy string `json:"strategy"`
+	// Gamma is a race strategy's network advantage.
+	Gamma float64 `json:"gamma,omitempty"`
+	// Delay is selfish-delay's publish-delay cap.
+	Delay int `json:"delay,omitempty"`
+	// Every is withhold's restake period.
+	Every int `json:"every,omitempty"`
+}
+
+// params flattens the candidate for a deviator with the given resource
+// share.
+func (c Candidate) params(share float64) attack.Params {
+	return attack.Params{Share: share, Gamma: c.Gamma, Delay: c.Delay, Every: c.Every}
+}
+
+// normalized canonicalises the name and clears the parameters the
+// strategy does not consume, mirroring scenario normalisation, so
+// equivalent candidates share one String, one cache key and one seed.
+func (c Candidate) normalized() Candidate {
+	c.Strategy = attack.CanonicalStrategy(c.Strategy)
+	if strat, ok := attack.Lookup(c.Strategy); ok {
+		use := strat.Uses()
+		if !use.Gamma {
+			c.Gamma = 0
+		}
+		if !use.Delay {
+			c.Delay = 0
+		}
+		if !use.Every {
+			c.Every = 0
+		}
+	}
+	return c
+}
+
+// String renders the canonical "name:key=val,..." form; zero-valued
+// parameters are omitted (the zero of each knob is its classic form).
+func (c Candidate) String() string {
+	var parts []string
+	if c.Gamma != 0 {
+		parts = append(parts, "g="+strconv.FormatFloat(c.Gamma, 'g', -1, 64))
+	}
+	if c.Delay != 0 {
+		parts = append(parts, "d="+strconv.Itoa(c.Delay))
+	}
+	if c.Every != 0 {
+		parts = append(parts, "e="+strconv.Itoa(c.Every))
+	}
+	if len(parts) == 0 {
+		return c.Strategy
+	}
+	return c.Strategy + ":" + strings.Join(parts, ",")
+}
+
+// ParseCandidate parses the "name:key=val,..." form: the strategy name,
+// optionally followed by comma-separated parameters. Accepted keys are
+// g/gamma, d/delay and e/every; names are resolved case- and
+// separator-insensitively against the strategy registry but unknown
+// names are preserved (validation reports them with the registered
+// list). The result round-trips through String.
+func ParseCandidate(s string) (Candidate, error) {
+	name, rest, hasParams := strings.Cut(strings.TrimSpace(s), ":")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return Candidate{}, fmt.Errorf("%w: empty strategy name in %q", ErrConfig, s)
+	}
+	c := Candidate{Strategy: attack.CanonicalStrategy(name)}
+	if !hasParams {
+		return c, nil
+	}
+	for _, kv := range strings.Split(rest, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return Candidate{}, fmt.Errorf("%w: strategy parameter %q is not key=value", ErrConfig, kv)
+		}
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		var err error
+		switch strings.ToLower(key) {
+		case "g", "gamma":
+			c.Gamma, err = strconv.ParseFloat(val, 64)
+		case "d", "delay":
+			c.Delay, err = strconv.Atoi(val)
+		case "e", "every":
+			c.Every, err = strconv.Atoi(val)
+		default:
+			return Candidate{}, fmt.Errorf("%w: unknown strategy parameter %q (want g/gamma, d/delay or e/every)", ErrConfig, key)
+		}
+		if err != nil {
+			return Candidate{}, fmt.Errorf("%w: strategy parameter %s=%q: %v", ErrConfig, key, val, err)
+		}
+	}
+	return c, nil
+}
+
+// ParseCandidates parses a semicolon-separated candidate list — the
+// -strategy flag's axis form ("honest;selfish:g=0.5;withhold").
+func ParseCandidates(s string) ([]Candidate, error) {
+	var out []Candidate
+	for _, part := range strings.Split(s, ";") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		c, err := ParseCandidate(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: empty strategy list %q", ErrConfig, s)
+	}
+	return out, nil
+}
+
+// withholdOptions maps a race-free profile's stake-withholding
+// deviators onto per-miner game options.
+func withholdOptions(profile []Candidate) []game.Option {
+	var opts []game.Option
+	for i, c := range profile {
+		if s, ok := attack.Lookup(c.Strategy); ok && s.Kind() == attack.KindStakeWithhold {
+			opts = append(opts, game.WithMinerWithholding(i, c.Every))
+		}
+	}
+	return opts
+}
+
+func contains(list []string, v string) bool {
+	for _, x := range list {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}

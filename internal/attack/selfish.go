@@ -72,6 +72,7 @@ type Sim struct {
 	res      Result
 	lead     int  // private branch length minus public branch length
 	racing   bool // 1-vs-1 fork race in progress
+	maxLead  int  // publish the whole branch at this lead (0 = uncapped)
 }
 
 // NewSim validates the strategy and returns a simulation at the genesis
@@ -116,6 +117,14 @@ func (m *Sim) Step(r *rng.Rand) {
 		m.lead = 0
 	case selfishFound:
 		m.lead++
+		if m.maxLead > 0 && m.lead >= m.maxLead {
+			// Publish-delay cap reached: release the whole branch. The
+			// public chain has not advanced since the fork point, so every
+			// private block settles canonically with no race and no
+			// orphans.
+			m.res.SelfishBlocks += m.lead
+			m.lead = 0
+		}
 	default: // honest block found
 		switch m.lead {
 		case 0:
@@ -152,6 +161,38 @@ func (m *Sim) Snapshot() Result {
 		res.SelfishBlocks += m.lead
 	}
 	return res
+}
+
+// DelayedSelfish is the publish-delay variant of selfish mining: the
+// same withholding state machine, but the private branch is published
+// in full as soon as its lead reaches Delay. Delay = 0 is classic
+// uncapped withholding; Delay = 1 publishes every block immediately and
+// is behaviourally honest. Unlike SelfishMining's rational use in the
+// sweep backends, DelayedSelfish is a committed strategy — it runs as
+// parameterised whether or not the deviation is profitable.
+type DelayedSelfish struct {
+	SelfishMining
+	Delay int
+}
+
+// validate checks the underlying strategy plus the lead cap.
+func (d DelayedSelfish) validate() error {
+	if err := d.SelfishMining.Validate(); err != nil {
+		return err
+	}
+	if d.Delay < 0 {
+		return fmt.Errorf("%w: delay = %d, need >= 0", ErrParams, d.Delay)
+	}
+	return nil
+}
+
+// NewSim validates the strategy and returns a lead-capped simulation at
+// the genesis state.
+func (d DelayedSelfish) NewSim() (*Sim, error) {
+	if err := d.validate(); err != nil {
+		return nil, err
+	}
+	return &Sim{strategy: d.SelfishMining, maxLead: d.Delay}, nil
 }
 
 // Simulate runs the Eyal–Sirer state machine for the given number of

@@ -23,15 +23,46 @@ type Chain struct {
 	// pending holds withheld rewards not yet staking.
 	pending       map[Address]uint64
 	withholdEvery uint64
+	// minerWithhold overrides the global withholding period per address
+	// (WithholdNever = never release) — the `withhold` adversary
+	// strategy, one deviating miner against the global treatment.
+	minerWithhold map[Address]uint64
 }
 
 // ChainOption configures a new chain.
 type ChainOption func(*Chain)
 
+// WithholdNever, as a per-miner withholding period, keeps the miner's
+// rewards out of her staking power forever.
+const WithholdNever = ^uint64(0)
+
 // WithholdEvery defers the staking effect of rewards to the next
 // multiple-of-k height. k = 0 (default) stakes rewards immediately.
 func WithholdEvery(k uint64) ChainOption {
 	return func(c *Chain) { c.withholdEvery = k }
+}
+
+// WithholdMiner overrides the withholding period for one address: her
+// rewards join her staking power at multiples of k (k = 0 immediately,
+// WithholdNever never), regardless of the global period.
+func WithholdMiner(addr Address, k uint64) ChainOption {
+	return func(c *Chain) {
+		if c.minerWithhold == nil {
+			c.minerWithhold = make(map[Address]uint64)
+		}
+		c.minerWithhold[addr] = k
+	}
+}
+
+// withholdPeriod resolves an address's effective withholding period:
+// 0 = stake immediately, WithholdNever = never, else the release period.
+func (c *Chain) withholdPeriod(addr Address) uint64 {
+	if c.minerWithhold != nil {
+		if k, ok := c.minerWithhold[addr]; ok {
+			return k
+		}
+	}
+	return c.withholdEvery
 }
 
 // NewChain builds a chain with a genesis block over the given allocation.
@@ -144,12 +175,13 @@ func (c *Chain) applyReward(proposer Address, reward uint64) {
 			c.creditReward(cr.Addr, cr.Amount, conveys)
 		}
 	}
-	if c.withholdEvery > 0 && c.Height()%c.withholdEvery == 0 {
-		for a, p := range c.pending {
-			if p > 0 {
-				c.stake.Credit(a, p)
-				c.pending[a] = 0
-			}
+	for a, p := range c.pending {
+		if p == 0 {
+			continue
+		}
+		if k := c.withholdPeriod(a); k > 0 && k != WithholdNever && c.Height()%k == 0 {
+			c.stake.Credit(a, p)
+			c.pending[a] = 0
 		}
 	}
 }
@@ -165,7 +197,7 @@ func (c *Chain) creditReward(addr Address, amount uint64, conveysStake bool) {
 	if !conveysStake {
 		return
 	}
-	if c.withholdEvery > 0 {
+	if c.withholdPeriod(addr) != 0 {
 		c.pending[addr] += amount
 		return
 	}
@@ -188,6 +220,7 @@ func (c *Chain) MineAndAppend(miners []Address, r *rng.Rand) error {
 func (c *Chain) Validate(genesis map[Address]uint64) error {
 	replay, err := NewChain(c.engine, genesis, c.blocks[0].Header.Nonce, func(r *Chain) {
 		r.withholdEvery = c.withholdEvery
+		r.minerWithhold = c.minerWithhold
 	})
 	if err != nil {
 		return err

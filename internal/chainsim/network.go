@@ -38,6 +38,11 @@ type NetworkConfig struct {
 	Salt uint64
 	// WithholdEvery applies the reward-withholding treatment (0 = off).
 	WithholdEvery uint64
+	// MinerWithhold overrides the withholding period per miner name —
+	// the `withhold` adversary strategy. A period of WithholdNever keeps
+	// that miner's rewards out of her staking power forever; 0 stakes
+	// them immediately regardless of WithholdEvery.
+	MinerWithhold map[string]uint64
 }
 
 // ErrNoMiners reports an empty miner list.
@@ -94,6 +99,12 @@ func NewNetwork(cfg NetworkConfig) (*Network, error) {
 	var opts []ChainOption
 	if cfg.WithholdEvery > 0 {
 		opts = append(opts, WithholdEvery(cfg.WithholdEvery))
+	}
+	for name, k := range cfg.MinerWithhold {
+		if _, known := genesis[AddressFromSeed(name)]; !known {
+			return nil, fmt.Errorf("chainsim: withholding miner %q is not in the miner set", name)
+		}
+		opts = append(opts, WithholdMiner(AddressFromSeed(name), k))
 	}
 	// For PoW the stake ledger is the hash-power registry; rewards are
 	// tracked separately and never feed back. For PoS the genesis stake

@@ -42,6 +42,11 @@ type SelfishConfig struct {
 	Salt uint64
 	// MaxTrials caps each per-miner nonce search (0 = default).
 	MaxTrials uint64
+	// Delay, when > 0, caps the private lead: the attacker publishes the
+	// whole branch as soon as it is Delay blocks ahead (the committed
+	// selfish-delay strategy; 1 is behaviourally honest). 0 keeps the
+	// classic uncapped withholding.
+	Delay int
 }
 
 // SelfishSim drives one attacked chain. Use NewSelfishSim, then
@@ -76,6 +81,9 @@ func NewSelfishSim(cfg SelfishConfig) (*SelfishSim, error) {
 	}
 	if !(cfg.Gamma >= 0 && cfg.Gamma <= 1) || math.IsNaN(cfg.Gamma) {
 		return nil, fmt.Errorf("%w: gamma = %v, need [0, 1]", ErrForkSim, cfg.Gamma)
+	}
+	if cfg.Delay < 0 {
+		return nil, fmt.Errorf("%w: delay = %d, need >= 0", ErrForkSim, cfg.Delay)
 	}
 	genesis := &Block{Header: Header{Kind: KindPoW, Nonce: cfg.Salt}}
 	return &SelfishSim{
@@ -162,8 +170,19 @@ func (s *SelfishSim) RunEvents(count int) error {
 			s.orphans++
 			s.racing = false
 		case finder == atk:
-			// The attacker extends her private branch in silence.
+			// The attacker extends her private branch in silence — until
+			// the publish-delay cap, where the whole branch settles: the
+			// public tip has not advanced since the fork point, so every
+			// private block becomes canonical with no race and no orphans.
 			s.private = append(s.private, b)
+			if s.cfg.Delay > 0 && len(s.private) >= s.cfg.Delay {
+				for _, pb := range s.private {
+					if err := s.settle(pb); err != nil {
+						return err
+					}
+				}
+				s.private = nil
+			}
 		default:
 			// An honest miner extended the public tip.
 			switch lead := len(s.private); lead {

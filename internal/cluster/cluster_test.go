@@ -225,6 +225,82 @@ func TestClusterReassignsShardsFromKilledWorker(t *testing.T) {
 	}
 }
 
+func TestClusterArenaEquilibriumBitIdenticalWithWorkerKill(t *testing.T) {
+	// The arena backend through the cluster: an equilibrium report is a
+	// pure function of (grid, seed), so the merged distributed report must
+	// be bit-identical to a local best-response run — including when a
+	// worker is killed mid-run and its shard is recomputed elsewhere.
+	g := scenario.Grid{
+		Base:      scenario.Spec{Blocks: 300, Trials: 15, Seed: 11, Miners: 5},
+		Protocols: []string{"pow", "mlpos"},
+		Stake:     []float64{0.2, 0.4},
+	}
+	specs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	arenaOpts := func() sweep.Options {
+		return sweep.Options{Evaluator: &sweep.ArenaEvaluator{}}
+	}
+	local, err := sweep.Run(specs, arenaOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range local.Outcomes {
+		if o.Arena == nil {
+			t.Fatalf("local outcome %d (%s) carries no equilibrium", i, o.Name)
+		}
+		if !o.Arena.Converged {
+			t.Errorf("local outcome %d (%s) did not converge", i, o.Name)
+		}
+	}
+
+	// Two healthy workers: plain bit-identity, equilibria included
+	// (canonicalOutcomes marshals the full Outcome, Arena and all).
+	w1, _ := startWorker(t, arenaOpts(), sweep.ArenaBackendName)
+	w2, _ := startWorker(t, arenaOpts(), sweep.ArenaBackendName)
+	rep, err := Run(context.Background(), specs, Options{
+		Workers: []string{w1.URL, w2.URL},
+		Backend: sweep.ArenaBackendName,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := canonicalOutcomes(t, rep), canonicalOutcomes(t, local); got != want {
+		t.Errorf("distributed arena outcomes differ from local run:\n%s\n%s", got, want)
+	}
+
+	// Kill a worker mid-run: the first shard claim tears the connection,
+	// the shard is reassigned, and the report must still match local.
+	ws := NewWorkerServer(LocalRunner(arenaOpts()))
+	mux := http.NewServeMux()
+	ws.Register(mux)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok", "backend": sweep.ArenaBackendName})
+	})
+	flaky := &flakyWorker{inner: mux}
+	flakySrv := httptest.NewServer(flaky)
+	t.Cleanup(flakySrv.Close)
+
+	rep2, err := Run(context.Background(), specs, Options{
+		Workers:     []string{flakySrv.URL, w1.URL},
+		Backend:     sweep.ArenaBackendName,
+		BackoffBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flaky.hits.Load() == 0 {
+		t.Fatal("flaky worker was never claimed — the kill path did not run")
+	}
+	if rep2.Partial {
+		t.Error("report marked partial despite successful reassignment")
+	}
+	if got, want := canonicalOutcomes(t, rep2), canonicalOutcomes(t, local); got != want {
+		t.Errorf("arena outcomes after worker kill differ from local run:\n%s\n%s", got, want)
+	}
+}
+
 func TestClusterBackendMismatchRefused(t *testing.T) {
 	w, _ := startWorker(t, sweep.Options{Evaluator: &sweep.TheoryEvaluator{}}, "theory")
 	_, err := Run(context.Background(), testGrid(t), Options{Workers: []string{w.URL}})

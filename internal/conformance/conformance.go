@@ -40,6 +40,11 @@ type Case struct {
 	// mean λ ≥ share + SkewAbove — the rich-get-richer / attacker-gain
 	// direction.
 	SkewAbove float64
+	// SkewBelow, when > 0, asserts that BOTH backends report
+	// mean λ ≤ share − SkewBelow — the self-harming-deviation direction
+	// (a committed attacker below its profitability region, or a
+	// withholder starving its own compounding).
+	SkewBelow float64
 	// NearShare, when > 0, asserts that BOTH backends report
 	// |mean λ − share| ≤ NearShare — honest-equilibrium scenarios.
 	NearShare float64
@@ -66,9 +71,9 @@ func HonestCorpus() []Case {
 	}
 }
 
-// AdversarialCorpus returns the fork- and attack-aware cases. All are
-// PoW — the protocol whose longest-chain race the adversary and network
-// blocks model.
+// AdversarialCorpus returns the fork- and attack-aware cases: one per
+// registered deviating strategy (selfish, selfish-delay, withhold) plus
+// the honest-over-forking-network case, each with its skew direction.
 func AdversarialCorpus() []Case {
 	return []Case{
 		{
@@ -110,6 +115,62 @@ func AdversarialCorpus() []Case {
 			},
 			MeanTol:   0.02,
 			NearShare: 0.02,
+		},
+		{
+			// Committed delay-capped selfish mining at γ=0: the lead-2 cap
+			// forfeits the long private chains classic selfish mining
+			// profits from, so the committed 40% attacker earns LESS than
+			// its share — the strategy's signature skew, which both
+			// backends must reproduce from their very different machines.
+			Name: "selfish-delay/capped-lead-self-harm",
+			Spec: scenario.Spec{
+				Protocol: "pow", Stake: 0.4, Miners: 5,
+				Blocks: 1500, Trials: 40, Seed: 307,
+				Adversary: &scenario.Adversary{Strategy: "selfish-delay", Gamma: 0, Delay: 2},
+			},
+			MeanTol:   0.02,
+			SkewBelow: 0.02, // observed mean ≈ 0.365 vs share 0.4
+		},
+		{
+			// Delay-capped selfish mining turns profitable once γ gives
+			// the attacker half the race ties: at γ=0.5, d=3 the committed
+			// attacker clears its share on both backends.
+			Name: "selfish-delay/gamma05-profitable",
+			Spec: scenario.Spec{
+				Protocol: "pow", Stake: 0.4, Miners: 5,
+				Blocks: 1500, Trials: 40, Seed: 311,
+				Adversary: &scenario.Adversary{Strategy: "selfish-delay", Gamma: 0.5, Delay: 3},
+			},
+			MeanTol:   0.03, // block-level γ realisation sits slightly under the abstract machine's
+			SkewAbove: 0.01, // observed means ≈ 0.446 (mc) / 0.424 (chainsim)
+		},
+		{
+			// PoS reward withholding: a compounding-PoS staker that never
+			// restakes its rewards freezes its own resource while the
+			// honest miners compound, so its reward share collapses far
+			// below its initial stake — on the abstract per-epoch machine
+			// and the block-level engine alike.
+			Name: "withhold/never-restake",
+			Spec: scenario.Spec{
+				Protocol: "mlpos", W: 0.01, Stake: 0.3, Miners: 4,
+				Blocks: 1000, Trials: 40, Seed: 313,
+				Adversary: &scenario.Adversary{Strategy: "withhold", Every: 0},
+			},
+			MeanTol:   0.02,
+			SkewBelow: 0.15, // observed mean ≈ 0.08 vs share 0.3
+		},
+		{
+			// Periodic restaking recovers part of the compounding: every
+			// 200 blocks is enough to double the never-restake mean but
+			// still far below honest play.
+			Name: "withhold/restake-every-200",
+			Spec: scenario.Spec{
+				Protocol: "mlpos", W: 0.01, Stake: 0.3, Miners: 4,
+				Blocks: 1000, Trials: 40, Seed: 317,
+				Adversary: &scenario.Adversary{Strategy: "withhold", Every: 200},
+			},
+			MeanTol:   0.02,
+			SkewBelow: 0.08, // observed mean ≈ 0.18 vs share 0.3
 		},
 		{
 			// Honest miners over a forking network: the 60% whale's
@@ -242,6 +303,10 @@ func Run(ctx context.Context, a, b sweep.Evaluator, cases []Case) (*Report, erro
 				res.Failures = append(res.Failures,
 					fmt.Sprintf("skew: %s mean %.4f below share %.4f + margin %.4f", m.backend, m.mean, res.Share, c.SkewAbove))
 			}
+			if c.SkewBelow > 0 && m.mean > res.Share-c.SkewBelow {
+				res.Failures = append(res.Failures,
+					fmt.Sprintf("skew: %s mean %.4f above share %.4f - margin %.4f", m.backend, m.mean, res.Share, c.SkewBelow))
+			}
 			if c.NearShare > 0 && math.Abs(m.mean-res.Share) > c.NearShare {
 				res.Failures = append(res.Failures,
 					fmt.Sprintf("near-share: %s mean %.4f off share %.4f by more than %.4f", m.backend, m.mean, res.Share, c.NearShare))
@@ -287,6 +352,22 @@ func CheckCapabilities(ctx context.Context) []string {
 		}
 		if !caps.Adversary && err == nil {
 			fails = append(fails, fmt.Sprintf("%s declares no adversary coverage but Check accepts", ev.Name()))
+		}
+	}
+	// Adversary-covering backends must declare the full registered
+	// strategy set — the attack registry is the single source of strategy
+	// truth, and a backend that silently drops one would turn its
+	// scenarios into capability errors only at evaluation time.
+	for _, ev := range []sweep.Evaluator{chainsim, &sweep.MonteCarloEvaluator{}} {
+		caps := sweep.CapabilityOf(ev)
+		declared := map[string]bool{}
+		for _, s := range caps.Strategies {
+			declared[s] = true
+		}
+		for _, name := range scenario.StrategyNames() {
+			if !declared[name] {
+				fails = append(fails, fmt.Sprintf("%s does not declare registered strategy %q", ev.Name(), name))
+			}
 		}
 	}
 	return fails

@@ -48,6 +48,12 @@ func TestCorpusSpecsAreValidAndDistinct(t *testing.T) {
 		if c.SkewAbove > 0 && c.NearShare > 0 {
 			t.Errorf("case %s asserts both skew and near-share", c.Name)
 		}
+		if c.SkewAbove > 0 && c.SkewBelow > 0 {
+			t.Errorf("case %s asserts skew in both directions", c.Name)
+		}
+		if c.SkewBelow > 0 && c.NearShare > 0 {
+			t.Errorf("case %s asserts both below-skew and near-share", c.Name)
+		}
 	}
 }
 

@@ -31,6 +31,7 @@ func NewBatch(n int, initial []float64, opts ...Option) (*Batch, error) {
 		st.Initial = backing[(4*i+2)*m : (4*i+3)*m : (4*i+3)*m]
 		st.pending = backing[(4*i+3)*m : (4*i+4)*m : (4*i+4)*m]
 		st.withholdEvery = proto.withholdEvery
+		st.minerWithhold = proto.minerWithhold // read-only after construction
 		copy(st.Initial, proto.Initial)
 		copy(st.Stakes, proto.Initial)
 	}

@@ -34,6 +34,11 @@ type State struct {
 
 	withholdEvery int
 	pending       []float64
+	// minerWithhold overrides the global withholding period per miner:
+	// period > 0 releases at multiples of period, period <= 0 withholds
+	// forever. The map is set once at construction and read-only after,
+	// so clones and batch states share it.
+	minerWithhold map[int]int
 }
 
 // Option configures a new game State.
@@ -43,6 +48,39 @@ type Option func(*State)
 // multiple-of-k block (Section 6.3's treatment). k <= 0 means immediate.
 func WithWithholding(k int) Option {
 	return func(s *State) { s.withholdEvery = k }
+}
+
+// WithMinerWithholding defers the staking effect of one miner's rewards
+// only — the `withhold` adversary strategy, as opposed to
+// WithWithholding's all-miner treatment. Miner i's rewards still count
+// toward λ immediately but join her staking power only at multiples of
+// k blocks; k <= 0 withholds them forever. Other miners keep the global
+// behaviour. Repeated options accumulate, so several miners can
+// withhold at once.
+func WithMinerWithholding(miner, k int) Option {
+	return func(s *State) {
+		if s.minerWithhold == nil {
+			s.minerWithhold = make(map[int]int)
+		}
+		s.minerWithhold[miner] = k
+	}
+}
+
+// withholdPeriod resolves miner i's effective withholding period:
+// 0 = stake immediately, > 0 = release at multiples, < 0 = never.
+func (s *State) withholdPeriod(i int) int {
+	if s.minerWithhold != nil {
+		if k, ok := s.minerWithhold[i]; ok {
+			if k <= 0 {
+				return -1
+			}
+			return k
+		}
+	}
+	if s.withholdEvery > 0 {
+		return s.withholdEvery
+	}
+	return 0
 }
 
 // New creates a game state from the miners' initial resources, normalising
@@ -97,23 +135,28 @@ func (s *State) Credit(i int, reward, stake float64) {
 	if stake == 0 {
 		return
 	}
-	if s.withholdEvery > 0 {
+	if s.withholdPeriod(i) != 0 {
 		s.pending[i] += stake
 		return
 	}
 	s.Stakes[i] += stake
 }
 
-// EndBlock marks one block/epoch complete and releases withheld stake when
-// the block count reaches a multiple of the withholding period.
+// EndBlock marks one block/epoch complete and releases withheld stake
+// for every miner whose withholding period divides the block count
+// (miners withholding forever never release).
 func (s *State) EndBlock() {
 	s.Blocks++
-	if s.withholdEvery > 0 && s.Blocks%s.withholdEvery == 0 {
-		for i, p := range s.pending {
-			if p != 0 {
-				s.Stakes[i] += p
-				s.pending[i] = 0
-			}
+	if s.withholdEvery <= 0 && s.minerWithhold == nil {
+		return
+	}
+	for i, p := range s.pending {
+		if p == 0 {
+			continue
+		}
+		if k := s.withholdPeriod(i); k > 0 && s.Blocks%k == 0 {
+			s.Stakes[i] += p
+			s.pending[i] = 0
 		}
 	}
 }
@@ -200,6 +243,7 @@ func (s *State) Clone() *State {
 		pending:       append([]float64(nil), s.pending...),
 		Blocks:        s.Blocks,
 		withholdEvery: s.withholdEvery,
+		minerWithhold: s.minerWithhold, // read-only after construction
 	}
 	return c
 }

@@ -112,6 +112,99 @@ func TestGridGammaAxisExpansion(t *testing.T) {
 	}
 }
 
+// Property: the strategy and strategy-parameter axes multiply
+// cardinality exactly like the physical axes, and two cells share a
+// content hash exactly when they normalise to the same computation —
+// distinct parameterisations never alias, while cells that differ only
+// in a parameter their strategy ignores (honest × any γ, selfish × any
+// delay) collapse for cache reuse. Randomised over axis subsets of the
+// full strategy/parameter space.
+func TestGridStrategyAxesProductAndDistinctHashes(t *testing.T) {
+	r := rng.New(71)
+	strategyPool := []string{"honest", "selfish", "selfish-delay"}
+	gammaPool := []float64{0, 0.25, 0.5, 1}
+	delayPool := []int{0, 2, 3, 5}
+	stakePool := []float64{0.3, 0.4}
+	pick := func(n int) int { return int(r.Uint64() % uint64(n+1)) } // 0..n axis length
+	for iter := 0; iter < 120; iter++ {
+		g := Grid{
+			// The base pins a deviating miner below the 50% validity cap;
+			// the axes sweep strategy identity and parameters over it.
+			Base: Spec{Protocol: "pow", Blocks: 100, Trials: 5,
+				Adversary: &Adversary{Strategy: "selfish"}},
+			Stake:      stakePool[:1+pick(len(stakePool)-1)],
+			Strategies: strategyPool[:pick(len(strategyPool))],
+			Gamma:      gammaPool[:pick(len(gammaPool))],
+			Delay:      delayPool[:pick(len(delayPool))],
+			Seed:       r.Uint64() | 1,
+		}
+		want := 1
+		for _, n := range []int{len(g.Stake), len(g.Strategies), len(g.Gamma), len(g.Delay)} {
+			if n > 0 {
+				want *= n
+			}
+		}
+		if got := g.Size(); got != want {
+			t.Fatalf("iter %d: Size() = %d, want %d (%+v)", iter, got, want, g)
+		}
+		specs, err := g.Expand()
+		if err != nil {
+			t.Fatalf("iter %d: Expand: %v (%+v)", iter, err, g)
+		}
+		if len(specs) != want {
+			t.Fatalf("iter %d: expanded %d, want %d (%+v)", iter, len(specs), want, g)
+		}
+		byHash := make(map[string]Spec, len(specs))
+		distinct := make(map[string]bool, len(specs))
+		for _, s := range specs {
+			if err := s.Validate(); err != nil {
+				t.Fatalf("iter %d: expanded spec %q invalid: %v", iter, s.Name, err)
+			}
+			h, err := s.Hash()
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := s.Normalized()
+			n.Name = ""
+			key := fmt.Sprintf("%+v", n)
+			distinct[key] = true
+			if prev, dup := byHash[h]; dup {
+				p := prev.Normalized()
+				p.Name = ""
+				if fmt.Sprintf("%+v", p) != key {
+					t.Fatalf("iter %d: semantically distinct cells %q and %q share hash %s", iter, prev.Name, s.Name, h)
+				}
+			}
+			byHash[h] = s
+		}
+		if len(byHash) != len(distinct) {
+			t.Fatalf("iter %d: %d hashes for %d distinct computations", iter, len(byHash), len(distinct))
+		}
+	}
+	// The one deliberate exception to distinctness: honest cells. A
+	// strategies axis that names honest more than once (or honest plus a
+	// non-deviating parameterisation) collapses under normalisation, and
+	// the runner dedups those cells by hash rather than recomputing.
+	g := Grid{
+		Base:       Spec{Protocol: "pow", Stake: 0.4, Blocks: 100, Trials: 5},
+		Strategies: []string{"honest", "selfish"},
+	}
+	specs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 2 {
+		t.Fatalf("expanded %d, want 2", len(specs))
+	}
+	honest, plain := specs[0], Spec{Protocol: "pow", Stake: 0.4, Blocks: 100, Trials: 5, Seed: specs[0].Seed}
+	if honest.MustHash() != plain.MustHash() {
+		t.Error("the honest axis cell must hash like the plain honest spec (cache reuse)")
+	}
+	if honest.MustHash() == specs[1].MustHash() {
+		t.Error("honest and selfish cells share a hash")
+	}
+}
+
 func TestGridForkRateAxisRejectsInvalidValues(t *testing.T) {
 	// An out-of-range fork_rate axis value must fail expansion, not
 	// collapse into a duplicate honest cell with a reused name and seed.

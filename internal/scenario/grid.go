@@ -23,9 +23,21 @@ type Grid struct {
 	Blocks    []int     `json:"blocks,omitempty"`
 	Trials    []int     `json:"trials,omitempty"`
 	Withhold  []int     `json:"withhold,omitempty"`
-	// Gamma sweeps the adversary's network advantage; it requires an
-	// adversary block on Base (the axis overrides its gamma).
+	// Strategies sweeps the adversary strategy itself; each cell
+	// materialises an adversary block with the axis value (keeping the
+	// base block's miner index when one exists). The "honest" value is
+	// the no-deviation baseline cell — it normalises to the honest spec,
+	// so it shares that spec's hash and cache entry.
+	Strategies []string `json:"strategies,omitempty"`
+	// Gamma sweeps a race strategy's network advantage; it requires an
+	// adversary block on Base or a Strategies axis (the axis overrides
+	// the block's gamma).
 	Gamma []float64 `json:"gamma,omitempty"`
+	// Delay sweeps selfish-delay's publish-delay cap; same requirement
+	// as Gamma.
+	Delay []int `json:"delay,omitempty"`
+	// Every sweeps withhold's restake period; same requirement as Gamma.
+	Every []int `json:"every,omitempty"`
 	// ForkRate sweeps the network fork rate; a value of 0 is the honest
 	// perfect-network cell (no network block).
 	ForkRate []float64 `json:"fork_rate,omitempty"`
@@ -41,7 +53,8 @@ func (g Grid) Size() int {
 	for _, n := range []int{
 		len(g.Protocols), len(g.W), len(g.V), len(g.Stake),
 		len(g.Miners), len(g.Blocks), len(g.Trials), len(g.Withhold),
-		len(g.Gamma), len(g.ForkRate),
+		len(g.Strategies), len(g.Gamma), len(g.Delay), len(g.Every),
+		len(g.ForkRate),
 	} {
 		if n > 0 {
 			size *= n
@@ -63,25 +76,27 @@ func (g Grid) baseSeed() uint64 {
 
 // Expand returns the concrete, validated scenario list of the grid in a
 // deterministic axis order (protocols ▸ w ▸ v ▸ stake ▸ miners ▸ blocks ▸
-// trials ▸ withhold ▸ gamma ▸ fork-rate). Every scenario gets a
-// descriptive Name and a seed derived from the grid seed and its own
-// parameter content, so the list — seeds included — is a pure function of
-// the grid.
+// trials ▸ withhold ▸ strategy ▸ gamma ▸ delay ▸ every ▸ fork-rate).
+// Every scenario gets a descriptive Name and a seed derived from the
+// grid seed and its own parameter content, so the list — seeds included
+// — is a pure function of the grid.
 func (g Grid) Expand() ([]Spec, error) {
 	protocols := g.Protocols
 	if len(protocols) == 0 {
 		protocols = []string{g.Base.Protocol}
 	}
-	if len(g.Gamma) > 0 && g.Base.Adversary == nil {
-		return nil, fmt.Errorf("%w: gamma axis needs an adversary block on the base spec", ErrSpec)
+	hasAdv := g.Base.Adversary != nil || len(g.Strategies) > 0
+	for _, axis := range []struct {
+		name string
+		n    int
+	}{{"gamma", len(g.Gamma)}, {"delay", len(g.Delay)}, {"every", len(g.Every)}} {
+		if axis.n > 0 && !hasAdv {
+			return nil, fmt.Errorf("%w: %s axis needs an adversary block on the base spec or a strategies axis", ErrSpec, axis.name)
+		}
 	}
-	baseGamma := 0.0
-	if g.Base.Adversary != nil {
-		baseGamma = g.Base.Adversary.Gamma
-	}
-	baseFork := 0.0
-	if g.Base.Network != nil {
-		baseFork = g.Base.Network.ForkRate
+	baseStrategy, baseGamma, baseDelay, baseEvery := "", 0.0, 0, 0
+	if a := g.Base.Adversary; a != nil {
+		baseStrategy, baseGamma, baseDelay, baseEvery = a.Strategy, a.Gamma, a.Delay, a.Every
 	}
 	specs := make([]Spec, 0, g.Size())
 	base := g.baseSeed()
@@ -93,42 +108,54 @@ func (g Grid) Expand() ([]Spec, error) {
 						for _, blocks := range orInt(g.Blocks, g.Base.Blocks) {
 							for _, trials := range orInt(g.Trials, g.Base.Trials) {
 								for _, withhold := range orInt(g.Withhold, g.Base.WithholdEvery) {
-									for _, gamma := range orFloat(g.Gamma, baseGamma) {
-										for _, fork := range orFloat(g.ForkRate, baseFork) {
-											s := g.Base
-											s.Protocol = proto
-											s.W, s.V = w, v
-											s.Blocks, s.Trials = blocks, trials
-											s.WithholdEvery = withhold
-											if len(g.Stake) > 0 || len(g.Miners) > 0 {
-												// Stake axes override any explicit base allocation.
-												s.Stakes = nil
-												s.Stake, s.Miners = stake, miners
+									for _, strat := range orString(g.Strategies, baseStrategy) {
+										for _, gamma := range orFloat(g.Gamma, baseGamma) {
+											for _, delay := range orInt(g.Delay, baseDelay) {
+												for _, every := range orInt(g.Every, baseEvery) {
+													for _, fork := range orFloat(g.ForkRate, baseFork(g.Base)) {
+														s := g.Base
+														s.Protocol = proto
+														s.W, s.V = w, v
+														s.Blocks, s.Trials = blocks, trials
+														s.WithholdEvery = withhold
+														if len(g.Stake) > 0 || len(g.Miners) > 0 {
+															// Stake axes override any explicit base allocation.
+															s.Stakes = nil
+															s.Stake, s.Miners = stake, miners
+														}
+														// Clone (or materialise, under a strategies axis) the
+														// adversary block so grid cells never alias the base
+														// or each other through shared structs. Normalisation
+														// clears the parameters each cell's strategy does not
+														// consume, so e.g. a withhold cell of a mixed grid is
+														// untouched by the gamma axis.
+														if strat != "" || len(g.Strategies) > 0 {
+															adv := Adversary{Strategy: strat, Gamma: gamma, Delay: delay, Every: every}
+															if g.Base.Adversary != nil {
+																adv.Miner = g.Base.Adversary.Miner
+															}
+															s.Adversary = &adv
+														}
+														// A literal 0 is the honest perfect-network cell; any
+														// other value — including an invalid one — materialises
+														// a block so Validate vets it below, rather than an
+														// out-of-range axis value silently collapsing into a
+														// duplicate honest cell.
+														if fork != 0 {
+															s.Network = &Network{ForkRate: fork}
+														} else {
+															s.Network = nil
+														}
+														s.Seed = 0
+														s.Seed = DeriveSeed(base, s)
+														s.Name = g.cellName(s)
+														if err := s.Validate(); err != nil {
+															return nil, fmt.Errorf("expanding %s: %w", s.Name, err)
+														}
+														specs = append(specs, s)
+													}
+												}
 											}
-											// Clone the pointer blocks so grid cells never alias
-											// the base (or each other) through shared structs.
-											if s.Adversary != nil {
-												adv := *s.Adversary
-												adv.Gamma = gamma
-												s.Adversary = &adv
-											}
-											// A literal 0 is the honest perfect-network cell; any
-											// other value — including an invalid one — materialises
-											// a block so Validate vets it below, rather than an
-											// out-of-range axis value silently collapsing into a
-											// duplicate honest cell.
-											if fork != 0 {
-												s.Network = &Network{ForkRate: fork}
-											} else {
-												s.Network = nil
-											}
-											s.Seed = 0
-											s.Seed = DeriveSeed(base, s)
-											s.Name = g.cellName(s)
-											if err := s.Validate(); err != nil {
-												return nil, fmt.Errorf("expanding %s: %w", s.Name, err)
-											}
-											specs = append(specs, s)
 										}
 									}
 								}
@@ -140,6 +167,14 @@ func (g Grid) Expand() ([]Spec, error) {
 		}
 	}
 	return specs, nil
+}
+
+// baseFork returns the base spec's fork rate (0 without a network block).
+func baseFork(base Spec) float64 {
+	if base.Network != nil {
+		return base.Network.ForkRate
+	}
+	return 0
 }
 
 // DecodeGrid parses a Grid from JSON, rejecting unknown fields.
@@ -219,6 +254,17 @@ func (g Grid) cellName(s Spec) string {
 		if len(g.Gamma) > 1 {
 			name += fmt.Sprintf("/g=%g", n.Adversary.Gamma)
 		}
+		if len(g.Delay) > 1 {
+			name += fmt.Sprintf("/d=%d", n.Adversary.Delay)
+		}
+		if len(g.Every) > 1 {
+			name += fmt.Sprintf("/e=%d", n.Adversary.Every)
+		}
+	} else if s.Adversary != nil {
+		// The honest baseline cell of a strategies axis: its adversary
+		// block collapses under normalisation, but the cell still earns a
+		// label distinct from a plain honest spec.
+		name += fmt.Sprintf("/honest@%d", s.Adversary.Miner)
 	}
 	if n.Network != nil {
 		name += fmt.Sprintf("/f=%g", n.Network.ForkRate)
@@ -236,6 +282,13 @@ func orFloat(axis []float64, base float64) []float64 {
 func orInt(axis []int, base int) []int {
 	if len(axis) == 0 {
 		return []int{base}
+	}
+	return axis
+}
+
+func orString(axis []string, base string) []string {
+	if len(axis) == 0 {
+		return []string{base}
 	}
 	return axis
 }

@@ -20,8 +20,10 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"slices"
 	"strings"
 
+	"repro/internal/attack"
 	"repro/internal/protocol"
 	"repro/internal/rng"
 )
@@ -76,7 +78,7 @@ type Spec struct {
 	WithholdEvery int `json:"withhold_every,omitempty"`
 
 	// Adversary, when present, makes one miner deviate strategically from
-	// the protocol (currently: Eyal–Sirer selfish mining, PoW only).
+	// the protocol with a registered attack strategy (see Adversary).
 	Adversary *Adversary `json:"adversary,omitempty"`
 	// Network, when present, models imperfect block propagation: a
 	// per-height fork rate in the Sakurai–Shudo style (PoW only).
@@ -89,24 +91,36 @@ type Spec struct {
 
 // Adversary declares one strategically deviating miner. The paper's
 // fairness notions assume honest execution; an adversary block asks how
-// far a deviation bends λ away from the deviator's resource share a —
-// selfish mining converts PoW's fair lottery into a rich-get-richer one
-// once the attacker's share clears the Eyal–Sirer profitability
-// threshold (1−γ)/(3−2γ).
+// far a deviation bends λ away from the deviator's resource share a.
+//
+// Strategy is an open enum keyed into the internal/attack registry
+// (StrategyNames lists the registered set): "honest", "selfish"
+// (rational Eyal–Sirer withholding, PoW), "selfish-delay" (committed
+// withholding with a publish-delay cap, PoW) and "withhold" (per-miner
+// reward withholding, the compounding PoS models). Each strategy
+// consumes its own parameter subset — gamma for the race strategies,
+// delay for selfish-delay, every for withhold — and normalisation
+// clears the rest, exactly like protocol parameters, so equivalent
+// specs share one canonical form and one hash.
 type Adversary struct {
-	// Strategy names the deviation. The only strategy currently known is
-	// "selfish": rational Eyal–Sirer selfish mining — the miner withholds
-	// found blocks and releases them to orphan honest work when the
-	// closed-form revenue beats honest mining, and mines honestly below
-	// the profitability threshold.
+	// Strategy names the deviation (case- and separator-insensitive);
+	// unknown names fail validation with an UnknownStrategyError listing
+	// the registered strategies.
 	Strategy string `json:"strategy"`
 	// Miner is the index of the deviating miner (default 0, the tracked
 	// miner).
 	Miner int `json:"miner,omitempty"`
-	// Gamma is the attacker's network advantage: the fraction of honest
-	// power that mines on the attacker's branch during a 1-vs-1 fork
-	// race, in [0, 1].
+	// Gamma is a race strategy's network advantage: the fraction of
+	// honest power that mines on the attacker's branch during a 1-vs-1
+	// fork race, in [0, 1].
 	Gamma float64 `json:"gamma,omitempty"`
+	// Delay is selfish-delay's publish-delay cap: the private lead at
+	// which the whole branch is published (0 = uncapped classic
+	// withholding, 1 = behaviourally honest).
+	Delay int `json:"delay,omitempty"`
+	// Every is withhold's restake period: the deviator's rewards join
+	// her staking power only at multiples of Every blocks (0 = never).
+	Every int `json:"every,omitempty"`
 }
 
 // Network declares imperfect block propagation. Sakurai & Shudo ("The
@@ -121,8 +135,19 @@ type Network struct {
 	ForkRate float64 `json:"fork_rate,omitempty"`
 }
 
-// StrategySelfish is the canonical name of the selfish-mining strategy.
-const StrategySelfish = "selfish"
+// Canonical adversary strategy names, re-exported from the
+// internal/attack registry.
+const (
+	StrategyHonest       = attack.StrategyHonest
+	StrategySelfish      = attack.StrategySelfish
+	StrategySelfishDelay = attack.StrategySelfishDelay
+	StrategyWithhold     = attack.StrategyWithhold
+)
+
+// StrategyNames returns the sorted canonical names of the registered
+// adversary strategies — the open enum Adversary.Strategy validates
+// against.
+func StrategyNames() []string { return attack.Names() }
 
 // knownProtocols maps canonical protocol names to constructors.
 var knownProtocols = map[string]func(Spec) protocol.Protocol{
@@ -220,14 +245,35 @@ func (s Spec) Normalized() Spec {
 	// Clone the adversary/network blocks so normalising never mutates the
 	// caller's spec, and collapse the zero fork rate — a nil network
 	// block and fork_rate 0 both mean "perfect network" and must share
-	// one canonical encoding (and one hash). An adversary block is NEVER
-	// collapsed: a present-but-empty strategy is a validation error, not
-	// an honest run — silently dropping it would report honest numbers
-	// for a spec that asked for an attack.
+	// one canonical encoding (and one hash). A deviating adversary block
+	// is NEVER collapsed: a present-but-empty strategy is a validation
+	// error, not an honest run — silently dropping it would report honest
+	// numbers for a spec that asked for an attack. The null deviation
+	// "honest" IS collapsed (once its miner index is in range), because
+	// it names exactly the honest computation and must share its hash,
+	// seed and cache entry — that is what lets strategy grid axes include
+	// the honest baseline for free.
 	if s.Adversary != nil {
 		a := *s.Adversary
-		a.Strategy = CanonicalProtocol(a.Strategy)
+		a.Strategy = attack.CanonicalStrategy(a.Strategy)
 		n.Adversary = &a
+		if strat, ok := attack.Lookup(a.Strategy); ok {
+			// Clear parameters the strategy does not consume, exactly
+			// like protocol parameters above.
+			use := strat.Uses()
+			if !use.Gamma {
+				a.Gamma = 0
+			}
+			if !use.Delay {
+				a.Delay = 0
+			}
+			if !use.Every {
+				a.Every = 0
+			}
+			if strat.Kind() == attack.KindHonest && a.Miner >= 0 && a.Miner < len(n.Stakes) {
+				n.Adversary = nil
+			}
+		}
 	}
 	if s.Network != nil {
 		if s.Network.ForkRate == 0 {
@@ -316,48 +362,122 @@ func (s Spec) Validate() error {
 	return nil
 }
 
+// UnknownStrategyError reports an adversary strategy outside the
+// registered set. It unwraps to ErrSpec; Known lists the registry, so
+// callers (and users) see exactly which strategies exist.
+type UnknownStrategyError struct {
+	// Strategy is the canonicalised name that failed to resolve.
+	Strategy string
+	// Known lists the registered strategy names.
+	Known []string
+}
+
+// Error implements error.
+func (e *UnknownStrategyError) Error() string {
+	return fmt.Sprintf("%v: unknown adversary strategy %q (registered: %s)",
+		ErrSpec, e.Strategy, strings.Join(e.Known, ", "))
+}
+
+// Unwrap makes errors.Is(err, ErrSpec) hold.
+func (e *UnknownStrategyError) Unwrap() error { return ErrSpec }
+
+// BlockConflict is one violated exclusivity rule between spec blocks,
+// naming every block involved.
+type BlockConflict struct {
+	// Blocks are the conflicting spec blocks, e.g. "adversary(withhold@0)"
+	// and "protocol(pow)".
+	Blocks []string `json:"blocks"`
+	// Reason states the rule the combination violates.
+	Reason string `json:"reason"`
+}
+
+// ConflictError aggregates every violated cross-block rule of a spec
+// into one error: each conflict names both (all) blocks involved, so a
+// spec combining, say, an adversary with a network block on a PoS
+// protocol reports the full picture at once instead of failing field by
+// field. It unwraps to ErrSpec.
+type ConflictError struct {
+	Conflicts []BlockConflict
+}
+
+// Error implements error.
+func (e *ConflictError) Error() string {
+	parts := make([]string, len(e.Conflicts))
+	for i, c := range e.Conflicts {
+		parts[i] = fmt.Sprintf("%s: %s", strings.Join(c.Blocks, " vs "), c.Reason)
+	}
+	return fmt.Sprintf("%v: conflicting blocks — %s", ErrSpec, strings.Join(parts, "; "))
+}
+
+// Unwrap makes errors.Is(err, ErrSpec) hold.
+func (e *ConflictError) Unwrap() error { return ErrSpec }
+
 // validateAdversaryNetwork checks the adversary and network blocks of an
-// already-normalised spec. Both model fork dynamics of the longest-chain
-// PoW race, so both are restricted to protocol "pow"; they are mutually
-// exclusive because the adversary block already subsumes network effects
-// through gamma.
+// already-normalised spec. Strategy applicability is capability-driven:
+// the internal/attack registry declares each strategy's protocols and
+// validates its parameters, so growing the strategy set never touches
+// this function. Cross-block exclusivity violations are aggregated into
+// one ConflictError naming every side.
 func (n Spec) validateAdversaryNetwork() error {
-	if nw := n.Network; nw != nil {
-		if n.Protocol != "pow" {
-			return fmt.Errorf("%w: network block models PoW fork races; protocol is %q", ErrSpec, n.Protocol)
+	var conflicts []BlockConflict
+	protoBlock := fmt.Sprintf("protocol(%s)", n.Protocol)
+	if nw := n.Network; nw != nil && n.Protocol != "pow" {
+		conflicts = append(conflicts, BlockConflict{
+			Blocks: []string{fmt.Sprintf("network(fork_rate=%g)", nw.ForkRate), protoBlock},
+			Reason: "the network block models PoW fork races",
+		})
+	}
+	adv := n.Adversary
+	var strat attack.Strategy
+	if adv != nil {
+		var ok bool
+		if strat, ok = attack.Lookup(adv.Strategy); !ok {
+			return &UnknownStrategyError{Strategy: adv.Strategy, Known: attack.Names()}
 		}
+		advBlock := fmt.Sprintf("adversary(%s@%d)", adv.Strategy, adv.Miner)
+		if ps := strat.Protocols(); ps != nil && !slices.Contains(ps, n.Protocol) {
+			conflicts = append(conflicts, BlockConflict{
+				Blocks: []string{advBlock, protoBlock},
+				Reason: fmt.Sprintf("strategy %q applies to: %s", adv.Strategy, strings.Join(ps, ", ")),
+			})
+		}
+		if nw := n.Network; nw != nil {
+			conflicts = append(conflicts, BlockConflict{
+				Blocks: []string{advBlock, fmt.Sprintf("network(fork_rate=%g)", nw.ForkRate)},
+				Reason: "mutually exclusive: a race strategy's gamma already models the network advantage",
+			})
+		}
+		if n.WithholdEvery > 0 {
+			conflicts = append(conflicts, BlockConflict{
+				Blocks: []string{advBlock, fmt.Sprintf("withhold_every(%d)", n.WithholdEvery)},
+				Reason: "the global withholding treatment cannot be combined with an adversary",
+			})
+		}
+	}
+	if len(conflicts) > 0 {
+		return &ConflictError{Conflicts: conflicts}
+	}
+	if nw := n.Network; nw != nil {
 		if !(nw.ForkRate > 0 && nw.ForkRate < 1) || math.IsNaN(nw.ForkRate) {
 			return fmt.Errorf("%w: network.fork_rate = %v, need [0, 1)", ErrSpec, nw.ForkRate)
 		}
 	}
-	adv := n.Adversary
 	if adv == nil {
 		return nil
 	}
-	if adv.Strategy != StrategySelfish {
-		return fmt.Errorf("%w: unknown adversary strategy %q (known: %s)", ErrSpec, adv.Strategy, StrategySelfish)
-	}
-	if n.Protocol != "pow" {
-		return fmt.Errorf("%w: adversary strategy %q models PoW; protocol is %q", ErrSpec, adv.Strategy, n.Protocol)
-	}
-	if n.Network != nil {
-		return fmt.Errorf("%w: adversary and network blocks cannot be combined (gamma already models the network advantage)", ErrSpec)
-	}
-	if n.WithholdEvery > 0 {
-		return fmt.Errorf("%w: adversary cannot be combined with withhold_every", ErrSpec)
-	}
 	if adv.Miner < 0 || adv.Miner >= len(n.Stakes) {
 		return fmt.Errorf("%w: adversary.miner = %d with %d miners", ErrSpec, adv.Miner, len(n.Stakes))
-	}
-	if !(adv.Gamma >= 0 && adv.Gamma <= 1) || math.IsNaN(adv.Gamma) {
-		return fmt.Errorf("%w: adversary.gamma = %v, need [0, 1]", ErrSpec, adv.Gamma)
 	}
 	total := 0.0
 	for _, v := range n.Stakes {
 		total += v
 	}
-	if alpha := n.Stakes[adv.Miner] / total; !(alpha > 0 && alpha < 0.5) {
-		return fmt.Errorf("%w: adversary share = %v, need (0, 0.5) — a majority attacker trivially wins", ErrSpec, alpha)
+	p := attack.Params{
+		Share: n.Stakes[adv.Miner] / total,
+		Gamma: adv.Gamma, Delay: adv.Delay, Every: adv.Every,
+	}
+	if err := strat.Validate(p); err != nil {
+		return fmt.Errorf("%w: adversary %q: %v", ErrSpec, adv.Strategy, err)
 	}
 	return nil
 }
@@ -477,6 +597,12 @@ func (s Spec) String() string {
 	}
 	if n.Adversary != nil {
 		fmt.Fprintf(&b, " %s@%d gamma=%g", n.Adversary.Strategy, n.Adversary.Miner, n.Adversary.Gamma)
+		if n.Adversary.Delay > 0 {
+			fmt.Fprintf(&b, " delay=%d", n.Adversary.Delay)
+		}
+		if n.Adversary.Every > 0 {
+			fmt.Fprintf(&b, " every=%d", n.Adversary.Every)
+		}
 	}
 	if n.Network != nil {
 		fmt.Fprintf(&b, " fork=%g", n.Network.ForkRate)

@@ -1,0 +1,125 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/arena"
+	"repro/internal/scenario"
+)
+
+// arenaSpec is an honest PoW baseline whose 40% miner sits above the
+// selfish-mining profitability threshold.
+func arenaSpec() scenario.Spec {
+	return scenario.Spec{
+		Name: "arena-pow", Protocol: "pow",
+		Stake: 0.4, Miners: 4, Blocks: 1500, Trials: 30, Seed: 9,
+	}
+}
+
+func TestArenaEvaluatorEquilibriumOutcome(t *testing.T) {
+	rep, err := Run([]scenario.Spec{arenaSpec()}, Options{Evaluator: &ArenaEvaluator{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Outcomes[0]
+	if o.Backend != "arena" {
+		t.Errorf("backend = %q", o.Backend)
+	}
+	if o.Arena == nil {
+		t.Fatal("outcome carries no equilibrium")
+	}
+	if !o.Arena.Converged || !reflect.DeepEqual(o.Arena.Deviators, []int{0}) {
+		t.Errorf("equilibrium = %+v, want converged with deviator 0", o.Arena)
+	}
+	if o.Verdict.ExpectationalFair {
+		t.Error("equilibrium with a profitable selfish miner must break expectational fairness")
+	}
+	if d := o.Arena.Delta(0); d <= 0 {
+		t.Errorf("attacker delta %v, want > 0", d)
+	}
+	// The equilibrium must survive the JSON round trip outcomes take
+	// through caches, cluster streams and service responses.
+	data, err := json.Marshal(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Outcome
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Arena, o.Arena) {
+		t.Error("equilibrium does not survive the outcome JSON round trip")
+	}
+}
+
+func TestArenaEvaluatorRefusesTreatmentBlocks(t *testing.T) {
+	spec := arenaSpec()
+	spec.Adversary = &scenario.Adversary{Strategy: "selfish"}
+	_, err := (&ArenaEvaluator{}).Evaluate(context.Background(), spec)
+	var capErr *CapabilityError
+	if !errors.As(err, &capErr) || capErr.Feature != "adversary" {
+		t.Fatalf("err = %v, want CapabilityError{Feature: adversary}", err)
+	}
+	if !errors.Is(err, ErrBackend) {
+		t.Error("capability error must unwrap to ErrBackend")
+	}
+}
+
+func TestArenaNameRoundTrip(t *testing.T) {
+	evs := []*ArenaEvaluator{
+		{},
+		{Config: arena.Config{MaxRounds: 4}},
+		{Config: arena.Config{Candidates: []arena.Candidate{
+			{Strategy: "honest"}, {Strategy: "selfish", Gamma: 0.5},
+		}}},
+		{Config: arena.Config{MaxRounds: 3, Candidates: []arena.Candidate{
+			{Strategy: "selfish-delay", Gamma: 0.25, Delay: 2}, {Strategy: "withhold", Every: 100},
+		}}},
+	}
+	for _, ev := range evs {
+		name := ev.Name()
+		back, err := ParseArenaName(name)
+		if err != nil {
+			t.Errorf("ParseArenaName(%q): %v", name, err)
+			continue
+		}
+		if got := back.Name(); got != name {
+			t.Errorf("round trip %q -> %q", name, got)
+		}
+	}
+	if (&ArenaEvaluator{}).Name() != "arena" {
+		t.Errorf("default name = %q", (&ArenaEvaluator{}).Name())
+	}
+	// MaxRounds at the default is normalised away: same semantics, same
+	// cache namespace.
+	if got := (&ArenaEvaluator{Config: arena.Config{MaxRounds: arena.DefaultMaxRounds}}).Name(); got != "arena" {
+		t.Errorf("default-round name = %q, want arena", got)
+	}
+	for _, bad := range []string{"montecarlo", "arena(", "arena(x=1)", "arena(r=zero)", "arena(s=)"} {
+		if _, err := ParseArenaName(bad); err == nil {
+			t.Errorf("ParseArenaName(%q) accepted", bad)
+		}
+	}
+}
+
+func TestArenaEvaluatorDeterministicAcrossWorkers(t *testing.T) {
+	run := func(workers int) *Report {
+		t.Helper()
+		rep, err := Run([]scenario.Spec{arenaSpec()}, Options{
+			Evaluator: &ArenaEvaluator{}, Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(1), run(4)
+	if !reflect.DeepEqual(a.Outcomes[0].Verdict, b.Outcomes[0].Verdict) ||
+		!reflect.DeepEqual(a.Outcomes[0].Arena, b.Outcomes[0].Arena) {
+		t.Error("arena outcomes depend on worker count")
+	}
+}

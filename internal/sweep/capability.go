@@ -21,9 +21,13 @@ type Capabilities struct {
 	// Withholding reports whether the Section 6.3 reward-withholding
 	// treatment (withhold_every) is covered.
 	Withholding bool `json:"withholding"`
-	// Adversary reports whether adversary blocks (selfish mining) are
-	// covered.
+	// Adversary reports whether adversary blocks are covered at all.
 	Adversary bool `json:"adversary"`
+	// Strategies lists the covered adversary strategies (canonical
+	// registry names). Empty with Adversary true means every registered
+	// strategy — the backward-compatible reading for custom evaluators
+	// that predate per-strategy capability.
+	Strategies []string `json:"strategies,omitempty"`
 	// Network reports whether network blocks (fork rate) are covered.
 	Network bool `json:"network"`
 }
@@ -58,8 +62,9 @@ type CapabilityError struct {
 	// Backend is the refusing evaluator.
 	Backend string
 	// Feature is the uncovered axis: "protocol", "withholding",
-	// "adversary", "network" or "resolution" (a parameter the backend's
-	// discretisation cannot represent).
+	// "adversary", "strategy" (an adversary block whose strategy the
+	// backend does not cover), "network" or "resolution" (a parameter
+	// the backend's discretisation cannot represent).
 	Feature string
 	// Protocol is the scenario's protocol name.
 	Protocol string
@@ -97,9 +102,15 @@ func (c Capabilities) Check(n scenario.Spec) error {
 	if n.WithholdEvery > 0 && !c.Withholding {
 		return &CapabilityError{Backend: c.Backend, Feature: "withholding", Protocol: n.Protocol, Supported: c.Protocols}
 	}
-	if n.Adversary != nil && !c.Adversary {
-		return &CapabilityError{Backend: c.Backend, Feature: "adversary", Protocol: n.Protocol, Supported: c.Protocols,
-			Detail: fmt.Sprintf("strategy %q", n.Adversary.Strategy)}
+	if n.Adversary != nil {
+		if !c.Adversary {
+			return &CapabilityError{Backend: c.Backend, Feature: "adversary", Protocol: n.Protocol, Supported: c.Protocols,
+				Detail: fmt.Sprintf("strategy %q", n.Adversary.Strategy)}
+		}
+		if len(c.Strategies) > 0 && !slices.Contains(c.Strategies, n.Adversary.Strategy) {
+			return &CapabilityError{Backend: c.Backend, Feature: "strategy", Protocol: n.Protocol, Supported: c.Protocols,
+				Detail: fmt.Sprintf("strategy %q (covered: %s)", n.Adversary.Strategy, strings.Join(c.Strategies, ", "))}
+		}
 	}
 	if n.Network != nil && !c.Network {
 		return &CapabilityError{Backend: c.Backend, Feature: "network", Protocol: n.Protocol, Supported: c.Protocols,

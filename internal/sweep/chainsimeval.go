@@ -60,6 +60,7 @@ func (e *ChainSimEvaluator) Capabilities() Capabilities {
 		Protocols:   chainsimProtocols,
 		Withholding: true,
 		Adversary:   true,
+		Strategies:  scenario.StrategyNames(),
 		Network:     true,
 	}
 }
@@ -74,7 +75,11 @@ func (e *ChainSimEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) (E
 	if err := e.Capabilities().Check(n); err != nil {
 		return Evaluation{}, err
 	}
-	if n.Adversary != nil || n.Network != nil {
+	// Race strategies and fork networks run the block-level PoW fork
+	// simulations; a (PoS) withhold adversary runs the ordinary engine
+	// path below with a per-miner withholding override.
+	withholdMiner, withholdPeriod, withholding := withholdAdversary(n)
+	if (n.Adversary != nil && !withholding) || n.Network != nil {
 		return e.evaluateAdversarialPoW(ctx, n, p.Name())
 	}
 	units := e.StakeUnits
@@ -134,6 +139,16 @@ func (e *ChainSimEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) (E
 		return Evaluation{}, unsupported("chainsim", n.Protocol, chainsimProtocols)
 	}
 
+	// A withhold adversary's restake period is stated in protocol steps
+	// like the global treatment; 0 never restakes.
+	var minerWithhold map[string]uint64
+	if withholding {
+		k := chainsim.WithholdNever
+		if withholdPeriod > 0 {
+			k = uint64(withholdPeriod) * uint64(stepsPerBlock)
+		}
+		minerWithhold = map[string]uint64{fmt.Sprintf("m%d", withholdMiner): k}
+	}
 	tracked := fmt.Sprintf("m%d", n.Miner)
 	cps := n.Checkpoints
 	lambda := make([][]float64, len(cps))
@@ -155,6 +170,7 @@ func (e *ChainSimEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) (E
 			Seed:          tr.Uint64(),
 			Salt:          tr.Uint64(),
 			WithholdEvery: uint64(n.WithholdEvery) * uint64(stepsPerBlock),
+			MinerWithhold: minerWithhold,
 		})
 		if err != nil {
 			return Evaluation{TrialsRun: int64(trial)}, err
@@ -223,7 +239,7 @@ func (e *ChainSimEvaluator) evaluateAdversarialPoW(ctx context.Context, n scenar
 			Supported: chainsimProtocols,
 			Detail:    fmt.Sprintf("w = %v truncates to zero ledger units at %d stake units", n.W, units)}
 	}
-	adv := rationalAdversary(n)
+	_, raceP, racing := raceAdversary(n)
 	forkRate := 0.0
 	if n.Network != nil {
 		forkRate = n.Network.ForkRate
@@ -244,10 +260,11 @@ func (e *ChainSimEvaluator) evaluateAdversarialPoW(ctx context.Context, n scenar
 		seed, salt := tr.Uint64(), tr.Uint64()
 		var run func(int) error
 		var lambdaAt func() float64
-		if adv != nil {
+		if racing {
 			sim, err := chainsim.NewSelfishSim(chainsim.SelfishConfig{
 				Target: target, BlockReward: reward, Miners: miners,
-				Attacker: n.Adversary.Miner, Gamma: adv.Gamma, Seed: seed, Salt: salt,
+				Attacker: n.Adversary.Miner, Gamma: raceP.Gamma, Delay: raceP.Delay,
+				Seed: seed, Salt: salt,
 			})
 			if err != nil {
 				return Evaluation{TrialsRun: int64(trial)}, err

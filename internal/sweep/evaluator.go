@@ -7,6 +7,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"repro/internal/arena"
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/game"
@@ -72,6 +73,10 @@ type Evaluation struct {
 	// Both are zero for closed-form backends.
 	AchievedEps   float64
 	AchievedDelta float64
+	// Arena, set only by the best-response ArenaEvaluator, carries the
+	// equilibrium the verdict was assessed at: the fixed-point strategy
+	// profile, per-miner payoffs and honest-baseline payoffs.
+	Arena *arena.Equilibrium
 }
 
 // ErrBackend reports a scenario outside an evaluator's coverage.
@@ -146,13 +151,14 @@ func (e *MonteCarloEvaluator) Name() string {
 }
 
 // Capabilities implements Capable: the reference backend covers the full
-// scenario vocabulary.
+// scenario vocabulary, every registered strategy included.
 func (e *MonteCarloEvaluator) Capabilities() Capabilities {
 	return Capabilities{
 		Backend:     e.Name(),
 		Protocols:   scenario.ProtocolNames(),
 		Withholding: true,
 		Adversary:   true,
+		Strategies:  scenario.StrategyNames(),
 		Network:     true,
 	}
 }
@@ -164,8 +170,8 @@ func (e *MonteCarloEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) 
 	if err != nil {
 		return Evaluation{}, err
 	}
-	if adv := rationalAdversary(n); adv != nil {
-		return e.evaluateSelfish(ctx, n, p.Name(), *adv)
+	if strat, params, ok := raceAdversary(n); ok {
+		return e.evaluateRace(ctx, n, p.Name(), strat, params)
 	}
 	stakes := n.Stakes
 	if n.Network != nil {
@@ -180,6 +186,12 @@ func (e *MonteCarloEvaluator) Evaluate(ctx context.Context, spec scenario.Spec) 
 	var gameOpts []game.Option
 	if n.WithholdEvery > 0 {
 		gameOpts = append(gameOpts, game.WithWithholding(n.WithholdEvery))
+	}
+	if miner, every, ok := withholdAdversary(n); ok {
+		// The withhold strategy runs inside the ordinary mining game:
+		// the deviator's rewards join her staking power only at
+		// multiples of `every` blocks (never, for 0).
+		gameOpts = append(gameOpts, game.WithMinerWithholding(miner, every))
 	}
 	var trials atomic.Int64
 	cfg := montecarlo.Config{
@@ -220,21 +232,51 @@ func (e *MonteCarloEvaluator) confidence() float64 {
 	return montecarlo.DefaultStopConfidence
 }
 
-// rationalAdversary resolves a normalised spec's adversary block under
-// the rational-attacker rule shared by every sampling backend: the
-// strategy runs only when its closed-form revenue beats honest mining;
-// below the Eyal–Sirer profitability threshold the deviator mines
-// honestly and the scenario collapses to its honest twin. Returns the
-// strategy to simulate, or nil for honest execution.
-func rationalAdversary(n scenario.Spec) *attack.SelfishMining {
+// adversaryParams flattens a normalised spec's adversary block into the
+// registry's parameter struct.
+func adversaryParams(n scenario.Spec) attack.Params {
+	return attack.Params{
+		Share: advShare(n),
+		Gamma: n.Adversary.Gamma,
+		Delay: n.Adversary.Delay,
+		Every: n.Adversary.Every,
+	}
+}
+
+// raceAdversary resolves a normalised spec's adversary block into an
+// active PoW race strategy, shared by every sampling backend. It
+// reports false when there is no adversary, when the strategy is not a
+// race strategy, or when the parameterisation does not deviate from
+// honest play — rational selfish mining below the Eyal–Sirer
+// profitability threshold, selfish-delay at delay 1 — in which case the
+// scenario collapses to its honest twin.
+func raceAdversary(n scenario.Spec) (attack.Strategy, attack.Params, bool) {
 	if n.Adversary == nil {
-		return nil
+		return nil, attack.Params{}, false
 	}
-	s := attack.SelfishMining{Alpha: advShare(n), Gamma: n.Adversary.Gamma}
-	if profitable, err := s.BreaksExpectationalFairness(); err != nil || !profitable {
-		return nil
+	strat, ok := attack.Lookup(n.Adversary.Strategy)
+	if !ok || strat.Kind() != attack.KindPoWRace {
+		return nil, attack.Params{}, false
 	}
-	return &s
+	p := adversaryParams(n)
+	if !strat.Deviates(p) {
+		return nil, attack.Params{}, false
+	}
+	return strat, p, true
+}
+
+// withholdAdversary resolves a normalised spec's adversary block into a
+// deviating stake-withholding assignment: the deviator's miner index
+// and restake period (0 = never restake).
+func withholdAdversary(n scenario.Spec) (miner, every int, ok bool) {
+	if n.Adversary == nil {
+		return 0, 0, false
+	}
+	strat, found := attack.Lookup(n.Adversary.Strategy)
+	if !found || strat.Kind() != attack.KindStakeWithhold || !strat.Deviates(adversaryParams(n)) {
+		return 0, 0, false
+	}
+	return n.Adversary.Miner, n.Adversary.Every, true
 }
 
 // advShare returns the adversary's resource share of a normalised spec.
@@ -250,13 +292,13 @@ func advShare(n scenario.Spec) float64 {
 // per-trial selfish loop.
 const selfishCtxCheckInterval = 4096
 
-// evaluateSelfish answers an adversarial PoW scenario by running the
-// Eyal–Sirer state machine per trial (internal/attack.Sim), seeding
+// evaluateRace answers an adversarial PoW scenario by running the
+// strategy's race state machine per trial (attack.RaceSim), seeding
 // trial i with rng.Stream(seed, i) exactly like the honest path. The
 // tracked miner's λ is the attacker's revenue share when she is the
 // tracked miner, and the tracked miner's power-proportional slice of the
 // honest pool's revenue otherwise.
-func (e *MonteCarloEvaluator) evaluateSelfish(ctx context.Context, n scenario.Spec, protocolName string, s attack.SelfishMining) (Evaluation, error) {
+func (e *MonteCarloEvaluator) evaluateRace(ctx context.Context, n scenario.Spec, protocolName string, strat attack.Strategy, p attack.Params) (Evaluation, error) {
 	total := 0.0
 	for _, v := range n.Stakes {
 		total += v
@@ -264,7 +306,7 @@ func (e *MonteCarloEvaluator) evaluateSelfish(ctx context.Context, n scenario.Sp
 	trackedIsAttacker := n.Miner == n.Adversary.Miner
 	honestSlice := 0.0
 	if !trackedIsAttacker {
-		honestSlice = (n.Stakes[n.Miner] / total) / (1 - s.Alpha)
+		honestSlice = (n.Stakes[n.Miner] / total) / (1 - p.Share)
 	}
 	cps := n.Checkpoints
 	lambda := make([][]float64, len(cps))
@@ -275,7 +317,7 @@ func (e *MonteCarloEvaluator) evaluateSelfish(ctx context.Context, n scenario.Sp
 		if err := ctx.Err(); err != nil {
 			return Evaluation{TrialsRun: int64(trial)}, err
 		}
-		sim, err := s.NewSim()
+		sim, err := strat.NewRaceSim(p)
 		if err != nil {
 			return Evaluation{TrialsRun: int64(trial)}, err
 		}
@@ -311,6 +353,11 @@ func withTrialWorkers(ev Evaluator, trialWorkers int) Evaluator {
 	}
 	if mc, ok := ev.(*MonteCarloEvaluator); ok && mc.TrialWorkers == 0 {
 		clone := *mc
+		clone.TrialWorkers = trialWorkers
+		return &clone
+	}
+	if ae, ok := ev.(*ArenaEvaluator); ok && ae.TrialWorkers == 0 {
+		clone := *ae
 		clone.TrialWorkers = trialWorkers
 		return &clone
 	}

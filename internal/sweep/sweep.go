@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/arena"
 	"repro/internal/core"
 	"repro/internal/scenario"
 	"repro/internal/table"
@@ -108,6 +109,10 @@ type Outcome struct {
 	// for closed-form backends.
 	AchievedEps   float64 `json:"achieved_eps,omitempty"`
 	AchievedDelta float64 `json:"achieved_delta,omitempty"`
+	// Arena, set only by the best-response arena backend, is the
+	// equilibrium the verdict was assessed at: the fixed-point strategy
+	// profile, per-miner payoffs and honest-baseline payoffs.
+	Arena *arena.Equilibrium `json:"arena,omitempty"`
 	// ElapsedMS is the wall time spent computing this scenario; 0 for
 	// cache hits.
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -365,6 +370,7 @@ func evaluate(ctx context.Context, ev Evaluator, n scenario.Spec, hash string, c
 		EarlyStopped:     evl.EarlyStopped,
 		AchievedEps:      evl.AchievedEps,
 		AchievedDelta:    evl.AchievedDelta,
+		Arena:            evl.Arena,
 		ElapsedMS:        float64(time.Since(begin).Microseconds()) / 1000,
 	}
 	if cache != nil {
